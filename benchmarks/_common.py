@@ -1,0 +1,48 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every benchmark regenerates one table/figure from the paper's evaluation:
+it runs the experiment, prints (and archives under ``benchmarks/results/``)
+a paper-vs-measured table, and asserts the figure's *shape* claims — who
+wins, by roughly what factor — with deliberately loose tolerances, since
+absolute numbers come from a simulator rather than the authors' testbed.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.harness.paper import PAPER_FIGURES, paper_vs_measured_rows
+from repro.harness.report import format_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Headline figures use the full trace length so burst-onset transients do
+#: not dominate tail latency, exactly as in the paper's hours-long runs.
+FULL_TRACE_INTERVALS = 240
+
+
+def emit(name: str, text: str) -> None:
+    """Print a benchmark's report and archive it under results/."""
+    print(f"\n=== {name} ===\n{text}")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def paper_comparison_report(figure_key: str, measured) -> str:
+    """Paper-vs-measured table for one comparison result."""
+    paper = PAPER_FIGURES[figure_key]
+    headers = [
+        "policy",
+        "paper p95",
+        "ours p95",
+        "paper cost",
+        "ours cost",
+        "paper cost/Auto",
+        "ours cost/Auto",
+    ]
+    rows = paper_vs_measured_rows(figure_key, measured)
+    title = (
+        f"{paper.figure}: {measured.workload_name} x {measured.trace_name}, "
+        f"paper goal {paper.goal_ms:.0f} ms, ours {measured.goal.target_ms:.0f} ms"
+    )
+    return f"{title}\n{format_table(headers, rows)}"

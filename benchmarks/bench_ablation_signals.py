@@ -1,0 +1,95 @@
+"""Ablation: what each signal family contributes to Auto.
+
+Not a paper figure — this quantifies the design choices DESIGN.md calls
+out by disabling one signal family at a time on the Figure 9(a) scenario
+(CPUIO x Trace 2, tight goal):
+
+* ``no-waits``   — utilization levels only (a rule-based cousin of Util);
+* ``no-trends``  — Theil-Sen early warning off;
+* ``no-corr``    — latency/wait Spearman correlation off;
+* ``no-balloon`` — memory scale-downs shrink blindly.
+
+The expectation is directional: the full Auto should be on the
+cost/latency Pareto frontier of the variants, and the waits ablation in
+particular should either overspend or miss the goal.
+"""
+
+from __future__ import annotations
+
+from _common import emit
+from repro.core.autoscaler import AutoScaler
+from repro.harness import ExperimentConfig, profile_workload, run_policy
+from repro.harness.report import format_table
+from repro.policies.auto import AutoPolicy
+from repro.workloads import cpuio_workload, paper_trace
+
+N_INTERVALS = 160
+
+VARIANTS = {
+    "full": {},
+    "no-waits": {"use_waits": False},
+    "no-trends": {"use_trends": False},
+    "no-corr": {"use_correlation": False},
+    "no-balloon": {"use_ballooning": False},
+}
+
+
+def _run():
+    workload = cpuio_workload()
+    trace = paper_trace(2, n_intervals=N_INTERVALS)
+    config = ExperimentConfig()
+    profile = profile_workload(workload, trace, config)
+    goal = profile.latency_goal(1.25)
+
+    results = {}
+    for name, kwargs in VARIANTS.items():
+        scaler = AutoScaler(
+            catalog=config.catalog,
+            goal=goal,
+            thresholds=config.thresholds,
+            **kwargs,
+        )
+        results[name] = run_policy(workload, trace, AutoPolicy(scaler), config)
+    return goal, results
+
+
+def test_ablation_signal_families(benchmark):
+    goal, results = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    rows = []
+    for name, run in results.items():
+        metrics = run.metrics
+        rows.append(
+            [
+                name,
+                f"{metrics.p95_latency_ms:.0f}",
+                "yes" if metrics.p95_latency_ms <= goal.target_ms * 1.15 else "NO",
+                f"{metrics.avg_cost_per_interval:.1f}",
+                f"{metrics.resize_fraction:.0%}",
+            ]
+        )
+    report = (
+        f"Signal-family ablation on cpuio x trace2, goal {goal.target_ms:.0f} ms\n"
+        + format_table(
+            ["variant", "p95 (ms)", "meets goal", "cost/interval", "resizes"], rows
+        )
+    )
+    emit("ablation_signals", report)
+
+    full = results["full"].metrics
+    no_waits = results["no-waits"].metrics
+    # Removing the wait signals must hurt: either it spends noticeably
+    # more for no better latency, or it loses the latency goal.
+    worse_cost = no_waits.avg_cost_per_interval >= full.avg_cost_per_interval * 1.05
+    worse_latency = no_waits.p95_latency_ms >= full.p95_latency_ms * 1.5
+    assert worse_cost or worse_latency, "wait signals should matter"
+    # No ablated variant should be strictly better on BOTH axes.
+    for name, run in results.items():
+        if name == "full":
+            continue
+        metrics = run.metrics
+        strictly_better = (
+            metrics.avg_cost_per_interval < full.avg_cost_per_interval * 0.95
+            and metrics.p95_latency_ms < full.p95_latency_ms * 0.95
+        )
+        assert not strictly_better, f"{name} dominates full Auto"

@@ -1,0 +1,160 @@
+"""Section 5: token-bucket budget management.
+
+Two parts:
+
+1. **Shaping behaviour** — replay a bursty sequence of *desired* container
+   costs against aggressive and conservative bucket configurations and
+   show the trade the paper describes: the aggressive bucket funds the
+   early burst fully and is left with only the cheapest container later;
+   the conservative bucket caps the early burst (~K intervals of Cmax)
+   and retains spending power for late bursts.  Both respect the hard
+   budget.
+2. **End-to-end** — Auto under a binding budget on the Figure 9 scenario:
+   the total spend never exceeds the budget and the run produces
+   "scale-up constrained by budget" explanations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _common import FULL_TRACE_INTERVALS, emit
+from repro.core import ActionKind, AutoScaler, BudgetManager, BurstStrategy
+from repro.engine import default_catalog
+from repro.harness import ExperimentConfig, profile_workload, run_policy
+from repro.harness.report import format_table
+from repro.policies.auto import AutoPolicy
+from repro.workloads import cpuio_workload, paper_trace
+
+
+def _desired_costs(catalog, n_intervals: int, seed: int = 3) -> np.ndarray:
+    """A demand program: an early burst, quiet middle, late burst."""
+    rng = np.random.default_rng(seed)
+    desired = np.full(n_intervals, catalog.min_cost)
+    burst = catalog.max_cost
+    early = slice(int(0.05 * n_intervals), int(0.20 * n_intervals))
+    late = slice(int(0.75 * n_intervals), int(0.90 * n_intervals))
+    desired[early] = burst
+    desired[late] = burst
+    noise = rng.choice([0.0, catalog.at_level(2).cost], size=n_intervals, p=[0.8, 0.2])
+    return np.maximum(desired, noise)
+
+
+def _replay(manager: BudgetManager, catalog, desired: np.ndarray) -> np.ndarray:
+    """Spend as much of each interval's desired cost as the bucket allows."""
+    affordable_costs = sorted({c.cost for c in catalog})
+    spent = np.empty(desired.size)
+    for i, want in enumerate(desired):
+        allowed = [c for c in affordable_costs if c <= min(want, manager.available)]
+        cost = allowed[-1] if allowed else catalog.min_cost
+        manager.end_interval(cost)
+        spent[i] = cost
+    return spent
+
+
+def _run_shaping():
+    catalog = default_catalog()
+    n = 300
+    desired = _desired_costs(catalog, n)
+    budget = catalog.min_cost * n * 4.0  # 4x the all-minimum cost
+    aggressive = BudgetManager(
+        budget, n, catalog.min_cost, catalog.max_cost, BurstStrategy.AGGRESSIVE
+    )
+    conservative = BudgetManager(
+        budget,
+        n,
+        catalog.min_cost,
+        catalog.max_cost,
+        BurstStrategy.CONSERVATIVE,
+        conservative_k=5,
+    )
+    return (
+        budget,
+        desired,
+        _replay(aggressive, catalog, desired),
+        _replay(conservative, catalog, desired),
+    )
+
+
+def test_budget_token_bucket_shaping(benchmark):
+    budget, desired, spent_aggr, spent_cons = benchmark.pedantic(
+        _run_shaping, rounds=1, iterations=1
+    )
+    n = desired.size
+    early = slice(int(0.05 * n), int(0.20 * n))
+    late = slice(int(0.75 * n), int(0.90 * n))
+
+    rows = [
+        [
+            name,
+            f"{spent.sum():.0f}",
+            f"{spent[early].sum():.0f}",
+            f"{spent[late].sum():.0f}",
+        ]
+        for name, spent in (
+            ("desired", desired),
+            ("aggressive", spent_aggr),
+            ("conservative", spent_cons),
+        )
+    ]
+    report = (
+        f"Token-bucket shaping, hard budget {budget:.0f}\n"
+        + format_table(["strategy", "total", "early burst", "late burst"], rows)
+    )
+    emit("budget_token_bucket", report)
+
+    # Hard budget respected by both strategies.
+    assert spent_aggr.sum() <= budget + 1e-6
+    assert spent_cons.sum() <= budget + 1e-6
+    # Aggressive funds the early burst more generously...
+    assert spent_aggr[early].sum() > spent_cons[early].sum()
+    # ...while conservative retains more for the late burst.
+    assert spent_cons[late].sum() > spent_aggr[late].sum()
+
+
+def _run_constrained_auto():
+    workload = cpuio_workload()
+    trace = paper_trace(2, n_intervals=FULL_TRACE_INTERVALS)
+    config = ExperimentConfig()
+    profile = profile_workload(workload, trace, config)
+    goal = profile.latency_goal(1.25)
+    catalog = config.catalog
+    # A budget well below what unconstrained Auto spends on this trace.
+    budget_total = 40.0 * trace.n_intervals
+    budget = BudgetManager(
+        budget_total,
+        trace.n_intervals + config.warmup_intervals,
+        catalog.min_cost,
+        catalog.max_cost,
+        BurstStrategy.AGGRESSIVE,
+    )
+    scaler = AutoScaler(
+        catalog=catalog, goal=goal, thresholds=config.thresholds, budget=budget
+    )
+    policy = AutoPolicy(scaler)
+    run = run_policy(workload, trace, policy, config)
+    constrained = sum(
+        1
+        for decision in policy.decisions
+        for explanation in decision.explanations
+        if explanation.action is ActionKind.BUDGET_CONSTRAINED
+    )
+    return budget_total, run, constrained
+
+
+def test_budget_constrained_auto(benchmark):
+    budget_total, run, constrained = benchmark.pedantic(
+        _run_constrained_auto, rounds=1, iterations=1
+    )
+    report = (
+        f"Auto under a hard budget of {budget_total:.0f} "
+        f"({budget_total / FULL_TRACE_INTERVALS:.0f}/interval):\n"
+        f"total spent {run.meter.total_cost:.0f}, "
+        f"avg {run.metrics.avg_cost_per_interval:.1f}/interval, "
+        f"p95 {run.metrics.p95_latency_ms:.0f} ms, "
+        f"{constrained} budget-constrained decisions"
+    )
+    emit("budget_constrained_auto", report)
+
+    assert run.meter.total_cost <= budget_total + 1e-6
+    assert constrained > 0, "the binding budget should visibly constrain scale-ups"

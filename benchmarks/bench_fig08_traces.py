@@ -1,0 +1,48 @@
+"""Figure 8: the four production-derived demand traces.
+
+Renders each trace as an ASCII chart and checks the scenario each was
+chosen for: Trace 1 steady, Traces 2/3 mostly idle with one long/short
+burst, Trace 4 heavily bursty.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _common import emit
+from repro.harness.report import ascii_series
+from repro.workloads import paper_trace
+
+N_INTERVALS = 240
+
+
+def _build():
+    return [paper_trace(n, n_intervals=N_INTERVALS) for n in (1, 2, 3, 4)]
+
+
+def test_fig08_traces(benchmark):
+    traces = benchmark.pedantic(_build, rounds=1, iterations=1)
+    t1, t2, t3, t4 = traces
+
+    charts = [
+        ascii_series(t.rates, label=f"{t.name}: {t.description}", height=8)
+        for t in traces
+    ]
+    stats = [
+        f"{t.name}: mean={t.mean:.1f}/s peak={t.peak:.1f}/s "
+        f"burstiness={t.burstiness():.1f}"
+        for t in traces
+    ]
+    emit("fig08_traces", "\n\n".join(charts) + "\n\n" + "\n".join(stats))
+
+    # Scenario shape checks.
+    assert t1.burstiness() < 1.6, "Trace 1 is steady"
+    assert t2.burstiness() > 2.0 and t3.burstiness() > 2.0
+    # Trace 2's burst lasts longer than Trace 3's.
+    above_half_2 = int((t2.rates > t2.peak / 2).sum())
+    above_half_3 = int((t3.rates > t3.peak / 2).sum())
+    assert above_half_2 > above_half_3
+    # Trace 4 has multiple distinct bursts.
+    high = t4.rates > (t4.rates.mean() * 1.5)
+    burst_starts = int(np.sum(high[1:] & ~high[:-1]))
+    assert burst_starts >= 4, "Trace 4 should contain many bursts"

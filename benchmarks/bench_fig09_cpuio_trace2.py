@@ -1,0 +1,73 @@
+"""Figure 9(a,b): CPUIO on Trace 2 under tight (1.25x) and loose (5x) goals.
+
+The paper's headline experiment: with a single long demand burst, accurate
+demand estimation lets Auto meet the latency goal at a fraction of every
+alternative's cost, and a *looser* goal translates directly into further
+savings.
+
+Shape claims checked (paper values in parentheses):
+  * tight goal: Auto meets the goal and costs materially less than Peak
+    (2.75x) and Util (1.8x); Avg is cheap but blows through the goal (3x+);
+  * loose goal: Auto's cost drops further (86.9 -> 29.8 in the paper) while
+    still meeting the goal;
+  * Auto and Util resize in a small fraction of intervals (paper ~11 %).
+"""
+
+from __future__ import annotations
+
+from _common import FULL_TRACE_INTERVALS, emit, paper_comparison_report
+from repro.harness import ExperimentConfig, run_goal_sweep
+from repro.workloads import cpuio_workload, paper_trace
+
+TIGHT, LOOSE = 1.25, 5.0
+
+
+def _run():
+    return run_goal_sweep(
+        cpuio_workload(),
+        paper_trace(2, n_intervals=FULL_TRACE_INTERVALS),
+        goal_factors=(TIGHT, LOOSE),
+        config=ExperimentConfig(),
+    )
+
+
+def test_fig09_cpuio_trace2(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    tight, loose = results[TIGHT], results[LOOSE]
+
+    report = "\n\n".join(
+        [
+            paper_comparison_report("fig9a", tight),
+            paper_comparison_report("fig9b", loose),
+            "resize fractions (paper: Auto/Util ~11%, Trace ~15%): "
+            + ", ".join(
+                f"{p}={tight.metrics(p).resize_fraction:.0%}"
+                for p in ("Trace", "Util", "Auto")
+            ),
+        ]
+    )
+    emit("fig09_cpuio_trace2", report)
+
+    goal = tight.goal.target_ms
+    auto_tight = tight.metrics("Auto")
+    # Auto meets the tight goal (small slack for simulator noise).
+    assert auto_tight.p95_latency_ms <= goal * 1.15
+    # Avg violates the tight goal badly.
+    assert tight.metrics("Avg").p95_latency_ms > goal * 2.0
+    # Cost ordering: Auto is the cheapest goal-meeting policy.
+    assert tight.cost_ratio("Peak") >= 1.5, "Peak should cost >=1.5x Auto"
+    assert tight.cost_ratio("Util") >= 1.3, "Util should cost >=1.3x Auto"
+    assert tight.cost_ratio("Max") >= 2.5
+
+    auto_loose = loose.metrics("Auto")
+    assert auto_loose.p95_latency_ms <= loose.goal.target_ms * 1.15
+    # A looser goal buys additional savings.
+    assert (
+        auto_loose.avg_cost_per_interval
+        <= auto_tight.avg_cost_per_interval * 1.02
+    )
+    assert loose.cost_ratio("Util") >= 1.3
+
+    # Resizes happen in a modest fraction of intervals.
+    assert auto_tight.resize_fraction <= 0.25
+    assert tight.metrics("Util").resize_fraction <= 0.25

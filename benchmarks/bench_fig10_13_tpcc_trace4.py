@@ -1,0 +1,91 @@
+"""Figures 10 and 13: lock-bound TPC-C on the heavily-bursty Trace 4.
+
+The signature result for database-specific demand estimation.  TPC-C's
+latency is dominated by application-level lock waits that no container can
+relieve; Util keeps buying resources to "fix" the bad latency, while Auto
+reads the wait mix and declines.
+
+Shape claims checked:
+  * Util costs several times Auto (paper: 3.4x) at comparable latency;
+  * drill-down (Fig 13a/b): Util's container climbs to a large share of
+    the server (paper: up to ~70 % of CPU) while Auto stays in the 10-20 %
+    band, with both using only ~10 % of the server's CPU;
+  * wait mix (Fig 13c): lock waits dominate (>90 % at load).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _common import FULL_TRACE_INTERVALS, emit, paper_comparison_report
+from repro.engine.waits import WaitClass
+from repro.harness import ExperimentConfig, run_comparison
+from repro.harness.report import ascii_series, drilldown_series, wait_mix_series
+from repro.workloads import paper_trace, tpcc_workload
+
+SERVER_CORES = 32.0
+
+
+def _run():
+    return run_comparison(
+        tpcc_workload(),
+        paper_trace(4, n_intervals=FULL_TRACE_INTERVALS),
+        goal_factor=1.25,
+        config=ExperimentConfig(),
+    )
+
+
+def test_fig10_13_tpcc_trace4(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    goal_ms = result.goal.target_ms
+
+    util_dd = drilldown_series(result.runs["Util"], goal_ms, SERVER_CORES)
+    auto_dd = drilldown_series(result.runs["Auto"], goal_ms, SERVER_CORES)
+    mix = wait_mix_series(result.runs["Auto"])
+    trace = paper_trace(4, n_intervals=FULL_TRACE_INTERVALS)
+    busy = trace.rates > np.median(trace.rates) * 2
+    lock_share_busy = float(mix[WaitClass.LOCK][busy].mean())
+
+    report = "\n\n".join(
+        [
+            paper_comparison_report("fig10", result),
+            "Figure 13(a): Util container CPU as % of server\n"
+            + ascii_series(util_dd["container_cpu_pct"], height=8, label="Util"),
+            "Figure 13(b): Auto container CPU as % of server\n"
+            + ascii_series(auto_dd["container_cpu_pct"], height=8, label="Auto"),
+            (
+                "Util container: mean {:.0f}% max {:.0f}% of server | "
+                "Auto container: mean {:.0f}% max {:.0f}% | "
+                "CPU actually used: Util {:.1f}%, Auto {:.1f}% of server"
+            ).format(
+                util_dd["container_cpu_pct"].mean(),
+                util_dd["container_cpu_pct"].max(),
+                auto_dd["container_cpu_pct"].mean(),
+                auto_dd["container_cpu_pct"].max(),
+                util_dd["cpu_utilization_pct"].mean(),
+                auto_dd["cpu_utilization_pct"].mean(),
+            ),
+            "Figure 13(c): mean lock-wait share during busy intervals = "
+            f"{lock_share_busy:.0f}% (paper: >90%)",
+        ]
+    )
+    emit("fig10_13_tpcc_trace4", report)
+
+    # Figure 10 shape: Util wastes several times Auto's budget.
+    assert result.cost_ratio("Util") >= 2.0, "paper reports Util ~3.4x Auto"
+    assert result.cost_ratio("Max") >= 5.0
+    # Auto's latency lands near the goal despite the lock-bound workload.
+    assert result.metrics("Auto").p95_latency_ms <= goal_ms * 1.5
+
+    # Figure 13(a,b) shape: Util overshoots, Auto stays small.
+    assert util_dd["container_cpu_pct"].max() >= 40.0
+    assert auto_dd["container_cpu_pct"].max() <= 25.0
+    assert (
+        util_dd["container_cpu_pct"].mean()
+        >= 2.0 * auto_dd["container_cpu_pct"].mean()
+    )
+    # Both leave the server's CPU mostly idle — the waste is pure.
+    assert util_dd["cpu_utilization_pct"].mean() <= 15.0
+
+    # Figure 13(c) shape: lock waits dominate under load.
+    assert lock_share_busy >= 70.0

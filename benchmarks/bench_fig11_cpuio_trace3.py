@@ -1,0 +1,39 @@
+"""Figure 11: CPUIO on Trace 3 (one short, sharp burst), loose 5x goal.
+
+The stress case for reactive scaling: the burst is short relative to the
+controller's reaction time, so some onset degradation is unavoidable (the
+paper's own Auto lands at 482 ms against a 500 ms goal).  The cost shape
+is the claim: Peak ~4.5x, Util ~2.5x, and Avg ~1.5x the cost of Auto.
+"""
+
+from __future__ import annotations
+
+from _common import FULL_TRACE_INTERVALS, emit, paper_comparison_report
+from repro.harness import ExperimentConfig, run_comparison
+from repro.workloads import cpuio_workload, paper_trace
+
+
+def _run():
+    return run_comparison(
+        cpuio_workload(),
+        paper_trace(3, n_intervals=FULL_TRACE_INTERVALS),
+        goal_factor=5.0,
+        config=ExperimentConfig(),
+    )
+
+
+def test_fig11_cpuio_trace3(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit("fig11_cpuio_trace3", paper_comparison_report("fig11", result))
+
+    # Cost shape: every alternative is materially more expensive...
+    assert result.cost_ratio("Peak") >= 2.0, "paper: Peak ~4.5x Auto"
+    assert result.cost_ratio("Util") >= 1.5, "paper: Util ~2.5x Auto"
+    assert result.cost_ratio("Max") >= 3.5
+    # ... except Avg, which is cheap because it ignores the burst entirely
+    # (and pays in latency — in our harsher open-loop replay it violates
+    # the goal outright, where the paper's Avg merely degraded).
+    assert result.metrics("Avg").p95_latency_ms > result.goal.target_ms
+    # Auto stays within shouting distance of the loose goal even though
+    # the short burst is nearly adversarial for a reactive controller.
+    assert result.metrics("Auto").p95_latency_ms <= result.goal.target_ms * 2.0

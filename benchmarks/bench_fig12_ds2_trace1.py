@@ -1,0 +1,37 @@
+"""Figure 12: DS2 on the steady Trace 1, tight 1.25x goal.
+
+The sanity case: steady demand is exactly what a static container is for,
+and the question is whether an auto-scaler still pays its way.  Paper
+shape: everyone meets the goal; Auto is cheapest (101), undercutting Peak
+(150) and Util (151), with Avg (120) close.
+"""
+
+from __future__ import annotations
+
+from _common import FULL_TRACE_INTERVALS, emit, paper_comparison_report
+from repro.harness import ExperimentConfig, run_comparison
+from repro.workloads import ds2_workload, paper_trace
+
+
+def _run():
+    return run_comparison(
+        ds2_workload(),
+        paper_trace(1, n_intervals=FULL_TRACE_INTERVALS),
+        goal_factor=1.25,
+        config=ExperimentConfig(),
+    )
+
+
+def test_fig12_ds2_trace1(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit("fig12_ds2_trace1", paper_comparison_report("fig12", result))
+
+    goal = result.goal.target_ms
+    # Steady workload: every policy meets the goal.
+    for policy in ("Max", "Peak", "Avg", "Trace", "Util", "Auto"):
+        assert result.metrics(policy).p95_latency_ms <= goal * 1.15, policy
+    # Auto undercuts the utilization-driven scaler and Max even here.
+    assert result.cost_ratio("Util") >= 1.1, "paper: Util ~1.5x Auto"
+    assert result.cost_ratio("Max") >= 1.6
+    # On a steady trace the container should barely change.
+    assert result.metrics("Auto").resize_fraction <= 0.10

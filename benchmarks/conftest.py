@@ -1,0 +1,14 @@
+"""Benchmark-suite configuration.
+
+The "benchmarks" here are experiment reproductions: each regenerates one
+of the paper's tables or figures.  They are timed with pytest-benchmark
+(one round, one iteration — the measurement of interest is the experiment
+output, not micro-timings) and write their reports to
+``benchmarks/results/``.
+"""
+
+import sys
+from pathlib import Path
+
+# Make the sibling `_common` helper importable regardless of rootdir.
+sys.path.insert(0, str(Path(__file__).parent))

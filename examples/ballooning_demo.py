@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Memory ballooning vs blind shrinking (paper Figure 14, interactively).
+
+The tenant's working set is ~3 GB and the estimator wants the next smaller
+container.  Without ballooning the shrink evicts the working set: misses
+storm the disk, latency jumps by an order of magnitude, and re-warming
+takes many intervals.  With ballooning the memory cap walks down until the
+I/O spike appears, then reverts with minimal damage.
+
+Run:  python examples/ballooning_demo.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AutoScaler, DatabaseServer, EngineConfig, LatencyGoal, default_catalog
+from repro.workloads import cpuio_workload
+
+RATE = 6.0
+N_INTERVALS = 45
+
+
+def run_case(use_ballooning: bool) -> None:
+    catalog = default_catalog()
+    workload = cpuio_workload()  # 3 GB hotspot working set
+    server = DatabaseServer(
+        specs=workload.specs,
+        dataset=workload.dataset,
+        container=catalog.at_level(2),  # C2: 4 GB, the set just fits
+        config=EngineConfig(seed=5),
+        n_hot_locks=0,
+    )
+    server.prewarm()
+    scaler = AutoScaler(
+        catalog=catalog,
+        initial_container=server.container,
+        goal=LatencyGoal(target_ms=900.0),  # generous: only memory matters
+        use_ballooning=use_ballooning,
+    )
+
+    label = "WITH ballooning" if use_ballooning else "NO ballooning"
+    print(f"--- {label} ---")
+    print(f"{'int':>4} {'cont':>5} {'mem used GB':>12} {'balloon GB':>11} {'avg ms':>8}")
+    for interval in range(N_INTERVALS):
+        counters = server.run_interval(RATE)
+        decision = scaler.decide(counters)
+        if decision.container.name != server.container.name:
+            server.set_container(decision.container)
+        server.set_balloon_limit(decision.balloon_limit_gb)
+
+        mean_latency = (
+            float(counters.latencies_ms.mean()) if counters.latencies_ms.size else np.nan
+        )
+        balloon = (
+            f"{decision.balloon_limit_gb:.2f}" if decision.balloon_limit_gb else "-"
+        )
+        if interval % 5 == 0 or decision.resized or decision.balloon_limit_gb:
+            print(
+                f"{interval:>4} {counters.container.name:>5} "
+                f"{counters.memory_used_gb:>12.2f} {balloon:>11} {mean_latency:>8.1f}"
+            )
+    print()
+
+
+def main() -> None:
+    run_case(use_ballooning=True)
+    run_case(use_ballooning=False)
+    print(
+        "Note how the blind shrink drops memory below the 3 GB working set\n"
+        "and average latency explodes until the cache re-warms, while the\n"
+        "balloon probe aborts near the working-set boundary."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""A miniature Figure 9: compare all six policies on one workload x trace.
+
+Runs the paper's full policy lineup — Max, Peak, Avg, the Trace oracle,
+Util, and Auto — on CPUIO with the long-burst trace and prints the cost /
+p95 table the evaluation figures plot.  Scaled down (~100 intervals) so it
+finishes in under a minute; the full-size reproduction lives in
+``benchmarks/bench_fig09_cpuio_trace2.py``.
+
+Run:  python examples/policy_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.harness import ExperimentConfig, comparison_table, run_comparison
+from repro.workloads import cpuio_workload, long_burst_trace
+
+
+def main() -> None:
+    workload = cpuio_workload()
+    trace = long_burst_trace(n_intervals=100, seed=12)
+    print("running six policies (profiling under Max first)...\n")
+    result = run_comparison(
+        workload, trace, goal_factor=1.25, config=ExperimentConfig()
+    )
+    print(comparison_table(result))
+    print(
+        f"\ncost relative to Auto: "
+        + ", ".join(
+            f"{policy} {result.cost_ratio(policy):.2f}x"
+            for policy in ("Max", "Peak", "Avg", "Trace", "Util")
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Thin setup.py shim.
+
+The execution environment has no network access and no ``wheel`` package,
+so PEP 517 editable installs cannot build; this shim lets
+``pip install -e .`` fall back to the legacy setuptools develop path.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

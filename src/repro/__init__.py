@@ -1,0 +1,81 @@
+"""repro — a reproduction of "Automated Demand-driven Resource Scaling in
+Relational Database-as-a-Service" (Das, Li, Narasayya, König; SIGMOD 2016).
+
+The package provides:
+
+* :mod:`repro.core` — the paper's contribution: robust telemetry signals,
+  the rule-based resource demand estimator, token-bucket budget manager,
+  memory ballooning, and the closed-loop :class:`~repro.core.AutoScaler`.
+* :mod:`repro.engine` — a simulated multi-tenant database server standing
+  in for the Azure SQL DB prototype environment.
+* :mod:`repro.workloads` — TPC-C-like, DS2-like and CPUIO benchmark
+  workloads plus the four production-shaped demand traces of Figure 8.
+* :mod:`repro.policies` — the Section 7.2 baselines (Max, Peak, Avg,
+  Trace oracle, Util) behind a common policy interface.
+* :mod:`repro.fleet` — synthetic service-wide telemetry: population
+  synthesis, the Figure 2 demand analysis, and Figure 6 wait-threshold
+  calibration.
+* :mod:`repro.harness` — the experiment runner that regenerates the
+  paper's evaluation figures.
+
+Quickstart::
+
+    from repro.harness import run_comparison
+    from repro.workloads import cpuio_workload, paper_trace
+
+    result = run_comparison(cpuio_workload(), paper_trace(2), goal_factor=1.25)
+    print(result.metrics("Auto").avg_cost_per_interval)
+"""
+
+from repro.core.autoscaler import AutoScaler, ScalingDecision
+from repro.core.ballooning import BalloonController
+from repro.core.budget import BudgetManager, BurstStrategy
+from repro.core.demand_estimator import DemandEstimate, DemandEstimator
+from repro.core.explanations import ActionKind, Explanation
+from repro.core.latency import LatencyGoal, LatencyMetric, PerformanceSensitivity
+from repro.core.telemetry_manager import TelemetryManager
+from repro.core.thresholds import ThresholdConfig, default_thresholds
+from repro.engine.containers import ContainerCatalog, ContainerSpec, default_catalog
+from repro.engine.server import DatabaseServer, EngineConfig
+from repro.errors import (
+    BudgetError,
+    CatalogError,
+    ConfigurationError,
+    InsufficientDataError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AutoScaler",
+    "ScalingDecision",
+    "BalloonController",
+    "BudgetManager",
+    "BurstStrategy",
+    "DemandEstimate",
+    "DemandEstimator",
+    "ActionKind",
+    "Explanation",
+    "LatencyGoal",
+    "LatencyMetric",
+    "PerformanceSensitivity",
+    "TelemetryManager",
+    "ThresholdConfig",
+    "default_thresholds",
+    "ContainerCatalog",
+    "ContainerSpec",
+    "default_catalog",
+    "DatabaseServer",
+    "EngineConfig",
+    "BudgetError",
+    "CatalogError",
+    "ConfigurationError",
+    "InsufficientDataError",
+    "ReproError",
+    "SimulationError",
+    "WorkloadError",
+    "__version__",
+]

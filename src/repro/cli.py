@@ -1,0 +1,166 @@
+"""Command-line interface for the reproduction.
+
+Three subcommands mirror the repository's main activities:
+
+* ``repro compare`` — run the paper's six-policy comparison on a chosen
+  workload × trace and print the Figure-9-style table;
+* ``repro calibrate`` — collect fleet telemetry, calibrate wait
+  thresholds, and write a ``ThresholdConfig`` JSON;
+* ``repro fleet-analysis`` — run the Figure 2 change-event analysis over
+  a synthetic tenant population.
+
+Examples::
+
+    python -m repro.cli compare --workload tpcc --trace 4 --goal-factor 1.25
+    python -m repro.cli calibrate --tenants 40 --out thresholds.json
+    python -m repro.cli fleet-analysis --tenants 300
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.core.thresholds import ThresholdConfig, default_thresholds
+from repro.engine.containers import default_catalog
+from repro.harness.experiment import ExperimentConfig, run_comparison
+from repro.harness.report import comparison_table
+from repro.workloads import cpuio_workload, ds2_workload, paper_trace, tpcc_workload
+
+__all__ = ["main", "build_parser"]
+
+_WORKLOADS = {
+    "cpuio": cpuio_workload,
+    "tpcc": tpcc_workload,
+    "ds2": ds2_workload,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Automated Demand-driven Resource "
+        "Scaling in Relational Database-as-a-Service' (SIGMOD 2016)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compare = sub.add_parser(
+        "compare", help="run the six-policy comparison on a workload x trace"
+    )
+    compare.add_argument(
+        "--workload", choices=sorted(_WORKLOADS), default="cpuio",
+        help="benchmark workload (default: cpuio)",
+    )
+    compare.add_argument(
+        "--trace", type=int, choices=(1, 2, 3, 4), default=2,
+        help="paper trace number (default: 2)",
+    )
+    compare.add_argument(
+        "--goal-factor", type=float, default=1.25,
+        help="latency goal as a multiple of the Max p95 (default: 1.25)",
+    )
+    compare.add_argument(
+        "--intervals", type=int, default=240,
+        help="billing intervals to simulate (default: 240)",
+    )
+    compare.add_argument(
+        "--thresholds", type=str, default=None,
+        help="path to a calibrated ThresholdConfig JSON (default: built-in)",
+    )
+    compare.add_argument("--seed", type=int, default=7)
+
+    calibrate = sub.add_parser(
+        "calibrate", help="calibrate wait thresholds from fleet telemetry"
+    )
+    calibrate.add_argument("--tenants", type=int, default=40)
+    calibrate.add_argument("--intervals", type=int, default=12)
+    calibrate.add_argument("--seed", type=int, default=7)
+    calibrate.add_argument(
+        "--out", type=str, required=True, help="output JSON path"
+    )
+
+    fleet = sub.add_parser(
+        "fleet-analysis", help="Figure 2 change-event analysis over a fleet"
+    )
+    fleet.add_argument("--tenants", type=int, default=400)
+    fleet.add_argument(
+        "--days", type=float, default=7.0, help="analysis horizon (default: 7)"
+    )
+    fleet.add_argument("--seed", type=int, default=42)
+    return parser
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    thresholds = (
+        ThresholdConfig.load(args.thresholds)
+        if args.thresholds
+        else default_thresholds()
+    )
+    workload = _WORKLOADS[args.workload]()
+    trace = paper_trace(args.trace, n_intervals=args.intervals)
+    config = ExperimentConfig(thresholds=thresholds, seed=args.seed)
+    result = run_comparison(
+        workload, trace, goal_factor=args.goal_factor, config=config
+    )
+    print(comparison_table(result))
+    print(
+        "\ncost relative to Auto: "
+        + ", ".join(
+            f"{policy}={result.cost_ratio(policy):.2f}x"
+            for policy in result.policies()
+            if policy != "Auto"
+        )
+    )
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.fleet.calibration import calibrate_thresholds, collect_fleet_telemetry
+
+    telemetry = collect_fleet_telemetry(
+        n_tenants=args.tenants,
+        intervals_per_tenant=args.intervals,
+        seed=args.seed,
+    )
+    thresholds = calibrate_thresholds(telemetry)
+    thresholds.save(args.out)
+    print(f"calibrated thresholds from {args.tenants} tenants -> {args.out}")
+    print(thresholds.to_json())
+    return 0
+
+
+def _cmd_fleet_analysis(args: argparse.Namespace) -> int:
+    from repro.fleet.analysis import analyze_fleet
+    from repro.fleet.population import synthesize_population
+
+    n_intervals = int(args.days * 288)  # 5-minute intervals
+    population = synthesize_population(args.tenants, seed=args.seed)
+    analysis = analyze_fleet(population, default_catalog(), n_intervals=n_intervals)
+    print(f"fleet of {args.tenants} tenants over {args.days:g} days:")
+    for minutes, share in analysis.iei_cdf().items():
+        print(f"  IEI <= {minutes:>5g} min: {share:5.1f}% of change events")
+    print(
+        f"  tenants with >=1 change/day: "
+        f"{100 * analysis.fraction_with_daily_change():.0f}%"
+    )
+    steps = analysis.step_size_distribution()
+    print(
+        f"  1-step resizes: {steps.get(1, 0.0):.0%}; "
+        f"within 2 steps: {analysis.step_coverage(2):.1%}"
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "compare": _cmd_compare,
+        "calibrate": _cmd_calibrate,
+        "fleet-analysis": _cmd_fleet_analysis,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""The paper's contribution: telemetry signals, demand estimation,
+budgeting, ballooning, and the closed-loop auto-scaler."""
+
+from repro.core.autoscaler import AutoScaler, ScalingDecision
+from repro.core.ballooning import BalloonController, BalloonPhase, BalloonStatus
+from repro.core.budget import BudgetManager, BurstStrategy, unconstrained_budget
+from repro.core.demand_estimator import (
+    DemandEstimate,
+    DemandEstimator,
+    ResourceDemand,
+)
+from repro.core.explanations import ActionKind, Explanation
+from repro.core.latency import LatencyGoal, LatencyMetric, PerformanceSensitivity
+from repro.core.rules import (
+    Rule,
+    RuleContext,
+    RuleOutcome,
+    evaluate_rules,
+    high_demand_rules,
+    low_demand_rules,
+)
+from repro.core.signals import LatencyStatus, Level, ResourceSignals, WorkloadSignals
+from repro.core.telemetry_manager import TelemetryManager
+from repro.core.thresholds import ThresholdConfig, WaitThresholds, default_thresholds
+
+__all__ = [
+    "AutoScaler",
+    "ScalingDecision",
+    "BalloonController",
+    "BalloonPhase",
+    "BalloonStatus",
+    "BudgetManager",
+    "BurstStrategy",
+    "unconstrained_budget",
+    "DemandEstimate",
+    "DemandEstimator",
+    "ResourceDemand",
+    "ActionKind",
+    "Explanation",
+    "LatencyGoal",
+    "LatencyMetric",
+    "PerformanceSensitivity",
+    "Rule",
+    "RuleContext",
+    "RuleOutcome",
+    "evaluate_rules",
+    "high_demand_rules",
+    "low_demand_rules",
+    "LatencyStatus",
+    "Level",
+    "ResourceSignals",
+    "WorkloadSignals",
+    "TelemetryManager",
+    "ThresholdConfig",
+    "WaitThresholds",
+    "default_thresholds",
+]

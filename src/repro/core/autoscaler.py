@@ -1,0 +1,508 @@
+"""The end-to-end auto-scaling logic (paper Section 6).
+
+Each billing interval the :class:`AutoScaler` consumes the interval's
+telemetry and produces a :class:`ScalingDecision`:
+
+* **Scale up** when latency is BAD — or significantly degrading — *and*
+  the demand estimator finds high demand for at least one resource, budget
+  permitting.  Latency violations without resource demand (lock-bound
+  code, for example) produce an explained *no-change*: adding resources
+  cannot help, and this refusal is where most of Auto's cost advantage
+  over utilization-driven scaling comes from.
+* **Scale down** when latency goals are met with margin and nothing is
+  trending up: either every resource shows low demand, or the latency
+  headroom alone justifies trying a smaller size.  Scale-downs that would
+  evict the tenant's cached working set are gated behind a ballooning
+  probe (Section 4.3) unless ballooning is disabled.
+* The token-bucket budget manager bounds every choice; when the desired
+  container is unaffordable the most expensive affordable one is used and
+  the decision is explained as budget-constrained.
+
+The tenant-facing knobs (Section 2.3) — budget, latency goal, coarse
+performance sensitivity — all enter here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.ballooning import BalloonController, BalloonPhase, BalloonStatus
+from repro.core.budget import BudgetManager, unconstrained_budget
+from repro.core.demand_estimator import DemandEstimate, DemandEstimator
+from repro.core.explanations import ActionKind, Explanation
+from repro.core.latency import LatencyGoal, PerformanceSensitivity
+from repro.core.signals import LatencyStatus, WorkloadSignals
+from repro.core.telemetry_manager import TelemetryManager
+from repro.core.thresholds import ThresholdConfig, default_thresholds
+from repro.engine.bufferpool import engine_overhead_gb, usable_cache_gb
+from repro.engine.containers import ContainerCatalog, ContainerSpec
+from repro.engine.resources import ResourceKind, ResourceVector
+from repro.engine.telemetry import IntervalCounters
+from repro.stats.rolling import RollingWindow
+
+__all__ = ["ScalingDecision", "AutoScaler"]
+
+
+@dataclass(frozen=True)
+class ScalingDecision:
+    """The auto-scaler's output for one billing interval.
+
+    Attributes:
+        container: the container to run for the next interval.
+        balloon_limit_gb: memory balloon cap to apply (None = no cap).
+        resized: whether ``container`` differs from the previous one.
+        explanations: the explainable reasoning trail.
+        demand: the demand estimate behind the decision (None during the
+            initial warm-up interval).
+        signals: the signal set behind the decision (None during warm-up).
+    """
+
+    container: ContainerSpec
+    balloon_limit_gb: float | None
+    resized: bool
+    explanations: tuple[Explanation, ...] = ()
+    demand: DemandEstimate | None = None
+    signals: WorkloadSignals | None = None
+
+    def explanation_text(self) -> str:
+        return "; ".join(str(e) for e in self.explanations)
+
+
+class AutoScaler:
+    """Closed-loop demand-driven container sizing ("Auto" in the paper).
+
+    Args:
+        catalog: the container sizes the DaaS offers.
+        initial_container: starting size (defaults to the smallest).
+        goal: optional tenant latency goal.
+        budget: optional budget manager; unconstrained when omitted.
+        thresholds: signal-categorization configuration.
+        sensitivity: coarse performance-sensitivity knob, used when no
+            explicit goal is given and to tune scale-down caution.
+        use_waits / use_trends / use_correlation / use_ballooning:
+            ablation switches; all on for the paper's design.
+    """
+
+    def __init__(
+        self,
+        catalog: ContainerCatalog,
+        initial_container: ContainerSpec | None = None,
+        goal: LatencyGoal | None = None,
+        budget: BudgetManager | None = None,
+        thresholds: ThresholdConfig | None = None,
+        sensitivity: PerformanceSensitivity = PerformanceSensitivity.MEDIUM,
+        use_waits: bool = True,
+        use_trends: bool = True,
+        use_correlation: bool = True,
+        use_ballooning: bool = True,
+    ) -> None:
+        self.catalog = catalog
+        self.goal = goal
+        self.sensitivity = sensitivity
+        self.thresholds = thresholds or default_thresholds()
+        self.budget = budget or unconstrained_budget(catalog.max_cost)
+        self.telemetry = TelemetryManager(self.thresholds, goal)
+        self.estimator = DemandEstimator(
+            thresholds=self.thresholds,
+            use_waits=use_waits,
+            use_trends=use_trends,
+            use_correlation=use_correlation,
+        )
+        self.use_ballooning = use_ballooning
+        self.balloon = BalloonController()
+        self._container = initial_container or catalog.smallest
+        self._balloon_limit: float | None = None
+        self._low_demand_streak = 0
+        self._disk_reads = RollingWindow(self.thresholds.signal_window)
+
+    @property
+    def container(self) -> ContainerSpec:
+        return self._container
+
+    # -- the closed loop -----------------------------------------------------
+
+    def decide(self, counters: IntervalCounters) -> ScalingDecision:
+        """Consume one interval's telemetry and choose the next container."""
+        self.telemetry.observe(counters)
+        self._disk_reads.append(counters.disk_physical_reads)
+        # Charge the interval that just ran (the paper: "at the end of the
+        # i-th billing interval ... C_i tokens are subtracted"); what
+        # remains is B_{i+1}, the budget the next choice must fit.
+        self.budget.end_interval(counters.container.cost)
+        signals = self.telemetry.signals()
+        demand = self.estimator.estimate(signals)
+        explanations: list[Explanation] = []
+
+        balloon_confirmed = self._handle_balloon(counters, signals, demand, explanations)
+
+        latency_needs_help = self._latency_needs_help(signals)
+        # Without a latency goal, scaling is driven by demand alone.
+        wants_scale_up = demand.any_high and (
+            self.goal is None or latency_needs_help
+        )
+        previous = self._container
+
+        if wants_scale_up:
+            target = self._scale_up_target(signals, demand, explanations)
+        elif latency_needs_help:
+            target = previous
+            explanations.append(self._no_resource_demand_explanation(signals, demand))
+            self._low_demand_streak = 0
+        else:
+            target = self._maybe_scale_down(
+                signals, demand, balloon_confirmed, explanations
+            )
+
+        # The budget constrains every path, not just scale-ups: once the
+        # bucket drains, even *holding* an expensive container is no
+        # longer affordable and the tenant is forced down.
+        if not self.budget.affordable(target.cost):
+            affordable = [
+                c for c in self.catalog if self.budget.affordable(c.cost)
+            ]
+            forced = max(affordable, key=lambda c: (c.cost, c.level))
+            explanations.append(
+                Explanation(
+                    action=ActionKind.BUDGET_CONSTRAINED,
+                    reason=(
+                        f"container {target.name} ({target.cost:g}/interval) "
+                        f"no longer fits the remaining budget "
+                        f"({self.budget.available:.1f}); forced down to "
+                        f"{forced.name}"
+                    ),
+                )
+            )
+            target = forced
+
+        if target.name != previous.name:
+            self._on_resize()
+        self._container = target
+        if not explanations:
+            explanations.append(
+                Explanation(ActionKind.NO_CHANGE, "demand matches current container")
+            )
+        return ScalingDecision(
+            container=target,
+            balloon_limit_gb=self._balloon_limit,
+            resized=target.name != previous.name,
+            explanations=tuple(explanations),
+            demand=demand,
+            signals=signals,
+        )
+
+    # -- scale-up ---------------------------------------------------------------
+
+    def _latency_needs_help(self, signals: WorkloadSignals) -> bool:
+        """BAD latency, or a significant degrading trend (early warning)."""
+        if self.goal is None:
+            # No goal: latency never gates scaling by itself.
+            return False
+        if signals.latency_status is LatencyStatus.BAD:
+            return True
+        if not signals.latency_degrading or np.isnan(signals.latency_ms):
+            return False
+        near_goal = signals.latency_ms >= 0.6 * self.goal.target_ms
+        # The trend must also be material: projected over the trend
+        # window, it should move latency by a noticeable share of the
+        # goal.  Theil-Sen happily flags a consistent 0.1 ms/interval
+        # drift as significant; reacting to that would be pure churn.
+        projected_ms = signals.latency_trend.slope * self.thresholds.trend_window
+        material = projected_ms >= 0.10 * self.goal.target_ms
+        return near_goal and material
+
+    def _scale_up_target(
+        self,
+        signals: WorkloadSignals,
+        demand: DemandEstimate,
+        explanations: list[Explanation],
+    ) -> ContainerSpec:
+        self._low_demand_streak = 0
+        self._cancel_balloon_if_probing(explanations)
+
+        desired = self._desired_vector(demand)
+        affordable = self.catalog.cheapest_covering_within(
+            desired, self.budget.available
+        )
+        covering = self.catalog.smallest_covering(desired)
+        for resource_demand in demand.high_resources():
+            explanations.append(
+                Explanation(
+                    action=ActionKind.SCALE_UP,
+                    reason=(
+                        f"scale-up due to a {resource_demand.kind.value} "
+                        f"bottleneck ({resource_demand.reason})"
+                    ),
+                    resource=resource_demand.kind,
+                    rule_id=resource_demand.rule_id,
+                    details={
+                        "utilization_pct": signals.resource(
+                            resource_demand.kind
+                        ).utilization_pct,
+                        "wait_ms": signals.resource(resource_demand.kind).wait_ms,
+                    },
+                )
+            )
+        if affordable.cost < covering.cost:
+            explanations.append(
+                Explanation(
+                    action=ActionKind.BUDGET_CONSTRAINED,
+                    reason=(
+                        f"scale-up constrained by budget: wanted "
+                        f"{covering.name} ({covering.cost:g}/interval), "
+                        f"budget allows {self.budget.available:.1f}"
+                    ),
+                )
+            )
+        # Never scale *down* as a side effect of a scale-up search.
+        if affordable.cost < self._container.cost:
+            return self._container
+        return affordable
+
+    def _desired_vector(self, demand: DemandEstimate) -> ResourceVector:
+        """Resource amounts implied by the per-dimension step estimates."""
+        current = self._container
+        amounts = {}
+        for kind in ResourceKind:
+            steps = demand.demand(kind).steps if kind in demand.demands else 0
+            if steps > 0:
+                target_level = min(
+                    current.level + steps, self.catalog.num_levels - 1
+                )
+                amounts[kind.value] = self.catalog.at_level(
+                    target_level
+                ).resources.get(kind)
+            else:
+                amounts[kind.value] = current.resources.get(kind)
+        return ResourceVector(**amounts)
+
+    def _no_resource_demand_explanation(
+        self, signals: WorkloadSignals, demand: DemandEstimate
+    ) -> Explanation:
+        if demand.non_resource_bound and demand.dominant_non_resource_wait:
+            wait_name = demand.dominant_non_resource_wait.value
+            reason = (
+                "latency goal not met, but waits are dominated by "
+                f"{wait_name} waits ({signals.non_resource_wait_pct:.0f}% of "
+                "total): more resources would not help"
+            )
+        else:
+            reason = (
+                "latency goal not met, but no resource shows high demand: "
+                "holding the current container"
+            )
+        return Explanation(action=ActionKind.NO_CHANGE, reason=reason)
+
+    # -- scale-down ----------------------------------------------------------------
+
+    def _maybe_scale_down(
+        self,
+        signals: WorkloadSignals,
+        demand: DemandEstimate,
+        balloon_confirmed: bool,
+        explanations: list[Explanation],
+    ) -> ContainerSpec:
+        current = self._container
+        if current.level == 0:
+            self._low_demand_streak = 0
+            return current
+        if not self._scale_down_allowed(signals, demand):
+            self._low_demand_streak = 0
+            return current
+
+        self._low_demand_streak += 1
+        if self._low_demand_streak < self.sensitivity.idle_intervals_before_scale_down:
+            return current
+
+        target = self.catalog.step_from(current, -1)
+        if self._needs_balloon_probe(signals, target) and not balloon_confirmed:
+            if self.use_ballooning:
+                if self.balloon.can_probe_to(target.memory_gb):
+                    decision = self.balloon.start_probe(
+                        current_memory_gb=current.memory_gb,
+                        target_memory_gb=target.memory_gb,
+                        baseline_disk_reads=self._baseline_disk_reads(),
+                    )
+                    self._balloon_limit = decision.limit_gb
+                    explanations.append(
+                        Explanation(
+                            action=ActionKind.BALLOON_START,
+                            reason=(
+                                "low demand detected but the cached working "
+                                "set would not fit the smaller container; "
+                                "probing memory demand via ballooning"
+                            ),
+                            resource=ResourceKind.MEMORY,
+                        )
+                    )
+                return current  # hold while probing / cooling down
+            # Ballooning ablated: shrink blindly (the Figure 14 "no
+            # ballooning" behaviour).
+        self._low_demand_streak = 0
+        explanations.append(
+            Explanation(
+                action=ActionKind.SCALE_DOWN,
+                reason=(
+                    f"scale-down to {target.name}: latency goals met with "
+                    "margin and no resource shows high demand"
+                ),
+            )
+        )
+        return target
+
+    def _scale_down_allowed(
+        self, signals: WorkloadSignals, demand: DemandEstimate
+    ) -> bool:
+        if demand.any_high:
+            return False
+        if signals.latency_degrading:
+            return False
+        if self.goal is None:
+            return demand.all_low
+        if signals.latency_status is LatencyStatus.BAD:
+            return False
+        if signals.latency_status is LatencyStatus.UNKNOWN:
+            # Idle tenant (no completions): treat as low demand.
+            return demand.all_low_or_flat
+        margin = self.sensitivity.scale_down_margin
+        has_headroom = signals.latency_ms <= margin * self.goal.target_ms
+        if not has_headroom:
+            return False
+        if demand.all_low:
+            return True
+        # Latency headroom alone can justify a smaller container (the
+        # paper: goals met => take the savings), but only if the smaller
+        # size could actually absorb the current load: project every
+        # resource's utilization onto the next size down and require it to
+        # stay out of the HIGH band.
+        return demand.all_low_or_flat and self._fits_next_size_down(signals)
+
+    def _fits_next_size_down(self, signals: WorkloadSignals) -> bool:
+        current = self._container
+        if current.level == 0:
+            return False
+        target = self.catalog.step_from(current, -1)
+        allowed_pct = self._allowed_projected_utilization(signals)
+        for kind in ResourceKind:
+            if kind is ResourceKind.MEMORY:
+                continue  # memory safety is the balloon probe's job
+            allocation = target.resources.get(kind)
+            if allocation <= 0:
+                return False
+            projected = (
+                signals.resource(kind).utilization_pct
+                * current.resources.get(kind)
+                / allocation
+            )
+            if projected >= allowed_pct:
+                return False
+        return True
+
+    def _allowed_projected_utilization(self, signals: WorkloadSignals) -> float:
+        """Utilization ceiling a smaller container may be projected to run at.
+
+        The more latency headroom the tenant has, the hotter the scaler is
+        willing to run the smaller size — this is how loose latency goals
+        (e.g. 5x Max) translate into cheaper containers, paper Figure 9(b).
+        """
+        # A modest margin above the HIGH band: the next size down may run
+        # warm, as long as it is not projected into outright saturation.
+        base = min(self.thresholds.util_high_pct * 1.15, 92.0)
+        if self.goal is None or not np.isfinite(signals.latency_ms):
+            return base
+        if signals.latency_ms <= 0:
+            return 92.0
+        headroom_ratio = self.goal.target_ms / signals.latency_ms
+        if headroom_ratio < 1.8:
+            # Marginal headroom: relaxing here just oscillates across the
+            # goal boundary.  Keep the standard ceiling.
+            return base
+        return float(min(92.0, base * float(np.sqrt(headroom_ratio / 1.3))))
+
+    def _needs_balloon_probe(
+        self, signals: WorkloadSignals, target: ContainerSpec
+    ) -> bool:
+        """Would the smaller container evict cached working data?"""
+        cached_gb = max(
+            signals.memory_used_gb - engine_overhead_gb(self._container.memory_gb),
+            0.0,
+        )
+        return cached_gb > usable_cache_gb(target.memory_gb) + 1e-9
+
+    # -- balloon plumbing --------------------------------------------------------------
+
+    def _handle_balloon(
+        self,
+        counters: IntervalCounters,
+        signals: WorkloadSignals,
+        demand: DemandEstimate,
+        explanations: list[Explanation],
+    ) -> bool:
+        """Advance an active probe; returns True if low memory confirmed."""
+        if self.balloon.phase is not BalloonPhase.PROBING:
+            self.balloon.tick_cooldown()
+            return False
+        if self._latency_needs_help(signals) or demand.any_high:
+            self.balloon.cancel()
+            self._balloon_limit = None
+            explanations.append(
+                Explanation(
+                    action=ActionKind.BALLOON_ABORT,
+                    reason="balloon probe cancelled: demand or latency pressure",
+                    resource=ResourceKind.MEMORY,
+                )
+            )
+            return False
+        decision = self.balloon.observe(counters)
+        self._balloon_limit = decision.limit_gb
+        if decision.status is BalloonStatus.ABORTED:
+            explanations.append(
+                Explanation(
+                    action=ActionKind.BALLOON_ABORT,
+                    reason=(
+                        "balloon probe aborted: disk I/O rose "
+                        f"{self.balloon.io_spike_ratio:g}x above baseline — "
+                        "memory demand is not low; reverting"
+                    ),
+                    resource=ResourceKind.MEMORY,
+                )
+            )
+            return False
+        if decision.status is BalloonStatus.CONFIRMED_LOW:
+            self._balloon_limit = None
+            explanations.append(
+                Explanation(
+                    action=ActionKind.BALLOON_CONFIRM,
+                    reason=(
+                        "balloon probe reached the smaller container's memory "
+                        "without an I/O spike: memory demand confirmed low"
+                    ),
+                    resource=ResourceKind.MEMORY,
+                )
+            )
+            return True
+        return False
+
+    def _cancel_balloon_if_probing(self, explanations: list[Explanation]) -> None:
+        if self.balloon.phase is BalloonPhase.PROBING:
+            self.balloon.cancel()
+            self._balloon_limit = None
+            explanations.append(
+                Explanation(
+                    action=ActionKind.BALLOON_ABORT,
+                    reason="balloon probe cancelled by scale-up",
+                    resource=ResourceKind.MEMORY,
+                )
+            )
+
+    def _on_resize(self) -> None:
+        self.balloon.cancel()
+        self._balloon_limit = None
+        self._low_demand_streak = 0
+
+    def _baseline_disk_reads(self) -> float:
+        values = self._disk_reads.values()
+        if values.size == 0:
+            return 1.0
+        return float(np.median(values))

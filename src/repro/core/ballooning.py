@@ -1,0 +1,206 @@
+"""Memory ballooning for low-memory-demand detection (paper Section 4.3).
+
+Memory utilization is useless for detecting *low* memory demand: caches
+never volunteer memory back, and while the working set fits there are no
+memory waits either.  Shrinking blindly risks a latency catastrophe — once
+the working set no longer fits, misses surge and re-warming is bounded by
+disk throughput (paper Figure 14 shows a two-orders-of-magnitude latency
+excursion).
+
+So the paper probes: **ballooning** gradually lowers an artificial memory
+cap toward the next smaller container while watching disk I/O.  If the cap
+reaches the target without a significant I/O increase, memory demand is
+confirmed low; on an I/O spike the balloon aborts and reverts instantly —
+the pages are still in memory, so the cost of a wrong guess is minimal.
+
+Ballooning is triggered only when demand for all *other* resources is low
+(the conservative trigger the paper chose to minimize latency risk).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.engine.resources import ResourceKind
+from repro.engine.telemetry import IntervalCounters
+from repro.errors import ConfigurationError
+
+__all__ = ["BalloonPhase", "BalloonStatus", "BalloonController"]
+
+
+class BalloonPhase(enum.Enum):
+    """Controller state."""
+
+    IDLE = "idle"
+    PROBING = "probing"
+    COOLDOWN = "cooldown"  # recently aborted; do not re-probe immediately
+
+
+class BalloonStatus(enum.Enum):
+    """Outcome reported after each observed interval."""
+
+    INACTIVE = "inactive"
+    SHRINKING = "shrinking"
+    CONFIRMED_LOW = "confirmed-low"
+    ABORTED = "aborted"
+
+
+@dataclass(frozen=True)
+class BalloonDecision:
+    """What the balloon controller wants applied this interval.
+
+    Attributes:
+        status: probe outcome / progress.
+        limit_gb: the balloon cap to apply (None = no cap).
+    """
+
+    status: BalloonStatus
+    limit_gb: float | None
+
+
+class BalloonController:
+    """Gradual memory-shrink probe with I/O-spike abort.
+
+    Args:
+        shrink_step_fraction: fraction of the remaining gap closed per
+            interval (small steps keep any hot-page eviction — and hence re-warm cost — tiny).
+        io_spike_ratio: abort when disk physical reads exceed this multiple
+            of the pre-probe baseline...
+        disk_pressure_pct: ...and disk utilization has climbed to at least
+            this percentage — an I/O increase the disk absorbs with
+            headroom does not indicate problematic memory demand.
+        cooldown_intervals: intervals to wait after an abort before the
+            auto-scaler may trigger another probe.
+    """
+
+    def __init__(
+        self,
+        shrink_step_fraction: float = 0.2,
+        io_spike_ratio: float = 2.0,
+        disk_pressure_pct: float = 60.0,
+        cooldown_intervals: int = 45,
+    ) -> None:
+        if not 0.0 < shrink_step_fraction <= 1.0:
+            raise ConfigurationError("shrink_step_fraction must be in (0, 1]")
+        if io_spike_ratio <= 1.0:
+            raise ConfigurationError("io_spike_ratio must be > 1")
+        if cooldown_intervals < 0:
+            raise ConfigurationError("cooldown_intervals must be >= 0")
+        self.shrink_step_fraction = shrink_step_fraction
+        self.io_spike_ratio = io_spike_ratio
+        self.disk_pressure_pct = disk_pressure_pct
+        self.cooldown_intervals = cooldown_intervals
+
+        self._phase = BalloonPhase.IDLE
+        self._limit_gb: float | None = None
+        self._target_gb = 0.0
+        self._baseline_reads = 0.0
+        self._cooldown_left = 0
+        self._failed_target_gb: float | None = None
+
+    @property
+    def phase(self) -> BalloonPhase:
+        return self._phase
+
+    @property
+    def limit_gb(self) -> float | None:
+        return self._limit_gb
+
+    @property
+    def can_probe(self) -> bool:
+        return self._phase is BalloonPhase.IDLE and self._cooldown_left == 0
+
+    @property
+    def failed_target_gb(self) -> float | None:
+        """Memory target of the last aborted probe, if any."""
+        return self._failed_target_gb
+
+    def can_probe_to(self, target_memory_gb: float) -> bool:
+        """Whether probing to ``target_memory_gb`` is worthwhile.
+
+        A target at or below one that already failed is refused: the
+        working set has not shrunk, so the probe would only repeat the
+        eviction damage.  (A *larger* failed boundary does not block a
+        less aggressive probe.)
+        """
+        if not self.can_probe:
+            return False
+        if self._failed_target_gb is not None:
+            return target_memory_gb > self._failed_target_gb + 1e-9
+        return True
+
+    def tick_cooldown(self) -> None:
+        """Advance the cooldown clock (call once per interval when idle)."""
+        if self._phase is BalloonPhase.COOLDOWN:
+            self._cooldown_left -= 1
+            if self._cooldown_left <= 0:
+                self._phase = BalloonPhase.IDLE
+                self._cooldown_left = 0
+
+    def start_probe(
+        self,
+        current_memory_gb: float,
+        target_memory_gb: float,
+        baseline_disk_reads: float,
+    ) -> BalloonDecision:
+        """Begin shrinking toward ``target_memory_gb``.
+
+        ``baseline_disk_reads`` is the recent per-interval physical-read
+        rate against which spikes are judged.
+        """
+        if not self.can_probe:
+            raise ConfigurationError(f"cannot probe in phase {self._phase}")
+        if target_memory_gb >= current_memory_gb:
+            raise ConfigurationError("target must be below current memory")
+        self._phase = BalloonPhase.PROBING
+        self._target_gb = target_memory_gb
+        self._baseline_reads = max(baseline_disk_reads, 1.0)
+        self._limit_gb = self._next_limit(current_memory_gb)
+        return BalloonDecision(BalloonStatus.SHRINKING, self._limit_gb)
+
+    def observe(self, counters: IntervalCounters) -> BalloonDecision:
+        """Evaluate one interval of the probe and advance or abort it."""
+        if self._phase is not BalloonPhase.PROBING:
+            return BalloonDecision(BalloonStatus.INACTIVE, self._limit_gb)
+
+        disk_util_pct = 100.0 * counters.utilization_median[ResourceKind.DISK_IO]
+        spiked = (
+            counters.disk_physical_reads > self._baseline_reads * self.io_spike_ratio
+        )
+        if spiked and disk_util_pct >= self.disk_pressure_pct:
+            # The shrink uncovered real memory demand *and* the extra I/O
+            # actually pressures the disk: revert immediately.  A relative
+            # increase the container's disk absorbs with headroom is an
+            # acceptable price for the cheaper size.
+            self._phase = BalloonPhase.COOLDOWN
+            self._cooldown_left = self.cooldown_intervals
+            self._limit_gb = None
+            self._failed_target_gb = self._target_gb
+            return BalloonDecision(BalloonStatus.ABORTED, None)
+
+        assert self._limit_gb is not None
+        if self._limit_gb <= self._target_gb + 1e-9:
+            # Reached the next container's memory without an I/O spike.
+            self._phase = BalloonPhase.IDLE
+            limit = self._limit_gb
+            self._limit_gb = None
+            return BalloonDecision(BalloonStatus.CONFIRMED_LOW, limit)
+
+        self._limit_gb = self._next_limit(self._limit_gb)
+        return BalloonDecision(BalloonStatus.SHRINKING, self._limit_gb)
+
+    def cancel(self) -> None:
+        """Abort any probe without cooldown (e.g. container resized)."""
+        self._phase = BalloonPhase.IDLE
+        self._limit_gb = None
+        self._cooldown_left = 0
+
+    def _next_limit(self, current_gb: float) -> float:
+        gap = current_gb - self._target_gb
+        # Step a fraction of the remaining gap but never less than a
+        # tenth of a GB, so the probe terminates instead of approaching
+        # the target asymptotically while keeping any hot-page eviction
+        # (and hence re-warm cost on abort) small.
+        step = max(gap * self.shrink_step_fraction, 0.1)
+        return max(self._target_gb, current_gb - step)

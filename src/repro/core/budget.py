@@ -1,0 +1,183 @@
+"""The Budget Manager: token-bucket budget allocation (paper Section 5).
+
+A tenant states a budget ``B`` over a *budgeting period* of ``n`` billing
+intervals.  The manager translates it into a per-interval available budget
+``B_i`` such that Σ cost ≤ B while still allowing bursts, by adapting the
+token-bucket traffic shaper from computer networks:
+
+* the bucket holds at most ``D = B − (n−1)·Cmin`` tokens (the maximum
+  burst),
+* it refills at ``TR`` tokens per interval (the guaranteed steady spend),
+* it starts with ``TI`` tokens.
+
+**Aggressive** bursting starts full (``TI = D``, ``TR = Cmin``): early
+bursts can run the most expensive containers until the bucket drains,
+after which only ``Cmin`` per interval remains.  **Conservative** bursting
+(``TI = K·Cmax``, ``TR = (B − TI)/(n−1)``) caps the initial burst at ~K
+intervals of the most expensive container and saves more for later.
+
+Invariants (property-tested):
+  * ``available`` is always ≥ the refill floor and ≤ ``D``;
+  * total charged over the period never exceeds ``B``;
+  * ``available ≥ Cmin`` at every decision point, so the cheapest
+    container is always affordable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import BudgetError
+
+__all__ = ["BurstStrategy", "BudgetManager", "unconstrained_budget"]
+
+
+class BurstStrategy(enum.Enum):
+    """How eagerly the surplus budget may be consumed early."""
+
+    AGGRESSIVE = "aggressive"
+    CONSERVATIVE = "conservative"
+
+
+@dataclass(frozen=True)
+class _BucketParams:
+    depth: float
+    fill_rate: float
+    initial: float
+
+
+class BudgetManager:
+    """Token-bucket allocation of a period budget to billing intervals.
+
+    Args:
+        budget: total budget ``B`` for the period.
+        n_intervals: billing intervals ``n`` in the period.
+        min_cost: ``Cmin``, the cheapest container's per-interval cost.
+        max_cost: ``Cmax``, the most expensive container's cost.
+        strategy: aggressive or conservative bursting.
+        conservative_k: the ``K`` in ``TI = K·Cmax`` (conservative only);
+            chosen by the service administrator from fleet telemetry.
+    """
+
+    def __init__(
+        self,
+        budget: float,
+        n_intervals: int,
+        min_cost: float,
+        max_cost: float,
+        strategy: BurstStrategy = BurstStrategy.AGGRESSIVE,
+        conservative_k: int = 3,
+    ) -> None:
+        if n_intervals < 1:
+            raise BudgetError("n_intervals must be >= 1")
+        if min_cost <= 0 or max_cost < min_cost:
+            raise BudgetError("need 0 < min_cost <= max_cost")
+        if budget < n_intervals * min_cost:
+            raise BudgetError(
+                f"budget {budget} cannot cover {n_intervals} intervals of the "
+                f"cheapest container ({n_intervals * min_cost})"
+            )
+        if conservative_k < 1:
+            raise BudgetError("conservative_k must be >= 1")
+
+        self.budget = float(budget)
+        self.n_intervals = int(n_intervals)
+        self.min_cost = float(min_cost)
+        self.max_cost = float(max_cost)
+        self.strategy = strategy
+        self.conservative_k = int(conservative_k)
+
+        params = self._configure()
+        self._depth = params.depth
+        self._fill_rate = params.fill_rate
+        self._tokens = params.initial
+        self._interval = 0
+        self._spent = 0.0
+
+    def _configure(self) -> _BucketParams:
+        depth = self.budget - (self.n_intervals - 1) * self.min_cost
+        if self.strategy is BurstStrategy.AGGRESSIVE:
+            return _BucketParams(depth=depth, fill_rate=self.min_cost, initial=depth)
+        # Conservative: cap the initial burst at ~K max-cost intervals.
+        initial = min(self.conservative_k * self.max_cost, depth)
+        if self.n_intervals == 1:
+            return _BucketParams(depth=depth, fill_rate=0.0, initial=depth)
+        fill_rate = (self.budget - initial) / (self.n_intervals - 1)
+        if fill_rate < self.min_cost:
+            # K is too large for this budget; fall back to the largest
+            # initial burst that keeps the guaranteed floor.
+            initial = self.budget - (self.n_intervals - 1) * self.min_cost
+            fill_rate = self.min_cost
+        return _BucketParams(depth=depth, fill_rate=fill_rate, initial=initial)
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def available(self) -> float:
+        """Tokens available for the *current* billing interval (``B_i``)."""
+        return self._tokens
+
+    @property
+    def depth(self) -> float:
+        return self._depth
+
+    @property
+    def fill_rate(self) -> float:
+        return self._fill_rate
+
+    @property
+    def spent(self) -> float:
+        return self._spent
+
+    @property
+    def remaining_intervals(self) -> int:
+        return max(self.n_intervals - self._interval, 0)
+
+    @property
+    def exhausted_period(self) -> bool:
+        return self._interval >= self.n_intervals
+
+    def affordable(self, cost: float) -> bool:
+        """Whether a container of ``cost`` fits this interval's budget."""
+        return cost <= self._tokens + 1e-9
+
+    # -- state transitions --------------------------------------------------------
+
+    def end_interval(self, cost: float) -> None:
+        """Charge the interval's container cost and refill the bucket.
+
+        The paper: "At the end of the i-th billing interval, TR tokens are
+        added and C_i tokens are subtracted."
+        """
+        if self.exhausted_period:
+            raise BudgetError("budgeting period already finished")
+        if cost < 0:
+            raise BudgetError("cost must be non-negative")
+        if not self.affordable(cost):
+            raise BudgetError(
+                f"cost {cost} exceeds available budget {self._tokens:.2f}"
+            )
+        self._interval += 1
+        self._spent += cost
+        self._tokens = min(self._tokens - cost + self._fill_rate, self._depth)
+
+    def start_new_period(self) -> None:
+        """Roll into a fresh budgeting period (e.g. a new month)."""
+        params = self._configure()
+        self._tokens = params.initial
+        self._interval = 0
+        self._spent = 0.0
+
+
+def unconstrained_budget(
+    catalog_max_cost: float, n_intervals: int = 1_000_000
+) -> BudgetManager:
+    """A budget that never binds — the default when tenants set none."""
+    return BudgetManager(
+        budget=catalog_max_cost * n_intervals * 2.0,
+        n_intervals=n_intervals,
+        min_cost=catalog_max_cost / 1000.0 if catalog_max_cost > 0 else 1e-6,
+        max_cost=catalog_max_cost,
+        strategy=BurstStrategy.AGGRESSIVE,
+    )

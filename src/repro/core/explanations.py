@@ -1,0 +1,59 @@
+"""Structured explanations of scaling actions (paper Section 4).
+
+Because the decision logic is a hierarchy of rules over categorical
+signals, every action has a concise, human-readable explanation — e.g.
+*"Scale-up due to a CPU bottleneck"* or *"Scale-up constrained by budget"*.
+The paper treats this explainability as a first-class benefit for the
+(often unsophisticated) end user; expert users can drill into the raw
+signals attached to each explanation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.engine.resources import ResourceKind
+
+__all__ = ["ActionKind", "Explanation"]
+
+
+class ActionKind(enum.Enum):
+    """What the auto-scaling logic did (or declined to do)."""
+
+    SCALE_UP = "scale-up"
+    SCALE_DOWN = "scale-down"
+    NO_CHANGE = "no-change"
+    BUDGET_CONSTRAINED = "budget-constrained"
+    BALLOON_START = "balloon-start"
+    BALLOON_ABORT = "balloon-abort"
+    BALLOON_CONFIRM = "balloon-confirm"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """One explainable step in a scaling decision.
+
+    Attributes:
+        action: the category of action taken.
+        reason: the human-readable sentence.
+        resource: the resource dimension implicated, if any.
+        rule_id: identifier of the demand-estimation rule that fired, so
+            decisions can be traced back to the rule hierarchy.
+        details: raw signal values for expert diagnostics.
+    """
+
+    action: ActionKind
+    reason: str
+    resource: ResourceKind | None = None
+    rule_id: str | None = None
+    details: dict[str, float] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        prefix = f"[{self.action}]"
+        if self.resource is not None:
+            prefix += f" {self.resource.value}:"
+        return f"{prefix} {self.reason}"

@@ -1,0 +1,101 @@
+"""Latency goals and the coarse performance-sensitivity knob (Section 2.3).
+
+Tenants who know their requirements state a :class:`LatencyGoal` — a target
+on the average or 95th-percentile latency.  Tenants who don't can state a
+coarse :class:`PerformanceSensitivity` (HIGH / MEDIUM / LOW), which tunes
+how aggressively the auto-scaler trades latency for cost.
+
+The paper is explicit that a latency goal is *not* a guarantee — goals can
+be unreachable for reasons beyond resources (lock-bound code) — it is a
+knob to control cost: when goals are met with a smaller container, the
+scaler takes the savings.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["LatencyMetric", "LatencyGoal", "PerformanceSensitivity"]
+
+
+class LatencyMetric(enum.Enum):
+    """Which latency statistic the goal constrains."""
+
+    AVERAGE = "avg"
+    P95 = "p95"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class LatencyGoal:
+    """A target on a latency statistic.
+
+    Attributes:
+        target_ms: the goal, milliseconds.
+        metric: the statistic the goal constrains.
+    """
+
+    target_ms: float
+    metric: LatencyMetric = LatencyMetric.P95
+
+    def __post_init__(self) -> None:
+        if self.target_ms <= 0:
+            raise ConfigurationError("target_ms must be positive")
+
+    def measure(self, latencies_ms: Sequence[float] | np.ndarray) -> float:
+        """Compute the goal's statistic over a latency sample."""
+        arr = np.asarray(latencies_ms, dtype=float)
+        if arr.size == 0:
+            return float("nan")
+        if self.metric is LatencyMetric.AVERAGE:
+            return float(arr.mean())
+        return float(np.percentile(arr, 95.0))
+
+    def is_met(self, value_ms: float) -> bool:
+        return value_ms <= self.target_ms
+
+    def performance_factor(self, value_ms: float) -> float:
+        """Observed latency as a signed percentage of the goal.
+
+        Matches the paper's Figure 13 metric: 0 means exactly on goal,
+        positive means headroom, negative means the goal is violated.
+        """
+        return 100.0 * (self.target_ms - value_ms) / self.target_ms
+
+
+class PerformanceSensitivity(enum.Enum):
+    """Coarse knob for tenants without explicit latency goals."""
+
+    LOW = "low"
+    MEDIUM = "medium"
+    HIGH = "high"
+
+    @property
+    def scale_up_corroboration(self) -> int:
+        """Extra corroborating signals required before scaling up.
+
+        LOW-sensitivity tenants demand more evidence (cheaper, slower to
+        react); HIGH-sensitivity tenants scale up on the first rule hit.
+        """
+        return {"low": 1, "medium": 0, "high": 0}[self.value]
+
+    @property
+    def scale_down_margin(self) -> float:
+        """Fraction of the goal latency below which scale-down is allowed.
+
+        HIGH sensitivity keeps more headroom before shedding resources.
+        """
+        return {"low": 0.95, "medium": 0.88, "high": 0.6}[self.value]
+
+    @property
+    def idle_intervals_before_scale_down(self) -> int:
+        """Consecutive low-demand intervals required before scaling down."""
+        return {"low": 1, "medium": 2, "high": 4}[self.value]

@@ -1,0 +1,272 @@
+"""The rule hierarchy for per-resource demand detection (paper Section 4).
+
+Each rule is a named predicate over one resource's categorized signals
+(plus cross-signal context), mapping to a container-step recommendation.
+Rules are evaluated in order — the hierarchy — and the first match wins.
+The paper motivates this design over learned models: it is robust across
+unseen workloads, easy to extend, and every decision is explainable by the
+rule path taken.
+
+High-demand scenarios implemented (paper Section 4.2):
+
+* HIGH utilization + HIGH waits + SIGNIFICANT percentage waits — the
+  strongest evidence; with an increasing trend on top the step is 2.
+* HIGH utilization + HIGH waits, percentage not significant, but a
+  SIGNIFICANT increasing trend in utilization and/or waits.
+* HIGH utilization + MEDIUM waits + SIGNIFICANT percentage waits + a
+  SIGNIFICANT increasing trend.
+* A weak-signal fallback backed by strong latency↔wait correlation, the
+  bottleneck-identification signal from Section 3.2.2.
+
+Low-demand detection mirrors the HIGH tests at the other end of the
+spectrum (Section 4.3); low *memory* demand is deliberately excluded here —
+it cannot be read off utilization/waits and is handled by ballooning.
+
+Steps are confined to {−1, 0, +1, +2}: the paper's fleet analysis found
+90 % of demand-driven resizes are 1 step and 98 % are ≤ 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable, Sequence
+
+from repro.core.signals import Level, ResourceSignals
+from repro.engine.resources import ResourceKind
+
+__all__ = [
+    "Rule",
+    "RuleContext",
+    "RuleOutcome",
+    "high_demand_rules",
+    "low_demand_rules",
+    "evaluate_rules",
+]
+
+MAX_STEP = 2  #: the paper's 98 %-coverage cap on per-decision step size
+
+
+@dataclass(frozen=True)
+class RuleContext:
+    """Cross-signal context a rule may consult.
+
+    Attributes:
+        correlation_strong_threshold: |ρ| cut for "strong" correlation.
+        use_trends / use_correlation: ablation switches; when off, the
+            corresponding clauses evaluate as if the signal were absent.
+    """
+
+    correlation_strong_threshold: float = 0.6
+    use_trends: bool = True
+    use_correlation: bool = True
+
+    def trending_up(self, signals: ResourceSignals) -> bool:
+        return self.use_trends and signals.increasing_pressure
+
+    def not_trending_up(self, signals: ResourceSignals) -> bool:
+        # With trends ablated, treat pressure as non-increasing so that
+        # low-demand rules fall back to pure level tests.
+        return (not self.use_trends) or signals.decreasing_or_flat
+
+    def correlated(self, signals: ResourceSignals) -> bool:
+        return self.use_correlation and signals.latency_correlation.is_strong(
+            self.correlation_strong_threshold
+        )
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One node in the decision hierarchy."""
+
+    rule_id: str
+    description: str
+    predicate: Callable[[ResourceSignals, RuleContext], bool]
+    steps: int
+
+    def matches(self, signals: ResourceSignals, context: RuleContext) -> bool:
+        return self.predicate(signals, context)
+
+
+@dataclass(frozen=True)
+class RuleOutcome:
+    """The first matching rule for a resource, if any."""
+
+    kind: ResourceKind
+    rule: Rule | None
+
+    @property
+    def steps(self) -> int:
+        return self.rule.steps if self.rule is not None else 0
+
+
+def high_demand_rules() -> tuple[Rule, ...]:
+    """The scale-up hierarchy, strongest evidence first."""
+    return (
+        Rule(
+            rule_id="H0-saturated-strong",
+            description=(
+                "utilization saturated (>= 95%) with HIGH, SIGNIFICANT "
+                "waits — unambiguous starvation, no trend needed"
+            ),
+            predicate=lambda s, c: (
+                s.utilization_pct >= 95.0
+                and s.wait_level is Level.HIGH
+                and s.wait_significant
+            ),
+            steps=2,
+        ),
+        Rule(
+            rule_id="H1-strong-pressure-trending",
+            description=(
+                "HIGH utilization, HIGH waits, SIGNIFICANT percentage waits, "
+                "and increasing pressure trend"
+            ),
+            predicate=lambda s, c: (
+                s.utilization_level is Level.HIGH
+                and s.wait_level is Level.HIGH
+                and s.wait_significant
+                and c.trending_up(s)
+            ),
+            steps=2,
+        ),
+        Rule(
+            rule_id="H2-strong-pressure",
+            description=(
+                "HIGH utilization, HIGH waits, and SIGNIFICANT percentage waits"
+            ),
+            predicate=lambda s, c: (
+                s.utilization_level is Level.HIGH
+                and s.wait_level is Level.HIGH
+                and s.wait_significant
+            ),
+            steps=1,
+        ),
+        Rule(
+            rule_id="H2b-saturated-high-waits",
+            description=(
+                "utilization saturated (>= 95%) with HIGH wait magnitude; "
+                "percentage waits may be drowned out by an even larger "
+                "non-resource (e.g. lock) wait class, but outright "
+                "starvation is still actionable demand"
+            ),
+            predicate=lambda s, c: (
+                s.utilization_pct >= 95.0 and s.wait_level is Level.HIGH
+            ),
+            steps=1,
+        ),
+        Rule(
+            rule_id="H3-high-waits-trending",
+            description=(
+                "HIGH utilization and HIGH waits; percentage not significant "
+                "but pressure is trending up"
+            ),
+            predicate=lambda s, c: (
+                s.utilization_level is Level.HIGH
+                and s.wait_level is Level.HIGH
+                and not s.wait_significant
+                and c.trending_up(s)
+            ),
+            steps=1,
+        ),
+        Rule(
+            rule_id="H4-medium-waits-trending",
+            description=(
+                "HIGH utilization, MEDIUM waits, SIGNIFICANT percentage "
+                "waits, and pressure trending up"
+            ),
+            predicate=lambda s, c: (
+                s.utilization_level is Level.HIGH
+                and s.wait_level is Level.MEDIUM
+                and s.wait_significant
+                and c.trending_up(s)
+            ),
+            steps=1,
+        ),
+        Rule(
+            rule_id="H5-correlated-bottleneck",
+            description=(
+                "HIGH utilization, at least MEDIUM waits, and strong "
+                "latency-wait correlation identifying this resource as the "
+                "bottleneck"
+            ),
+            predicate=lambda s, c: (
+                s.utilization_level is Level.HIGH
+                and s.wait_level in (Level.MEDIUM, Level.HIGH)
+                and c.correlated(s)
+            ),
+            steps=1,
+        ),
+        Rule(
+            rule_id="H7-moderate-pressure",
+            description=(
+                "MEDIUM utilization with at least MEDIUM, SIGNIFICANT "
+                "percentage waits — moderate but corroborated pressure "
+                "(fires only behind the latency gate)"
+            ),
+            predicate=lambda s, c: (
+                s.utilization_level is Level.MEDIUM
+                and s.wait_level in (Level.MEDIUM, Level.HIGH)
+                and s.wait_significant
+            ),
+            steps=1,
+        ),
+        Rule(
+            rule_id="H6-saturated-with-waits",
+            description=(
+                "Utilization effectively saturated (>= 95%) with at least "
+                "MEDIUM significant waits"
+            ),
+            predicate=lambda s, c: (
+                s.utilization_pct >= 95.0
+                and s.wait_level in (Level.MEDIUM, Level.HIGH)
+                and s.wait_significant
+            ),
+            steps=1,
+        ),
+    )
+
+
+def low_demand_rules() -> tuple[Rule, ...]:
+    """The scale-down hierarchy (memory excluded — see ballooning)."""
+    return (
+        Rule(
+            rule_id="L1-idle",
+            description=(
+                "LOW utilization, LOW waits, and no increasing pressure trend"
+            ),
+            predicate=lambda s, c: (
+                s.utilization_level is Level.LOW
+                and s.wait_level is Level.LOW
+                and c.not_trending_up(s)
+            ),
+            steps=-1,
+        ),
+        Rule(
+            rule_id="L2-quiet-moderate",
+            description=(
+                "MEDIUM utilization but LOW, insignificant waits with a "
+                "decreasing utilization trend"
+            ),
+            predicate=lambda s, c: (
+                s.utilization_level is Level.MEDIUM
+                and s.wait_level is Level.LOW
+                and not s.wait_significant
+                and c.use_trends
+                and s.utilization_trend.direction < 0
+                and s.wait_trend.direction <= 0
+            ),
+            steps=-1,
+        ),
+    )
+
+
+def evaluate_rules(
+    rules: Sequence[Rule],
+    signals: ResourceSignals,
+    context: RuleContext,
+) -> RuleOutcome:
+    """Walk the hierarchy; the first matching rule wins."""
+    for rule in rules:
+        if rule.matches(signals, context):
+            return RuleOutcome(kind=signals.kind, rule=rule)
+    return RuleOutcome(kind=signals.kind, rule=None)

@@ -1,0 +1,145 @@
+"""Categorized telemetry signals (paper Sections 3 and 4.1).
+
+The demand estimator does not consume raw counters: every signal is first
+*categorized* against thresholds (utilization LOW/MEDIUM/HIGH, waits
+LOW/MEDIUM/HIGH, percentage waits SIGNIFICANT or not, latency GOOD/BAD,
+trends significant or not).  The paper highlights that this move from a
+continuous to a categorical domain with well-defined semantics is what
+makes the rule hierarchy easy to construct, debug, and *explain*.
+
+This module defines the category enums and the signal bundles the
+telemetry manager produces each billing interval.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.engine.resources import ResourceKind
+from repro.engine.waits import WaitClass
+from repro.stats.spearman import CorrelationResult
+from repro.stats.theil_sen import TrendResult
+
+__all__ = [
+    "Level",
+    "LatencyStatus",
+    "ResourceSignals",
+    "WorkloadSignals",
+]
+
+
+class Level(enum.Enum):
+    """Three-way category for utilization and wait magnitudes."""
+
+    LOW = "low"
+    MEDIUM = "medium"
+    HIGH = "high"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class LatencyStatus(enum.Enum):
+    """Latency relative to the tenant's goal."""
+
+    GOOD = "good"
+    BAD = "bad"
+    UNKNOWN = "unknown"  # no goal configured or no completions observed
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class ResourceSignals:
+    """Everything the estimator knows about one resource dimension.
+
+    Attributes:
+        kind: the resource.
+        utilization_pct: robust (median-of-medians) utilization, percent
+            of the *container* allocation.
+        utilization_level: categorized utilization.
+        wait_ms: robust wait magnitude per interval for the resource's
+            wait class.
+        wait_level: categorized wait magnitude.
+        wait_pct: resource waits as a percentage of all waits.
+        wait_significant: whether ``wait_pct`` clears the significance
+            threshold.
+        utilization_trend: Theil–Sen trend over the recent window.
+        wait_trend: Theil–Sen trend of the wait magnitude.
+        latency_correlation: Spearman correlation between per-interval
+            latency and this resource's waits (identifies the bottleneck).
+    """
+
+    kind: ResourceKind
+    utilization_pct: float
+    utilization_level: Level
+    wait_ms: float
+    wait_level: Level
+    wait_pct: float
+    wait_significant: bool
+    utilization_trend: TrendResult
+    wait_trend: TrendResult
+    latency_correlation: CorrelationResult
+
+    @property
+    def increasing_pressure(self) -> bool:
+        """A significant upward trend in utilization or waits."""
+        return (
+            self.utilization_trend.direction > 0 or self.wait_trend.direction > 0
+        )
+
+    @property
+    def decreasing_or_flat(self) -> bool:
+        """No significant upward trend in utilization or waits."""
+        return (
+            self.utilization_trend.direction <= 0
+            and self.wait_trend.direction <= 0
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadSignals:
+    """The full signal set for one scaling decision.
+
+    Attributes:
+        interval_index: billing interval these signals describe.
+        latency_ms: robust current latency in the goal's metric (p95 or
+            mean); NaN when no requests completed.
+        latency_status: categorized latency vs. the goal.
+        latency_trend: Theil–Sen trend of the latency series.
+        resources: per-dimension signal bundles.
+        wait_percentages: share of total waits per wait class (includes
+            LOCK and SYSTEM, which map to no scalable resource).
+        dominant_wait: the wait class with the largest share, if any.
+        memory_used_gb: buffer-pool usage (for balloon decisions).
+        container_level: current lock-step container level.
+        throughput_per_s: completions per second over the last interval.
+    """
+
+    interval_index: int
+    latency_ms: float
+    latency_status: LatencyStatus
+    latency_trend: TrendResult
+    resources: dict[ResourceKind, ResourceSignals]
+    wait_percentages: dict[WaitClass, float] = field(default_factory=dict)
+    dominant_wait: WaitClass | None = None
+    memory_used_gb: float = 0.0
+    container_level: int = 0
+    throughput_per_s: float = 0.0
+
+    def resource(self, kind: ResourceKind) -> ResourceSignals:
+        return self.resources[kind]
+
+    @property
+    def latency_degrading(self) -> bool:
+        """Significant upward latency trend — the early-warning signal."""
+        return self.latency_trend.direction > 0
+
+    @property
+    def non_resource_wait_pct(self) -> float:
+        """Share of waits that a bigger container cannot relieve."""
+        return self.wait_percentages.get(WaitClass.LOCK, 0.0) + (
+            self.wait_percentages.get(WaitClass.SYSTEM, 0.0)
+        )

@@ -1,0 +1,173 @@
+"""The Telemetry Manager (paper Section 3).
+
+Transforms the engine's raw per-interval counters into the categorized,
+statistically-robust :class:`~repro.core.signals.WorkloadSignals` the
+demand estimator consumes:
+
+* **robust aggregates** — medians over rolling windows of per-interval
+  counters, so outlier intervals (checkpoints, telemetry spikes) cannot
+  flip a decision;
+* **robust trends** — Theil–Sen slopes with the α-sign-agreement
+  acceptance test, over latency, utilization, and waits;
+* **robust correlation** — Spearman rank correlation between the latency
+  series and each resource's wait series, identifying the bottleneck
+  independently of scale or linearity.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.signals import LatencyStatus, ResourceSignals, WorkloadSignals
+from repro.core.thresholds import ThresholdConfig
+from repro.engine.resources import ResourceKind
+from repro.engine.telemetry import IntervalCounters
+from repro.engine.waits import RESOURCE_WAIT_CLASS
+from repro.core.latency import LatencyGoal
+from repro.stats.rolling import TimestampedWindow
+from repro.stats.spearman import CorrelationResult, spearman
+from repro.stats.theil_sen import TrendResult, detect_trend
+
+__all__ = ["TelemetryManager"]
+
+
+class TelemetryManager:
+    """Rolling signal extraction over a stream of interval counters."""
+
+    def __init__(
+        self,
+        thresholds: ThresholdConfig,
+        goal: LatencyGoal | None = None,
+    ) -> None:
+        self.thresholds = thresholds
+        self.goal = goal
+        window = thresholds.signal_window
+        self._latency = TimestampedWindow(window)
+        self._utilization = {
+            kind: TimestampedWindow(window) for kind in ResourceKind
+        }
+        self._wait_ms = {kind: TimestampedWindow(window) for kind in ResourceKind}
+        self._wait_pct = {kind: TimestampedWindow(window) for kind in ResourceKind}
+        self._last: IntervalCounters | None = None
+
+    # -- ingestion --------------------------------------------------------------
+
+    def observe(self, counters: IntervalCounters) -> None:
+        """Absorb one billing interval of telemetry."""
+        t = float(counters.interval_index)
+        self._latency.append(t, self._interval_latency(counters))
+        for kind in ResourceKind:
+            self._utilization[kind].append(t, counters.utilization_percent(kind))
+            wait_class = RESOURCE_WAIT_CLASS[kind]
+            self._wait_ms[kind].append(t, counters.wait_ms(wait_class))
+            self._wait_pct[kind].append(t, counters.wait_percent(wait_class))
+        self._last = counters
+
+    def _interval_latency(self, counters: IntervalCounters) -> float:
+        """Latency in the goal's metric for one interval; NaN if idle."""
+        if counters.latencies_ms.size == 0:
+            return math.nan
+        if self.goal is not None:
+            return self.goal.measure(counters.latencies_ms)
+        return float(
+            counters.latency_percentile(95.0)
+        )  # default metric when no goal is set
+
+    # -- signal extraction ---------------------------------------------------------
+
+    def signals(self) -> WorkloadSignals:
+        """Produce the categorized signal set for the current interval."""
+        if self._last is None:
+            raise ValueError("no telemetry observed yet")
+        counters = self._last
+        cfg = self.thresholds
+
+        latency_ms = self._smoothed_latency()
+        latency_status = self._latency_status(latency_ms)
+        latency_trend = self._trend(self._latency)
+
+        latency_series = self._latency.values()
+        resources: dict[ResourceKind, ResourceSignals] = {}
+        for kind in ResourceKind:
+            utilization = self._smoothed(self._utilization[kind])
+            wait_ms = self._smoothed(self._wait_ms[kind])
+            wait_pct = self._smoothed(self._wait_pct[kind])
+            wait_series = self._wait_ms[kind].values()
+            n = min(latency_series.size, wait_series.size)
+            correlation: CorrelationResult = spearman(
+                latency_series[-n:], wait_series[-n:]
+            )
+            resources[kind] = ResourceSignals(
+                kind=kind,
+                utilization_pct=utilization,
+                utilization_level=cfg.categorize_utilization(utilization),
+                wait_ms=wait_ms,
+                wait_level=cfg.categorize_wait(kind, wait_ms),
+                wait_pct=wait_pct,
+                wait_significant=cfg.is_wait_significant(wait_pct),
+                utilization_trend=self._trend(self._utilization[kind]),
+                wait_trend=self._trend(self._wait_ms[kind]),
+                latency_correlation=correlation,
+            )
+
+        return WorkloadSignals(
+            interval_index=counters.interval_index,
+            latency_ms=latency_ms,
+            latency_status=latency_status,
+            latency_trend=latency_trend,
+            resources=resources,
+            wait_percentages=counters.waits.percentages(),
+            dominant_wait=counters.waits.dominant_class(),
+            memory_used_gb=counters.memory_used_gb,
+            container_level=counters.container.level,
+            throughput_per_s=counters.throughput_per_s,
+        )
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _smoothed(self, window: TimestampedWindow) -> float:
+        """Median of the last few intervals — the robust 'current' value."""
+        values = window.values()
+        if values.size == 0:
+            return 0.0
+        tail = values[-self.thresholds.smooth_intervals:]
+        finite = tail[~np.isnan(tail)]
+        if finite.size == 0:
+            return 0.0
+        return float(np.median(finite))
+
+    def _smoothed_latency(self) -> float:
+        values = self._latency.values()
+        tail = values[-self.thresholds.smooth_intervals:]
+        finite = tail[~np.isnan(tail)]
+        if finite.size == 0:
+            return math.nan
+        return float(np.median(finite))
+
+    def _latency_status(self, latency_ms: float) -> LatencyStatus:
+        if self.goal is None or math.isnan(latency_ms):
+            return LatencyStatus.UNKNOWN
+        return (
+            LatencyStatus.GOOD
+            if latency_ms <= self.goal.target_ms
+            else LatencyStatus.BAD
+        )
+
+    def _trend(self, window: TimestampedWindow) -> TrendResult:
+        cfg = self.thresholds
+        times = window.times()[-cfg.trend_window :]
+        values = window.values()[-cfg.trend_window :]
+        return detect_trend(times, values, alpha=cfg.trend_alpha)
+
+    # Convenience accessors used by diagnostics/tests.
+
+    def latency_history(self):
+        return self._latency.values()
+
+    def utilization_history(self, kind: ResourceKind):
+        return self._utilization[kind].values()
+
+    def wait_history(self, kind: ResourceKind):
+        return self._wait_ms[kind].values()

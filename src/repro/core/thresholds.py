@@ -1,0 +1,191 @@
+"""Signal-categorization thresholds (paper Section 4.1).
+
+Utilization and latency thresholds are straightforward (latency: the
+tenant's goal; utilization: the LOW/HIGH rules administrators already use).
+Wait thresholds are not — wait magnitudes span six orders of magnitude and
+overlap across demand levels (Figure 4) — so the paper derives them from
+*service-wide* telemetry: the distributions of waits conditioned on
+low/high utilization separate cleanly (Figure 6), and percentiles of those
+conditional distributions become the HIGH/LOW cut points.
+
+:class:`ThresholdConfig` holds every cut point; the fleet-calibration
+module (:mod:`repro.fleet.calibration`) produces tuned instances, and
+:func:`default_thresholds` provides values calibrated offline against this
+repository's default engine configuration.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from repro.core.signals import Level
+from repro.engine.resources import ResourceKind
+from repro.errors import ConfigurationError
+
+__all__ = ["WaitThresholds", "ThresholdConfig", "default_thresholds"]
+
+
+@dataclass(frozen=True)
+class WaitThresholds:
+    """Wait-magnitude cut points for one resource, in ms per interval.
+
+    ``low_ms`` and ``high_ms`` bound the MEDIUM band: waits below
+    ``low_ms`` are LOW, above ``high_ms`` HIGH.
+    """
+
+    low_ms: float
+    high_ms: float
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.low_ms < self.high_ms:
+            raise ConfigurationError(
+                f"need 0 <= low_ms < high_ms, got {self.low_ms}, {self.high_ms}"
+            )
+
+    def categorize(self, wait_ms: float) -> Level:
+        if wait_ms < self.low_ms:
+            return Level.LOW
+        if wait_ms >= self.high_ms:
+            return Level.HIGH
+        return Level.MEDIUM
+
+
+def _default_wait_thresholds() -> dict[ResourceKind, WaitThresholds]:
+    """Per-resource wait cut points for the default engine configuration.
+
+    Values come from running the fleet calibration
+    (``benchmarks/bench_fig06_wait_cdfs.py``) against the default engine:
+    the LOW cut is near the 90th percentile of waits under low utilization
+    and the HIGH cut near the 75th percentile under high utilization,
+    mirroring how the paper reads its Figure 6.
+    """
+    return {
+        ResourceKind.CPU: WaitThresholds(low_ms=4_000.0, high_ms=40_000.0),
+        ResourceKind.MEMORY: WaitThresholds(low_ms=2_000.0, high_ms=30_000.0),
+        ResourceKind.DISK_IO: WaitThresholds(low_ms=4_000.0, high_ms=40_000.0),
+        ResourceKind.LOG_IO: WaitThresholds(low_ms=2_000.0, high_ms=30_000.0),
+    }
+
+
+@dataclass(frozen=True)
+class ThresholdConfig:
+    """All categorization cut points used by the demand estimator.
+
+    Attributes:
+        util_low_pct / util_high_pct: utilization bands (percent of the
+            container allocation); the well-known administrator rules the
+            paper cites (Figure 5 uses 20/80; production analysis uses
+            30/70 — we default to 30/70).
+        wait_thresholds: per-resource wait-magnitude cut points.
+        wait_pct_significant: percentage-waits significance cut, derived
+            from the separation in Figure 6(c,d).
+        trend_alpha: fraction of same-sign pairwise slopes required to
+            accept a Theil–Sen trend (the paper's α = 70 %).
+        correlation_strong: |Spearman ρ| above which a latency↔wait
+            correlation counts as bottleneck evidence.
+        signal_window: billing intervals of history per signal.
+        trend_window: intervals used for short-term trend detection.
+        smooth_intervals: intervals whose median forms a signal's
+            "current" value.  1 = react on the last interval (each
+            interval's utilization is already a median over ~60 per-tick
+            samples, so single-interval outliers are tamed at the source);
+            larger values add robustness at the price of reaction lag.
+    """
+
+    util_low_pct: float = 30.0
+    util_high_pct: float = 70.0
+    wait_thresholds: dict[ResourceKind, WaitThresholds] = field(
+        default_factory=_default_wait_thresholds
+    )
+    wait_pct_significant: float = 35.0
+    trend_alpha: float = 0.70
+    correlation_strong: float = 0.60
+    signal_window: int = 10
+    trend_window: int = 8
+    smooth_intervals: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.util_low_pct < self.util_high_pct <= 100:
+            raise ConfigurationError(
+                "need 0 <= util_low_pct < util_high_pct <= 100"
+            )
+        if not 0 < self.wait_pct_significant <= 100:
+            raise ConfigurationError("wait_pct_significant must be in (0, 100]")
+        if not 0.5 < self.trend_alpha <= 1.0:
+            raise ConfigurationError("trend_alpha must be in (0.5, 1.0]")
+        if not 0 < self.correlation_strong <= 1.0:
+            raise ConfigurationError("correlation_strong must be in (0, 1]")
+        if self.signal_window < 2 or self.trend_window < 2:
+            raise ConfigurationError("windows must be >= 2 intervals")
+        if self.smooth_intervals < 1:
+            raise ConfigurationError("smooth_intervals must be >= 1")
+        missing = [k for k in ResourceKind if k not in self.wait_thresholds]
+        if missing:
+            raise ConfigurationError(f"missing wait thresholds for {missing}")
+
+    # -- categorization ------------------------------------------------------
+
+    def categorize_utilization(self, utilization_pct: float) -> Level:
+        if utilization_pct < self.util_low_pct:
+            return Level.LOW
+        if utilization_pct >= self.util_high_pct:
+            return Level.HIGH
+        return Level.MEDIUM
+
+    def categorize_wait(self, kind: ResourceKind, wait_ms: float) -> Level:
+        return self.wait_thresholds[kind].categorize(wait_ms)
+
+    def is_wait_significant(self, wait_pct: float) -> bool:
+        return wait_pct >= self.wait_pct_significant
+
+    # -- tuning helpers --------------------------------------------------------
+
+    def with_wait_thresholds(
+        self, thresholds: dict[ResourceKind, WaitThresholds]
+    ) -> "ThresholdConfig":
+        """Copy with (some) wait thresholds replaced — calibration output."""
+        merged = dict(self.wait_thresholds)
+        merged.update(thresholds)
+        return replace(self, wait_thresholds=merged)
+
+    # -- serialization ----------------------------------------------------------
+
+    def to_json(self) -> str:
+        payload = {
+            "smooth_intervals": self.smooth_intervals,
+            "util_low_pct": self.util_low_pct,
+            "util_high_pct": self.util_high_pct,
+            "wait_pct_significant": self.wait_pct_significant,
+            "trend_alpha": self.trend_alpha,
+            "correlation_strong": self.correlation_strong,
+            "signal_window": self.signal_window,
+            "trend_window": self.trend_window,
+            "wait_thresholds": {
+                kind.value: {"low_ms": wt.low_ms, "high_ms": wt.high_ms}
+                for kind, wt in self.wait_thresholds.items()
+            },
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ThresholdConfig":
+        payload = json.loads(text)
+        waits = {
+            ResourceKind(kind): WaitThresholds(**cuts)
+            for kind, cuts in payload.pop("wait_thresholds").items()
+        }
+        return cls(wait_thresholds=waits, **payload)
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ThresholdConfig":
+        return cls.from_json(Path(path).read_text())
+
+
+def default_thresholds() -> ThresholdConfig:
+    """The default configuration (see class docstring for provenance)."""
+    return ThresholdConfig()

@@ -1,0 +1,42 @@
+"""Simulated DaaS database-server substrate.
+
+This package stands in for the Azure SQL Database servers of the paper's
+prototype: it hosts a tenant's container, executes a transaction mix
+against CPU / memory / disk / log resources with realistic interactions
+(buffer-pool warm-up, hot-lock serialization, checkpoint noise) and emits
+the per-interval telemetry counters the auto-scaler consumes.
+"""
+
+from repro.engine.billing import BillingMeter, BillingRecord
+from repro.engine.bufferpool import PAGE_KB, BufferPool, DatasetSpec
+from repro.engine.containers import ContainerCatalog, ContainerSpec, default_catalog
+from repro.engine.locks import HotLockManager
+from repro.engine.requests import RequestTable, TransactionSpec
+from repro.engine.resources import SCALABLE_KINDS, ResourceKind, ResourceVector
+from repro.engine.server import DatabaseServer, EngineConfig
+from repro.engine.telemetry import CounterAccumulator, IntervalCounters
+from repro.engine.waits import RESOURCE_WAIT_CLASS, WaitClass, WaitProfile
+
+__all__ = [
+    "BillingMeter",
+    "BillingRecord",
+    "PAGE_KB",
+    "BufferPool",
+    "DatasetSpec",
+    "ContainerCatalog",
+    "ContainerSpec",
+    "default_catalog",
+    "HotLockManager",
+    "RequestTable",
+    "TransactionSpec",
+    "SCALABLE_KINDS",
+    "ResourceKind",
+    "ResourceVector",
+    "DatabaseServer",
+    "EngineConfig",
+    "CounterAccumulator",
+    "IntervalCounters",
+    "RESOURCE_WAIT_CLASS",
+    "WaitClass",
+    "WaitProfile",
+]

@@ -1,0 +1,70 @@
+"""Billing-interval cost metering.
+
+Tenants are billed per billing interval at the price of the container in
+force during that interval.  The meter records the container chosen for
+each interval plus the resize events, which the evaluation reports (the
+paper notes Auto and Util resized in ~11 % of intervals, Trace ~15 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.containers import ContainerSpec
+
+__all__ = ["BillingMeter", "BillingRecord"]
+
+
+@dataclass(frozen=True)
+class BillingRecord:
+    """One billing interval's charge."""
+
+    interval_index: int
+    container_name: str
+    cost: float
+    resized: bool
+
+
+@dataclass
+class BillingMeter:
+    """Accumulates per-interval charges for one tenant."""
+
+    records: list[BillingRecord] = field(default_factory=list)
+    _last_container: str | None = None
+
+    def charge(self, interval_index: int, container: ContainerSpec) -> BillingRecord:
+        """Bill one interval at ``container``'s price."""
+        resized = (
+            self._last_container is not None
+            and container.name != self._last_container
+        )
+        record = BillingRecord(
+            interval_index=interval_index,
+            container_name=container.name,
+            cost=container.cost,
+            resized=resized,
+        )
+        self.records.append(record)
+        self._last_container = container.name
+        return record
+
+    @property
+    def total_cost(self) -> float:
+        return sum(r.cost for r in self.records)
+
+    @property
+    def intervals(self) -> int:
+        return len(self.records)
+
+    @property
+    def average_cost_per_interval(self) -> float:
+        return self.total_cost / self.intervals if self.records else 0.0
+
+    @property
+    def resize_count(self) -> int:
+        return sum(1 for r in self.records if r.resized)
+
+    @property
+    def resize_fraction(self) -> float:
+        """Share of intervals in which the container size changed."""
+        return self.resize_count / self.intervals if self.records else 0.0

@@ -1,0 +1,220 @@
+"""Working-set buffer-pool model with warm-up dynamics and a balloon hook.
+
+The paper's memory story (Sections 4.3, 7.4) needs three behaviours from
+the cache model:
+
+1. **Memory utilization rarely looks LOW** — caches hold whatever they are
+   given, so utilization cannot distinguish low memory demand.
+2. **A working set that fits produces no memory pressure**; shrinking the
+   cache below the working set produces a sharp increase in physical disk
+   I/O (capacity misses) and hence latency.
+3. **Re-warming is slow**: after an over-aggressive shrink, refilling the
+   cache is bounded by disk read throughput, which is why the non-balloon
+   variant in Figure 14 suffers a long latency excursion.
+
+The model tracks a cached fraction of a *hot* working set plus a cold
+remainder of the dataset.  Hits are instantaneous; misses become physical
+reads which both cost disk I/O and warm the cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+
+__all__ = [
+    "DatasetSpec",
+    "BufferPool",
+    "PAGE_KB",
+    "engine_overhead_gb",
+    "usable_cache_gb",
+]
+
+#: Database page size, KB (SQL Server uses 8 KB pages).
+PAGE_KB = 8.0
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Tenant dataset shape.
+
+    Attributes:
+        data_gb: total database size.
+        working_set_gb: the hot set the workload mostly touches.
+        hot_access_fraction: probability an access targets the hot set
+            (e.g. 0.95 for the paper's CPUIO hotspot configuration).
+    """
+
+    data_gb: float
+    working_set_gb: float
+    hot_access_fraction: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.data_gb <= 0:
+            raise WorkloadError("data_gb must be positive")
+        if not 0 < self.working_set_gb <= self.data_gb:
+            raise WorkloadError("working_set_gb must be in (0, data_gb]")
+        if not 0.0 <= self.hot_access_fraction <= 1.0:
+            raise WorkloadError("hot_access_fraction must be in [0, 1]")
+
+
+def engine_overhead_gb(memory_gb: float) -> float:
+    """Non-cache engine memory (plan cache, connections, executor grants).
+
+    Mostly fixed with a small proportional component, so that absolute
+    memory-usage measurements under a huge profiling container still
+    reflect the workload rather than the container.
+    """
+    return 0.2 + 0.01 * memory_gb
+
+
+def usable_cache_gb(memory_gb: float) -> float:
+    """Cache capacity left after engine overhead."""
+    return max(memory_gb - engine_overhead_gb(memory_gb), 0.0)
+
+
+class BufferPool:
+    """Fluid cache model over a :class:`DatasetSpec`.
+
+    Args:
+        dataset: the tenant's data shape.
+    """
+
+    def __init__(self, dataset: DatasetSpec) -> None:
+        self.dataset = dataset
+        self._memory_gb = 0.0
+        self._balloon_limit_gb: float | None = None
+        self.cached_hot_gb = 0.0
+        self.cached_cold_gb = 0.0
+
+    # -- configuration ------------------------------------------------------
+
+    def set_memory(self, memory_gb: float) -> None:
+        """React to a container (re)size; shrinking evicts immediately."""
+        if memory_gb <= 0:
+            raise WorkloadError("memory_gb must be positive")
+        self._memory_gb = memory_gb
+        self._evict_to_capacity()
+
+    def set_balloon_limit(self, limit_gb: float | None) -> None:
+        """Apply (or clear) a balloon: an artificial cap below the container.
+
+        The balloon controller (paper Section 4.3) lowers this gradually to
+        probe whether memory demand is really low.
+        """
+        if limit_gb is not None and limit_gb <= 0:
+            raise WorkloadError("balloon limit must be positive or None")
+        self._balloon_limit_gb = limit_gb
+        self._evict_to_capacity()
+
+    @property
+    def memory_gb(self) -> float:
+        return self._memory_gb
+
+    @property
+    def effective_cache_gb(self) -> float:
+        """Usable cache capacity after overhead and the balloon, if any."""
+        memory = self._memory_gb
+        if self._balloon_limit_gb is not None:
+            memory = min(memory, self._balloon_limit_gb)
+        return usable_cache_gb(memory)
+
+    def _evict_to_capacity(self) -> None:
+        capacity = self.effective_cache_gb
+        total = self.cached_hot_gb + self.cached_cold_gb
+        if total <= capacity:
+            return
+        # Evict cold pages first (LRU-like: hot pages are recently used).
+        overflow = total - capacity
+        cold_evicted = min(self.cached_cold_gb, overflow)
+        self.cached_cold_gb -= cold_evicted
+        self.cached_hot_gb -= overflow - cold_evicted
+        self.cached_hot_gb = max(self.cached_hot_gb, 0.0)
+
+    # -- steady-state queries -------------------------------------------------
+
+    def hit_ratio(self) -> float:
+        """Probability a logical read is served from cache this tick."""
+        hot_cached = 0.0
+        if self.dataset.working_set_gb > 0:
+            hot_cached = min(1.0, self.cached_hot_gb / self.dataset.working_set_gb)
+        cold_size = max(self.dataset.data_gb - self.dataset.working_set_gb, 1e-9)
+        cold_cached = min(1.0, self.cached_cold_gb / cold_size)
+        hot = self.dataset.hot_access_fraction
+        return hot * hot_cached + (1.0 - hot) * cold_cached
+
+    def capacity_miss_fraction(self) -> float:
+        """Of current misses, the share attributable to insufficient memory.
+
+        A miss is a *capacity* miss when the cache is full but the working
+        set still does not fit; it is a *cold* miss while the cache is
+        still warming into spare capacity.  The demand estimator uses this
+        to attribute disk stalls to memory pressure.
+        """
+        capacity = self.effective_cache_gb
+        if capacity <= 0:
+            return 1.0
+        used = self.cached_hot_gb + self.cached_cold_gb
+        warming = used < capacity - 1e-9
+        working_set_fits = capacity >= self.dataset.working_set_gb
+        if warming:
+            return 0.0
+        return 0.0 if working_set_fits else 1.0 - (
+            capacity / max(self.dataset.working_set_gb, 1e-9)
+        ) ** 0.5
+
+    def memory_utilization(self) -> float:
+        """Fraction (0-1) of *container* memory in use.
+
+        Includes the non-cache engine overhead, so a warmed pool reports
+        close to 100 % regardless of demand — the paper's observation that
+        memory utilization alone cannot reveal low memory demand.
+        """
+        if self._memory_gb <= 0:
+            return 0.0
+        return self.used_gb() / self._memory_gb
+
+    def used_gb(self) -> float:
+        """Memory in use (cache contents + engine overhead), GB."""
+        overhead = engine_overhead_gb(self._memory_gb)
+        return min(
+            self.cached_hot_gb + self.cached_cold_gb + overhead, self._memory_gb
+        )
+
+    # -- dynamics -------------------------------------------------------------
+
+    def absorb_physical_reads(self, pages: float, hot_share: float) -> None:
+        """Warm the cache with ``pages`` physical reads just served.
+
+        ``hot_share`` is the fraction of those misses that targeted the hot
+        set.  Pages enter the cache until capacity; cold pages churn (they
+        evict each other) once the cache is full.
+        """
+        if pages <= 0:
+            return
+        read_gb = pages * PAGE_KB / (1024.0 * 1024.0)
+        capacity = self.effective_cache_gb
+        hot_gb = read_gb * hot_share
+        cold_gb = read_gb - hot_gb
+
+        hot_target = min(self.dataset.working_set_gb, capacity)
+        self.cached_hot_gb = min(self.cached_hot_gb + hot_gb, hot_target)
+
+        cold_room = max(capacity - self.cached_hot_gb, 0.0)
+        cold_size = max(self.dataset.data_gb - self.dataset.working_set_gb, 0.0)
+        cold_target = min(cold_size, cold_room)
+        self.cached_cold_gb = min(self.cached_cold_gb + cold_gb, cold_target)
+        self._evict_to_capacity()
+
+    def expected_miss_split(self) -> tuple[float, float]:
+        """(hot_miss_rate, cold_miss_rate) of logical reads this tick."""
+        hot = self.dataset.hot_access_fraction
+        hot_cached = 0.0
+        if self.dataset.working_set_gb > 0:
+            hot_cached = min(1.0, self.cached_hot_gb / self.dataset.working_set_gb)
+        cold_size = max(self.dataset.data_gb - self.dataset.working_set_gb, 1e-9)
+        cold_cached = min(1.0, self.cached_cold_gb / cold_size)
+        hot_miss = hot * (1.0 - hot_cached)
+        cold_miss = (1.0 - hot) * (1.0 - cold_cached)
+        return hot_miss, cold_miss

@@ -1,0 +1,256 @@
+"""Container specifications and the service catalog (paper Sections 1, 2.1, 7.1).
+
+The experiments use *"a set of eleven container sizes modeled similar to
+ones supported by today's commercial offerings … from half-a-core for the
+smallest container to tens of CPU cores for the largest … the cost of a
+container ranges from 7 units to 270 units for each billing interval."*
+
+In addition to the lock-step catalog, the paper's Figure 1 shows containers
+scaled independently along a single resource dimension (e.g. high-CPU or
+high-I/O variants); :meth:`ContainerCatalog.with_dimension_scaling`
+generates those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.resources import ResourceKind, ResourceVector
+from repro.errors import CatalogError
+
+__all__ = ["ContainerSpec", "ContainerCatalog", "default_catalog"]
+
+
+@dataclass(frozen=True)
+class ContainerSpec:
+    """One purchasable container size.
+
+    Attributes:
+        name: catalog label, e.g. ``"C4"`` or ``"C4-cpu+1"``.
+        level: step index in the lock-step catalog (0 = smallest); for
+            dimension-scaled variants this is the level of the base size.
+        resources: guaranteed allocation per resource dimension.
+        cost: price in abstract currency units per billing interval.
+    """
+
+    name: str
+    level: int
+    resources: ResourceVector
+    cost: float
+
+    @property
+    def cpu_cores(self) -> float:
+        return self.resources.cpu
+
+    @property
+    def memory_gb(self) -> float:
+        return self.resources.memory
+
+    @property
+    def disk_iops(self) -> float:
+        return self.resources.disk_io
+
+    @property
+    def log_mb_s(self) -> float:
+        return self.resources.log_io
+
+    def covers(self, demand: ResourceVector) -> bool:
+        """Whether this container satisfies ``demand`` in every dimension."""
+        return self.resources.covers(demand)
+
+
+# The lock-step catalog: (cpu cores, memory GB, disk IOPS, log MB/s, cost).
+# Spans half-a-core to 32 cores and costs 7 to 270 units per interval, the
+# ranges the paper states for its 11 experimental container sizes.
+_DEFAULT_LEVELS: tuple[tuple[float, float, float, float, float], ...] = (
+    (0.5, 1.0, 50.0, 2.0, 7.0),
+    (1.0, 2.0, 100.0, 4.0, 15.0),
+    (2.0, 4.0, 200.0, 8.0, 30.0),
+    (3.0, 6.0, 400.0, 16.0, 45.0),
+    (4.0, 8.0, 800.0, 32.0, 60.0),
+    (6.0, 12.0, 1600.0, 48.0, 90.0),
+    (8.0, 16.0, 2400.0, 64.0, 120.0),
+    (12.0, 24.0, 3200.0, 96.0, 150.0),
+    (16.0, 48.0, 4800.0, 128.0, 180.0),
+    (24.0, 96.0, 6400.0, 256.0, 225.0),
+    (32.0, 192.0, 9600.0, 384.0, 270.0),
+)
+
+
+class ContainerCatalog:
+    """The ordered set of container sizes a DaaS offers.
+
+    The catalog is sorted by cost; for the lock-step sizes cost order and
+    resource order coincide (validated at construction).  Dimension-scaled
+    variants, when enabled, are interleaved by cost and participate in
+    :meth:`cheapest_covering` searches.
+    """
+
+    def __init__(self, containers: list[ContainerSpec]) -> None:
+        if not containers:
+            raise CatalogError("catalog must contain at least one container")
+        self._all = sorted(containers, key=lambda c: (c.cost, c.name))
+        self._lock_step = sorted(
+            (c for c in self._all if "-" not in c.name), key=lambda c: c.level
+        )
+        if not self._lock_step:
+            raise CatalogError("catalog must contain the lock-step base sizes")
+        self._validate_lock_step()
+        self._by_name = {c.name: c for c in self._all}
+        if len(self._by_name) != len(self._all):
+            raise CatalogError("container names must be unique")
+
+    def _validate_lock_step(self) -> None:
+        levels = [c.level for c in self._lock_step]
+        if levels != list(range(len(levels))):
+            raise CatalogError(f"lock-step levels must be 0..n-1, got {levels}")
+        for smaller, larger in zip(self._lock_step, self._lock_step[1:]):
+            if not larger.resources.covers(smaller.resources):
+                raise CatalogError(
+                    f"{larger.name} does not dominate {smaller.name}"
+                )
+            if larger.cost <= smaller.cost:
+                raise CatalogError(
+                    f"{larger.name} must cost more than {smaller.name}"
+                )
+
+    # -- basic access -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._all)
+
+    def __iter__(self):
+        return iter(self._all)
+
+    @property
+    def num_levels(self) -> int:
+        """Number of lock-step sizes."""
+        return len(self._lock_step)
+
+    def at_level(self, level: int) -> ContainerSpec:
+        """Lock-step container at ``level`` (0 = smallest)."""
+        if not 0 <= level < len(self._lock_step):
+            raise CatalogError(
+                f"level {level} outside 0..{len(self._lock_step) - 1}"
+            )
+        return self._lock_step[level]
+
+    def by_name(self, name: str) -> ContainerSpec:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise CatalogError(f"no container named {name!r}") from None
+
+    @property
+    def smallest(self) -> ContainerSpec:
+        return self._lock_step[0]
+
+    @property
+    def largest(self) -> ContainerSpec:
+        return self._lock_step[-1]
+
+    @property
+    def min_cost(self) -> float:
+        """Cost of the cheapest container (the paper's ``Cmin``)."""
+        return self._all[0].cost
+
+    @property
+    def max_cost(self) -> float:
+        """Cost of the most expensive container (the paper's ``Cmax``)."""
+        return max(c.cost for c in self._all)
+
+    # -- stepping ---------------------------------------------------------
+
+    def step_from(self, spec: ContainerSpec, steps: int) -> ContainerSpec:
+        """Lock-step container ``steps`` above (+) or below (−) ``spec``.
+
+        Clamps at the catalog boundaries, matching the paper's behaviour of
+        never recommending beyond the largest or smallest size.
+        """
+        level = max(0, min(self.num_levels - 1, spec.level + steps))
+        return self.at_level(level)
+
+    def level_for_resource(self, kind: ResourceKind, amount: float) -> int:
+        """Smallest lock-step level whose ``kind`` allocation >= ``amount``.
+
+        Saturates at the top level when no container is large enough.
+        """
+        for container in self._lock_step:
+            if container.resources.get(kind) >= amount:
+                return container.level
+        return self.num_levels - 1
+
+    # -- demand-driven search ----------------------------------------------
+
+    def smallest_covering(self, demand: ResourceVector) -> ContainerSpec:
+        """Cheapest container covering ``demand``; largest if none covers it."""
+        for container in self._all:  # sorted by cost
+            if container.covers(demand):
+                return container
+        return self.largest
+
+    def cheapest_covering_within(
+        self, demand: ResourceVector, budget: float
+    ) -> ContainerSpec:
+        """The paper's container search (Section 6).
+
+        Return the cheapest container covering ``demand`` with cost within
+        ``budget``.  If the covering container is unaffordable, fall back to
+        the most expensive container that *is* affordable (the paper:
+        "the most expensive container with price less than Bi is
+        selected").
+        """
+        covering = self.smallest_covering(demand)
+        if covering.cost <= budget:
+            return covering
+        affordable = [c for c in self._all if c.cost <= budget]
+        if not affordable:
+            # Budget manager guarantees Bi >= Cmin, but be defensive.
+            return self.smallest
+        return max(affordable, key=lambda c: (c.cost, c.level))
+
+    # -- dimension scaling (paper Figure 1) ---------------------------------
+
+    def with_dimension_scaling(
+        self,
+        kinds: tuple[ResourceKind, ...] = (ResourceKind.CPU, ResourceKind.DISK_IO),
+        premium: float = 0.75,
+    ) -> "ContainerCatalog":
+        """Catalog extended with single-dimension-boosted variants.
+
+        For each lock-step size and each kind in ``kinds``, adds a variant
+        whose ``kind`` allocation is that of the next level up, priced at
+        ``cost + premium * (next cost − cost)`` — cheaper than stepping the
+        whole container, the economics that make per-dimension scaling
+        attractive for single-resource workloads.
+        """
+        variants: list[ContainerSpec] = list(self._all)
+        for base, above in zip(self._lock_step, self._lock_step[1:]):
+            for kind in kinds:
+                boosted = base.resources.with_value(
+                    kind, above.resources.get(kind)
+                )
+                cost = base.cost + premium * (above.cost - base.cost)
+                variants.append(
+                    ContainerSpec(
+                        name=f"{base.name}-{kind.value}+1",
+                        level=base.level,
+                        resources=boosted,
+                        cost=round(cost, 2),
+                    )
+                )
+        return ContainerCatalog(variants)
+
+
+def default_catalog() -> ContainerCatalog:
+    """The 11-size lock-step catalog used throughout the experiments."""
+    containers = [
+        ContainerSpec(
+            name=f"C{i}",
+            level=i,
+            resources=ResourceVector(cpu=cpu, memory=mem, disk_io=disk, log_io=log),
+            cost=cost,
+        )
+        for i, (cpu, mem, disk, log, cost) in enumerate(_DEFAULT_LEVELS)
+    ]
+    return ContainerCatalog(containers)

@@ -1,0 +1,80 @@
+"""Resource kinds and resource vectors.
+
+A *container* (paper Section 2.1) guarantees a fixed allocation in each of
+four resource dimensions: CPU, memory, disk I/O and log I/O.  The demand
+estimator reasons about each dimension independently, so most of the
+library passes around :class:`ResourceVector` values keyed by
+:class:`ResourceKind`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["ResourceKind", "ResourceVector", "SCALABLE_KINDS"]
+
+
+class ResourceKind(enum.Enum):
+    """The resource dimensions of a DaaS container."""
+
+    CPU = "cpu"
+    MEMORY = "memory"
+    DISK_IO = "disk_io"
+    LOG_IO = "log_io"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Kinds the auto-scaler actively sizes.  (All four; listed explicitly so
+#: call sites iterate in a stable order.)
+SCALABLE_KINDS = (
+    ResourceKind.CPU,
+    ResourceKind.MEMORY,
+    ResourceKind.DISK_IO,
+    ResourceKind.LOG_IO,
+)
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """An amount of each resource, in the catalog's native units.
+
+    Units: ``cpu`` in cores, ``memory`` in GB, ``disk_io`` in IOPS,
+    ``log_io`` in MB/s.
+    """
+
+    cpu: float = 0.0
+    memory: float = 0.0
+    disk_io: float = 0.0
+    log_io: float = 0.0
+
+    def get(self, kind: ResourceKind) -> float:
+        """Value for one resource dimension."""
+        return getattr(self, kind.value)
+
+    def with_value(self, kind: ResourceKind, value: float) -> "ResourceVector":
+        """Copy of this vector with one dimension replaced."""
+        fields = {k.value: self.get(k) for k in ResourceKind}
+        fields[kind.value] = value
+        return ResourceVector(**fields)
+
+    def covers(self, other: "ResourceVector") -> bool:
+        """Whether this vector is >= ``other`` in every dimension."""
+        return all(self.get(k) >= other.get(k) for k in ResourceKind)
+
+    def max_with(self, other: "ResourceVector") -> "ResourceVector":
+        """Component-wise maximum."""
+        return ResourceVector(
+            **{k.value: max(self.get(k), other.get(k)) for k in ResourceKind}
+        )
+
+    def scale(self, factor: float) -> "ResourceVector":
+        """Component-wise multiply."""
+        return ResourceVector(
+            **{k.value: self.get(k) * factor for k in ResourceKind}
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {k.value: self.get(k) for k in ResourceKind}

@@ -1,0 +1,98 @@
+"""Wait-statistics accounting (paper Section 3.1).
+
+SQL Server reports 300+ wait types; the paper maps them through rules onto
+a small set of *wait classes* for the key logical and physical resources:
+CPU (signal waits), memory, disk I/O, log I/O, locks, and system.  Our
+engine accrues waits directly into those classes.
+
+Both the *magnitude* (ms of wait per interval) and the *percentage* (share
+of total waits) matter for demand estimation — large CPU waits that are
+dwarfed by lock waits do not indicate that more CPU would help.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.engine.resources import ResourceKind
+
+__all__ = ["WaitClass", "WaitProfile", "RESOURCE_WAIT_CLASS"]
+
+
+class WaitClass(enum.Enum):
+    """Aggregated wait classes, mirroring the paper's categorization."""
+
+    CPU = "cpu"
+    MEMORY = "memory"
+    DISK = "disk"
+    LOG = "log"
+    LOCK = "lock"
+    SYSTEM = "system"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Which wait class evidences demand for which scalable resource.  Lock and
+#: system waits map to no resource: they cannot be relieved by a bigger
+#: container, which is the crux of the paper's TPC-C result (Fig. 13).
+RESOURCE_WAIT_CLASS: dict[ResourceKind, WaitClass] = {
+    ResourceKind.CPU: WaitClass.CPU,
+    ResourceKind.MEMORY: WaitClass.MEMORY,
+    ResourceKind.DISK_IO: WaitClass.DISK,
+    ResourceKind.LOG_IO: WaitClass.LOG,
+}
+
+
+@dataclass
+class WaitProfile:
+    """Accumulated wait milliseconds per class over some window."""
+
+    wait_ms: dict[WaitClass, float] = field(
+        default_factory=lambda: {w: 0.0 for w in WaitClass}
+    )
+
+    def add(self, wait_class: WaitClass, ms: float) -> None:
+        """Accrue ``ms`` of wait time to ``wait_class``."""
+        if ms < 0:
+            raise ValueError(f"wait time must be non-negative, got {ms}")
+        self.wait_ms[wait_class] += ms
+
+    def merge(self, other: "WaitProfile") -> None:
+        for wait_class, ms in other.wait_ms.items():
+            self.wait_ms[wait_class] += ms
+
+    def total(self) -> float:
+        """Total wait ms across all classes."""
+        return sum(self.wait_ms.values())
+
+    def get(self, wait_class: WaitClass) -> float:
+        return self.wait_ms[wait_class]
+
+    def percentage(self, wait_class: WaitClass) -> float:
+        """Share (0-100) of total waits attributed to ``wait_class``.
+
+        Zero when there are no waits at all: "no waits" should read as
+        "nothing significant" for every class.
+        """
+        total = self.total()
+        if total <= 0.0:
+            return 0.0
+        return 100.0 * self.wait_ms[wait_class] / total
+
+    def percentages(self) -> dict[WaitClass, float]:
+        return {w: self.percentage(w) for w in WaitClass}
+
+    def dominant_class(self) -> WaitClass | None:
+        """Class with the largest share, or None if there were no waits."""
+        if self.total() <= 0.0:
+            return None
+        return max(self.wait_ms, key=lambda w: self.wait_ms[w])
+
+    def copy(self) -> "WaitProfile":
+        return WaitProfile(wait_ms=dict(self.wait_ms))
+
+    def reset(self) -> None:
+        for wait_class in self.wait_ms:
+            self.wait_ms[wait_class] = 0.0

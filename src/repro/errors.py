@@ -1,0 +1,35 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch one base class at an API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a component is constructed with invalid parameters."""
+
+
+class InsufficientDataError(ReproError):
+    """Raised when a statistic is requested over too few samples."""
+
+
+class CatalogError(ReproError):
+    """Raised for invalid container-catalog lookups or definitions."""
+
+
+class BudgetError(ReproError):
+    """Raised for invalid budget-manager configurations or operations."""
+
+
+class SimulationError(ReproError):
+    """Raised when the engine simulation reaches an inconsistent state."""
+
+
+class WorkloadError(ReproError):
+    """Raised for invalid workload or trace definitions."""

@@ -1,0 +1,40 @@
+"""Service-wide telemetry substrate: synthetic fleet, demand analysis,
+and wait-threshold calibration."""
+
+from repro.fleet.analysis import (
+    ChangeEventStats,
+    FleetDemandAnalysis,
+    analyze_fleet,
+    analyze_tenant,
+    assign_container_levels,
+)
+from repro.fleet.calibration import (
+    FleetTelemetry,
+    WaitSample,
+    calibrate_thresholds,
+    collect_fleet_telemetry,
+)
+from repro.fleet.population import (
+    DemandPattern,
+    TenantProfile,
+    rate_series,
+    synthesize_population,
+    usage_series,
+)
+
+__all__ = [
+    "ChangeEventStats",
+    "FleetDemandAnalysis",
+    "analyze_fleet",
+    "analyze_tenant",
+    "assign_container_levels",
+    "FleetTelemetry",
+    "WaitSample",
+    "calibrate_thresholds",
+    "collect_fleet_telemetry",
+    "DemandPattern",
+    "TenantProfile",
+    "rate_series",
+    "synthesize_population",
+    "usage_series",
+]

@@ -1,0 +1,174 @@
+"""Fleet resource-demand analysis (paper Section 2.2, Figure 2; Section 4).
+
+Replicates the paper's offline production study: aggregate each tenant's
+resource usage over 5-minute intervals, logically assign the smallest
+container that covers each interval, and record a *change event* whenever
+the assigned container differs between successive intervals.  From the
+change events:
+
+* the **Inter-Event Interval (IEI)** distribution (Figure 2a) — the paper
+  reports 86 % of changes within 60 minutes of the previous one;
+* the **changes-per-day** distribution (Figure 2b) — >78 % of tenants
+  average ≥1 change/day, >52 % ≥6/day, 28 % >24/day;
+* the **step-size** distribution (Section 4) — 90 % of changes are 1
+  container step, ≥98 % within 2 steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.containers import ContainerCatalog
+from repro.engine.resources import ResourceKind, ResourceVector
+from repro.errors import InsufficientDataError
+from repro.fleet.population import TenantProfile, usage_series
+
+__all__ = [
+    "ChangeEventStats",
+    "FleetDemandAnalysis",
+    "assign_container_levels",
+    "analyze_tenant",
+    "analyze_fleet",
+]
+
+
+@dataclass(frozen=True)
+class ChangeEventStats:
+    """Change events for one tenant over the analysis horizon."""
+
+    tenant_id: int
+    n_intervals: int
+    interval_minutes: float
+    levels: np.ndarray
+    change_indices: np.ndarray
+    step_sizes: np.ndarray
+
+    @property
+    def n_changes(self) -> int:
+        return int(self.change_indices.size)
+
+    @property
+    def changes_per_day(self) -> float:
+        days = self.n_intervals * self.interval_minutes / (24.0 * 60.0)
+        return self.n_changes / days if days > 0 else 0.0
+
+    def inter_event_intervals_minutes(self) -> np.ndarray:
+        """Minutes between successive change events."""
+        if self.change_indices.size < 2:
+            return np.empty(0)
+        return np.diff(self.change_indices) * self.interval_minutes
+
+
+def assign_container_levels(
+    catalog: ContainerCatalog,
+    usage: dict[ResourceKind, np.ndarray],
+) -> np.ndarray:
+    """Smallest covering lock-step level for each interval's usage."""
+    n = len(next(iter(usage.values())))
+    levels = np.empty(n, dtype=np.int64)
+    for i in range(n):
+        demand = ResourceVector(
+            **{kind.value: float(usage[kind][i]) for kind in ResourceKind}
+        )
+        levels[i] = catalog.smallest_covering(demand).level
+    return levels
+
+
+def analyze_tenant(
+    profile: TenantProfile,
+    catalog: ContainerCatalog,
+    n_intervals: int,
+    interval_minutes: float = 5.0,
+) -> ChangeEventStats:
+    """Container-boundary-crossing analysis for one tenant."""
+    usage = usage_series(
+        profile,
+        n_intervals,
+        intervals_per_day=int(round(24 * 60 / interval_minutes)),
+    )
+    levels = assign_container_levels(catalog, usage)
+    changes = np.flatnonzero(np.diff(levels) != 0) + 1
+    steps = np.abs(np.diff(levels))[changes - 1]
+    return ChangeEventStats(
+        tenant_id=profile.tenant_id,
+        n_intervals=n_intervals,
+        interval_minutes=interval_minutes,
+        levels=levels,
+        change_indices=changes,
+        step_sizes=steps,
+    )
+
+
+@dataclass(frozen=True)
+class FleetDemandAnalysis:
+    """Aggregated Figure-2-style statistics over the whole population."""
+
+    per_tenant: list[ChangeEventStats]
+
+    def iei_minutes(self) -> np.ndarray:
+        """All inter-event intervals across the fleet, minutes."""
+        parts = [t.inter_event_intervals_minutes() for t in self.per_tenant]
+        parts = [p for p in parts if p.size]
+        if not parts:
+            raise InsufficientDataError("no change events in the fleet")
+        return np.concatenate(parts)
+
+    def iei_cdf(self, at_minutes: tuple[float, ...] = (60, 120, 360, 720, 1440)):
+        """Cumulative %% of IEIs at the paper's Figure 2(a) marks."""
+        iei = self.iei_minutes()
+        return {m: 100.0 * float((iei <= m).mean()) for m in at_minutes}
+
+    def changes_per_day_distribution(
+        self, buckets: tuple[float, ...] = (0, 1, 2, 3, 6, 12, 24)
+    ) -> dict[str, float]:
+        """Figure 2(b): %% of tenants per changes-per-day bucket."""
+        rates = np.asarray([t.changes_per_day for t in self.per_tenant])
+        result: dict[str, float] = {}
+        edges = list(buckets) + [np.inf]
+        for low, high in zip(edges[:-1], edges[1:]):
+            share = float(((rates >= low) & (rates < high)).mean())
+            label = f"{low:g}" if np.isfinite(high) else "More"
+            result[label] = 100.0 * share
+        return result
+
+    def fraction_with_daily_change(self) -> float:
+        """Share of tenants averaging at least one change per day."""
+        rates = np.asarray([t.changes_per_day for t in self.per_tenant])
+        return float((rates >= 1.0).mean())
+
+    def step_size_distribution(self) -> dict[int, float]:
+        """Section 4: share of change events by container-step size."""
+        steps = np.concatenate(
+            [t.step_sizes for t in self.per_tenant if t.step_sizes.size]
+        )
+        if steps.size == 0:
+            raise InsufficientDataError("no change events in the fleet")
+        return {
+            int(k): float((steps == k).mean()) for k in np.unique(steps)
+        }
+
+    def step_coverage(self, max_steps: int) -> float:
+        """Share of change events within ``max_steps`` container steps."""
+        steps = np.concatenate(
+            [t.step_sizes for t in self.per_tenant if t.step_sizes.size]
+        )
+        if steps.size == 0:
+            raise InsufficientDataError("no change events in the fleet")
+        return float((steps <= max_steps).mean())
+
+
+def analyze_fleet(
+    profiles: list[TenantProfile],
+    catalog: ContainerCatalog,
+    n_intervals: int = 2016,  # one week at 5-minute intervals
+    interval_minutes: float = 5.0,
+) -> FleetDemandAnalysis:
+    """Run the Figure-2 analysis over a population."""
+    return FleetDemandAnalysis(
+        per_tenant=[
+            analyze_tenant(p, catalog, n_intervals, interval_minutes)
+            for p in profiles
+        ]
+    )

@@ -1,0 +1,199 @@
+"""Synthetic tenant population — the service-wide telemetry substrate.
+
+The paper leans on fleet-scale data three times: the production resource
+analysis of Section 2.2 (Figure 2), the wait/utilization study of Section
+3.1 (Figure 4), and the threshold calibration of Section 4.1 (Figure 6).
+Those analyses used week-long traces of thousands of Azure SQL DB tenants,
+which we obviously do not have; this module synthesizes a population with
+the demand diversity those analyses rely on:
+
+* steady departmental apps,
+* diurnal line-of-business workloads (strong day/night cycles),
+* weekly-cyclic workloads (quiet weekends),
+* bursty tenants with irregular spikes,
+* slowly growing (or shrinking) tenants,
+* mostly-idle tenants with rare activity.
+
+Each tenant is a compact demand *program* that yields a per-interval
+request rate; analytic resource-usage series derive from the rate and the
+tenant's per-request demand profile, which is what the Figure 2 analysis
+(container-boundary crossing) consumes.  The Figure 4/6 analyses push a
+sampled subpopulation through the full engine instead, because they need
+wait statistics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.resources import ResourceKind
+from repro.errors import ConfigurationError
+
+__all__ = ["DemandPattern", "TenantProfile", "synthesize_population", "rate_series"]
+
+#: Intervals per day at the paper's 5-minute aggregation.
+INTERVALS_PER_DAY_5MIN = 288
+
+
+class DemandPattern(enum.Enum):
+    """Demand-shape archetypes observed across a DaaS fleet."""
+
+    STEADY = "steady"
+    DIURNAL = "diurnal"
+    WEEKLY = "weekly"
+    BURSTY = "bursty"
+    GROWING = "growing"
+    IDLE_SPIKES = "idle-spikes"
+
+
+#: Population mix (fractions sum to 1): most tenants are small and quiet,
+#: a sizeable share shows strong daily cycles, and a tail is bursty —
+#: consistent with the paper's finding that >78 % of tenants cross a
+#: container boundary at least daily.
+_PATTERN_MIX = (
+    (DemandPattern.STEADY, 0.15),
+    (DemandPattern.DIURNAL, 0.30),
+    (DemandPattern.WEEKLY, 0.10),
+    (DemandPattern.BURSTY, 0.20),
+    (DemandPattern.GROWING, 0.10),
+    (DemandPattern.IDLE_SPIKES, 0.15),
+)
+
+
+@dataclass(frozen=True)
+class TenantProfile:
+    """One synthetic tenant's demand program.
+
+    Attributes:
+        tenant_id: stable identifier.
+        pattern: demand-shape archetype.
+        base_rate: characteristic requests/second.
+        amplitude: pattern-specific swing (fraction of base).
+        cpu_ms_per_req / reads_per_req / log_kb_per_req: per-request
+            resource demands (requests are assumed ~fully cached; the
+            usage analysis is about rates crossing container boundaries).
+        memory_gb: working-set footprint.
+        noise: multiplicative noise sigma.
+        seed: per-tenant RNG seed.
+    """
+
+    tenant_id: int
+    pattern: DemandPattern
+    base_rate: float
+    amplitude: float
+    cpu_ms_per_req: float
+    reads_per_req: float
+    log_kb_per_req: float
+    memory_gb: float
+    noise: float
+    seed: int
+
+
+def synthesize_population(n_tenants: int, seed: int = 42) -> list[TenantProfile]:
+    """Generate a diverse tenant population."""
+    if n_tenants < 1:
+        raise ConfigurationError("n_tenants must be >= 1")
+    rng = np.random.default_rng(seed)
+    patterns = [p for p, _ in _PATTERN_MIX]
+    weights = np.asarray([w for _, w in _PATTERN_MIX])
+    choices = rng.choice(len(patterns), size=n_tenants, p=weights / weights.sum())
+
+    tenants = []
+    for tenant_id, choice in enumerate(choices):
+        pattern = patterns[int(choice)]
+        cpu_ms_per_req = float(10.0 ** rng.uniform(0.3, 2.0))
+        # Pick the tenant's characteristic CPU *usage* log-uniformly across
+        # the catalog's span (0.3 to ~16 cores) and derive the request
+        # rate from it, so demand routinely sits near container boundaries
+        # — the regime in which the paper's production tenants live.
+        base_cores = float(10.0 ** rng.uniform(-0.5, 1.2))
+        base_rate = base_cores * 1000.0 / cpu_ms_per_req
+        tenants.append(
+            TenantProfile(
+                tenant_id=tenant_id,
+                pattern=pattern,
+                base_rate=base_rate,
+                amplitude=float(rng.uniform(0.3, 0.95)),
+                cpu_ms_per_req=cpu_ms_per_req,
+                reads_per_req=float(10.0 ** rng.uniform(0.8, 2.6)),
+                log_kb_per_req=float(10.0 ** rng.uniform(-0.5, 1.3)),
+                memory_gb=float(10.0 ** rng.uniform(-0.3, 1.5)),
+                noise=float(rng.uniform(0.03, 0.20)),
+                seed=int(rng.integers(0, 2**31 - 1)),
+            )
+        )
+    return tenants
+
+
+def rate_series(
+    profile: TenantProfile,
+    n_intervals: int,
+    intervals_per_day: int = INTERVALS_PER_DAY_5MIN,
+) -> np.ndarray:
+    """The tenant's request rate for each interval of the horizon."""
+    if n_intervals < 1:
+        raise ConfigurationError("n_intervals must be >= 1")
+    rng = np.random.default_rng(profile.seed)
+    t = np.arange(n_intervals, dtype=float)
+    day_phase = 2.0 * np.pi * t / intervals_per_day
+    base = np.full(n_intervals, profile.base_rate)
+    amp = profile.amplitude
+
+    if profile.pattern is DemandPattern.STEADY:
+        shape = np.ones(n_intervals)
+    elif profile.pattern is DemandPattern.DIURNAL:
+        shape = 1.0 + amp * np.sin(day_phase + rng.uniform(0, 2 * np.pi))
+    elif profile.pattern is DemandPattern.WEEKLY:
+        week_phase = day_phase / 7.0
+        shape = (1.0 + 0.5 * amp * np.sin(day_phase)) * (
+            1.0 + 0.5 * amp * np.sin(week_phase + rng.uniform(0, 2 * np.pi))
+        )
+    elif profile.pattern is DemandPattern.BURSTY:
+        shape = np.ones(n_intervals)
+        n_bursts = max(1, int(n_intervals / intervals_per_day * rng.uniform(2, 10)))
+        starts = rng.integers(0, n_intervals, size=n_bursts)
+        for start in starts:
+            length = int(rng.integers(2, max(intervals_per_day // 4, 3)))
+            shape[start : start + length] *= rng.uniform(2.0, 8.0)
+    elif profile.pattern is DemandPattern.GROWING:
+        direction = 1.0 if rng.random() < 0.7 else -1.0
+        shape = 1.0 + direction * amp * t / n_intervals
+    elif profile.pattern is DemandPattern.IDLE_SPIKES:
+        shape = np.full(n_intervals, 0.1)
+        n_spikes = max(1, int(n_intervals / intervals_per_day * rng.uniform(1, 4)))
+        starts = rng.integers(0, n_intervals, size=n_spikes)
+        for start in starts:
+            length = int(rng.integers(1, 6))
+            shape[start : start + length] = rng.uniform(3.0, 12.0)
+    else:  # pragma: no cover - exhaustive over enum
+        raise ConfigurationError(f"unknown pattern {profile.pattern}")
+
+    noise = 1.0 + rng.normal(0.0, profile.noise, size=n_intervals)
+    rates = base * np.clip(shape, 0.0, None) * np.clip(noise, 0.05, None)
+    return np.clip(rates, 0.0, None)
+
+
+def usage_series(
+    profile: TenantProfile,
+    n_intervals: int,
+    intervals_per_day: int = INTERVALS_PER_DAY_5MIN,
+) -> dict[ResourceKind, np.ndarray]:
+    """Analytic per-interval absolute resource usage for one tenant.
+
+    CPU in cores, disk in IOPS (a small miss fraction of logical reads),
+    log in MB/s, memory in GB (constant working set).
+    """
+    rates = rate_series(profile, n_intervals, intervals_per_day)
+    cpu_cores = rates * profile.cpu_ms_per_req / 1000.0
+    disk_iops = rates * profile.reads_per_req * 0.05
+    log_mb_s = rates * profile.log_kb_per_req / 1024.0
+    memory = np.full(n_intervals, profile.memory_gb)
+    return {
+        ResourceKind.CPU: cpu_cores,
+        ResourceKind.DISK_IO: disk_iops,
+        ResourceKind.LOG_IO: log_mb_s,
+        ResourceKind.MEMORY: memory,
+    }

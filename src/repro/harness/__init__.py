@@ -1,0 +1,35 @@
+"""Experiment harness: policy comparison runner and paper-style reports."""
+
+from repro.harness.experiment import (
+    ComparisonResult,
+    ExperimentConfig,
+    RunResult,
+    profile_workload,
+    run_comparison,
+    run_goal_sweep,
+    run_policy,
+)
+from repro.harness.metrics import RunMetrics
+from repro.harness.report import (
+    ascii_series,
+    comparison_table,
+    drilldown_series,
+    format_table,
+    wait_mix_series,
+)
+
+__all__ = [
+    "ComparisonResult",
+    "ExperimentConfig",
+    "RunResult",
+    "profile_workload",
+    "run_comparison",
+    "run_goal_sweep",
+    "run_policy",
+    "RunMetrics",
+    "ascii_series",
+    "comparison_table",
+    "drilldown_series",
+    "format_table",
+    "wait_mix_series",
+]

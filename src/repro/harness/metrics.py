@@ -1,0 +1,77 @@
+"""Run-level metrics: the quantities the paper's figures report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InsufficientDataError
+
+__all__ = ["RunMetrics"]
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Summary of one (workload × trace × policy) run.
+
+    Attributes:
+        policy: policy label ("Max", "Peak", …).
+        p95_latency_ms: 95th-percentile latency over the whole run.
+        mean_latency_ms: average latency over the whole run.
+        avg_cost_per_interval: the paper's cost metric.
+        total_cost: sum of per-interval charges.
+        n_intervals: measured billing intervals.
+        resize_fraction: share of intervals with a container change.
+        completions: total requests completed.
+        rejected: total requests rejected at the admission cap.
+    """
+
+    policy: str
+    p95_latency_ms: float
+    mean_latency_ms: float
+    avg_cost_per_interval: float
+    total_cost: float
+    n_intervals: int
+    resize_fraction: float
+    completions: int
+    rejected: int
+
+    def cost_ratio_to(self, other: "RunMetrics") -> float:
+        """How many times more this run cost than ``other``."""
+        if other.avg_cost_per_interval <= 0:
+            raise InsufficientDataError("reference run has zero cost")
+        return self.avg_cost_per_interval / other.avg_cost_per_interval
+
+    def meets_goal(self, goal_ms: float, slack: float = 1.10) -> bool:
+        """Whether the run's p95 stayed within ``slack`` of the goal."""
+        return self.p95_latency_ms <= goal_ms * slack
+
+
+def compute_metrics(
+    policy_name: str,
+    latencies_ms: np.ndarray,
+    costs: np.ndarray,
+    resizes: int,
+    completions: int,
+    rejected: int,
+) -> RunMetrics:
+    """Build :class:`RunMetrics` from raw run artifacts."""
+    if latencies_ms.size == 0:
+        p95 = float("nan")
+        mean = float("nan")
+    else:
+        p95 = float(np.percentile(latencies_ms, 95.0))
+        mean = float(latencies_ms.mean())
+    n_intervals = int(costs.size)
+    return RunMetrics(
+        policy=policy_name,
+        p95_latency_ms=p95,
+        mean_latency_ms=mean,
+        avg_cost_per_interval=float(costs.mean()) if n_intervals else 0.0,
+        total_cost=float(costs.sum()),
+        n_intervals=n_intervals,
+        resize_fraction=resizes / n_intervals if n_intervals else 0.0,
+        completions=completions,
+        rejected=rejected,
+    )

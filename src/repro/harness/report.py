@@ -1,0 +1,132 @@
+"""Paper-style tables and ASCII figures for experiment results."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.engine.resources import ResourceKind
+from repro.engine.waits import WaitClass
+from repro.harness.experiment import ComparisonResult, RunResult
+
+__all__ = [
+    "comparison_table",
+    "drilldown_series",
+    "wait_mix_series",
+    "ascii_series",
+    "format_table",
+]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Fixed-width text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def comparison_table(result: ComparisonResult) -> str:
+    """The bar-chart content of Figures 9-12 as a table.
+
+    One column per policy; rows for p95 latency (ms) and average cost per
+    billing interval, plus resize fraction — the quantities the paper
+    plots.
+    """
+    policies = result.policies()
+    headers = ["metric"] + policies
+    latency_row = ["p95 latency (ms)"]
+    cost_row = ["cost / interval"]
+    resize_row = ["resize fraction"]
+    for policy in policies:
+        metrics = result.metrics(policy)
+        latency_row.append(f"{metrics.p95_latency_ms:.0f}")
+        cost_row.append(f"{metrics.avg_cost_per_interval:.1f}")
+        resize_row.append(f"{metrics.resize_fraction:.2f}")
+    title = (
+        f"{result.workload_name} x {result.trace_name}, "
+        f"goal: {result.goal.metric} <= {result.goal.target_ms:.0f} ms"
+    )
+    table = format_table(headers, [latency_row, cost_row, resize_row])
+    return f"{title}\n{table}"
+
+
+def drilldown_series(
+    run: RunResult,
+    goal_ms: float,
+    server_cpu_cores: float,
+) -> dict[str, np.ndarray]:
+    """Figure 13(a,b) series for one run.
+
+    Returns per-interval arrays: container CPU as % of the server, CPU
+    utilization as % of the server, and the performance factor
+    (positive = headroom, negative = goal violated).
+    """
+    container_cpu = []
+    used_cpu = []
+    performance = []
+    for counters in run.counters:
+        cores = counters.container.cpu_cores
+        container_cpu.append(100.0 * cores / server_cpu_cores)
+        used_cpu.append(
+            100.0
+            * counters.utilization_mean[ResourceKind.CPU]
+            * cores
+            / server_cpu_cores
+        )
+        if counters.latencies_ms.size:
+            latency = float(np.percentile(counters.latencies_ms, 95.0))
+            performance.append(100.0 * (goal_ms - latency) / goal_ms)
+        else:
+            performance.append(float("nan"))
+    return {
+        "container_cpu_pct": np.asarray(container_cpu),
+        "cpu_utilization_pct": np.asarray(used_cpu),
+        "performance_factor": np.asarray(performance),
+    }
+
+
+def wait_mix_series(run: RunResult) -> dict[WaitClass, np.ndarray]:
+    """Figure 13(c): per-interval percentage waits per wait class."""
+    series: dict[WaitClass, list[float]] = {w: [] for w in WaitClass}
+    for counters in run.counters:
+        for wait_class in WaitClass:
+            series[wait_class].append(counters.wait_percent(wait_class))
+    return {w: np.asarray(v) for w, v in series.items()}
+
+
+def ascii_series(
+    values: np.ndarray,
+    width: int = 72,
+    height: int = 12,
+    label: str = "",
+) -> str:
+    """Render a 1-D series as a small ASCII chart (for bench output)."""
+    data = np.asarray(values, dtype=float)
+    data = data[np.isfinite(data)]
+    if data.size == 0:
+        return f"{label}: (no data)"
+    # Downsample to the chart width by bucketing.
+    if data.size > width:
+        edges = np.linspace(0, data.size, width + 1).astype(int)
+        data = np.asarray(
+            [data[a:b].mean() for a, b in zip(edges[:-1], edges[1:]) if b > a]
+        )
+    low, high = float(data.min()), float(data.max())
+    span = high - low if high > low else 1.0
+    rows = []
+    for level in range(height, 0, -1):
+        threshold = low + span * (level - 0.5) / height
+        rows.append(
+            "".join("#" if v >= threshold else " " for v in data)
+        )
+    header = f"{label}  [min={low:.1f}, max={high:.1f}]"
+    return "\n".join([header] + rows)

@@ -1,0 +1,18 @@
+"""Scaling policies: the paper's Auto plus the Section 7.2 baselines."""
+
+from repro.policies.auto import AutoPolicy
+from repro.policies.base import ScalingPolicy
+from repro.policies.oracle import TraceOraclePolicy, oracle_container_sequence
+from repro.policies.static import MaxPolicy, StaticPolicy, static_container_for_usage
+from repro.policies.util import UtilPolicy
+
+__all__ = [
+    "AutoPolicy",
+    "ScalingPolicy",
+    "TraceOraclePolicy",
+    "oracle_container_sequence",
+    "MaxPolicy",
+    "StaticPolicy",
+    "static_container_for_usage",
+    "UtilPolicy",
+]

@@ -1,0 +1,35 @@
+"""Adapter exposing :class:`~repro.core.autoscaler.AutoScaler` as a policy."""
+
+from __future__ import annotations
+
+from repro.core.autoscaler import AutoScaler, ScalingDecision
+from repro.engine.containers import ContainerSpec
+from repro.engine.telemetry import IntervalCounters
+from repro.policies.base import ScalingPolicy
+
+__all__ = ["AutoPolicy"]
+
+
+class AutoPolicy(ScalingPolicy):
+    """The paper's Auto, wrapped in the common policy interface."""
+
+    name = "Auto"
+
+    def __init__(self, scaler: AutoScaler) -> None:
+        self.scaler = scaler
+        self.last_decision: ScalingDecision | None = None
+        self.decisions: list[ScalingDecision] = []
+
+    def initial_container(self) -> ContainerSpec:
+        return self.scaler.container
+
+    def decide(self, counters: IntervalCounters) -> ContainerSpec:
+        decision = self.scaler.decide(counters)
+        self.last_decision = decision
+        self.decisions.append(decision)
+        return decision.container
+
+    def balloon_limit_gb(self) -> float | None:
+        if self.last_decision is None:
+            return None
+        return self.last_decision.balloon_limit_gb

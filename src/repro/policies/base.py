@@ -1,0 +1,41 @@
+"""The scaling-policy interface shared by Auto and every baseline.
+
+A policy observes one billing interval's telemetry and returns the
+container to run next.  The experiment harness treats the paper's ``Auto``
+and the Section 7.2 alternatives uniformly through this interface.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.engine.containers import ContainerSpec
+from repro.engine.telemetry import IntervalCounters
+
+__all__ = ["ScalingPolicy"]
+
+
+class ScalingPolicy(abc.ABC):
+    """One container-sizing strategy."""
+
+    #: Label used in result tables ("Max", "Peak", "Avg", "Trace", "Util",
+    #: "Auto").
+    name: str = "policy"
+
+    #: Whether the harness should feed warm-up intervals through
+    #: :meth:`decide`.  Online policies adapt during warm-up; replayed
+    #: sequences (the Trace oracle) must not, or they would drift out of
+    #: sync with the measured intervals.
+    adapts_during_warmup: bool = True
+
+    @abc.abstractmethod
+    def initial_container(self) -> ContainerSpec:
+        """Container to start the run with."""
+
+    @abc.abstractmethod
+    def decide(self, counters: IntervalCounters) -> ContainerSpec:
+        """Container for the next billing interval."""
+
+    def balloon_limit_gb(self) -> float | None:
+        """Memory balloon cap to apply for the next interval, if any."""
+        return None

@@ -1,0 +1,76 @@
+"""The offline "Trace" baseline (paper Section 7.2.1).
+
+Simulates an oracle that knows the workload's per-interval resource
+demands exactly and replays a container sequence that "hugs" the demand
+curve: for each billing interval, the smallest container covering that
+interval's observed usage (measured under Max).  The paper's Trace
+baseline achieves near-Max latency but resizes often (~15 % of intervals)
+and cannot be realized online — it exists to show how close Auto gets to
+demand-hugging without foresight.
+
+A small headroom factor is applied when translating usage to demand; an
+exact hug would leave zero queueing slack and (both here and in a real
+system) hurt tail latency.
+"""
+
+from __future__ import annotations
+
+from repro.engine.containers import ContainerCatalog, ContainerSpec
+from repro.engine.resources import ResourceKind, ResourceVector
+from repro.engine.telemetry import IntervalCounters
+from repro.errors import ConfigurationError
+from repro.policies.base import ScalingPolicy
+
+__all__ = ["TraceOraclePolicy", "oracle_container_sequence"]
+
+
+def oracle_container_sequence(
+    catalog: ContainerCatalog,
+    usage_history: list[dict[ResourceKind, float]],
+    headroom: float = 1.25,
+    smoothing_window: int = 3,
+) -> list[ContainerSpec]:
+    """Per-interval smallest containers covering measured usage.
+
+    ``smoothing_window`` takes a running max over neighbouring intervals
+    (mirroring the paper's coarse aggregation) so the replayed sequence
+    hugs the demand envelope instead of chasing per-interval noise.
+    """
+    if headroom < 1.0:
+        raise ConfigurationError("headroom must be >= 1.0")
+    if smoothing_window < 1:
+        raise ConfigurationError("smoothing_window must be >= 1")
+    sequence = []
+    n = len(usage_history)
+    half = smoothing_window // 2
+    for i in range(n):
+        window = usage_history[max(0, i - half) : min(n, i + half + 1)]
+        demand = ResourceVector(
+            **{
+                kind.value: max(u[kind] for u in window) * headroom
+                for kind in ResourceKind
+            }
+        )
+        sequence.append(catalog.smallest_covering(demand))
+    return sequence
+
+
+class TraceOraclePolicy(ScalingPolicy):
+    """Replay a precomputed per-interval container sequence."""
+
+    name = "Trace"
+    adapts_during_warmup = False
+
+    def __init__(self, sequence: list[ContainerSpec]) -> None:
+        if not sequence:
+            raise ConfigurationError("oracle sequence must not be empty")
+        self._sequence = list(sequence)
+        self._next_index = 1  # decide() is called after interval 0 has run
+
+    def initial_container(self) -> ContainerSpec:
+        return self._sequence[0]
+
+    def decide(self, counters: IntervalCounters) -> ContainerSpec:
+        index = min(self._next_index, len(self._sequence) - 1)
+        self._next_index += 1
+        return self._sequence[index]

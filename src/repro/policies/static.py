@@ -1,0 +1,87 @@
+"""Offline static baselines (paper Section 7.2.1) and Max.
+
+* **Max** — always the largest container: the gold standard for latency
+  and the most expensive possible choice.
+* **Peak** — a typical administrator with historical knowledge: the
+  smallest container covering the 95th percentile of the workload's
+  observed resource usage.
+* **Avg** — the same, sized for the *average* usage.
+
+Peak and Avg are built from a profiling run under Max (the harness's
+:func:`~repro.harness.experiment.profile_workload`), which is exactly how
+the paper constructs them: "We execute the workload with Max to analyze
+the resource utilization and then set the container size…".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.containers import ContainerCatalog, ContainerSpec
+from repro.engine.resources import ResourceKind, ResourceVector
+from repro.engine.telemetry import IntervalCounters
+from repro.policies.base import ScalingPolicy
+
+__all__ = ["MaxPolicy", "StaticPolicy", "static_container_for_usage"]
+
+
+class MaxPolicy(ScalingPolicy):
+    """Always run the largest container."""
+
+    name = "Max"
+
+    def __init__(self, catalog: ContainerCatalog) -> None:
+        self._container = catalog.largest
+
+    def initial_container(self) -> ContainerSpec:
+        return self._container
+
+    def decide(self, counters: IntervalCounters) -> ContainerSpec:
+        return self._container
+
+
+class StaticPolicy(ScalingPolicy):
+    """A fixed container chosen offline from historical usage."""
+
+    def __init__(self, container: ContainerSpec, name: str) -> None:
+        self._container = container
+        self.name = name
+
+    def initial_container(self) -> ContainerSpec:
+        return self._container
+
+    def decide(self, counters: IntervalCounters) -> ContainerSpec:
+        return self._container
+
+
+def static_container_for_usage(
+    catalog: ContainerCatalog,
+    usage_history: list[dict[ResourceKind, float]],
+    percentile: float,
+    headroom: float = 1.0,
+) -> ContainerSpec:
+    """Smallest container covering the ``percentile`` of historical usage.
+
+    Args:
+        catalog: available container sizes.
+        usage_history: per-interval absolute resource usage (catalog
+            units), as measured under Max.
+        percentile: 95.0 for the paper's Peak, 50.0/mean-like for Avg
+            (pass ``-1`` to use the arithmetic mean, which is what the
+            paper's Avg does).
+        headroom: multiplier applied to the measured usage.  Peak
+            provisioning uses >1 — an administrator sizing for the peak
+            leaves queueing slack, otherwise the "provisioned" container
+            runs at ~100 % utilization during the very load it was sized
+            for.
+    """
+    demand = {}
+    for kind in ResourceKind:
+        series = np.asarray([u[kind] for u in usage_history], dtype=float)
+        if series.size == 0:
+            demand[kind.value] = 0.0
+        elif percentile < 0:
+            demand[kind.value] = float(series.mean()) * headroom
+        else:
+            demand[kind.value] = float(np.percentile(series, percentile)) * headroom
+    return catalog.smallest_covering(ResourceVector(**demand))

@@ -1,0 +1,125 @@
+"""Percentile estimation: exact batch computation and a streaming P² sketch.
+
+Latency goals in the paper are stated against averages or the 95th
+percentile.  The engine records full latency samples per billing interval,
+so exact percentiles are available there; the streaming :class:`P2Quantile`
+estimator is used where a whole experiment's latency distribution must be
+tracked in O(1) memory (e.g. fleet-scale simulation of thousands of
+tenants).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.errors import InsufficientDataError
+
+__all__ = ["percentile", "P2Quantile"]
+
+
+def percentile(samples: Iterable[float], q: float) -> float:
+    """Exact ``q``-th percentile (0-100) with linear interpolation."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    values = np.asarray(list(samples), dtype=float)
+    values = values[np.isfinite(values)]
+    if values.size == 0:
+        raise InsufficientDataError("percentile of empty sample")
+    return float(np.percentile(values, q))
+
+
+class P2Quantile:
+    """Streaming quantile estimator using the P² algorithm (Jain & Chlamtac).
+
+    Maintains five markers whose heights approximate the target quantile
+    without storing observations.  Accuracy is more than sufficient for the
+    fleet-telemetry analyses, which only need coarse CDF shapes.
+
+    Args:
+        q: target quantile as a fraction in (0, 1), e.g. ``0.95``.
+    """
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"q must be in (0, 1), got {q}")
+        self.q = q
+        self._initial: list[float] = []
+        # Marker state, valid once 5 observations have arrived.
+        self._heights = np.zeros(5)
+        self._positions = np.arange(1.0, 6.0)
+        self._desired = np.array([1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0])
+        self._increments = np.array([0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0])
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        """Number of observations absorbed so far."""
+        return self._count
+
+    def update(self, value: float) -> None:
+        """Absorb one observation."""
+        if not np.isfinite(value):
+            return
+        self._count += 1
+        if self._count <= 5:
+            self._initial.append(float(value))
+            if self._count == 5:
+                self._heights = np.sort(np.asarray(self._initial))
+            return
+
+        heights = self._heights
+        # Locate the cell the new value falls into and stretch the extremes.
+        if value < heights[0]:
+            heights[0] = value
+            k = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            k = 3
+        else:
+            k = int(np.searchsorted(heights, value, side="right")) - 1
+            k = min(max(k, 0), 3)
+
+        self._positions[k + 1 :] += 1.0
+        self._desired += self._increments
+
+        # Adjust the interior markers with parabolic (or linear) moves.
+        for i in (1, 2, 3):
+            delta = self._desired[i] - self._positions[i]
+            right_gap = self._positions[i + 1] - self._positions[i]
+            left_gap = self._positions[i - 1] - self._positions[i]
+            if (delta >= 1.0 and right_gap > 1.0) or (delta <= -1.0 and left_gap < -1.0):
+                step = 1.0 if delta >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:
+                    heights[i] = self._linear(i, step)
+                self._positions[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        """P² parabolic prediction of marker ``i`` height after moving."""
+        h, n = self._heights, self._positions
+        return h[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step) * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, step: float) -> float:
+        """Fallback linear prediction when the parabola leaves the bracket."""
+        h, n = self._heights, self._positions
+        j = i + int(step)
+        return h[i] + step * (h[j] - h[i]) / (n[j] - n[i])
+
+    def value(self) -> float:
+        """Current quantile estimate.
+
+        Raises :class:`InsufficientDataError` before any data has arrived.
+        With 1-5 observations, returns the exact sample quantile.
+        """
+        if self._count == 0:
+            raise InsufficientDataError("no observations")
+        if self._count <= 5:
+            return float(np.percentile(np.asarray(self._initial), self.q * 100.0))
+        return float(self._heights[2])

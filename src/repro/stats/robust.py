@@ -1,0 +1,143 @@
+"""Robust statistical aggregates used by the telemetry manager.
+
+The paper (Section 3) argues that system telemetry is noisy — transient
+checkpoints, workload spikes, measurement glitches — so every aggregate fed
+into the scaling decision must be *robust to outliers*.  Robustness is
+quantified by the estimator's **breakdown point**: the fraction of
+arbitrarily-corrupted observations the estimator tolerates before it can be
+driven to an arbitrary value.  The sample mean has a breakdown point of 0
+(one outlier suffices); the median's is 50 %, the best achievable.
+
+This module collects the robust location/scale estimators used throughout
+the library, with their breakdown points documented.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import InsufficientDataError
+
+__all__ = [
+    "median",
+    "mad",
+    "trimmed_mean",
+    "winsorized_mean",
+    "iqr",
+    "robust_zscores",
+    "breakdown_point",
+]
+
+#: Breakdown points of the estimators exposed here, for documentation and
+#: for the ablation benchmark that contrasts robust vs. naive aggregation.
+_BREAKDOWN_POINTS = {
+    "mean": 0.0,
+    "median": 0.5,
+    "mad": 0.5,
+    "trimmed_mean": None,  # equals the trim fraction; computed on demand
+    "winsorized_mean": None,  # equals the winsorization fraction
+    "theil_sen": 0.29,
+    "least_squares": 0.0,
+}
+
+
+def _as_clean_array(samples: Iterable[float], minimum: int = 1) -> np.ndarray:
+    """Convert ``samples`` to a float array, dropping NaNs.
+
+    Raises :class:`InsufficientDataError` if fewer than ``minimum`` finite
+    samples remain.  Telemetry gaps (missed collection intervals) surface as
+    NaNs upstream, and robust aggregation should simply skip them.
+    """
+    values = np.asarray(list(samples), dtype=float)
+    values = values[np.isfinite(values)]
+    if values.size < minimum:
+        raise InsufficientDataError(
+            f"need at least {minimum} finite samples, got {values.size}"
+        )
+    return values
+
+
+def median(samples: Iterable[float]) -> float:
+    """Sample median (breakdown point 50 %, the maximum possible)."""
+    return float(np.median(_as_clean_array(samples)))
+
+
+def mad(samples: Iterable[float], scale: float = 1.4826) -> float:
+    """Median absolute deviation, scaled for normal consistency.
+
+    With the default ``scale`` the MAD estimates the standard deviation of a
+    Gaussian sample while keeping a 50 % breakdown point.
+    """
+    values = _as_clean_array(samples)
+    center = np.median(values)
+    return float(scale * np.median(np.abs(values - center)))
+
+
+def trimmed_mean(samples: Iterable[float], trim_fraction: float = 0.1) -> float:
+    """Mean of the central ``1 - 2 * trim_fraction`` mass of the sample.
+
+    Breakdown point equals ``trim_fraction``.  Used where a smoother
+    aggregate than the median is wanted but robustness still matters.
+    """
+    if not 0.0 <= trim_fraction < 0.5:
+        raise ValueError(f"trim_fraction must be in [0, 0.5), got {trim_fraction}")
+    values = np.sort(_as_clean_array(samples))
+    k = int(math.floor(trim_fraction * values.size))
+    trimmed = values[k : values.size - k] if k else values
+    return float(trimmed.mean())
+
+
+def winsorized_mean(samples: Iterable[float], fraction: float = 0.1) -> float:
+    """Mean after clamping the extreme ``fraction`` tails to the cut values."""
+    if not 0.0 <= fraction < 0.5:
+        raise ValueError(f"fraction must be in [0, 0.5), got {fraction}")
+    values = np.sort(_as_clean_array(samples))
+    k = int(math.floor(fraction * values.size))
+    if k:
+        values = values.copy()
+        values[:k] = values[k]
+        values[values.size - k :] = values[values.size - k - 1]
+    return float(values.mean())
+
+
+def iqr(samples: Iterable[float]) -> float:
+    """Interquartile range — a robust scale estimate (breakdown 25 %)."""
+    values = _as_clean_array(samples, minimum=2)
+    q75, q25 = np.percentile(values, [75.0, 25.0])
+    return float(q75 - q25)
+
+
+def robust_zscores(samples: Sequence[float]) -> np.ndarray:
+    """Outlier scores ``(x - median) / MAD`` for each sample.
+
+    A common telemetry-cleaning primitive: values with ``|z| > 3.5`` are
+    conventionally flagged as outliers.  When the MAD is zero (more than
+    half the samples identical) all scores are reported as zero, since no
+    meaningful deviation scale exists.
+    """
+    values = _as_clean_array(samples)
+    center = np.median(values)
+    spread = mad(values)
+    if spread == 0.0:
+        return np.zeros_like(values)
+    return (values - center) / spread
+
+
+def breakdown_point(estimator_name: str, fraction: float | None = None) -> float:
+    """Return the documented breakdown point of a named estimator.
+
+    For ``trimmed_mean`` / ``winsorized_mean`` the breakdown point is the
+    configured ``fraction`` and must be supplied.
+    """
+    name = estimator_name.lower()
+    if name not in _BREAKDOWN_POINTS:
+        raise KeyError(f"unknown estimator {estimator_name!r}")
+    value = _BREAKDOWN_POINTS[name]
+    if value is None:
+        if fraction is None:
+            raise ValueError(f"{estimator_name} requires its trim fraction")
+        return float(fraction)
+    return value

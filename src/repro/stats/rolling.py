@@ -1,0 +1,126 @@
+"""Fixed-capacity rolling windows over telemetry samples.
+
+The telemetry manager evaluates every signal over a recent-history window
+("the last W billing intervals").  :class:`RollingWindow` is a small ring
+buffer with convenience accessors for the robust aggregates the estimator
+consumes; :class:`TimestampedWindow` additionally remembers when each sample
+arrived, which the trend detector needs for its x-axis.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.errors import ConfigurationError, InsufficientDataError
+from repro.stats.robust import median as robust_median
+from repro.stats.theil_sen import TrendResult, detect_trend
+
+__all__ = ["RollingWindow", "TimestampedWindow"]
+
+
+class RollingWindow:
+    """Ring buffer of the most recent ``capacity`` float samples."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._buffer = np.empty(capacity, dtype=float)
+        self._size = 0
+        self._next = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.values())
+
+    def append(self, value: float) -> None:
+        """Add one sample, evicting the oldest when full."""
+        self._buffer[self._next] = float(value)
+        self._next = (self._next + 1) % self._capacity
+        self._size = min(self._size + 1, self._capacity)
+
+    def extend(self, values: "np.typing.ArrayLike") -> None:
+        for value in np.asarray(values, dtype=float).ravel():
+            self.append(float(value))
+
+    def values(self) -> np.ndarray:
+        """Samples in arrival order, oldest first."""
+        if self._size < self._capacity:
+            return self._buffer[: self._size].copy()
+        return np.concatenate(
+            [self._buffer[self._next :], self._buffer[: self._next]]
+        )
+
+    def is_full(self) -> bool:
+        return self._size == self._capacity
+
+    def clear(self) -> None:
+        self._size = 0
+        self._next = 0
+
+    def last(self) -> float:
+        """Most recent sample."""
+        if self._size == 0:
+            raise InsufficientDataError("window is empty")
+        return float(self._buffer[(self._next - 1) % self._capacity])
+
+    def median(self) -> float:
+        """Robust central value of the window."""
+        return robust_median(self.values())
+
+    def mean(self) -> float:
+        if self._size == 0:
+            raise InsufficientDataError("window is empty")
+        return float(self.values().mean())
+
+    def percentile(self, q: float) -> float:
+        if self._size == 0:
+            raise InsufficientDataError("window is empty")
+        return float(np.percentile(self.values(), q))
+
+
+class TimestampedWindow:
+    """Rolling window of ``(time, value)`` pairs for trend/correlation use."""
+
+    def __init__(self, capacity: int) -> None:
+        self._times = RollingWindow(capacity)
+        self._values = RollingWindow(capacity)
+
+    @property
+    def capacity(self) -> int:
+        return self._times.capacity
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def append(self, time: float, value: float) -> None:
+        self._times.append(time)
+        self._values.append(value)
+
+    def times(self) -> np.ndarray:
+        return self._times.values()
+
+    def values(self) -> np.ndarray:
+        return self._values.values()
+
+    def clear(self) -> None:
+        self._times.clear()
+        self._values.clear()
+
+    def median(self) -> float:
+        return self._values.median()
+
+    def last(self) -> float:
+        return self._values.last()
+
+    def trend(self, alpha: float = 0.70) -> TrendResult:
+        """Theil–Sen trend over the window (see :mod:`repro.stats.theil_sen`)."""
+        return detect_trend(self.times(), self.values(), alpha=alpha)

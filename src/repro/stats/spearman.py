@@ -1,0 +1,95 @@
+"""Spearman rank correlation (paper Section 3.2.2).
+
+The telemetry manager correlates degrading latencies with per-resource
+utilization and wait counters to identify *which* resource is the
+bottleneck.  These relationships are monotonic but rarely linear for
+database workloads, so the paper uses Spearman's rank coefficient: the
+Pearson coefficient computed on the *ranks* of the two samples.  Ranking
+also bounds the influence of outliers, which is a side benefit the paper
+calls out explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import InsufficientDataError
+
+__all__ = ["CorrelationResult", "rankdata", "spearman", "pearson"]
+
+
+@dataclass(frozen=True)
+class CorrelationResult:
+    """A correlation coefficient plus the context needed to trust it."""
+
+    rho: float
+    n_points: int
+
+    def is_strong(self, threshold: float = 0.6) -> bool:
+        """Whether the correlation magnitude clears ``threshold``."""
+        return abs(self.rho) >= threshold
+
+
+def rankdata(values: Sequence[float]) -> np.ndarray:
+    """Average ranks (1-based) with ties sharing their mean rank.
+
+    Matches the standard "fractional ranking" used by Spearman's rho so
+    that tied telemetry values (common for quantized counters) do not bias
+    the coefficient.
+    """
+    arr = np.asarray(values, dtype=float)
+    sorter = np.argsort(arr, kind="mergesort")
+    ranks = np.empty(arr.size, dtype=float)
+    ranks[sorter] = np.arange(1, arr.size + 1, dtype=float)
+
+    # Average the ranks within each group of ties.
+    sorted_vals = arr[sorter]
+    boundaries = np.flatnonzero(np.diff(sorted_vals) != 0) + 1
+    groups = np.split(np.arange(arr.size), boundaries)
+    for group in groups:
+        if group.size > 1:
+            idx = sorter[group]
+            ranks[idx] = ranks[idx].mean()
+    return ranks
+
+
+def pearson(x: Sequence[float], y: Sequence[float]) -> float:
+    """Pearson correlation coefficient; 0.0 when either side is constant."""
+    xa = np.asarray(x, dtype=float)
+    ya = np.asarray(y, dtype=float)
+    if xa.shape != ya.shape:
+        raise ValueError("x and y must have the same length")
+    if xa.size < 2:
+        raise InsufficientDataError("correlation needs at least 2 points")
+    xc = xa - xa.mean()
+    yc = ya - ya.mean()
+    denom = float(np.sqrt(np.dot(xc, xc) * np.dot(yc, yc)))
+    if denom == 0.0:
+        return 0.0
+    return float(np.dot(xc, yc) / denom)
+
+
+def spearman(
+    x: Sequence[float],
+    y: Sequence[float],
+    min_points: int = 4,
+) -> CorrelationResult:
+    """Spearman rank correlation between two telemetry series.
+
+    Windows with fewer than ``min_points`` finite pairs produce
+    ``rho = 0.0`` rather than raising: in the closed-loop controller a
+    too-short window simply means "no correlation evidence yet".
+    """
+    xa = np.asarray(x, dtype=float)
+    ya = np.asarray(y, dtype=float)
+    if xa.shape != ya.shape:
+        raise ValueError("x and y must have the same length")
+    finite = np.isfinite(xa) & np.isfinite(ya)
+    xa, ya = xa[finite], ya[finite]
+    if xa.size < min_points:
+        return CorrelationResult(rho=0.0, n_points=int(xa.size))
+    rho = pearson(rankdata(xa), rankdata(ya))
+    return CorrelationResult(rho=rho, n_points=int(xa.size))

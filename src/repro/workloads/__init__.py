@@ -1,0 +1,29 @@
+"""Benchmark workloads and demand traces for the evaluation."""
+
+from repro.workloads.base import Workload
+from repro.workloads.cpuio import cpuio_workload
+from repro.workloads.ds2 import ds2_workload
+from repro.workloads.loadgen import LoadGenerator
+from repro.workloads.tpcc import tpcc_workload
+from repro.workloads.traces import (
+    Trace,
+    long_burst_trace,
+    multi_burst_trace,
+    paper_trace,
+    short_burst_trace,
+    steady_trace,
+)
+
+__all__ = [
+    "Workload",
+    "cpuio_workload",
+    "ds2_workload",
+    "LoadGenerator",
+    "tpcc_workload",
+    "Trace",
+    "long_burst_trace",
+    "multi_burst_trace",
+    "paper_trace",
+    "short_burst_trace",
+    "steady_trace",
+]

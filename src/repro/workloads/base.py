@@ -1,0 +1,74 @@
+"""Workload definitions: a transaction mix over a dataset.
+
+A :class:`Workload` is everything the engine needs to emulate one of the
+paper's benchmark applications: the transaction-type mix (each with a
+resource-demand profile), the dataset shape that drives the buffer-pool
+model, and the number of hot locks contended by the mix.
+
+The controller under test never sees any of this — it observes only the
+telemetry the engine emits, exactly as the paper's prototype observed only
+SQL Server counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.bufferpool import DatasetSpec
+from repro.engine.requests import TransactionSpec
+from repro.errors import WorkloadError
+
+__all__ = ["Workload"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named transaction mix plus its dataset.
+
+    Attributes:
+        name: workload label (``"tpcc"``, ``"ds2"``, ``"cpuio"``).
+        specs: the transaction types and their relative weights.
+        dataset: dataset size / working set / hotspot skew.
+        n_hot_locks: number of contended application-level locks.
+        description: one-line summary for reports.
+    """
+
+    name: str
+    specs: tuple[TransactionSpec, ...]
+    dataset: DatasetSpec
+    n_hot_locks: int = 4
+    description: str = ""
+    _weights_total: float = field(init=False, repr=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        if not self.specs:
+            raise WorkloadError(f"workload {self.name!r} has no transactions")
+        if self.n_hot_locks < 0:
+            raise WorkloadError("n_hot_locks must be >= 0")
+        needs_locks = any(s.lock_probability > 0 for s in self.specs)
+        if needs_locks and self.n_hot_locks == 0:
+            raise WorkloadError(
+                f"workload {self.name!r} has contended transactions but no hot locks"
+            )
+        object.__setattr__(
+            self, "_weights_total", sum(s.weight for s in self.specs)
+        )
+
+    def mix_fraction(self, spec_name: str) -> float:
+        """Share of the mix contributed by transaction ``spec_name``."""
+        for spec in self.specs:
+            if spec.name == spec_name:
+                return spec.weight / self._weights_total
+        raise WorkloadError(f"no transaction named {spec_name!r} in {self.name!r}")
+
+    def mean_service_ms(self) -> float:
+        """Mix-weighted uncontended service-time estimate."""
+        total = sum(
+            s.weight * s.service_ms_estimate for s in self.specs
+        )
+        return total / self._weights_total
+
+    def lock_bound_share(self) -> float:
+        """Share of the mix that enters a hot-lock critical section."""
+        total = sum(s.weight * s.lock_probability for s in self.specs)
+        return total / self._weights_total

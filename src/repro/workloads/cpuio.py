@@ -1,0 +1,92 @@
+"""The CPUIO micro-benchmark (paper Section 7.1).
+
+*"a synthetic micro-benchmark (CPUIO) that generates queries that are
+CPU-, disk I/O- and/or log I/O-intensive … allows us to execute queries
+that create demand for each of CPU, memory, and I/O while allowing us to
+alter the mix of the queries.  The workload's working set is controlled by
+creating a hotspot in data accesses."*
+
+:func:`cpuio_workload` exposes exactly those knobs: per-class query
+weights and the working-set size/hotspot skew.  The default working set of
+3 GB with >95 % hotspot accesses matches the ballooning experiment
+(Figure 14).
+"""
+
+from __future__ import annotations
+
+from repro.engine.bufferpool import DatasetSpec
+from repro.engine.requests import TransactionSpec
+from repro.workloads.base import Workload
+from repro.errors import WorkloadError
+
+__all__ = ["cpuio_workload"]
+
+
+def cpuio_workload(
+    cpu_weight: float = 1.0,
+    io_weight: float = 1.0,
+    log_weight: float = 1.0,
+    data_gb: float = 12.0,
+    working_set_gb: float = 3.0,
+    hot_access_fraction: float = 0.96,
+) -> Workload:
+    """Build a CPUIO mix.
+
+    Args:
+        cpu_weight / io_weight / log_weight: relative frequency of the
+            CPU-intensive, disk-I/O-intensive and log-I/O-intensive query
+            classes; set a weight to 0 to drop the class.
+        data_gb: total dataset size.
+        working_set_gb: hotspot size (3 GB in the paper's Figure 14).
+        hot_access_fraction: share of accesses hitting the hotspot
+            (>95 % in the paper).
+    """
+    if max(cpu_weight, io_weight, log_weight) <= 0:
+        raise WorkloadError("at least one CPUIO query class must have weight > 0")
+
+    specs = []
+    if cpu_weight > 0:
+        specs.append(
+            TransactionSpec(
+                name="cpu_query",
+                weight=cpu_weight,
+                cpu_ms=250.0,
+                logical_reads=24.0,
+                log_kb=0.0,
+            )
+        )
+    if io_weight > 0:
+        specs.append(
+            TransactionSpec(
+                name="io_query",
+                weight=io_weight,
+                cpu_ms=10.0,
+                logical_reads=600.0,
+                log_kb=0.0,
+            )
+        )
+    if log_weight > 0:
+        specs.append(
+            TransactionSpec(
+                name="log_query",
+                weight=log_weight,
+                cpu_ms=6.0,
+                logical_reads=12.0,
+                log_kb=96.0,
+            )
+        )
+    return Workload(
+        name="cpuio",
+        specs=tuple(specs),
+        dataset=DatasetSpec(
+            data_gb=data_gb,
+            working_set_gb=working_set_gb,
+            hot_access_fraction=hot_access_fraction,
+        ),
+        n_hot_locks=0,
+        description=(
+            f"CPUIO micro-benchmark (cpu:io:log = "
+            f"{cpu_weight:g}:{io_weight:g}:{log_weight:g}, "
+            f"{working_set_gb:g} GB working set)"
+        ),
+    )

@@ -1,0 +1,67 @@
+"""Dell DVD Store (DS2)-like workload.
+
+A browse-heavy e-commerce mix: catalog searches dominate (read-mostly,
+buffer-pool friendly), with a purchase path that writes orders.  Light
+contention only — DS2 in the paper exercises the *steady-demand* scenario
+(Trace 1 / Figure 12) where a static container is already near-optimal and
+the test is whether an auto-scaler can still shave cost without hurting
+latency.
+"""
+
+from __future__ import annotations
+
+from repro.engine.bufferpool import DatasetSpec
+from repro.engine.requests import TransactionSpec
+from repro.workloads.base import Workload
+
+__all__ = ["ds2_workload"]
+
+
+def ds2_workload(
+    scale_gb: float = 30.0,
+    working_set_gb: float = 5.0,
+) -> Workload:
+    """Build the DS2-like workload."""
+    specs = (
+        TransactionSpec(
+            name="browse",
+            weight=0.55,
+            cpu_ms=60.0,
+            logical_reads=200.0,
+            log_kb=0.0,
+        ),
+        TransactionSpec(
+            name="login",
+            weight=0.15,
+            cpu_ms=8.0,
+            logical_reads=20.0,
+            log_kb=2.0,
+        ),
+        TransactionSpec(
+            name="new_customer",
+            weight=0.05,
+            cpu_ms=14.0,
+            logical_reads=24.0,
+            log_kb=8.0,
+        ),
+        TransactionSpec(
+            name="purchase",
+            weight=0.25,
+            cpu_ms=25.0,
+            logical_reads=60.0,
+            log_kb=12.0,
+            lock_probability=0.08,
+            lock_hold_ms=18.0,
+        ),
+    )
+    return Workload(
+        name="ds2",
+        specs=specs,
+        dataset=DatasetSpec(
+            data_gb=scale_gb,
+            working_set_gb=working_set_gb,
+            hot_access_fraction=0.90,
+        ),
+        n_hot_locks=2,
+        description="Dell DVD Store-like browse-heavy e-commerce mix",
+    )

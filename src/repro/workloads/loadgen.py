@@ -1,0 +1,80 @@
+"""Trace-driven open-loop load generation.
+
+The paper's workload generator *"executes in steps in sync with the trace.
+At every step [it] reads the number of requests from the trace to set the
+target number of requests/sec … and maintains the offered load as close as
+possible to the specified target."*
+
+:class:`LoadGenerator` mirrors that: for each billing interval it produces
+the per-tick arrival-rate profile the engine consumes, optionally smoothing
+the transition from the previous interval's rate (real load does not step
+discontinuously) and adding small within-interval jitter.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workloads.traces import Trace
+
+__all__ = ["LoadGenerator"]
+
+
+class LoadGenerator:
+    """Expand a per-interval trace into per-tick arrival rates."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        interval_ticks: int,
+        ramp_ticks: int = 5,
+        jitter: float = 0.05,
+        seed: int = 100,
+    ) -> None:
+        if interval_ticks < 1:
+            raise ConfigurationError("interval_ticks must be >= 1")
+        if ramp_ticks < 0 or ramp_ticks > interval_ticks:
+            raise ConfigurationError("ramp_ticks must be in [0, interval_ticks]")
+        if jitter < 0:
+            raise ConfigurationError("jitter must be >= 0")
+        self.trace = trace
+        self.interval_ticks = interval_ticks
+        self.ramp_ticks = ramp_ticks
+        self.jitter = jitter
+        self._rng = np.random.default_rng(seed)
+
+    def interval_rates(self, interval_index: int) -> np.ndarray:
+        """Per-tick rates for one billing interval."""
+        if not 0 <= interval_index < self.trace.n_intervals:
+            raise ConfigurationError(
+                f"interval {interval_index} outside trace of length "
+                f"{self.trace.n_intervals}"
+            )
+        target = float(self.trace.rates[interval_index])
+        previous = (
+            float(self.trace.rates[interval_index - 1])
+            if interval_index > 0
+            else target
+        )
+        rates = np.full(self.interval_ticks, target)
+        if self.ramp_ticks and previous != target:
+            rates[: self.ramp_ticks] = np.linspace(
+                previous, target, self.ramp_ticks, endpoint=False
+            )
+        if self.jitter:
+            rates = rates * np.clip(
+                1.0 + self._rng.normal(0.0, self.jitter, size=rates.size),
+                0.0,
+                None,
+            )
+        return rates
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        for index in range(self.trace.n_intervals):
+            yield self.interval_rates(index)
+
+    def __len__(self) -> int:
+        return self.trace.n_intervals

@@ -1,0 +1,211 @@
+"""Demand traces derived from production workload shapes (paper Figure 8).
+
+The paper drives its benchmarks with four traces extracted from real
+customer workloads, each chosen for a specific demand scenario:
+
+* **Trace 1** — steady demand; the baseline a static container suits.
+* **Trace 2** — mostly idle with one *long* burst.
+* **Trace 3** — mostly idle with one *short* burst.
+* **Trace 4** — many short bursts; the stress test for online scalers.
+
+The production traces are proprietary, so this module synthesizes traces
+with the same shapes (see DESIGN.md's substitution table).  Each generator
+is seeded and parametric in duration and peak rate so benchmarks can run
+time-compressed, exactly as the paper compressed its time scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+__all__ = [
+    "Trace",
+    "steady_trace",
+    "long_burst_trace",
+    "short_burst_trace",
+    "multi_burst_trace",
+    "paper_trace",
+]
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A per-billing-interval target request rate profile.
+
+    Attributes:
+        name: label for reports (``"trace2"``).
+        rates: requests/second target for each billing interval.
+        description: one-line scenario summary.
+    """
+
+    name: str
+    rates: np.ndarray
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        rates = np.asarray(self.rates, dtype=float)
+        if rates.ndim != 1 or rates.size == 0:
+            raise WorkloadError("trace must be a non-empty 1-D rate array")
+        if (rates < 0).any():
+            raise WorkloadError("trace rates must be non-negative")
+        object.__setattr__(self, "rates", rates)
+
+    @property
+    def n_intervals(self) -> int:
+        return int(self.rates.size)
+
+    @property
+    def peak(self) -> float:
+        return float(self.rates.max())
+
+    @property
+    def mean(self) -> float:
+        return float(self.rates.mean())
+
+    def scaled_to_peak(self, peak: float) -> "Trace":
+        """Rescale rates so the maximum equals ``peak``."""
+        if peak <= 0:
+            raise WorkloadError("peak must be positive")
+        current = self.peak
+        if current == 0:
+            raise WorkloadError("cannot rescale an all-zero trace")
+        return Trace(
+            name=self.name,
+            rates=self.rates * (peak / current),
+            description=self.description,
+        )
+
+    def burstiness(self) -> float:
+        """Peak-to-mean ratio; 1.0 for a perfectly flat trace."""
+        mean = self.mean
+        return self.peak / mean if mean > 0 else float("inf")
+
+
+def _noise(rng: np.random.Generator, n: int, scale: float) -> np.ndarray:
+    """Smooth multiplicative noise around 1.0."""
+    raw = rng.normal(0.0, scale, size=n)
+    # Light smoothing so consecutive intervals are correlated, like real load.
+    kernel = np.array([0.25, 0.5, 0.25])
+    smoothed = np.convolve(raw, kernel, mode="same")
+    return np.clip(1.0 + smoothed, 0.05, None)
+
+
+def steady_trace(
+    n_intervals: int = 240, level: float = 150.0, noise: float = 0.08, seed: int = 11
+) -> Trace:
+    """Trace 1: steady demand with small fluctuations."""
+    rng = np.random.default_rng(seed)
+    rates = level * _noise(rng, n_intervals, noise)
+    return Trace(
+        name="trace1",
+        rates=rates,
+        description="steady demand (suits a static container)",
+    )
+
+
+def long_burst_trace(
+    n_intervals: int = 240,
+    idle_level: float = 3.0,
+    burst_level: float = 100.0,
+    burst_fraction: float = 0.30,
+    noise: float = 0.10,
+    seed: int = 12,
+) -> Trace:
+    """Trace 2: mostly idle with one long burst of high demand."""
+    if not 0.0 < burst_fraction < 1.0:
+        raise WorkloadError("burst_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    rates = np.full(n_intervals, idle_level)
+    burst_len = max(int(n_intervals * burst_fraction), 1)
+    start = int(n_intervals * 0.3)
+    ramp = max(burst_len // 8, 4)
+    rates[start : start + ramp] = np.linspace(idle_level, burst_level, ramp)
+    rates[start + ramp : start + burst_len - ramp] = burst_level
+    rates[start + burst_len - ramp : start + burst_len] = np.linspace(
+        burst_level, idle_level, ramp
+    )
+    rates = rates * _noise(rng, n_intervals, noise)
+    return Trace(
+        name="trace2",
+        rates=rates,
+        description="mostly idle with one long demand burst",
+    )
+
+
+def short_burst_trace(
+    n_intervals: int = 240,
+    idle_level: float = 3.0,
+    burst_level: float = 120.0,
+    burst_fraction: float = 0.12,
+    noise: float = 0.10,
+    seed: int = 13,
+) -> Trace:
+    """Trace 3: mostly idle with one short, sharp burst."""
+    base = long_burst_trace(
+        n_intervals=n_intervals,
+        idle_level=idle_level,
+        burst_level=burst_level,
+        burst_fraction=burst_fraction,
+        noise=noise,
+        seed=seed,
+    )
+    return Trace(
+        name="trace3",
+        rates=base.rates,
+        description="mostly idle with one short demand burst",
+    )
+
+
+def multi_burst_trace(
+    n_intervals: int = 240,
+    idle_level: float = 15.0,
+    burst_level_range: tuple[float, float] = (50.0, 160.0),
+    n_bursts: int = 9,
+    burst_len_range: tuple[int, int] = (8, 20),
+    noise: float = 0.12,
+    seed: int = 14,
+) -> Trace:
+    """Trace 4: many short bursts — the online-scaler stress test."""
+    if n_bursts < 1:
+        raise WorkloadError("n_bursts must be >= 1")
+    rng = np.random.default_rng(seed)
+    rates = np.full(n_intervals, idle_level)
+    population = max(n_intervals - burst_len_range[1], 1)
+    starts = rng.choice(
+        population, size=min(n_bursts, population), replace=False
+    )
+    for start in np.sort(starts):
+        length = int(rng.integers(burst_len_range[0], burst_len_range[1] + 1))
+        level = float(rng.uniform(*burst_level_range))
+        end = min(start + length, n_intervals)
+        rates[start:end] = np.maximum(rates[start:end], level)
+    # Real workload bursts ramp over a few minutes rather than stepping
+    # instantaneously; a short moving average reproduces that.
+    kernel = np.ones(6) / 6.0
+    rates = np.maximum(np.convolve(rates, kernel, mode="same"), idle_level * 0.5)
+    rates = rates * _noise(rng, n_intervals, noise)
+    return Trace(
+        name="trace4",
+        rates=rates,
+        description="many short demand bursts (stress test)",
+    )
+
+
+def paper_trace(number: int, n_intervals: int = 240, peak: float | None = None) -> Trace:
+    """Convenience constructor for the four Figure-8 traces by number."""
+    builders = {
+        1: steady_trace,
+        2: long_burst_trace,
+        3: short_burst_trace,
+        4: multi_burst_trace,
+    }
+    if number not in builders:
+        raise WorkloadError(f"paper traces are numbered 1-4, got {number}")
+    trace = builders[number](n_intervals=n_intervals)
+    if peak is not None:
+        trace = trace.scaled_to_peak(peak)
+    return trace

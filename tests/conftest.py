@@ -1,0 +1,69 @@
+"""Shared fixtures and signal-construction helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.signals import LatencyStatus, Level, ResourceSignals, WorkloadSignals
+from repro.core.thresholds import ThresholdConfig, default_thresholds
+from repro.engine.bufferpool import DatasetSpec
+from repro.engine.containers import ContainerCatalog, default_catalog
+from repro.engine.requests import TransactionSpec
+from repro.engine.resources import ResourceKind
+from repro.engine.server import DatabaseServer, EngineConfig
+from repro.engine.waits import WaitClass
+from repro.stats.spearman import CorrelationResult
+from repro.stats.theil_sen import TrendResult
+
+
+@pytest.fixture
+def catalog() -> ContainerCatalog:
+    return default_catalog()
+
+
+@pytest.fixture
+def thresholds() -> ThresholdConfig:
+    return default_thresholds()
+
+
+@pytest.fixture
+def fast_engine() -> EngineConfig:
+    """Short intervals and no noise, for quick deterministic engine tests."""
+    return EngineConfig(
+        interval_ticks=15,
+        system_wait_ms_scale=0.0,
+        outlier_probability=0.0,
+        checkpoint_period_s=0.0,
+        seed=123,
+    )
+
+
+@pytest.fixture
+def simple_spec() -> TransactionSpec:
+    return TransactionSpec(
+        name="q",
+        weight=1.0,
+        cpu_ms=20.0,
+        logical_reads=40.0,
+        log_kb=4.0,
+        work_sigma=0.0,
+    )
+
+
+@pytest.fixture
+def small_dataset() -> DatasetSpec:
+    return DatasetSpec(data_gb=8.0, working_set_gb=1.0, hot_access_fraction=0.95)
+
+
+@pytest.fixture
+def warm_server(simple_spec, small_dataset, catalog, fast_engine) -> DatabaseServer:
+    server = DatabaseServer(
+        specs=[simple_spec],
+        dataset=small_dataset,
+        container=catalog.at_level(4),
+        config=fast_engine,
+        n_hot_locks=0,
+    )
+    server.prewarm()
+    return server

@@ -1,0 +1,94 @@
+"""Construction helpers shared across test modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.signals import LatencyStatus, ResourceSignals, WorkloadSignals
+from repro.core.thresholds import ThresholdConfig, default_thresholds
+from repro.engine.resources import ResourceKind
+from repro.engine.server import DatabaseServer
+from repro.engine.waits import WaitClass
+from repro.stats.spearman import CorrelationResult
+from repro.stats.theil_sen import TrendResult
+
+
+
+FLAT_TREND = TrendResult(slope=0.0, significant=False, agreement=0.0, n_points=8)
+UP_TREND = TrendResult(slope=5.0, significant=True, agreement=0.9, n_points=8)
+DOWN_TREND = TrendResult(slope=-5.0, significant=True, agreement=0.9, n_points=8)
+NO_CORR = CorrelationResult(rho=0.0, n_points=8)
+STRONG_CORR = CorrelationResult(rho=0.9, n_points=8)
+
+
+def make_resource_signals(
+    kind: ResourceKind = ResourceKind.CPU,
+    utilization_pct: float = 50.0,
+    wait_ms: float = 100.0,
+    wait_pct: float = 10.0,
+    utilization_trend: TrendResult = FLAT_TREND,
+    wait_trend: TrendResult = FLAT_TREND,
+    correlation: CorrelationResult = NO_CORR,
+    thresholds: ThresholdConfig | None = None,
+) -> ResourceSignals:
+    """Build categorized ResourceSignals from raw values."""
+    cfg = thresholds or default_thresholds()
+    return ResourceSignals(
+        kind=kind,
+        utilization_pct=utilization_pct,
+        utilization_level=cfg.categorize_utilization(utilization_pct),
+        wait_ms=wait_ms,
+        wait_level=cfg.categorize_wait(kind, wait_ms),
+        wait_pct=wait_pct,
+        wait_significant=cfg.is_wait_significant(wait_pct),
+        utilization_trend=utilization_trend,
+        wait_trend=wait_trend,
+        latency_correlation=correlation,
+    )
+
+
+def make_workload_signals(
+    resources: dict[ResourceKind, ResourceSignals] | None = None,
+    latency_ms: float = 100.0,
+    latency_status: LatencyStatus = LatencyStatus.GOOD,
+    latency_trend: TrendResult = FLAT_TREND,
+    wait_percentages: dict[WaitClass, float] | None = None,
+    dominant_wait: WaitClass | None = None,
+    memory_used_gb: float = 1.0,
+    container_level: int = 2,
+    interval_index: int = 10,
+) -> WorkloadSignals:
+    """Build a full WorkloadSignals with quiet defaults."""
+    if resources is None:
+        resources = {kind: make_resource_signals(kind=kind) for kind in ResourceKind}
+    else:
+        filled = {kind: make_resource_signals(kind=kind) for kind in ResourceKind}
+        filled.update(resources)
+        resources = filled
+    if wait_percentages is None:
+        wait_percentages = {w: 0.0 for w in WaitClass}
+    return WorkloadSignals(
+        interval_index=interval_index,
+        latency_ms=latency_ms,
+        latency_status=latency_status,
+        latency_trend=latency_trend,
+        resources=resources,
+        wait_percentages=wait_percentages,
+        dominant_wait=dominant_wait,
+        memory_used_gb=memory_used_gb,
+        container_level=container_level,
+        throughput_per_s=10.0,
+    )
+
+
+def run_intervals(server: DatabaseServer, rate: float, n: int):
+    """Run n billing intervals at a constant rate; return the counters."""
+    return [server.run_interval(rate) for _ in range(n)]
+
+
+def assert_latencies_reasonable(counters) -> None:
+    """All recorded latencies are positive and finite."""
+    lat = np.concatenate([c.latencies_ms for c in counters])
+    assert lat.size > 0
+    assert np.all(np.isfinite(lat))
+    assert np.all(lat > 0)

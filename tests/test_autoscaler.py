@@ -1,0 +1,280 @@
+"""Closed-loop behaviour tests for the AutoScaler, on synthetic telemetry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.autoscaler import AutoScaler
+from repro.core.budget import BudgetManager, BurstStrategy
+from repro.core.explanations import ActionKind
+from repro.core.latency import LatencyGoal, PerformanceSensitivity
+from repro.core.thresholds import default_thresholds
+from repro.engine.containers import default_catalog
+from repro.engine.resources import ResourceKind
+from repro.engine.telemetry import IntervalCounters
+from repro.engine.waits import WaitClass, WaitProfile
+
+CATALOG = default_catalog()
+GOAL = LatencyGoal(target_ms=100.0)
+
+
+class CountersFactory:
+    """Produces synthetic interval counters with a running index."""
+
+    def __init__(self):
+        self.index = 0
+
+    def make(
+        self,
+        container,
+        latency_ms=50.0,
+        cpu_util=0.4,
+        cpu_wait_ms=100.0,
+        lock_wait_ms=0.0,
+        memory_used_gb=0.5,
+        disk_reads=100.0,
+        n_latencies=60,
+    ) -> IntervalCounters:
+        waits = WaitProfile()
+        waits.add(WaitClass.CPU, cpu_wait_ms)
+        waits.add(WaitClass.LOCK, lock_wait_ms)
+        counters = IntervalCounters(
+            interval_index=self.index,
+            start_s=self.index * 60.0,
+            end_s=(self.index + 1) * 60.0,
+            container=container,
+            latencies_ms=np.full(n_latencies, float(latency_ms)),
+            arrivals=n_latencies,
+            completions=n_latencies,
+            rejected=0,
+            utilization_median={
+                ResourceKind.CPU: cpu_util,
+                ResourceKind.MEMORY: 0.5,
+                ResourceKind.DISK_IO: 0.05,
+                ResourceKind.LOG_IO: 0.02,
+            },
+            utilization_mean={
+                ResourceKind.CPU: cpu_util,
+                ResourceKind.MEMORY: 0.5,
+                ResourceKind.DISK_IO: 0.05,
+                ResourceKind.LOG_IO: 0.02,
+            },
+            waits=waits,
+            memory_used_gb=memory_used_gb,
+            disk_physical_reads=disk_reads,
+        )
+        self.index += 1
+        return counters
+
+
+def scaler(level=2, goal=GOAL, **kwargs) -> AutoScaler:
+    return AutoScaler(
+        catalog=CATALOG,
+        initial_container=CATALOG.at_level(level),
+        goal=goal,
+        thresholds=default_thresholds(),
+        **kwargs,
+    )
+
+
+class TestScaleUp:
+    def test_scales_up_on_pressure(self):
+        auto = scaler(level=2)
+        feed = CountersFactory()
+        decision = auto.decide(
+            feed.make(
+                auto.container,
+                latency_ms=500.0,
+                cpu_util=0.99,
+                cpu_wait_ms=200_000.0,
+            )
+        )
+        assert decision.container.level > 2
+        assert decision.resized
+        actions = {e.action for e in decision.explanations}
+        assert ActionKind.SCALE_UP in actions
+
+    def test_two_step_jump_on_saturation(self):
+        auto = scaler(level=2)
+        feed = CountersFactory()
+        decision = auto.decide(
+            feed.make(
+                auto.container,
+                latency_ms=2000.0,
+                cpu_util=1.0,
+                cpu_wait_ms=500_000.0,
+            )
+        )
+        assert decision.container.level == 4
+
+    def test_no_scale_up_when_latency_good(self):
+        auto = scaler(level=2)
+        feed = CountersFactory()
+        decision = auto.decide(
+            feed.make(
+                auto.container, latency_ms=50.0, cpu_util=0.99, cpu_wait_ms=200_000.0
+            )
+        )
+        assert decision.container.level == 2
+
+    def test_lock_bound_refusal(self):
+        # Latency is terrible, but 95 % of waits are lock waits: Auto must
+        # hold the container and say why.
+        auto = scaler(level=2)
+        feed = CountersFactory()
+        decision = auto.decide(
+            feed.make(
+                auto.container,
+                latency_ms=800.0,
+                cpu_util=0.2,
+                cpu_wait_ms=2_000.0,
+                lock_wait_ms=500_000.0,
+            )
+        )
+        assert decision.container.level == 2
+        assert not decision.resized
+        text = decision.explanation_text()
+        assert "lock" in text
+        assert "would not help" in text
+
+    def test_explanation_names_bottleneck_resource(self):
+        auto = scaler(level=2)
+        feed = CountersFactory()
+        decision = auto.decide(
+            feed.make(
+                auto.container, latency_ms=500.0, cpu_util=0.99,
+                cpu_wait_ms=200_000.0,
+            )
+        )
+        scale_ups = [
+            e for e in decision.explanations if e.action is ActionKind.SCALE_UP
+        ]
+        assert scale_ups and scale_ups[0].resource is ResourceKind.CPU
+        assert scale_ups[0].rule_id is not None
+
+
+class TestScaleDown:
+    def run_idle(self, auto, feed, n, memory_used_gb=0.5):
+        decisions = []
+        for _ in range(n):
+            decisions.append(
+                auto.decide(
+                    feed.make(
+                        auto.container,
+                        latency_ms=20.0,
+                        cpu_util=0.03,
+                        cpu_wait_ms=1.0,
+                        memory_used_gb=memory_used_gb,
+                    )
+                )
+            )
+        return decisions
+
+    def test_scales_down_after_streak(self):
+        auto = scaler(level=4)
+        feed = CountersFactory()
+        decision = self.run_idle(auto, feed, n=4)[-1]
+        assert decision.container.level < 4
+
+    def test_single_idle_interval_not_enough(self):
+        auto = scaler(level=4)
+        feed = CountersFactory()
+        decision = self.run_idle(auto, feed, n=1)[-1]
+        assert decision.container.level == 4
+
+    def test_never_below_smallest(self):
+        auto = scaler(level=0)
+        feed = CountersFactory()
+        decision = self.run_idle(auto, feed, n=6)[-1]
+        assert decision.container.level == 0
+
+    def test_high_sensitivity_slower_to_shed(self):
+        low = scaler(level=4, sensitivity=PerformanceSensitivity.LOW)
+        high = scaler(level=4, sensitivity=PerformanceSensitivity.HIGH)
+        feed_low, feed_high = CountersFactory(), CountersFactory()
+        d_low = self.run_idle(low, feed_low, n=3)[-1]
+        d_high = self.run_idle(high, feed_high, n=3)[-1]
+        assert d_low.container.level <= d_high.container.level
+
+    def test_balloon_gates_memory_evicting_scale_down(self):
+        auto = scaler(level=2)
+        feed = CountersFactory()
+        # Idle, but the tenant has ~3.5 GB cached: the next size down
+        # (C1, 2 GB) cannot hold it, so a probe must start instead.
+        decisions = self.run_idle(auto, feed, n=4, memory_used_gb=3.5)
+        assert decisions[-1].container.level == 2
+        assert decisions[-1].balloon_limit_gb is not None
+        actions = {e.action for d in decisions for e in d.explanations}
+        assert ActionKind.BALLOON_START in actions
+
+    def test_no_balloon_when_ablated(self):
+        auto = scaler(level=2, use_ballooning=False)
+        feed = CountersFactory()
+        decision = self.run_idle(auto, feed, n=4, memory_used_gb=3.5)[-1]
+        assert decision.container.level < 2, "blind shrink when ablated"
+
+
+class TestBudget:
+    def test_budget_caps_scale_up(self):
+        budget = BudgetManager(
+            budget=30.0 * 200,
+            n_intervals=200,
+            min_cost=CATALOG.min_cost,
+            max_cost=CATALOG.max_cost,
+            strategy=BurstStrategy.CONSERVATIVE,
+            conservative_k=1,
+        )
+        auto = scaler(level=2, budget=budget)
+        feed = CountersFactory()
+        constrained = False
+        for _ in range(30):
+            decision = auto.decide(
+                feed.make(
+                    auto.container,
+                    latency_ms=1000.0,
+                    cpu_util=1.0,
+                    cpu_wait_ms=500_000.0,
+                )
+            )
+            assert budget.spent <= 30.0 * 200 + 1e-6
+            constrained = constrained or any(
+                e.action is ActionKind.BUDGET_CONSTRAINED
+                for e in decision.explanations
+            )
+        assert constrained
+
+
+class TestNoGoalMode:
+    def test_demand_drives_scaling_without_goal(self):
+        auto = scaler(level=2, goal=None)
+        feed = CountersFactory()
+        decision = auto.decide(
+            feed.make(
+                auto.container, latency_ms=50.0, cpu_util=0.99,
+                cpu_wait_ms=200_000.0,
+            )
+        )
+        assert decision.container.level > 2
+
+    def test_idle_scales_down_without_goal(self):
+        auto = scaler(level=4, goal=None)
+        feed = CountersFactory()
+        decision = None
+        for _ in range(4):
+            decision = auto.decide(
+                feed.make(auto.container, latency_ms=10.0, cpu_util=0.02,
+                          cpu_wait_ms=1.0)
+            )
+        assert decision.container.level < 4
+
+
+class TestDecisionArtifacts:
+    def test_every_decision_has_explanations_and_signals(self):
+        auto = scaler(level=2)
+        feed = CountersFactory()
+        decision = auto.decide(feed.make(auto.container))
+        assert decision.explanations
+        assert decision.signals is not None
+        assert decision.demand is not None
+        assert decision.explanation_text()

@@ -1,0 +1,134 @@
+"""Tests for the balloon controller state machine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ballooning import BalloonController, BalloonPhase, BalloonStatus
+from repro.engine.containers import default_catalog
+from repro.engine.resources import ResourceKind
+from repro.engine.telemetry import IntervalCounters
+from repro.engine.waits import WaitProfile
+from repro.errors import ConfigurationError
+
+
+def counters(disk_reads: float, disk_util: float = 0.9) -> IntervalCounters:
+    catalog = default_catalog()
+    return IntervalCounters(
+        interval_index=0,
+        start_s=0.0,
+        end_s=60.0,
+        container=catalog.at_level(2),
+        latencies_ms=np.asarray([10.0]),
+        arrivals=1,
+        completions=1,
+        rejected=0,
+        utilization_median={
+            ResourceKind.CPU: 0.1,
+            ResourceKind.MEMORY: 0.9,
+            ResourceKind.DISK_IO: disk_util,
+            ResourceKind.LOG_IO: 0.05,
+        },
+        utilization_mean={kind: 0.1 for kind in ResourceKind},
+        waits=WaitProfile(),
+        memory_used_gb=3.5,
+        disk_physical_reads=disk_reads,
+    )
+
+
+class TestValidation:
+    def test_parameters(self):
+        with pytest.raises(ConfigurationError):
+            BalloonController(shrink_step_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            BalloonController(io_spike_ratio=1.0)
+        with pytest.raises(ConfigurationError):
+            BalloonController(cooldown_intervals=-1)
+
+    def test_probe_target_must_be_smaller(self):
+        controller = BalloonController()
+        with pytest.raises(ConfigurationError):
+            controller.start_probe(2.0, 4.0, baseline_disk_reads=100.0)
+
+    def test_cannot_double_probe(self):
+        controller = BalloonController()
+        controller.start_probe(4.0, 2.0, baseline_disk_reads=100.0)
+        with pytest.raises(ConfigurationError):
+            controller.start_probe(4.0, 2.0, baseline_disk_reads=100.0)
+
+
+class TestProbeLifecycle:
+    def test_shrinks_gradually(self):
+        controller = BalloonController(shrink_step_fraction=0.2)
+        decision = controller.start_probe(4.0, 2.0, baseline_disk_reads=100.0)
+        assert decision.status is BalloonStatus.SHRINKING
+        assert 2.0 < decision.limit_gb < 4.0
+        first_limit = decision.limit_gb
+        decision = controller.observe(counters(disk_reads=100.0))
+        assert decision.limit_gb < first_limit
+
+    def test_confirms_when_target_reached_quietly(self):
+        controller = BalloonController(shrink_step_fraction=1.0)
+        controller.start_probe(4.0, 2.0, baseline_disk_reads=100.0)
+        decision = controller.observe(counters(disk_reads=100.0))
+        assert decision.status is BalloonStatus.CONFIRMED_LOW
+        assert controller.phase is BalloonPhase.IDLE
+        assert controller.limit_gb is None
+
+    def test_aborts_on_io_spike_with_disk_pressure(self):
+        controller = BalloonController(io_spike_ratio=2.0, disk_pressure_pct=60.0)
+        controller.start_probe(4.0, 2.0, baseline_disk_reads=100.0)
+        decision = controller.observe(counters(disk_reads=500.0, disk_util=0.9))
+        assert decision.status is BalloonStatus.ABORTED
+        assert decision.limit_gb is None
+        assert controller.phase is BalloonPhase.COOLDOWN
+
+    def test_tolerates_absorbable_io_increase(self):
+        # Reads spiked, but the disk has plenty of headroom: keep probing.
+        controller = BalloonController(io_spike_ratio=2.0, disk_pressure_pct=60.0)
+        controller.start_probe(4.0, 2.0, baseline_disk_reads=100.0)
+        decision = controller.observe(counters(disk_reads=500.0, disk_util=0.2))
+        assert decision.status is BalloonStatus.SHRINKING
+
+    def test_cooldown_blocks_and_expires(self):
+        controller = BalloonController(cooldown_intervals=3)
+        controller.start_probe(4.0, 2.0, baseline_disk_reads=100.0)
+        controller.observe(counters(disk_reads=10_000.0))
+        assert not controller.can_probe
+        for _ in range(3):
+            controller.tick_cooldown()
+        assert controller.phase is BalloonPhase.IDLE
+
+    def test_failed_target_remembered(self):
+        controller = BalloonController(cooldown_intervals=1)
+        controller.start_probe(4.0, 2.0, baseline_disk_reads=100.0)
+        controller.observe(counters(disk_reads=10_000.0))
+        controller.tick_cooldown()
+        assert controller.failed_target_gb == 2.0
+        assert not controller.can_probe_to(2.0)
+        assert not controller.can_probe_to(1.0)
+        assert controller.can_probe_to(3.0), "a gentler target is allowed"
+
+    def test_cancel_resets_without_cooldown(self):
+        controller = BalloonController()
+        controller.start_probe(4.0, 2.0, baseline_disk_reads=100.0)
+        controller.cancel()
+        assert controller.phase is BalloonPhase.IDLE
+        assert controller.can_probe
+
+    def test_observe_while_idle_is_inactive(self):
+        controller = BalloonController()
+        decision = controller.observe(counters(disk_reads=1.0))
+        assert decision.status is BalloonStatus.INACTIVE
+
+    def test_probe_terminates(self):
+        # The min-step rule guarantees progress toward the target.
+        controller = BalloonController(shrink_step_fraction=0.2)
+        controller.start_probe(8.0, 2.0, baseline_disk_reads=100.0)
+        for _ in range(200):
+            decision = controller.observe(counters(disk_reads=100.0))
+            if decision.status is BalloonStatus.CONFIRMED_LOW:
+                break
+        else:
+            pytest.fail("probe never reached its target")

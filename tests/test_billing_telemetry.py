@@ -1,0 +1,122 @@
+"""Tests for the billing meter and interval-counter plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.billing import BillingMeter
+from repro.engine.containers import default_catalog
+from repro.engine.resources import ResourceKind
+from repro.engine.telemetry import CounterAccumulator
+from repro.engine.waits import WaitClass
+from repro.errors import InsufficientDataError
+
+CATALOG = default_catalog()
+
+
+class TestBillingMeter:
+    def test_charges_accumulate(self):
+        meter = BillingMeter()
+        meter.charge(0, CATALOG.at_level(2))
+        meter.charge(1, CATALOG.at_level(2))
+        assert meter.total_cost == 60.0
+        assert meter.intervals == 2
+        assert meter.average_cost_per_interval == 30.0
+
+    def test_resize_detection(self):
+        meter = BillingMeter()
+        meter.charge(0, CATALOG.at_level(2))
+        meter.charge(1, CATALOG.at_level(3))
+        meter.charge(2, CATALOG.at_level(3))
+        assert meter.resize_count == 1
+        assert meter.resize_fraction == pytest.approx(1 / 3)
+
+    def test_first_interval_is_not_a_resize(self):
+        meter = BillingMeter()
+        record = meter.charge(0, CATALOG.at_level(5))
+        assert not record.resized
+
+    def test_empty_meter(self):
+        meter = BillingMeter()
+        assert meter.total_cost == 0.0
+        assert meter.average_cost_per_interval == 0.0
+        assert meter.resize_fraction == 0.0
+
+
+class TestCounterAccumulator:
+    def test_snapshot_aggregates_and_resets(self):
+        acc = CounterAccumulator()
+        acc.latencies.extend([10.0, 20.0, 30.0])
+        acc.completions = 3
+        acc.arrivals = 4
+        acc.rejected = 1
+        for fraction in (0.2, 0.4, 0.6):
+            acc.sample_utilization(ResourceKind.CPU, fraction)
+        acc.waits.add(WaitClass.CPU, 100.0)
+        counters = acc.snapshot(
+            interval_index=7,
+            start_s=0.0,
+            end_s=60.0,
+            container=CATALOG.at_level(1),
+            memory_used_gb=1.5,
+            memory_hot_gb=1.0,
+            balloon_limit_gb=None,
+        )
+        assert counters.interval_index == 7
+        assert counters.completions == 3
+        assert counters.utilization_median[ResourceKind.CPU] == pytest.approx(0.4)
+        assert counters.utilization_mean[ResourceKind.CPU] == pytest.approx(0.4)
+        assert counters.wait_ms(WaitClass.CPU) == 100.0
+        assert counters.throughput_per_s == pytest.approx(0.05)
+        # The accumulator reset for the next interval.
+        follow_up = acc.snapshot(
+            interval_index=8,
+            start_s=60.0,
+            end_s=120.0,
+            container=CATALOG.at_level(1),
+            memory_used_gb=1.5,
+            memory_hot_gb=1.0,
+            balloon_limit_gb=None,
+        )
+        assert follow_up.completions == 0
+        assert follow_up.waits.total() == 0.0
+
+    def test_utilization_samples_clamped(self):
+        acc = CounterAccumulator()
+        acc.sample_utilization(ResourceKind.CPU, 1.7)
+        acc.sample_utilization(ResourceKind.CPU, -0.2)
+        samples = acc.utilization_samples[ResourceKind.CPU]
+        assert samples == [1.0, 0.0]
+
+    def test_latency_percentile_requires_data(self):
+        acc = CounterAccumulator()
+        counters = acc.snapshot(
+            interval_index=0,
+            start_s=0.0,
+            end_s=60.0,
+            container=CATALOG.at_level(0),
+            memory_used_gb=0.5,
+            memory_hot_gb=0.3,
+            balloon_limit_gb=None,
+        )
+        with pytest.raises(InsufficientDataError):
+            counters.latency_percentile(95.0)
+        with pytest.raises(InsufficientDataError):
+            counters.latency_mean()
+
+    def test_latency_statistics(self):
+        acc = CounterAccumulator()
+        acc.latencies.extend(np.arange(1.0, 101.0).tolist())
+        counters = acc.snapshot(
+            interval_index=0,
+            start_s=0.0,
+            end_s=60.0,
+            container=CATALOG.at_level(0),
+            memory_used_gb=0.5,
+            memory_hot_gb=0.3,
+            balloon_limit_gb=2.0,
+        )
+        assert counters.latency_mean() == pytest.approx(50.5)
+        assert counters.latency_percentile(95.0) == pytest.approx(95.05)
+        assert counters.balloon_limit_gb == 2.0

@@ -1,0 +1,156 @@
+"""Unit and property tests for the token-bucket budget manager."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.budget import BudgetManager, BurstStrategy, unconstrained_budget
+from repro.errors import BudgetError
+
+CMIN, CMAX = 7.0, 270.0
+
+
+def manager(budget=7.0 * 100 * 3, n=100, strategy=BurstStrategy.AGGRESSIVE, k=3):
+    return BudgetManager(budget, n, CMIN, CMAX, strategy, conservative_k=k)
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(BudgetError):
+            BudgetManager(100.0, 0, CMIN, CMAX)
+        with pytest.raises(BudgetError):
+            BudgetManager(100.0, 10, 0.0, CMAX)
+        with pytest.raises(BudgetError):
+            BudgetManager(100.0, 10, CMAX, CMIN)
+        with pytest.raises(BudgetError):
+            BudgetManager(100.0, 10, CMIN, CMAX, conservative_k=0)
+
+    def test_budget_must_cover_minimum(self):
+        with pytest.raises(BudgetError):
+            BudgetManager(CMIN * 10 - 1, 10, CMIN, CMAX)
+
+    def test_aggressive_starts_full(self):
+        m = manager()
+        assert m.available == pytest.approx(m.depth)
+        assert m.fill_rate == CMIN
+
+    def test_conservative_initial_capped_by_k(self):
+        m = manager(strategy=BurstStrategy.CONSERVATIVE, k=2)
+        assert m.available == pytest.approx(min(2 * CMAX, m.depth))
+        assert m.fill_rate >= CMIN
+
+    def test_depth_formula(self):
+        # D = B - (n-1) * Cmin (the paper's Section 5).
+        m = manager(budget=5000.0, n=50)
+        assert m.depth == pytest.approx(5000.0 - 49 * CMIN)
+
+
+class TestEndInterval:
+    def test_charge_and_refill(self):
+        m = manager()
+        start = m.available
+        m.end_interval(100.0)
+        assert m.available == pytest.approx(min(start - 100.0 + CMIN, m.depth))
+
+    def test_cannot_overdraw(self):
+        m = manager(budget=CMIN * 100, n=100)  # zero surplus
+        with pytest.raises(BudgetError):
+            m.end_interval(CMIN * 2)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(BudgetError):
+            manager().end_interval(-1.0)
+
+    def test_period_end_enforced(self):
+        m = manager(budget=CMIN * 2 * 3, n=2)
+        m.end_interval(CMIN)
+        m.end_interval(CMIN)
+        assert m.exhausted_period
+        with pytest.raises(BudgetError):
+            m.end_interval(CMIN)
+
+    def test_affordable(self):
+        m = manager()
+        assert m.affordable(m.available)
+        assert not m.affordable(m.available + 1.0)
+
+    def test_cheapest_always_affordable(self):
+        m = manager(budget=CMIN * 100 * 1.2, n=100)
+        for _ in range(100):
+            assert m.affordable(CMIN)
+            # Spend as much as possible every interval.
+            spend = CMAX if m.affordable(CMAX) else CMIN
+            m.end_interval(spend)
+
+    def test_start_new_period_resets(self):
+        m = manager()
+        m.end_interval(m.available)
+        m.start_new_period()
+        assert m.available == pytest.approx(m.depth)
+        assert m.spent == 0.0
+        assert m.remaining_intervals == 100
+
+
+class TestUnconstrained:
+    def test_never_binds(self):
+        m = unconstrained_budget(CMAX)
+        for _ in range(1000):
+            assert m.affordable(CMAX)
+            m.end_interval(CMAX)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=120),
+    surplus_factor=st.floats(min_value=1.0, max_value=10.0),
+    strategy=st.sampled_from(list(BurstStrategy)),
+    k=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_property_total_spend_never_exceeds_budget(n, surplus_factor, strategy, k, seed):
+    """The paper's hard constraint: sum of charges <= B, greedily spending."""
+    budget = CMIN * n * surplus_factor
+    m = BudgetManager(budget, n, CMIN, CMAX, strategy, conservative_k=k)
+    rng = np.random.default_rng(seed)
+    costs = [7.0, 15.0, 30.0, 60.0, 120.0, 270.0]
+    total = 0.0
+    for _ in range(n):
+        want = float(rng.choice(costs))
+        affordable = [c for c in costs if c <= min(want, m.available)]
+        cost = affordable[-1] if affordable else CMIN
+        m.end_interval(cost)
+        total += cost
+    assert total <= budget + 1e-6
+    assert total == pytest.approx(m.spent)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=100),
+    surplus_factor=st.floats(min_value=1.0, max_value=6.0),
+    strategy=st.sampled_from(list(BurstStrategy)),
+)
+def test_property_floor_invariant(n, surplus_factor, strategy):
+    """B_i >= Cmin at every decision point (the paper's requirement)."""
+    budget = CMIN * n * surplus_factor
+    m = BudgetManager(budget, n, CMIN, CMAX, strategy)
+    for _ in range(n):
+        assert m.available >= CMIN - 1e-9
+        spend = CMAX if m.affordable(CMAX) else CMIN
+        m.end_interval(spend)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=100),
+    surplus_factor=st.floats(min_value=1.0, max_value=6.0),
+)
+def test_property_tokens_never_exceed_depth(n, surplus_factor):
+    budget = CMIN * n * surplus_factor
+    m = BudgetManager(budget, n, CMIN, CMAX)
+    for _ in range(n):
+        assert m.available <= m.depth + 1e-9
+        m.end_interval(CMIN)

@@ -1,0 +1,202 @@
+"""Tests for the working-set buffer-pool model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.engine.bufferpool import (
+    BufferPool,
+    DatasetSpec,
+    PAGE_KB,
+    engine_overhead_gb,
+    usable_cache_gb,
+)
+from repro.errors import WorkloadError
+
+
+def make_pool(memory_gb=8.0, working_set_gb=3.0, data_gb=12.0, hot=0.95):
+    pool = BufferPool(
+        DatasetSpec(data_gb=data_gb, working_set_gb=working_set_gb, hot_access_fraction=hot)
+    )
+    pool.set_memory(memory_gb)
+    return pool
+
+
+def fill_hot(pool: BufferPool) -> None:
+    """Warm the hot set fully via physical reads."""
+    pages = pool.dataset.working_set_gb * 1024 * 1024 / PAGE_KB
+    pool.absorb_physical_reads(pages * 1.2, hot_share=1.0)
+
+
+class TestDatasetSpec:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            DatasetSpec(data_gb=0.0, working_set_gb=1.0)
+        with pytest.raises(WorkloadError):
+            DatasetSpec(data_gb=10.0, working_set_gb=11.0)
+        with pytest.raises(WorkloadError):
+            DatasetSpec(data_gb=10.0, working_set_gb=1.0, hot_access_fraction=1.5)
+
+
+class TestOverheadModel:
+    def test_overhead_mostly_fixed(self):
+        assert engine_overhead_gb(1.0) == pytest.approx(0.21)
+        assert engine_overhead_gb(192.0) == pytest.approx(2.12)
+
+    def test_usable_cache_positive(self):
+        assert usable_cache_gb(4.0) == pytest.approx(4.0 - 0.24)
+
+    def test_usable_cache_never_negative(self):
+        assert usable_cache_gb(0.05) == 0.0
+
+
+class TestWarmup:
+    def test_cold_pool_misses_everything(self):
+        pool = make_pool()
+        assert pool.hit_ratio() == 0.0
+
+    def test_absorbing_reads_warms(self):
+        pool = make_pool()
+        fill_hot(pool)
+        assert pool.cached_hot_gb == pytest.approx(3.0)
+        # 95 % of accesses now hit.
+        assert pool.hit_ratio() == pytest.approx(0.95, abs=0.01)
+
+    def test_hot_cache_capped_by_working_set(self):
+        pool = make_pool(memory_gb=64.0)
+        fill_hot(pool)
+        assert pool.cached_hot_gb <= pool.dataset.working_set_gb
+
+    def test_hot_cache_capped_by_memory(self):
+        pool = make_pool(memory_gb=2.0)  # usable < working set
+        fill_hot(pool)
+        assert pool.cached_hot_gb == pytest.approx(usable_cache_gb(2.0))
+
+    def test_cold_reads_fill_remaining_room(self):
+        pool = make_pool(memory_gb=16.0)
+        fill_hot(pool)
+        pool.absorb_physical_reads(9.0 * 1024 * 1024 / PAGE_KB, hot_share=0.0)
+        room = usable_cache_gb(16.0) - 3.0
+        assert pool.cached_cold_gb <= room + 1e-9
+        assert pool.cached_cold_gb > 0
+
+    def test_miss_split_tracks_population(self):
+        pool = make_pool()
+        hot_miss, cold_miss = pool.expected_miss_split()
+        assert hot_miss == pytest.approx(0.95)
+        fill_hot(pool)
+        hot_miss, cold_miss = pool.expected_miss_split()
+        assert hot_miss == pytest.approx(0.0, abs=1e-6)
+        assert cold_miss == pytest.approx(0.05)
+
+
+class TestShrinkAndBalloon:
+    def test_shrink_evicts_cold_first(self):
+        pool = make_pool(memory_gb=16.0)
+        fill_hot(pool)
+        pool.absorb_physical_reads(5.0 * 1024 * 1024 / PAGE_KB, hot_share=0.0)
+        cold_before = pool.cached_cold_gb
+        pool.set_memory(4.0)  # usable ~3.76: hot 3.0 fits, cold shrinks
+        assert pool.cached_hot_gb == pytest.approx(3.0)
+        assert pool.cached_cold_gb < cold_before
+
+    def test_deep_shrink_evicts_hot(self):
+        pool = make_pool(memory_gb=8.0)
+        fill_hot(pool)
+        pool.set_memory(2.0)
+        assert pool.cached_hot_gb == pytest.approx(usable_cache_gb(2.0))
+
+    def test_balloon_limits_cache(self):
+        pool = make_pool(memory_gb=8.0)
+        fill_hot(pool)
+        pool.set_balloon_limit(2.0)
+        assert pool.effective_cache_gb == pytest.approx(usable_cache_gb(2.0))
+        assert pool.cached_hot_gb <= usable_cache_gb(2.0) + 1e-9
+
+    def test_balloon_clear_restores_capacity_not_contents(self):
+        pool = make_pool(memory_gb=8.0)
+        fill_hot(pool)
+        pool.set_balloon_limit(2.0)
+        evicted_state = pool.cached_hot_gb
+        pool.set_balloon_limit(None)
+        assert pool.effective_cache_gb == pytest.approx(usable_cache_gb(8.0))
+        # Pages evicted by the balloon are gone until re-read.
+        assert pool.cached_hot_gb == pytest.approx(evicted_state)
+
+    def test_invalid_balloon(self):
+        pool = make_pool()
+        with pytest.raises(WorkloadError):
+            pool.set_balloon_limit(0.0)
+
+    def test_invalid_memory(self):
+        pool = make_pool()
+        with pytest.raises(WorkloadError):
+            pool.set_memory(-1.0)
+
+
+class TestCapacityMissFraction:
+    def test_zero_when_fits_and_warm(self):
+        pool = make_pool(memory_gb=8.0)
+        fill_hot(pool)
+        assert pool.capacity_miss_fraction() == 0.0
+
+    def test_zero_while_warming(self):
+        pool = make_pool(memory_gb=8.0)
+        assert pool.capacity_miss_fraction() == 0.0
+
+    def test_positive_when_working_set_does_not_fit(self):
+        pool = make_pool(memory_gb=2.0)
+        fill_hot(pool)
+        # Fill the whole (small) cache so it is no longer 'warming'.
+        pool.absorb_physical_reads(3.0 * 1024 * 1024 / PAGE_KB, hot_share=0.5)
+        assert pool.capacity_miss_fraction() > 0.0
+
+
+class TestMemoryUtilization:
+    def test_grows_with_cache(self):
+        pool = make_pool(memory_gb=4.0)
+        before = pool.memory_utilization()
+        fill_hot(pool)
+        assert pool.memory_utilization() > before
+
+    def test_bounded_by_one(self):
+        pool = make_pool(memory_gb=2.0)
+        fill_hot(pool)
+        assert pool.memory_utilization() <= 1.0
+
+    def test_used_gb_includes_overhead(self):
+        pool = make_pool(memory_gb=8.0)
+        assert pool.used_gb() == pytest.approx(engine_overhead_gb(8.0))
+
+
+@given(
+    memory=st.floats(min_value=1.0, max_value=192.0),
+    ws=st.floats(min_value=0.5, max_value=20.0),
+    data_extra=st.floats(min_value=0.0, max_value=50.0),
+    reads=st.floats(min_value=0.0, max_value=1e7),
+    hot_share=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_invariants_after_any_absorb(memory, ws, data_extra, reads, hot_share):
+    """Cache contents never exceed capacity; hit ratio stays in [0, 1]."""
+    pool = BufferPool(DatasetSpec(data_gb=ws + data_extra + 0.1, working_set_gb=ws))
+    pool.set_memory(memory)
+    pool.absorb_physical_reads(reads, hot_share)
+    total = pool.cached_hot_gb + pool.cached_cold_gb
+    assert total <= pool.effective_cache_gb + 1e-6
+    assert 0.0 <= pool.hit_ratio() <= 1.0
+    assert 0.0 <= pool.capacity_miss_fraction() <= 1.0
+
+
+@given(
+    memory=st.floats(min_value=1.0, max_value=64.0),
+    smaller=st.floats(min_value=0.5, max_value=32.0),
+)
+def test_shrink_never_grows_contents(memory, smaller):
+    pool = make_pool(memory_gb=max(memory, smaller))
+    fill_hot(pool)
+    before = pool.cached_hot_gb + pool.cached_cold_gb
+    pool.set_memory(min(memory, smaller))
+    after = pool.cached_hot_gb + pool.cached_cold_gb
+    assert after <= before + 1e-9

@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.thresholds import ThresholdConfig
+
+
+class TestParser:
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.workload == "cpuio"
+        assert args.trace == 2
+        assert args.goal_factor == 1.25
+
+    def test_compare_options(self):
+        args = build_parser().parse_args(
+            ["compare", "--workload", "tpcc", "--trace", "4", "--goal-factor", "5"]
+        )
+        assert args.workload == "tpcc"
+        assert args.trace == 4
+        assert args.goal_factor == 5.0
+
+    def test_invalid_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--workload", "oltpbench"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_calibrate_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["calibrate"])
+
+
+class TestCommands:
+    def test_compare_runs_small(self, capsys):
+        exit_code = main(
+            ["compare", "--workload", "cpuio", "--trace", "1", "--intervals", "8"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Auto" in out
+        assert "cost / interval" in out
+
+    def test_calibrate_writes_config(self, tmp_path, capsys):
+        out_path = tmp_path / "thresholds.json"
+        exit_code = main(
+            [
+                "calibrate",
+                "--tenants", "14",
+                "--intervals", "6",
+                "--out", str(out_path),
+            ]
+        )
+        assert exit_code == 0
+        config = ThresholdConfig.load(out_path)
+        assert config.util_high_pct == 70.0
+
+    def test_fleet_analysis_prints_stats(self, capsys):
+        exit_code = main(["fleet-analysis", "--tenants", "30", "--days", "1"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "IEI" in out
+        assert "1-step resizes" in out
+
+    def test_compare_with_calibrated_thresholds(self, tmp_path, capsys):
+        from repro.core.thresholds import default_thresholds
+
+        path = tmp_path / "t.json"
+        default_thresholds().save(path)
+        exit_code = main(
+            [
+                "compare",
+                "--trace", "1",
+                "--intervals", "6",
+                "--thresholds", str(path),
+            ]
+        )
+        assert exit_code == 0

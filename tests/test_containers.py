@@ -1,0 +1,198 @@
+"""Tests for container specs and the catalog."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.engine.containers import ContainerCatalog, ContainerSpec, default_catalog
+from repro.engine.resources import ResourceKind, ResourceVector
+from repro.errors import CatalogError
+
+
+@pytest.fixture
+def catalog():
+    return default_catalog()
+
+
+class TestDefaultCatalog:
+    def test_eleven_sizes(self, catalog):
+        assert catalog.num_levels == 11
+
+    def test_paper_cost_range(self, catalog):
+        # "the cost of a container ranges from 7 units to 270 units".
+        assert catalog.min_cost == 7.0
+        assert catalog.max_cost == 270.0
+
+    def test_paper_cpu_range(self, catalog):
+        # "from half-a-core ... to tens of CPU cores".
+        assert catalog.smallest.cpu_cores == 0.5
+        assert catalog.largest.cpu_cores >= 16.0
+
+    def test_levels_are_ordered(self, catalog):
+        for level in range(catalog.num_levels):
+            assert catalog.at_level(level).level == level
+
+    def test_resources_monotone_in_level(self, catalog):
+        for level in range(1, catalog.num_levels):
+            bigger = catalog.at_level(level)
+            smaller = catalog.at_level(level - 1)
+            assert bigger.resources.covers(smaller.resources)
+            assert bigger.cost > smaller.cost
+
+    def test_by_name(self, catalog):
+        assert catalog.by_name("C0") is catalog.smallest
+        with pytest.raises(CatalogError):
+            catalog.by_name("C99")
+
+    def test_at_level_bounds(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.at_level(-1)
+        with pytest.raises(CatalogError):
+            catalog.at_level(11)
+
+
+class TestStepping:
+    def test_step_up(self, catalog):
+        assert catalog.step_from(catalog.at_level(3), 2).level == 5
+
+    def test_step_down(self, catalog):
+        assert catalog.step_from(catalog.at_level(3), -1).level == 2
+
+    def test_clamps_at_top(self, catalog):
+        assert catalog.step_from(catalog.largest, 2) is catalog.largest
+
+    def test_clamps_at_bottom(self, catalog):
+        assert catalog.step_from(catalog.smallest, -5) is catalog.smallest
+
+    @given(
+        st.integers(min_value=0, max_value=10), st.integers(min_value=-12, max_value=12)
+    )
+    def test_step_stays_in_catalog(self, level, steps):
+        catalog = default_catalog()
+        result = catalog.step_from(catalog.at_level(level), steps)
+        assert 0 <= result.level <= 10
+
+    def test_level_for_resource(self, catalog):
+        assert catalog.level_for_resource(ResourceKind.CPU, 0.4) == 0
+        assert catalog.level_for_resource(ResourceKind.CPU, 5.0) == 5
+        assert catalog.level_for_resource(ResourceKind.CPU, 1e9) == 10
+
+
+class TestCoveringSearch:
+    def test_smallest_covering_exact(self, catalog):
+        demand = ResourceVector(cpu=2.0, memory=4.0, disk_io=200.0, log_io=8.0)
+        assert catalog.smallest_covering(demand).name == "C2"
+
+    def test_smallest_covering_mixed_dimensions(self, catalog):
+        # CPU needs C1 but disk needs C4: the covering container is C4.
+        demand = ResourceVector(cpu=1.0, memory=1.0, disk_io=500.0, log_io=1.0)
+        assert catalog.smallest_covering(demand).name == "C4"
+
+    def test_uncoverable_demand_returns_largest(self, catalog):
+        demand = ResourceVector(cpu=1000.0)
+        assert catalog.smallest_covering(demand) is catalog.largest
+
+    def test_zero_demand_returns_cheapest(self, catalog):
+        assert catalog.smallest_covering(ResourceVector()) is catalog.smallest
+
+    def test_budget_respected(self, catalog):
+        demand = ResourceVector(cpu=10.0)  # needs C7 (cost 150)
+        choice = catalog.cheapest_covering_within(demand, budget=200.0)
+        assert choice.name == "C7"
+
+    def test_budget_constrains_to_most_expensive_affordable(self, catalog):
+        demand = ResourceVector(cpu=10.0)
+        choice = catalog.cheapest_covering_within(demand, budget=100.0)
+        # Cannot afford C7 (150): the paper picks the most expensive
+        # affordable container instead.
+        assert choice.name == "C5"
+        assert choice.cost <= 100.0
+
+    def test_budget_below_everything(self, catalog):
+        choice = catalog.cheapest_covering_within(ResourceVector(cpu=10.0), 1.0)
+        assert choice is catalog.smallest
+
+    @given(
+        st.floats(min_value=0.0, max_value=40.0),
+        st.floats(min_value=0.0, max_value=200.0),
+    )
+    def test_covering_actually_covers(self, cpu, memory):
+        catalog = default_catalog()
+        demand = ResourceVector(cpu=cpu, memory=memory)
+        choice = catalog.smallest_covering(demand)
+        if choice is not catalog.largest:
+            assert choice.covers(demand)
+
+    @given(st.floats(min_value=0.0, max_value=40.0))
+    def test_covering_is_minimal(self, cpu):
+        catalog = default_catalog()
+        demand = ResourceVector(cpu=cpu)
+        choice = catalog.smallest_covering(demand)
+        for container in catalog:
+            if container.covers(demand):
+                assert container.cost >= choice.cost
+
+
+class TestDimensionScaling:
+    def test_variants_added(self, catalog):
+        extended = catalog.with_dimension_scaling()
+        # 10 boostable base levels x 2 kinds.
+        assert len(extended) == len(catalog) + 20
+
+    def test_variant_resources(self, catalog):
+        extended = catalog.with_dimension_scaling()
+        variant = extended.by_name("C2-cpu+1")
+        base = catalog.at_level(2)
+        above = catalog.at_level(3)
+        assert variant.cpu_cores == above.cpu_cores
+        assert variant.memory_gb == base.memory_gb
+        assert base.cost < variant.cost < above.cost
+
+    def test_cpu_heavy_demand_prefers_variant(self, catalog):
+        extended = catalog.with_dimension_scaling()
+        # Demand: C3-level CPU but only C2-level everything else.
+        demand = ResourceVector(cpu=3.0, memory=4.0, disk_io=200.0, log_io=8.0)
+        lock_step_choice = catalog.smallest_covering(demand)
+        variant_choice = extended.smallest_covering(demand)
+        assert lock_step_choice.name == "C3"
+        assert variant_choice.name == "C2-cpu+1"
+        assert variant_choice.cost < lock_step_choice.cost
+
+    def test_lock_step_preserved(self, catalog):
+        extended = catalog.with_dimension_scaling()
+        assert extended.num_levels == catalog.num_levels
+        assert extended.at_level(4).name == "C4"
+
+
+class TestCatalogValidation:
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(CatalogError):
+            ContainerCatalog([])
+
+    def test_duplicate_names_rejected(self):
+        spec = ContainerSpec("C0", 0, ResourceVector(cpu=1.0, memory=1.0), 1.0)
+        bigger = ContainerSpec(
+            "C0", 1, ResourceVector(cpu=2.0, memory=2.0), 2.0
+        )
+        with pytest.raises(CatalogError):
+            ContainerCatalog([spec, bigger])
+
+    def test_non_dominating_levels_rejected(self):
+        small = ContainerSpec("C0", 0, ResourceVector(cpu=2.0, memory=1.0), 1.0)
+        big = ContainerSpec("C1", 1, ResourceVector(cpu=1.0, memory=2.0), 2.0)
+        with pytest.raises(CatalogError):
+            ContainerCatalog([small, big])
+
+    def test_non_increasing_cost_rejected(self):
+        small = ContainerSpec("C0", 0, ResourceVector(cpu=1.0, memory=1.0), 2.0)
+        big = ContainerSpec("C1", 1, ResourceVector(cpu=2.0, memory=2.0), 2.0)
+        with pytest.raises(CatalogError):
+            ContainerCatalog([small, big])
+
+    def test_gap_in_levels_rejected(self):
+        c0 = ContainerSpec("C0", 0, ResourceVector(cpu=1.0), 1.0)
+        c2 = ContainerSpec("C2", 2, ResourceVector(cpu=2.0), 2.0)
+        with pytest.raises(CatalogError):
+            ContainerCatalog([c0, c2])

@@ -1,0 +1,71 @@
+"""Per-dimension container scaling (paper Figure 1) through the full loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.autoscaler import AutoScaler
+from repro.core.latency import LatencyGoal
+from repro.engine.containers import default_catalog
+from repro.engine.resources import ResourceKind
+
+from tests.test_autoscaler import CountersFactory
+
+
+@pytest.fixture
+def extended_catalog():
+    return default_catalog().with_dimension_scaling(
+        kinds=(ResourceKind.CPU, ResourceKind.DISK_IO)
+    )
+
+
+class TestAutoScalerWithVariants:
+    def test_cpu_only_demand_picks_cpu_variant(self, extended_catalog):
+        """A pure CPU bottleneck should buy the CPU-boosted variant, which
+        is cheaper than stepping the whole container."""
+        auto = AutoScaler(
+            catalog=extended_catalog,
+            initial_container=extended_catalog.at_level(2),
+            goal=LatencyGoal(target_ms=100.0),
+        )
+        feed = CountersFactory()
+        decision = auto.decide(
+            feed.make(
+                auto.container,
+                latency_ms=500.0,
+                cpu_util=0.99,
+                cpu_wait_ms=500_000.0,
+            )
+        )
+        # Demand: C4-level CPU (2 steps up), everything else C2-level.
+        assert decision.container.name == "C3-cpu+1"
+        lock_step_equivalent = extended_catalog.at_level(4)
+        assert decision.container.cost < lock_step_equivalent.cost
+        assert decision.container.cpu_cores == lock_step_equivalent.cpu_cores
+
+    def test_scale_down_returns_to_lock_step(self, extended_catalog):
+        auto = AutoScaler(
+            catalog=extended_catalog,
+            initial_container=extended_catalog.by_name("C3-cpu+1"),
+            goal=LatencyGoal(target_ms=100.0),
+        )
+        feed = CountersFactory()
+        names = []
+        for _ in range(4):
+            decision = auto.decide(
+                feed.make(
+                    auto.container, latency_ms=10.0, cpu_util=0.02, cpu_wait_ms=1.0
+                )
+            )
+            names.append(decision.container.name)
+        # Variants carry their base level; the first step down lands on
+        # the lock-step C2 (continued idleness may shed further).
+        resized_to = [n for n in names if n != "C3-cpu+1"]
+        assert resized_to and resized_to[0] == "C2"
+
+    def test_budget_search_considers_variants(self, extended_catalog):
+        from repro.engine.resources import ResourceVector
+
+        demand = ResourceVector(cpu=3.0, memory=4.0, disk_io=200.0, log_io=8.0)
+        choice = extended_catalog.cheapest_covering_within(demand, budget=1e9)
+        assert choice.name == "C2-cpu+1"

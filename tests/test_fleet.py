@@ -1,0 +1,163 @@
+"""Tests for the fleet substrate: population, analysis, calibration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.thresholds import default_thresholds
+from repro.engine.containers import default_catalog
+from repro.engine.resources import ResourceKind
+from repro.errors import ConfigurationError, InsufficientDataError
+from repro.fleet import (
+    DemandPattern,
+    FleetTelemetry,
+    WaitSample,
+    analyze_fleet,
+    analyze_tenant,
+    calibrate_thresholds,
+    collect_fleet_telemetry,
+    rate_series,
+    synthesize_population,
+    usage_series,
+)
+from repro.fleet.analysis import assign_container_levels
+
+CATALOG = default_catalog()
+
+
+class TestPopulation:
+    def test_size_and_determinism(self):
+        a = synthesize_population(50, seed=1)
+        b = synthesize_population(50, seed=1)
+        assert len(a) == 50
+        assert [t.base_rate for t in a] == [t.base_rate for t in b]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            synthesize_population(0)
+
+    def test_pattern_diversity(self):
+        population = synthesize_population(300, seed=2)
+        patterns = {t.pattern for t in population}
+        assert len(patterns) >= 5
+
+    def test_rate_series_non_negative(self):
+        for tenant in synthesize_population(30, seed=3):
+            rates = rate_series(tenant, n_intervals=500)
+            assert rates.shape == (500,)
+            assert (rates >= 0).all()
+
+    def test_diurnal_tenant_cycles(self):
+        population = synthesize_population(200, seed=4)
+        diurnal = next(t for t in population if t.pattern is DemandPattern.DIURNAL)
+        rates = rate_series(diurnal, n_intervals=288 * 2, intervals_per_day=288)
+        daily_swing = rates.max() / max(rates.min(), 1e-9)
+        assert daily_swing > 1.3
+
+    def test_usage_series_keys(self):
+        tenant = synthesize_population(1, seed=5)[0]
+        usage = usage_series(tenant, n_intervals=100)
+        assert set(usage) == set(ResourceKind)
+        assert all(v.shape == (100,) for v in usage.values())
+
+
+class TestAnalysis:
+    def test_assign_container_levels(self):
+        usage = {
+            ResourceKind.CPU: np.asarray([0.1, 5.0]),
+            ResourceKind.MEMORY: np.asarray([0.5, 0.5]),
+            ResourceKind.DISK_IO: np.asarray([5.0, 5.0]),
+            ResourceKind.LOG_IO: np.asarray([0.1, 0.1]),
+        }
+        levels = assign_container_levels(CATALOG, usage)
+        assert levels[0] == 0
+        assert levels[1] == 5  # 5 cores -> C5 (6 cores)
+
+    def test_tenant_change_events(self):
+        tenant = synthesize_population(20, seed=6)[0]
+        stats = analyze_tenant(tenant, CATALOG, n_intervals=576)
+        assert stats.n_intervals == 576
+        assert stats.n_changes == stats.change_indices.size
+        assert (stats.step_sizes >= 1).all() or stats.n_changes == 0
+
+    def test_iei_positive(self):
+        population = synthesize_population(40, seed=7)
+        analysis = analyze_fleet(population, CATALOG, n_intervals=576)
+        iei = analysis.iei_minutes()
+        assert (iei > 0).all()
+
+    def test_changes_per_day_buckets_sum_to_100(self):
+        population = synthesize_population(40, seed=8)
+        analysis = analyze_fleet(population, CATALOG, n_intervals=576)
+        buckets = analysis.changes_per_day_distribution()
+        assert sum(buckets.values()) == pytest.approx(100.0)
+
+    def test_step_coverage_monotone(self):
+        population = synthesize_population(40, seed=9)
+        analysis = analyze_fleet(population, CATALOG, n_intervals=576)
+        assert analysis.step_coverage(1) <= analysis.step_coverage(2)
+        assert analysis.step_coverage(10) == pytest.approx(1.0)
+
+
+class TestCalibration:
+    def test_collect_produces_samples(self):
+        telemetry = collect_fleet_telemetry(n_tenants=6, intervals_per_tenant=4)
+        assert len(telemetry.samples) == 6 * 4 * len(ResourceKind)
+
+    def test_split_by_utilization(self):
+        telemetry = FleetTelemetry(
+            samples=[
+                WaitSample(0, ResourceKind.CPU, 10.0, 5.0, 1.0),
+                WaitSample(0, ResourceKind.CPU, 90.0, 500.0, 50.0),
+            ]
+        )
+        low, high = telemetry.split_by_utilization(ResourceKind.CPU)
+        assert list(low) == [5.0]
+        assert list(high) == [500.0]
+
+    def test_calibration_separates_cuts(self):
+        rng = np.random.default_rng(0)
+        samples = []
+        for i in range(200):
+            samples.append(
+                WaitSample(i, ResourceKind.CPU, 10.0, float(rng.exponential(100)), 5.0)
+            )
+            samples.append(
+                WaitSample(
+                    i, ResourceKind.CPU, 90.0, float(rng.exponential(100_000)), 60.0
+                )
+            )
+        config = calibrate_thresholds(FleetTelemetry(samples=samples))
+        cuts = config.wait_thresholds[ResourceKind.CPU]
+        assert cuts.low_ms < cuts.high_ms
+        assert cuts.high_ms > 10_000.0
+
+    def test_calibration_keeps_defaults_for_sparse_kinds(self):
+        rng = np.random.default_rng(1)
+        samples = []
+        for i in range(100):
+            samples.append(
+                WaitSample(i, ResourceKind.CPU, 10.0, float(rng.exponential(100)), 5.0)
+            )
+            samples.append(
+                WaitSample(
+                    i, ResourceKind.CPU, 90.0, float(rng.exponential(100_000)), 60.0
+                )
+            )
+        # Disk has only low-utilization samples: it must keep defaults.
+        samples.extend(
+            WaitSample(0, ResourceKind.DISK_IO, 10.0, 5.0, 1.0) for _ in range(20)
+        )
+        base = default_thresholds()
+        config = calibrate_thresholds(FleetTelemetry(samples=samples), base=base)
+        assert config.wait_thresholds[ResourceKind.DISK_IO] == base.wait_thresholds[
+            ResourceKind.DISK_IO
+        ]
+        assert config.wait_thresholds[ResourceKind.CPU] != base.wait_thresholds[
+            ResourceKind.CPU
+        ]
+
+    def test_calibration_raises_on_empty(self):
+        with pytest.raises(InsufficientDataError):
+            calibrate_thresholds(FleetTelemetry(samples=[]))

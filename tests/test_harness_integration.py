@@ -1,0 +1,151 @@
+"""Integration tests: the experiment harness end-to-end (small scale)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.containers import default_catalog
+from repro.engine.server import EngineConfig
+from repro.harness import (
+    ExperimentConfig,
+    comparison_table,
+    format_table,
+    profile_workload,
+    run_comparison,
+    run_policy,
+)
+from repro.harness.paper import PAPER_FIGURES, paper_vs_measured_rows
+from repro.harness.report import ascii_series, drilldown_series, wait_mix_series
+from repro.policies import MaxPolicy
+from repro.workloads import Trace, cpuio_workload, steady_trace
+
+
+def small_config(seed=5) -> ExperimentConfig:
+    return ExperimentConfig(
+        engine=EngineConfig(
+            interval_ticks=20,
+            outlier_probability=0.0,
+            seed=seed,
+        ),
+        warmup_intervals=4,
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="module")
+def small_comparison():
+    """One shared small comparison run for the harness assertions."""
+    workload = cpuio_workload(working_set_gb=1.0, data_gb=6.0)
+    trace = steady_trace(n_intervals=16, level=20.0, seed=3)
+    return run_comparison(workload, trace, goal_factor=2.0, config=small_config())
+
+
+class TestRunPolicy:
+    def test_run_result_shape(self):
+        workload = cpuio_workload(working_set_gb=1.0, data_gb=6.0)
+        trace = steady_trace(n_intervals=10, level=10.0, seed=2)
+        result = run_policy(workload, trace, MaxPolicy(default_catalog()), small_config())
+        assert len(result.counters) == 10
+        assert len(result.containers) == 10
+        assert result.meter.intervals == 10
+        assert result.metrics.n_intervals == 10
+        assert result.metrics.completions > 0
+        assert result.latencies_ms.size == result.metrics.completions
+
+    def test_max_policy_costs_max(self):
+        workload = cpuio_workload(working_set_gb=1.0, data_gb=6.0)
+        trace = steady_trace(n_intervals=6, level=5.0, seed=2)
+        result = run_policy(workload, trace, MaxPolicy(default_catalog()), small_config())
+        assert result.metrics.avg_cost_per_interval == 270.0
+        assert result.metrics.resize_fraction == 0.0
+
+
+class TestRunComparison:
+    def test_all_policies_present(self, small_comparison):
+        assert set(small_comparison.policies()) == {
+            "Max", "Peak", "Avg", "Trace", "Util", "Auto"
+        }
+
+    def test_goal_derived_from_max(self, small_comparison):
+        max_p95 = small_comparison.metrics("Max").p95_latency_ms
+        assert small_comparison.goal.target_ms == pytest.approx(2.0 * max_p95)
+
+    def test_max_is_most_expensive(self, small_comparison):
+        for policy in ("Peak", "Avg", "Trace", "Util", "Auto"):
+            assert (
+                small_comparison.metrics(policy).avg_cost_per_interval
+                <= small_comparison.metrics("Max").avg_cost_per_interval
+            )
+
+    def test_cost_ratio(self, small_comparison):
+        ratio = small_comparison.cost_ratio("Max")
+        assert ratio == pytest.approx(
+            270.0 / small_comparison.metrics("Auto").avg_cost_per_interval
+        )
+
+    def test_metrics_goal_check(self, small_comparison):
+        metrics = small_comparison.metrics("Max")
+        assert metrics.meets_goal(small_comparison.goal.target_ms)
+
+
+class TestReports:
+    def test_comparison_table_renders(self, small_comparison):
+        table = comparison_table(small_comparison)
+        assert "p95 latency" in table
+        assert "Auto" in table
+
+    def test_paper_vs_measured_rows(self, small_comparison):
+        rows = paper_vs_measured_rows("fig9a", small_comparison)
+        assert len(rows) == 6
+        assert rows[0][0] == "Max"
+
+    def test_paper_figures_complete(self):
+        for figure in PAPER_FIGURES.values():
+            assert set(figure.latency_ms) == set(figure.cost)
+            assert figure.cost_ratio("Auto") == 1.0
+
+    def test_drilldown_series(self, small_comparison):
+        series = drilldown_series(
+            small_comparison.runs["Auto"], small_comparison.goal.target_ms, 32.0
+        )
+        n = len(small_comparison.runs["Auto"].counters)
+        assert series["container_cpu_pct"].shape == (n,)
+        assert (series["container_cpu_pct"] <= 100.0).all()
+
+    def test_wait_mix_series(self, small_comparison):
+        mix = wait_mix_series(small_comparison.runs["Auto"])
+        totals = sum(mix.values())
+        assert np.all((totals < 100.0 + 1e-6) | np.isclose(totals, 100.0))
+
+    def test_ascii_series(self):
+        chart = ascii_series(np.sin(np.linspace(0, 6, 200)), label="sine")
+        assert "sine" in chart
+        assert "#" in chart
+
+    def test_ascii_series_empty(self):
+        assert "(no data)" in ascii_series(np.asarray([]), label="x")
+
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+
+class TestTraceAlignment:
+    def test_oracle_alignment_with_warmup(self):
+        """The oracle's container sequence must align with measured intervals."""
+        workload = cpuio_workload(working_set_gb=1.0, data_gb=6.0)
+        rates = np.concatenate([np.full(6, 5.0), np.full(6, 60.0)])
+        trace = Trace(name="step", rates=rates)
+        comparison = run_comparison(
+            workload, trace, goal_factor=2.0, config=small_config(),
+            include=("Trace",),
+        )
+        oracle_run = comparison.runs["Trace"]
+        # The oracle should hold a bigger container in the busy half.
+        catalog = default_catalog()
+        first = [catalog.by_name(n).level for n in oracle_run.containers[:5]]
+        second = [catalog.by_name(n).level for n in oracle_run.containers[7:]]
+        assert max(second) > max(first)

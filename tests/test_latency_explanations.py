@@ -1,0 +1,94 @@
+"""Tests for latency goals, sensitivity, and explanations."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.explanations import ActionKind, Explanation
+from repro.core.latency import LatencyGoal, LatencyMetric, PerformanceSensitivity
+from repro.engine.resources import ResourceKind
+from repro.errors import ConfigurationError
+
+
+class TestLatencyGoal:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LatencyGoal(target_ms=0.0)
+
+    def test_p95_measure(self):
+        goal = LatencyGoal(target_ms=100.0, metric=LatencyMetric.P95)
+        values = np.arange(1.0, 101.0)
+        assert goal.measure(values) == pytest.approx(np.percentile(values, 95))
+
+    def test_average_measure(self):
+        goal = LatencyGoal(target_ms=100.0, metric=LatencyMetric.AVERAGE)
+        assert goal.measure([10.0, 20.0, 30.0]) == 20.0
+
+    def test_empty_sample_is_nan(self):
+        goal = LatencyGoal(target_ms=100.0)
+        assert math.isnan(goal.measure([]))
+
+    def test_is_met(self):
+        goal = LatencyGoal(target_ms=100.0)
+        assert goal.is_met(100.0)
+        assert not goal.is_met(100.1)
+
+    def test_performance_factor(self):
+        # The paper's Figure 13 metric: 0 on goal, negative when violated.
+        goal = LatencyGoal(target_ms=100.0)
+        assert goal.performance_factor(100.0) == 0.0
+        assert goal.performance_factor(50.0) == 50.0
+        assert goal.performance_factor(150.0) == -50.0
+
+
+class TestPerformanceSensitivity:
+    def test_high_keeps_more_headroom(self):
+        assert (
+            PerformanceSensitivity.HIGH.scale_down_margin
+            < PerformanceSensitivity.MEDIUM.scale_down_margin
+            < PerformanceSensitivity.LOW.scale_down_margin
+        )
+
+    def test_high_waits_longer_before_scale_down(self):
+        assert (
+            PerformanceSensitivity.HIGH.idle_intervals_before_scale_down
+            > PerformanceSensitivity.LOW.idle_intervals_before_scale_down
+        )
+
+    def test_low_demands_corroboration(self):
+        assert PerformanceSensitivity.LOW.scale_up_corroboration >= 1
+        assert PerformanceSensitivity.HIGH.scale_up_corroboration == 0
+
+
+class TestExplanation:
+    def test_str_with_resource(self):
+        explanation = Explanation(
+            action=ActionKind.SCALE_UP,
+            reason="scale-up due to a CPU bottleneck",
+            resource=ResourceKind.CPU,
+            rule_id="H2-strong-pressure",
+        )
+        text = str(explanation)
+        assert "[scale-up]" in text
+        assert "cpu" in text
+        assert "CPU bottleneck" in text
+
+    def test_str_without_resource(self):
+        explanation = Explanation(
+            action=ActionKind.BUDGET_CONSTRAINED,
+            reason="scale-up constrained by budget",
+        )
+        assert str(explanation) == (
+            "[budget-constrained] scale-up constrained by budget"
+        )
+
+    def test_details_carried(self):
+        explanation = Explanation(
+            action=ActionKind.SCALE_UP,
+            reason="r",
+            details={"utilization_pct": 85.0},
+        )
+        assert explanation.details["utilization_pct"] == 85.0

@@ -1,0 +1,148 @@
+"""Tests for the hot-lock manager's fluid service model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.locks import HotLockManager
+from repro.errors import ConfigurationError
+
+
+def hold(ms: float):
+    return lambda row: ms
+
+
+class TestBasics:
+    def test_negative_locks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HotLockManager(-1)
+
+    def test_zero_locks_allowed(self):
+        manager = HotLockManager(0)
+        assert manager.serve_tick(1000.0, hold(10.0)) == []
+
+    def test_enqueue_out_of_range(self):
+        manager = HotLockManager(2)
+        with pytest.raises(ConfigurationError):
+            manager.enqueue(5, 1)
+
+    def test_queue_length_and_total(self):
+        manager = HotLockManager(2)
+        manager.enqueue(0, 1)
+        manager.enqueue(0, 2)
+        manager.enqueue(1, 3)
+        assert manager.queue_length(0) == 2
+        assert manager.total_waiting() == 3
+
+    def test_abandon(self):
+        manager = HotLockManager(1)
+        manager.enqueue(0, 7)
+        manager.abandon(7)
+        assert manager.total_waiting() == 0
+        manager.abandon(99)  # non-existent row is a no-op
+
+    def test_reset(self):
+        manager = HotLockManager(1)
+        manager.enqueue(0, 1)
+        manager.reset()
+        assert manager.total_waiting() == 0
+
+
+class TestSteadyRegime:
+    def test_all_served_when_capacity_suffices(self):
+        manager = HotLockManager(1)
+        for row in range(5):
+            manager.enqueue(0, row)
+        granted = manager.serve_tick(1000.0, hold(50.0))
+        assert [row for row, _ in granted] == [0, 1, 2, 3, 4]
+        assert manager.total_waiting() == 0
+
+    def test_steady_delay_is_md1(self):
+        # 10 requests x 50 ms = rho 0.5 -> mean wait 0.5*50/(2*0.5) = 25 ms.
+        manager = HotLockManager(1)
+        for row in range(10):
+            manager.enqueue(0, row)
+        granted = manager.serve_tick(1000.0, hold(50.0))
+        delays = {delay for _, delay in granted}
+        assert len(delays) == 1
+        assert delays.pop() == pytest.approx(25.0)
+
+    def test_delay_grows_with_rho(self):
+        low = HotLockManager(1)
+        high = HotLockManager(1)
+        for row in range(4):
+            low.enqueue(0, row)
+        for row in range(18):
+            high.enqueue(0, row)
+        low_delay = low.serve_tick(1000.0, hold(50.0))[0][1]
+        high_delay = high.serve_tick(1000.0, hold(50.0))[0][1]
+        assert high_delay > low_delay
+
+    def test_fifo_order(self):
+        manager = HotLockManager(1)
+        for row in (10, 20, 30):
+            manager.enqueue(0, row)
+        granted = manager.serve_tick(1000.0, hold(10.0))
+        assert [row for row, _ in granted] == [10, 20, 30]
+
+
+class TestBacklogRegime:
+    def test_capacity_enforced(self):
+        # 30 requests x 100 ms hold = 3000 ms of demand vs 1000 budget.
+        manager = HotLockManager(1)
+        for row in range(30):
+            manager.enqueue(0, row)
+        granted = manager.serve_tick(1000.0, hold(100.0))
+        assert len(granted) == 10
+        assert manager.total_waiting() == 20
+
+    def test_backlogged_delays_are_sequential(self):
+        manager = HotLockManager(1)
+        for row in range(30):
+            manager.enqueue(0, row)
+        manager.serve_tick(1000.0, hold(100.0))  # becomes backlogged
+        granted = manager.serve_tick(1000.0, hold(100.0))
+        delays = [delay for _, delay in granted]
+        assert delays == pytest.approx([i * 100.0 for i in range(len(granted))])
+
+    def test_throughput_cap_is_container_independent(self):
+        # Over many ticks, at most 1000/hold grants per tick regardless of
+        # how the caller scales anything else.
+        manager = HotLockManager(1)
+        total = 0
+        next_row = 0
+        for _ in range(10):
+            for _ in range(40):
+                manager.enqueue(0, next_row)
+                next_row += 1
+            total += len(manager.serve_tick(1000.0, hold(50.0)))
+        assert total <= 10 * 20 + 1
+
+    def test_long_hold_spans_ticks_via_carry(self):
+        manager = HotLockManager(1)
+        manager.enqueue(0, 1)
+        assert manager.serve_tick(1000.0, hold(1500.0)) == []
+        granted = manager.serve_tick(1000.0, hold(1500.0))
+        assert [row for row, _ in granted] == [1]
+
+    def test_idle_lock_banks_no_capacity(self):
+        manager = HotLockManager(1)
+        # Several idle ticks must not accumulate service budget.
+        for _ in range(5):
+            manager.serve_tick(1000.0, hold(100.0))
+        for row in range(30):
+            manager.enqueue(0, row)
+        granted = manager.serve_tick(1000.0, hold(100.0))
+        assert len(granted) == 10
+
+
+class TestMultipleLocks:
+    def test_locks_are_independent(self):
+        manager = HotLockManager(2)
+        for row in range(20):
+            manager.enqueue(0, row)
+        manager.enqueue(1, 100)
+        granted = manager.serve_tick(1000.0, hold(100.0))
+        rows = [row for row, _ in granted]
+        assert 100 in rows, "the uncontended lock serves immediately"
+        assert len([r for r in rows if r < 20]) == 10

@@ -1,0 +1,179 @@
+"""Tests for the baseline scaling policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.latency import LatencyGoal
+from repro.engine.containers import default_catalog
+from repro.engine.resources import ResourceKind
+from repro.engine.telemetry import IntervalCounters
+from repro.engine.waits import WaitProfile
+from repro.errors import ConfigurationError
+from repro.policies import (
+    MaxPolicy,
+    StaticPolicy,
+    TraceOraclePolicy,
+    UtilPolicy,
+    oracle_container_sequence,
+    static_container_for_usage,
+)
+
+CATALOG = default_catalog()
+
+
+def counters(container, latency_ms=50.0, utils=0.5, n=60) -> IntervalCounters:
+    if not isinstance(utils, dict):
+        utils = {kind: utils for kind in ResourceKind}
+    return IntervalCounters(
+        interval_index=0,
+        start_s=0.0,
+        end_s=60.0,
+        container=container,
+        latencies_ms=np.full(n, float(latency_ms)) if n else np.empty(0),
+        arrivals=n,
+        completions=n,
+        rejected=0,
+        utilization_median=dict(utils),
+        utilization_mean=dict(utils),
+        waits=WaitProfile(),
+        memory_used_gb=1.0,
+        disk_physical_reads=0.0,
+    )
+
+
+class TestMaxPolicy:
+    def test_always_largest(self):
+        policy = MaxPolicy(CATALOG)
+        assert policy.initial_container() is CATALOG.largest
+        assert policy.decide(counters(CATALOG.largest)) is CATALOG.largest
+
+
+class TestStaticPolicy:
+    def test_fixed_container(self):
+        policy = StaticPolicy(CATALOG.at_level(3), name="Peak")
+        assert policy.initial_container().name == "C3"
+        assert policy.decide(counters(CATALOG.at_level(3))).name == "C3"
+
+    def test_sizing_from_usage_percentile(self):
+        usage = [
+            {
+                ResourceKind.CPU: cpu,
+                ResourceKind.MEMORY: 1.0,
+                ResourceKind.DISK_IO: 10.0,
+                ResourceKind.LOG_IO: 0.5,
+            }
+            for cpu in np.linspace(0.1, 5.0, 100)
+        ]
+        peak = static_container_for_usage(CATALOG, usage, percentile=95.0)
+        avg = static_container_for_usage(CATALOG, usage, percentile=-1.0)
+        assert peak.level > avg.level
+        assert peak.cpu_cores >= np.percentile([u[ResourceKind.CPU] for u in usage], 95)
+
+    def test_headroom_increases_size(self):
+        usage = [
+            {
+                ResourceKind.CPU: 2.0,
+                ResourceKind.MEMORY: 1.0,
+                ResourceKind.DISK_IO: 10.0,
+                ResourceKind.LOG_IO: 0.5,
+            }
+        ] * 10
+        plain = static_container_for_usage(CATALOG, usage, 95.0, headroom=1.0)
+        padded = static_container_for_usage(CATALOG, usage, 95.0, headroom=1.6)
+        assert padded.level > plain.level
+
+
+class TestTraceOracle:
+    def test_sequence_replay(self):
+        sequence = [CATALOG.at_level(i % 3) for i in range(5)]
+        policy = TraceOraclePolicy(sequence)
+        assert policy.initial_container() is sequence[0]
+        # decide() after interval i returns the container for interval i+1.
+        assert policy.decide(counters(sequence[0])) is sequence[1]
+        assert policy.decide(counters(sequence[1])) is sequence[2]
+
+    def test_sequence_end_clamps(self):
+        sequence = [CATALOG.at_level(0), CATALOG.at_level(1)]
+        policy = TraceOraclePolicy(sequence)
+        policy.decide(counters(sequence[0]))
+        assert policy.decide(counters(sequence[1])) is sequence[1]
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceOraclePolicy([])
+
+    def test_does_not_adapt_during_warmup(self):
+        assert TraceOraclePolicy([CATALOG.smallest]).adapts_during_warmup is False
+
+    def test_oracle_sequence_covers_usage(self):
+        usage = [
+            {
+                ResourceKind.CPU: float(c),
+                ResourceKind.MEMORY: 1.0,
+                ResourceKind.DISK_IO: 10.0,
+                ResourceKind.LOG_IO: 0.5,
+            }
+            for c in (0.1, 4.0, 0.1)
+        ]
+        sequence = oracle_container_sequence(CATALOG, usage, headroom=1.0)
+        assert len(sequence) == 3
+        # Smoothing over neighbours: the idle intervals around the spike
+        # inherit the spike container envelope.
+        assert sequence[1].cpu_cores >= 4.0
+
+    def test_headroom_validation(self):
+        with pytest.raises(ConfigurationError):
+            oracle_container_sequence(CATALOG, [], headroom=0.5)
+
+
+class TestUtilPolicy:
+    GOAL = LatencyGoal(100.0)
+
+    def test_scales_up_on_bad_latency_and_busy_utilization(self):
+        policy = UtilPolicy(CATALOG, self.GOAL, initial_container=CATALOG.at_level(2))
+        result = policy.decide(counters(CATALOG.at_level(2), latency_ms=150.0, utils=0.6))
+        assert result.level == 3
+
+    def test_severe_violation_jumps_two(self):
+        policy = UtilPolicy(CATALOG, self.GOAL, initial_container=CATALOG.at_level(2))
+        result = policy.decide(counters(CATALOG.at_level(2), latency_ms=500.0, utils=0.6))
+        assert result.level == 4
+
+    def test_holds_when_latency_bad_but_idle(self):
+        # The blind spot: bad latency with all-low utilization -> no action.
+        policy = UtilPolicy(CATALOG, self.GOAL, initial_container=CATALOG.at_level(2))
+        result = policy.decide(counters(CATALOG.at_level(2), latency_ms=500.0, utils=0.1))
+        assert result.level == 2
+
+    def test_scales_down_only_after_streak(self):
+        policy = UtilPolicy(CATALOG, self.GOAL, initial_container=CATALOG.at_level(4))
+        first = policy.decide(counters(CATALOG.at_level(4), latency_ms=20.0, utils=0.05))
+        assert first.level == 4
+        second = policy.decide(counters(CATALOG.at_level(4), latency_ms=20.0, utils=0.05))
+        assert second.level == 3
+
+    def test_memory_utilization_blocks_scale_down(self):
+        # Memory looks busy (cache full): generic utilization rules refuse
+        # to shed — the stickiness behind Figure 13(a).
+        policy = UtilPolicy(CATALOG, self.GOAL, initial_container=CATALOG.at_level(4))
+        utils = {
+            ResourceKind.CPU: 0.05,
+            ResourceKind.MEMORY: 0.9,
+            ResourceKind.DISK_IO: 0.05,
+            ResourceKind.LOG_IO: 0.02,
+        }
+        for _ in range(4):
+            result = policy.decide(
+                counters(CATALOG.at_level(4), latency_ms=20.0, utils=utils)
+            )
+        assert result.level == 4
+
+    def test_idle_intervals_with_no_latencies(self):
+        policy = UtilPolicy(CATALOG, self.GOAL, initial_container=CATALOG.at_level(3))
+        for _ in range(2):
+            result = policy.decide(
+                counters(CATALOG.at_level(3), latency_ms=0.0, utils=0.01, n=0)
+            )
+        assert result.level == 2

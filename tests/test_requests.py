@@ -1,0 +1,123 @@
+"""Tests for transaction specs and the request table."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.engine.requests import (
+    LOCK_NONE,
+    LOCK_QUEUED,
+    RequestTable,
+    TransactionSpec,
+)
+from repro.errors import WorkloadError
+
+
+def spec(**kwargs) -> TransactionSpec:
+    defaults = dict(name="t", weight=1.0, cpu_ms=10.0, logical_reads=5.0, log_kb=2.0)
+    defaults.update(kwargs)
+    return TransactionSpec(**defaults)
+
+
+class TestTransactionSpec:
+    def test_valid(self):
+        assert spec().name == "t"
+
+    def test_weight_positive(self):
+        with pytest.raises(WorkloadError):
+            spec(weight=0.0)
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(WorkloadError):
+            spec(cpu_ms=-1.0)
+
+    def test_lock_probability_range(self):
+        with pytest.raises(WorkloadError):
+            spec(lock_probability=1.5)
+
+    def test_contended_needs_hold_time(self):
+        with pytest.raises(WorkloadError):
+            spec(lock_probability=0.5, lock_hold_ms=0.0)
+
+    def test_service_estimate_components(self):
+        s = spec(cpu_ms=100.0, logical_reads=400.0, log_kb=0.0, max_read_iops=400.0)
+        # 100 ms CPU + 1 s of reads at the stream cap.
+        assert s.service_ms_estimate == pytest.approx(1100.0)
+
+
+class TestRequestTable:
+    def test_add_and_len(self):
+        table = RequestTable()
+        row = table.add(0, 0.0, spec(), lock_id=-1)
+        assert len(table) == 1
+        assert table.active[row]
+        assert table.lock_state[row] == LOCK_NONE
+
+    def test_lock_assignment(self):
+        table = RequestTable()
+        row = table.add(0, 0.0, spec(lock_probability=1.0, lock_hold_ms=5.0), lock_id=2)
+        assert table.lock_id[row] == 2
+        assert table.lock_state[row] == LOCK_QUEUED
+
+    def test_work_multiplier(self):
+        table = RequestTable()
+        row = table.add(0, 0.0, spec(cpu_ms=10.0), lock_id=-1, work_multiplier=2.0)
+        assert table.cpu_rem_ms[row] == 20.0
+
+    def test_release_recycles_rows(self):
+        table = RequestTable()
+        row = table.add(0, 0.0, spec(), lock_id=-1)
+        table.release(np.asarray([row]))
+        assert len(table) == 0
+        row2 = table.add(1, 1.0, spec(), lock_id=-1)
+        assert row2 == row, "freed row should be reused"
+
+    def test_double_release_is_noop(self):
+        table = RequestTable()
+        row = table.add(0, 0.0, spec(), lock_id=-1)
+        table.release(np.asarray([row]))
+        table.release(np.asarray([row]))
+        assert len(table) == 0
+
+    def test_growth_beyond_initial_capacity(self):
+        table = RequestTable(capacity=16)
+        rows = [table.add(0, 0.0, spec(), lock_id=-1) for _ in range(100)]
+        assert len(table) == 100
+        assert len(set(rows)) == 100
+        assert table.capacity >= 100
+
+    def test_growth_preserves_state(self):
+        table = RequestTable(capacity=16)
+        first = table.add(0, 0.0, spec(cpu_ms=42.0), lock_id=3)
+        for _ in range(50):
+            table.add(0, 0.0, spec(), lock_id=-1)
+        assert table.cpu_rem_ms[first] == 42.0
+        assert table.lock_id[first] == 3
+
+    def test_runnable_excludes_queued(self):
+        table = RequestTable()
+        locked_spec = spec(lock_probability=1.0, lock_hold_ms=5.0)
+        free_row = table.add(0, 0.0, spec(), lock_id=-1)
+        queued_row = table.add(0, 0.0, locked_spec, lock_id=0)
+        assert free_row in table.runnable_rows()
+        assert queued_row not in table.runnable_rows()
+        assert queued_row in table.blocked_rows()
+
+    def test_work_done(self):
+        table = RequestTable()
+        row = table.add(0, 0.0, spec(cpu_ms=0.0, logical_reads=0.0, log_kb=0.0), -1)
+        busy = table.add(0, 0.0, spec(), -1)
+        rows = np.asarray([row, busy])
+        done = table.work_done(rows)
+        assert done[0] and not done[1]
+
+    @given(st.integers(min_value=1, max_value=300))
+    def test_active_count_matches_adds(self, n):
+        table = RequestTable(capacity=16)
+        for _ in range(n):
+            table.add(0, 0.0, spec(), lock_id=-1)
+        assert len(table) == n
+        assert len(table.active_rows()) == n

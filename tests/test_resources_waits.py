@@ -1,0 +1,139 @@
+"""Tests for resource vectors and wait-statistics accounting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.engine.resources import SCALABLE_KINDS, ResourceKind, ResourceVector
+from repro.engine.waits import RESOURCE_WAIT_CLASS, WaitClass, WaitProfile
+
+
+class TestResourceVector:
+    def test_defaults_zero(self):
+        vector = ResourceVector()
+        assert all(vector.get(kind) == 0.0 for kind in ResourceKind)
+
+    def test_get_and_with_value(self):
+        vector = ResourceVector(cpu=2.0, memory=4.0)
+        updated = vector.with_value(ResourceKind.CPU, 8.0)
+        assert updated.cpu == 8.0
+        assert updated.memory == 4.0
+        assert vector.cpu == 2.0, "original is immutable"
+
+    def test_covers(self):
+        big = ResourceVector(cpu=4.0, memory=8.0, disk_io=100.0, log_io=4.0)
+        small = ResourceVector(cpu=2.0, memory=8.0, disk_io=50.0, log_io=1.0)
+        assert big.covers(small)
+        assert not small.covers(big)
+
+    def test_covers_is_reflexive(self):
+        vector = ResourceVector(cpu=1.0, memory=2.0)
+        assert vector.covers(vector)
+
+    def test_max_with(self):
+        a = ResourceVector(cpu=4.0, memory=1.0)
+        b = ResourceVector(cpu=1.0, memory=8.0)
+        merged = a.max_with(b)
+        assert merged.cpu == 4.0 and merged.memory == 8.0
+
+    def test_scale(self):
+        vector = ResourceVector(cpu=2.0, disk_io=100.0)
+        scaled = vector.scale(1.5)
+        assert scaled.cpu == 3.0 and scaled.disk_io == 150.0
+
+    def test_as_dict(self):
+        assert ResourceVector(cpu=1.0).as_dict()["cpu"] == 1.0
+
+    def test_scalable_kinds_complete(self):
+        assert set(SCALABLE_KINDS) == set(ResourceKind)
+
+    @given(
+        st.floats(min_value=0, max_value=1e6),
+        st.floats(min_value=0, max_value=1e6),
+    )
+    def test_max_with_covers_both(self, a_cpu, b_cpu):
+        a = ResourceVector(cpu=a_cpu)
+        b = ResourceVector(cpu=b_cpu)
+        merged = a.max_with(b)
+        assert merged.covers(a) and merged.covers(b)
+
+
+class TestWaitProfile:
+    def test_starts_empty(self):
+        profile = WaitProfile()
+        assert profile.total() == 0.0
+        assert profile.dominant_class() is None
+
+    def test_add_and_total(self):
+        profile = WaitProfile()
+        profile.add(WaitClass.CPU, 100.0)
+        profile.add(WaitClass.DISK, 300.0)
+        assert profile.total() == 400.0
+        assert profile.get(WaitClass.CPU) == 100.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            WaitProfile().add(WaitClass.CPU, -1.0)
+
+    def test_percentage(self):
+        profile = WaitProfile()
+        profile.add(WaitClass.LOCK, 900.0)
+        profile.add(WaitClass.CPU, 100.0)
+        assert profile.percentage(WaitClass.LOCK) == 90.0
+        assert profile.percentage(WaitClass.CPU) == 10.0
+
+    def test_percentage_empty_is_zero(self):
+        assert WaitProfile().percentage(WaitClass.CPU) == 0.0
+
+    def test_percentages_sum_to_100(self):
+        profile = WaitProfile()
+        profile.add(WaitClass.CPU, 10.0)
+        profile.add(WaitClass.DISK, 20.0)
+        profile.add(WaitClass.SYSTEM, 5.0)
+        assert sum(profile.percentages().values()) == pytest.approx(100.0)
+
+    def test_dominant_class(self):
+        profile = WaitProfile()
+        profile.add(WaitClass.LOG, 50.0)
+        profile.add(WaitClass.LOCK, 200.0)
+        assert profile.dominant_class() is WaitClass.LOCK
+
+    def test_merge(self):
+        a = WaitProfile()
+        a.add(WaitClass.CPU, 10.0)
+        b = WaitProfile()
+        b.add(WaitClass.CPU, 5.0)
+        b.add(WaitClass.DISK, 7.0)
+        a.merge(b)
+        assert a.get(WaitClass.CPU) == 15.0
+        assert a.get(WaitClass.DISK) == 7.0
+
+    def test_copy_is_independent(self):
+        profile = WaitProfile()
+        profile.add(WaitClass.CPU, 1.0)
+        clone = profile.copy()
+        clone.add(WaitClass.CPU, 1.0)
+        assert profile.get(WaitClass.CPU) == 1.0
+
+    def test_reset(self):
+        profile = WaitProfile()
+        profile.add(WaitClass.MEMORY, 3.0)
+        profile.reset()
+        assert profile.total() == 0.0
+
+    def test_resource_wait_mapping(self):
+        # Every scalable resource has a wait class; lock/system map to none.
+        assert RESOURCE_WAIT_CLASS[ResourceKind.CPU] is WaitClass.CPU
+        assert RESOURCE_WAIT_CLASS[ResourceKind.MEMORY] is WaitClass.MEMORY
+        assert RESOURCE_WAIT_CLASS[ResourceKind.DISK_IO] is WaitClass.DISK
+        assert RESOURCE_WAIT_CLASS[ResourceKind.LOG_IO] is WaitClass.LOG
+        assert WaitClass.LOCK not in RESOURCE_WAIT_CLASS.values()
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e9), min_size=1, max_size=20))
+    def test_total_is_sum(self, amounts):
+        profile = WaitProfile()
+        for i, amount in enumerate(amounts):
+            profile.add(list(WaitClass)[i % len(WaitClass)], amount)
+        assert profile.total() == pytest.approx(sum(amounts))

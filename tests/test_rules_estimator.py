@@ -1,0 +1,254 @@
+"""Tests for the rule hierarchy and the demand estimator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.demand_estimator import DemandEstimator
+from repro.core.rules import (
+    MAX_STEP,
+    RuleContext,
+    evaluate_rules,
+    high_demand_rules,
+    low_demand_rules,
+)
+from repro.core.thresholds import default_thresholds
+from repro.engine.resources import ResourceKind
+from repro.engine.waits import WaitClass
+
+from tests.helpers import (
+    DOWN_TREND,
+    STRONG_CORR,
+    UP_TREND,
+    make_resource_signals,
+    make_workload_signals,
+)
+
+CONTEXT = RuleContext()
+
+
+def first_rule(signals, rules=None, context=CONTEXT):
+    outcome = evaluate_rules(rules or high_demand_rules(), signals, context)
+    return outcome.rule.rule_id if outcome.rule else None
+
+
+class TestHighDemandRules:
+    def test_saturated_strong_gives_two_steps(self):
+        signals = make_resource_signals(
+            utilization_pct=99.0, wait_ms=100_000.0, wait_pct=80.0
+        )
+        outcome = evaluate_rules(high_demand_rules(), signals, CONTEXT)
+        assert outcome.rule.rule_id == "H0-saturated-strong"
+        assert outcome.steps == 2
+
+    def test_strong_pressure_trending_two_steps(self):
+        signals = make_resource_signals(
+            utilization_pct=80.0,
+            wait_ms=100_000.0,
+            wait_pct=60.0,
+            utilization_trend=UP_TREND,
+        )
+        assert first_rule(signals) == "H1-strong-pressure-trending"
+
+    def test_strong_pressure_without_trend_one_step(self):
+        signals = make_resource_signals(
+            utilization_pct=80.0, wait_ms=100_000.0, wait_pct=60.0
+        )
+        outcome = evaluate_rules(high_demand_rules(), signals, CONTEXT)
+        assert outcome.rule.rule_id == "H2-strong-pressure"
+        assert outcome.steps == 1
+
+    def test_insignificant_pct_needs_trend(self):
+        # HIGH util + HIGH waits but the percentage is drowned out: only
+        # an increasing trend (or saturation) justifies scaling.
+        signals = make_resource_signals(
+            utilization_pct=80.0, wait_ms=100_000.0, wait_pct=5.0
+        )
+        assert first_rule(signals) is None
+        trending = make_resource_signals(
+            utilization_pct=80.0,
+            wait_ms=100_000.0,
+            wait_pct=5.0,
+            wait_trend=UP_TREND,
+        )
+        assert first_rule(trending) == "H3-high-waits-trending"
+
+    def test_medium_waits_need_trend_and_significance(self):
+        signals = make_resource_signals(
+            utilization_pct=80.0,
+            wait_ms=10_000.0,
+            wait_pct=60.0,
+            utilization_trend=UP_TREND,
+        )
+        assert first_rule(signals) == "H4-medium-waits-trending"
+
+    def test_correlation_backed_rule(self):
+        signals = make_resource_signals(
+            utilization_pct=80.0,
+            wait_ms=10_000.0,
+            wait_pct=5.0,
+            correlation=STRONG_CORR,
+        )
+        assert first_rule(signals) == "H5-correlated-bottleneck"
+
+    def test_quiet_resource_matches_nothing(self):
+        signals = make_resource_signals(utilization_pct=40.0, wait_ms=10.0, wait_pct=2.0)
+        assert first_rule(signals) is None
+
+    def test_low_utilization_never_high_demand(self):
+        signals = make_resource_signals(
+            utilization_pct=10.0, wait_ms=1e6, wait_pct=90.0, wait_trend=UP_TREND
+        )
+        assert first_rule(signals) is None
+
+    def test_steps_bounded(self):
+        for rule in high_demand_rules():
+            assert 1 <= rule.steps <= MAX_STEP
+        for rule in low_demand_rules():
+            assert -MAX_STEP <= rule.steps <= -1
+
+
+class TestLowDemandRules:
+    def test_idle_matches(self):
+        signals = make_resource_signals(utilization_pct=5.0, wait_ms=10.0, wait_pct=2.0)
+        outcome = evaluate_rules(low_demand_rules(), signals, CONTEXT)
+        assert outcome.rule.rule_id == "L1-idle"
+        assert outcome.steps == -1
+
+    def test_idle_with_rising_pressure_blocked(self):
+        signals = make_resource_signals(
+            utilization_pct=5.0, wait_ms=10.0, wait_pct=2.0, wait_trend=UP_TREND
+        )
+        assert first_rule(signals, low_demand_rules()) is None
+
+    def test_medium_util_declining(self):
+        signals = make_resource_signals(
+            utilization_pct=40.0,
+            wait_ms=10.0,
+            wait_pct=2.0,
+            utilization_trend=DOWN_TREND,
+        )
+        assert first_rule(signals, low_demand_rules()) == "L2-quiet-moderate"
+
+
+class TestAblationContext:
+    def test_trends_ablated(self):
+        context = RuleContext(use_trends=False)
+        signals = make_resource_signals(
+            utilization_pct=80.0,
+            wait_ms=100_000.0,
+            wait_pct=5.0,
+            wait_trend=UP_TREND,
+        )
+        # H3 requires the trend; with trends off it cannot fire.
+        assert first_rule(signals, context=context) is None
+
+    def test_correlation_ablated(self):
+        context = RuleContext(use_correlation=False)
+        signals = make_resource_signals(
+            utilization_pct=80.0,
+            wait_ms=10_000.0,
+            wait_pct=5.0,
+            correlation=STRONG_CORR,
+        )
+        assert first_rule(signals, context=context) is None
+
+    def test_trends_off_unblocks_low_rules(self):
+        context = RuleContext(use_trends=False)
+        signals = make_resource_signals(
+            utilization_pct=5.0, wait_ms=10.0, wait_pct=2.0, wait_trend=UP_TREND
+        )
+        assert first_rule(signals, low_demand_rules(), context) == "L1-idle"
+
+
+class TestDemandEstimator:
+    def make(self, **kwargs):
+        return DemandEstimator(thresholds=default_thresholds(), **kwargs)
+
+    def test_quiet_workload_no_demand(self):
+        estimate = self.make().estimate(make_workload_signals())
+        assert not estimate.any_high
+        assert estimate.demand(ResourceKind.CPU).steps == 0
+
+    def test_cpu_pressure_detected(self):
+        signals = make_workload_signals(
+            resources={
+                ResourceKind.CPU: make_resource_signals(
+                    kind=ResourceKind.CPU,
+                    utilization_pct=99.0,
+                    wait_ms=100_000.0,
+                    wait_pct=80.0,
+                )
+            }
+        )
+        estimate = self.make().estimate(signals)
+        assert estimate.demand(ResourceKind.CPU).steps == 2
+        assert estimate.any_high
+
+    def test_idle_resources_low(self):
+        signals = make_workload_signals(
+            resources={
+                kind: make_resource_signals(
+                    kind=kind, utilization_pct=5.0, wait_ms=1.0, wait_pct=1.0
+                )
+                for kind in ResourceKind
+            }
+        )
+        estimate = self.make().estimate(signals)
+        assert estimate.all_low
+        # Memory is never inferred low from signals (ballooning owns it).
+        assert estimate.demand(ResourceKind.MEMORY).steps == 0
+
+    def test_memory_coupled_with_disk(self):
+        signals = make_workload_signals(
+            resources={
+                ResourceKind.DISK_IO: make_resource_signals(
+                    kind=ResourceKind.DISK_IO,
+                    utilization_pct=99.0,
+                    wait_ms=100_000.0,
+                    wait_pct=50.0,
+                ),
+                # Memory utilization LOW (so no direct rule fires) but
+                # with significant memory waits: only the coupling path
+                # can escalate it.
+                ResourceKind.MEMORY: make_resource_signals(
+                    kind=ResourceKind.MEMORY,
+                    utilization_pct=10.0,
+                    wait_ms=10_000.0,
+                    wait_pct=40.0,
+                ),
+            }
+        )
+        estimate = self.make().estimate(signals)
+        assert estimate.demand(ResourceKind.DISK_IO).is_high
+        memory = estimate.demand(ResourceKind.MEMORY)
+        assert memory.is_high
+        assert memory.rule_id == "M1-disk-coupled"
+
+    def test_non_resource_bound_detection(self):
+        signals = make_workload_signals(
+            wait_percentages={WaitClass.LOCK: 92.0, WaitClass.CPU: 8.0},
+            dominant_wait=WaitClass.LOCK,
+        )
+        estimate = self.make().estimate(signals)
+        assert estimate.non_resource_bound
+        assert estimate.dominant_non_resource_wait is WaitClass.LOCK
+
+    def test_utilization_only_ablation(self):
+        estimator = self.make(use_waits=False)
+        signals = make_workload_signals(
+            resources={
+                ResourceKind.CPU: make_resource_signals(
+                    kind=ResourceKind.CPU,
+                    utilization_pct=85.0,
+                    wait_ms=0.0,
+                    wait_pct=0.0,
+                )
+            }
+        )
+        estimate = estimator.estimate(signals)
+        assert estimate.demand(ResourceKind.CPU).rule_id == "U-high"
+
+    def test_estimates_for_all_kinds(self):
+        estimate = self.make().estimate(make_workload_signals())
+        assert set(estimate.demands) == set(ResourceKind)

@@ -1,0 +1,298 @@
+"""Behavioural tests for the database-server simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.bufferpool import DatasetSpec
+from repro.engine.containers import default_catalog
+from repro.engine.requests import TransactionSpec
+from repro.engine.resources import ResourceKind
+from repro.engine.server import DatabaseServer, EngineConfig
+from repro.engine.waits import WaitClass
+from repro.errors import ConfigurationError, SimulationError
+
+from tests.helpers import run_intervals
+
+
+CATALOG = default_catalog()
+
+
+def make_server(
+    level=4,
+    cpu_ms=20.0,
+    logical_reads=40.0,
+    log_kb=4.0,
+    lock_probability=0.0,
+    lock_hold_ms=0.0,
+    n_hot_locks=0,
+    working_set_gb=1.0,
+    prewarm=True,
+    **config_kwargs,
+):
+    config_defaults = dict(
+        interval_ticks=15,
+        system_wait_ms_scale=0.0,
+        outlier_probability=0.0,
+        checkpoint_period_s=0.0,
+        seed=42,
+    )
+    config_defaults.update(config_kwargs)
+    config = EngineConfig(**config_defaults)
+    spec = TransactionSpec(
+        name="q",
+        weight=1.0,
+        cpu_ms=cpu_ms,
+        logical_reads=logical_reads,
+        log_kb=log_kb,
+        lock_probability=lock_probability,
+        lock_hold_ms=lock_hold_ms,
+        work_sigma=0.0,
+    )
+    server = DatabaseServer(
+        specs=[spec],
+        dataset=DatasetSpec(data_gb=8.0, working_set_gb=working_set_gb),
+        container=CATALOG.at_level(level),
+        config=config,
+        n_hot_locks=n_hot_locks,
+    )
+    if prewarm:
+        server.prewarm()
+    return server
+
+
+class TestConstruction:
+    def test_needs_specs(self):
+        with pytest.raises(ConfigurationError):
+            make_server_empty = DatabaseServer(
+                specs=[],
+                dataset=DatasetSpec(data_gb=1.0, working_set_gb=0.5),
+                container=CATALOG.smallest,
+            )
+
+    def test_engine_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            EngineConfig(tick_s=0.0)
+        with pytest.raises(ConfigurationError):
+            EngineConfig(interval_ticks=0)
+        with pytest.raises(ConfigurationError):
+            EngineConfig(max_concurrency=0)
+
+    def test_rate_profile_shape_checked(self):
+        server = make_server()
+        with pytest.raises(SimulationError):
+            server.run_interval_with_rates(np.ones(7))
+
+
+class TestSteadyState:
+    def test_completions_match_offered_load(self):
+        server = make_server()
+        counters = run_intervals(server, rate=10.0, n=4)[-1]
+        expected = 10.0 * 15
+        assert counters.completions == pytest.approx(expected, rel=0.3)
+        assert counters.rejected == 0
+
+    def test_latency_close_to_service_time(self):
+        # 20 ms CPU + 40 cached reads (8 ms) on an idle big container.
+        server = make_server(level=8)
+        counters = run_intervals(server, rate=5.0, n=4)[-1]
+        p50 = counters.latency_percentile(50.0)
+        assert 20.0 <= p50 <= 80.0
+
+    def test_utilization_scales_with_rate(self):
+        server = make_server()
+        low = run_intervals(server, rate=5.0, n=3)[-1]
+        high = run_intervals(server, rate=40.0, n=3)[-1]
+        assert (
+            high.utilization_median[ResourceKind.CPU]
+            > low.utilization_median[ResourceKind.CPU]
+        )
+
+    def test_cpu_utilization_magnitude(self):
+        # 20 ms x 40/s = 0.8 cores on a 4-core container => ~20 %.
+        server = make_server(level=4)
+        counters = run_intervals(server, rate=40.0, n=4)[-1]
+        assert counters.utilization_percent(ResourceKind.CPU) == pytest.approx(
+            20.0, abs=6.0
+        )
+
+    def test_idle_interval_has_no_latencies(self):
+        server = make_server()
+        counters = server.run_interval(0.0)
+        assert counters.completions == 0
+        assert counters.latencies_ms.size == 0
+
+
+class TestCpuSaturation:
+    def test_overload_creates_cpu_waits_and_latency(self):
+        server = make_server(level=0, cpu_ms=50.0, logical_reads=0.0, log_kb=0.0)
+        # 30/s x 50 ms = 1.5 cores >> C0's 0.5 cores.
+        counters = run_intervals(server, rate=30.0, n=4)[-1]
+        assert counters.utilization_percent(ResourceKind.CPU) > 95.0
+        assert counters.wait_ms(WaitClass.CPU) > 10_000.0
+        assert counters.latency_percentile(50.0) > 500.0
+
+    def test_bigger_container_relieves_cpu(self):
+        small = make_server(level=0, cpu_ms=50.0, logical_reads=0.0, log_kb=0.0)
+        big = make_server(level=6, cpu_ms=50.0, logical_reads=0.0, log_kb=0.0)
+        small_counters = run_intervals(small, rate=30.0, n=4)[-1]
+        big_counters = run_intervals(big, rate=30.0, n=4)[-1]
+        assert (
+            big_counters.latency_percentile(95.0)
+            < small_counters.latency_percentile(95.0) / 3
+        )
+
+    def test_admission_cap_rejects(self):
+        server = make_server(
+            level=0, cpu_ms=200.0, logical_reads=0.0, log_kb=0.0, max_concurrency=50
+        )
+        counters = run_intervals(server, rate=100.0, n=3)[-1]
+        assert counters.rejected > 0
+        assert server.in_flight() <= 50
+
+
+class TestDiskPath:
+    def test_cold_cache_drives_physical_reads(self):
+        server = make_server(prewarm=False, logical_reads=200.0)
+        counters = server.run_interval(10.0)
+        assert counters.disk_physical_reads > 0
+        assert counters.wait_ms(WaitClass.DISK) > 0
+
+    def test_warm_cache_mostly_hits(self):
+        server = make_server(logical_reads=200.0)
+        counters = run_intervals(server, rate=10.0, n=3)[-1]
+        logical = counters.completions * 200.0
+        assert counters.disk_physical_reads < logical * 0.2
+
+    def test_memory_shrink_raises_misses(self):
+        server = make_server(level=4, logical_reads=200.0, working_set_gb=3.0)
+        warm = run_intervals(server, rate=10.0, n=3)[-1]
+        server.set_container(CATALOG.at_level(1))  # cache < working set
+        cold = run_intervals(server, rate=10.0, n=2)[-1]
+        assert cold.disk_physical_reads > warm.disk_physical_reads * 2
+        assert cold.wait_ms(WaitClass.MEMORY) >= 0.0
+
+    def test_prefetch_rewarms_cache(self):
+        server = make_server(level=4, logical_reads=50.0, working_set_gb=2.0)
+        server.bufferpool.cached_hot_gb = 0.5  # simulate a bad eviction
+        before = server.bufferpool.cached_hot_gb
+        run_intervals(server, rate=2.0, n=3)
+        assert server.bufferpool.cached_hot_gb > before
+
+
+class TestLogPath:
+    def test_log_saturation_creates_log_waits(self):
+        # 60/s x 64 KB ~ 3.75 MB/s >> C0's 2 MB/s log budget.
+        server = make_server(
+            level=0, cpu_ms=1.0, logical_reads=0.0, log_kb=64.0
+        )
+        counters = run_intervals(server, rate=60.0, n=3)[-1]
+        assert counters.utilization_median[ResourceKind.LOG_IO] > 0.9
+        assert counters.wait_ms(WaitClass.LOG) > 0.0
+
+
+class TestLocks:
+    def test_lock_waits_dominate_under_contention(self):
+        server = make_server(
+            level=8,
+            cpu_ms=5.0,
+            logical_reads=5.0,
+            log_kb=0.0,
+            lock_probability=1.0,
+            lock_hold_ms=50.0,
+            n_hot_locks=1,
+        )
+        # 18/s x 50 ms = rho 0.9 on the single lock.
+        counters = run_intervals(server, rate=18.0, n=4)[-1]
+        assert counters.wait_percent(WaitClass.LOCK) > 60.0
+        assert counters.latency_percentile(50.0) > 50.0
+
+    def test_lock_latency_insensitive_to_container(self):
+        def p95_at(level):
+            server = make_server(
+                level=level,
+                cpu_ms=5.0,
+                logical_reads=5.0,
+                log_kb=0.0,
+                lock_probability=1.0,
+                lock_hold_ms=50.0,
+                n_hot_locks=1,
+            )
+            return run_intervals(server, rate=18.0, n=4)[-1].latency_percentile(95.0)
+
+        small, large = p95_at(2), p95_at(10)
+        assert small == pytest.approx(large, rel=0.6), (
+            "lock-bound latency should not improve materially with size"
+        )
+
+
+class TestResizeAndBalloon:
+    def test_resize_changes_capacity(self):
+        # 15/s x 50 ms = 0.75 cores: 1.5x C0's capacity, so queues build
+        # but completions still trickle through.
+        server = make_server(level=0, cpu_ms=50.0, logical_reads=0.0, log_kb=0.0)
+        overloaded = run_intervals(server, rate=15.0, n=3)[-1]
+        server.set_container(CATALOG.at_level(6))
+        relieved = run_intervals(server, rate=15.0, n=3)[-1]
+        assert relieved.latency_percentile(95.0) < overloaded.latency_percentile(95.0)
+        assert relieved.container.name == "C6"
+
+    def test_balloon_limit_recorded_in_counters(self):
+        server = make_server()
+        server.set_balloon_limit(2.5)
+        counters = server.run_interval(1.0)
+        assert counters.balloon_limit_gb == 2.5
+        server.set_balloon_limit(None)
+        counters = server.run_interval(1.0)
+        assert counters.balloon_limit_gb is None
+
+
+class TestDeterminism:
+    def test_same_seed_same_results(self):
+        a = run_intervals(make_server(), rate=20.0, n=3)
+        b = run_intervals(make_server(), rate=20.0, n=3)
+        for ca, cb in zip(a, b):
+            assert ca.completions == cb.completions
+            assert np.array_equal(ca.latencies_ms, cb.latencies_ms)
+
+    def test_different_seed_differs(self):
+        a = run_intervals(make_server(seed=1), rate=20.0, n=3)[-1]
+        b = run_intervals(make_server(seed=2), rate=20.0, n=3)[-1]
+        assert a.completions != b.completions or not np.array_equal(
+            a.latencies_ms, b.latencies_ms
+        )
+
+
+class TestNoiseInjection:
+    def test_system_noise_accrues(self):
+        server = make_server()
+        config = EngineConfig(
+            interval_ticks=15, system_wait_ms_scale=10.0, outlier_probability=0.0,
+            checkpoint_period_s=0.0, seed=1,
+        )
+        noisy = DatabaseServer(
+            specs=server.specs, dataset=server.dataset,
+            container=CATALOG.at_level(4), config=config,
+        )
+        counters = noisy.run_interval(1.0)
+        assert counters.wait_ms(WaitClass.SYSTEM) > 0.0
+
+    def test_checkpoint_consumes_disk(self):
+        config = EngineConfig(
+            interval_ticks=15, system_wait_ms_scale=0.0, outlier_probability=0.0,
+            checkpoint_period_s=10.0, checkpoint_duration_s=10.0,
+            checkpoint_disk_share=0.5, seed=1,
+        )
+        spec = TransactionSpec(
+            name="q", weight=1.0, cpu_ms=1.0, logical_reads=0.0, log_kb=0.0,
+        )
+        server = DatabaseServer(
+            specs=[spec],
+            dataset=DatasetSpec(data_gb=4.0, working_set_gb=1.0),
+            container=CATALOG.at_level(0),
+            config=config,
+        )
+        counters = server.run_interval(1.0)
+        # Checkpoint writes show up as disk utilization even with no reads.
+        assert counters.utilization_median[ResourceKind.DISK_IO] >= 0.45

@@ -1,0 +1,68 @@
+"""Tests for the categorized-signal data structures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.signals import LatencyStatus, Level
+from repro.engine.resources import ResourceKind
+from repro.engine.waits import WaitClass
+
+from tests.helpers import (
+    DOWN_TREND,
+    FLAT_TREND,
+    UP_TREND,
+    make_resource_signals,
+    make_workload_signals,
+)
+
+
+class TestResourceSignals:
+    def test_increasing_pressure_from_utilization(self):
+        signals = make_resource_signals(utilization_trend=UP_TREND)
+        assert signals.increasing_pressure
+        assert not signals.decreasing_or_flat
+
+    def test_increasing_pressure_from_waits(self):
+        signals = make_resource_signals(wait_trend=UP_TREND)
+        assert signals.increasing_pressure
+
+    def test_flat_is_not_pressure(self):
+        signals = make_resource_signals(
+            utilization_trend=FLAT_TREND, wait_trend=DOWN_TREND
+        )
+        assert not signals.increasing_pressure
+        assert signals.decreasing_or_flat
+
+    def test_categorization_round_trip(self):
+        signals = make_resource_signals(utilization_pct=85.0, wait_ms=100_000.0)
+        assert signals.utilization_level is Level.HIGH
+        assert signals.wait_level is Level.HIGH
+
+
+class TestWorkloadSignals:
+    def test_resource_accessor(self):
+        signals = make_workload_signals()
+        for kind in ResourceKind:
+            assert signals.resource(kind).kind is kind
+
+    def test_latency_degrading(self):
+        signals = make_workload_signals(latency_trend=UP_TREND)
+        assert signals.latency_degrading
+        assert not make_workload_signals(latency_trend=FLAT_TREND).latency_degrading
+
+    def test_non_resource_wait_pct_sums_lock_and_system(self):
+        signals = make_workload_signals(
+            wait_percentages={
+                WaitClass.LOCK: 60.0,
+                WaitClass.SYSTEM: 15.0,
+                WaitClass.CPU: 25.0,
+            }
+        )
+        assert signals.non_resource_wait_pct == pytest.approx(75.0)
+
+    def test_defaults_are_quiet(self):
+        signals = make_workload_signals()
+        assert signals.latency_status is LatencyStatus.GOOD
+        assert signals.non_resource_wait_pct == 0.0
+        assert signals.dominant_wait is None

@@ -1,0 +1,123 @@
+"""Tests for exact and streaming (P²) percentile estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InsufficientDataError
+from repro.stats.percentiles import P2Quantile, percentile
+
+
+class TestExactPercentile:
+    def test_median(self):
+        assert percentile([1.0, 2.0, 3.0], 50.0) == 2.0
+
+    def test_extremes(self):
+        values = list(range(101))
+        assert percentile(values, 0.0) == 0.0
+        assert percentile(values, 100.0) == 100.0
+
+    def test_p95(self):
+        values = list(range(1, 101))
+        assert percentile(values, 95.0) == pytest.approx(95.05)
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(InsufficientDataError):
+            percentile([], 50.0)
+
+    def test_nan_ignored(self):
+        assert percentile([1.0, float("nan"), 3.0], 50.0) == 2.0
+
+
+class TestP2Quantile:
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(InsufficientDataError):
+            P2Quantile(0.5).value()
+
+    def test_exact_below_five_samples(self):
+        estimator = P2Quantile(0.5)
+        for value in (5.0, 1.0, 3.0):
+            estimator.update(value)
+        assert estimator.value() == 3.0
+
+    def test_count(self):
+        estimator = P2Quantile(0.9)
+        for value in range(10):
+            estimator.update(float(value))
+        assert estimator.count == 10
+
+    def test_ignores_non_finite(self):
+        estimator = P2Quantile(0.5)
+        estimator.update(float("nan"))
+        estimator.update(float("inf"))
+        assert estimator.count == 0
+
+    def test_uniform_median(self):
+        rng = np.random.default_rng(0)
+        estimator = P2Quantile(0.5)
+        data = rng.uniform(0, 100, size=5000)
+        for value in data:
+            estimator.update(float(value))
+        assert estimator.value() == pytest.approx(np.median(data), abs=2.0)
+
+    def test_exponential_p95(self):
+        rng = np.random.default_rng(1)
+        estimator = P2Quantile(0.95)
+        data = rng.exponential(10.0, size=8000)
+        for value in data:
+            estimator.update(float(value))
+        exact = np.percentile(data, 95)
+        assert estimator.value() == pytest.approx(exact, rel=0.1)
+
+    def test_normal_p99(self):
+        rng = np.random.default_rng(2)
+        estimator = P2Quantile(0.99)
+        data = rng.normal(100.0, 15.0, size=10000)
+        for value in data:
+            estimator.update(float(value))
+        exact = np.percentile(data, 99)
+        assert estimator.value() == pytest.approx(exact, rel=0.05)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=50,
+            max_size=500,
+        ),
+        st.sampled_from([0.5, 0.9, 0.95]),
+    )
+    def test_estimate_within_sample_range(self, values, q):
+        estimator = P2Quantile(q)
+        for value in values:
+            estimator.update(value)
+        assert min(values) - 1e-9 <= estimator.value() <= max(values) + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+            min_size=200,
+            max_size=800,
+        )
+    )
+    def test_median_estimate_close_to_exact(self, values):
+        estimator = P2Quantile(0.5)
+        for value in values:
+            estimator.update(value)
+        exact = float(np.percentile(values, 50))
+        spread = max(values) - min(values)
+        assert abs(estimator.value() - exact) <= max(0.15 * spread, 1e-6)

@@ -1,0 +1,150 @@
+"""Unit and property tests for the robust-statistics primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InsufficientDataError
+from repro.stats.robust import (
+    breakdown_point,
+    iqr,
+    mad,
+    median,
+    robust_zscores,
+    trimmed_mean,
+    winsorized_mean,
+)
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+samples = st.lists(finite_floats, min_size=1, max_size=50)
+
+
+class TestMedian:
+    def test_odd_length(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+
+    def test_even_length_interpolates(self):
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+    def test_single_value(self):
+        assert median([7.0]) == 7.0
+
+    def test_ignores_nans(self):
+        assert median([1.0, float("nan"), 3.0]) == 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(InsufficientDataError):
+            median([])
+
+    def test_all_nan_raises(self):
+        with pytest.raises(InsufficientDataError):
+            median([float("nan"), float("nan")])
+
+    def test_outlier_immunity(self):
+        clean = [10.0, 11.0, 12.0, 13.0, 14.0]
+        dirty = clean[:-1] + [1e9]
+        assert median(dirty) == median(clean)
+
+    @given(samples)
+    def test_median_within_range(self, values):
+        result = median(values)
+        assert min(values) <= result <= max(values)
+
+    @given(samples, st.floats(min_value=-100, max_value=100, allow_nan=False))
+    def test_translation_equivariance(self, values, shift):
+        shifted = [v + shift for v in values]
+        assert median(shifted) == pytest.approx(median(values) + shift, abs=1e-6)
+
+
+class TestMad:
+    def test_constant_sample_is_zero(self):
+        assert mad([5.0] * 10) == 0.0
+
+    def test_known_value(self):
+        # MAD of 1..9 around median 5 is 2; scaled by 1.4826.
+        assert mad(range(1, 10)) == pytest.approx(2 * 1.4826)
+
+    def test_unscaled(self):
+        assert mad(range(1, 10), scale=1.0) == pytest.approx(2.0)
+
+    def test_outlier_immunity(self):
+        clean = list(range(1, 10))
+        dirty = clean[:-1] + [10**9]
+        assert mad(dirty) == pytest.approx(mad(clean), rel=0.5)
+
+    @given(samples)
+    def test_non_negative(self, values):
+        assert mad(values) >= 0.0
+
+
+class TestTrimmedAndWinsorized:
+    def test_trimmed_mean_drops_tails(self):
+        values = [0.0, 1.0, 2.0, 3.0, 100.0]
+        assert trimmed_mean(values, trim_fraction=0.2) == pytest.approx(2.0)
+
+    def test_zero_trim_equals_mean(self):
+        values = [1.0, 2.0, 3.0]
+        assert trimmed_mean(values, trim_fraction=0.0) == pytest.approx(2.0)
+
+    def test_invalid_trim_fraction(self):
+        with pytest.raises(ValueError):
+            trimmed_mean([1.0, 2.0], trim_fraction=0.5)
+
+    def test_winsorized_clamps(self):
+        values = [0.0, 1.0, 2.0, 3.0, 100.0]
+        result = winsorized_mean(values, fraction=0.2)
+        assert result == pytest.approx((1.0 + 1 + 2 + 3 + 3) / 5)
+
+    def test_winsorized_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            winsorized_mean([1.0], fraction=-0.1)
+
+    @given(samples.filter(lambda v: len(v) >= 3))
+    def test_trimmed_mean_bounded_by_extremes(self, values):
+        result = trimmed_mean(values, trim_fraction=0.1)
+        slack = max(1e-9, 1e-9 * max(abs(v) for v in values))
+        assert min(values) - slack <= result <= max(values) + slack
+
+
+class TestIqrAndZscores:
+    def test_iqr_known(self):
+        assert iqr(range(1, 9)) == pytest.approx(3.5)
+
+    def test_iqr_needs_two(self):
+        with pytest.raises(InsufficientDataError):
+            iqr([1.0])
+
+    def test_zscores_flag_outlier(self):
+        values = [10.0, 11.0, 10.5, 9.5, 10.2, 50.0]
+        scores = robust_zscores(values)
+        assert abs(scores[-1]) > 3.5
+        assert all(abs(s) < 3.5 for s in scores[:-1])
+
+    def test_zscores_zero_mad(self):
+        scores = robust_zscores([5.0, 5.0, 5.0, 9.0])
+        assert np.all(scores == 0.0)
+
+
+class TestBreakdownPoint:
+    def test_median_has_max_breakdown(self):
+        assert breakdown_point("median") == 0.5
+
+    def test_mean_has_zero_breakdown(self):
+        assert breakdown_point("mean") == 0.0
+
+    def test_theil_sen(self):
+        assert breakdown_point("theil_sen") == pytest.approx(0.29)
+
+    def test_trimmed_requires_fraction(self):
+        with pytest.raises(ValueError):
+            breakdown_point("trimmed_mean")
+        assert breakdown_point("trimmed_mean", fraction=0.1) == 0.1
+
+    def test_unknown_estimator(self):
+        with pytest.raises(KeyError):
+            breakdown_point("mode")

@@ -1,0 +1,114 @@
+"""Tests for rolling windows."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, InsufficientDataError
+from repro.stats.rolling import RollingWindow, TimestampedWindow
+
+
+class TestRollingWindow:
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigurationError):
+            RollingWindow(0)
+
+    def test_fill_and_order(self):
+        window = RollingWindow(3)
+        for value in (1.0, 2.0, 3.0):
+            window.append(value)
+        assert list(window.values()) == [1.0, 2.0, 3.0]
+
+    def test_eviction_order(self):
+        window = RollingWindow(3)
+        for value in (1.0, 2.0, 3.0, 4.0, 5.0):
+            window.append(value)
+        assert list(window.values()) == [3.0, 4.0, 5.0]
+
+    def test_len_and_full(self):
+        window = RollingWindow(2)
+        assert len(window) == 0 and not window.is_full()
+        window.append(1.0)
+        assert len(window) == 1 and not window.is_full()
+        window.append(2.0)
+        window.append(3.0)
+        assert len(window) == 2 and window.is_full()
+
+    def test_last(self):
+        window = RollingWindow(4)
+        with pytest.raises(InsufficientDataError):
+            window.last()
+        window.extend([1.0, 9.0])
+        assert window.last() == 9.0
+
+    def test_median_and_mean(self):
+        window = RollingWindow(5)
+        window.extend([1.0, 2.0, 100.0])
+        assert window.median() == 2.0
+        assert window.mean() == pytest.approx(103.0 / 3)
+
+    def test_percentile(self):
+        window = RollingWindow(10)
+        window.extend(range(10))
+        assert window.percentile(50) == pytest.approx(4.5)
+
+    def test_clear(self):
+        window = RollingWindow(3)
+        window.extend([1.0, 2.0])
+        window.clear()
+        assert len(window) == 0
+
+    def test_iteration(self):
+        window = RollingWindow(3)
+        window.extend([5.0, 6.0])
+        assert list(window) == [5.0, 6.0]
+
+    @given(
+        st.integers(min_value=1, max_value=20),
+        st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                           min_value=-1e9, max_value=1e9), max_size=60),
+    )
+    def test_window_keeps_most_recent(self, capacity, values):
+        window = RollingWindow(capacity)
+        window.extend(values)
+        expected = values[-capacity:]
+        assert list(window.values()) == pytest.approx(expected)
+
+
+class TestTimestampedWindow:
+    def test_append_and_access(self):
+        window = TimestampedWindow(4)
+        for t in range(6):
+            window.append(float(t), float(t * 2))
+        assert list(window.times()) == [2.0, 3.0, 4.0, 5.0]
+        assert list(window.values()) == [4.0, 6.0, 8.0, 10.0]
+        assert window.last() == 10.0
+
+    def test_trend_detects_line(self):
+        window = TimestampedWindow(8)
+        for t in range(8):
+            window.append(float(t), 3.0 * t)
+        result = window.trend()
+        assert result.significant
+        assert result.slope == pytest.approx(3.0)
+
+    def test_trend_on_flat(self):
+        window = TimestampedWindow(8)
+        for t in range(8):
+            window.append(float(t), 1.0)
+        assert window.trend().direction == 0
+
+    def test_median(self):
+        window = TimestampedWindow(5)
+        for t, v in enumerate([5.0, 1.0, 9.0]):
+            window.append(float(t), v)
+        assert window.median() == 5.0
+
+    def test_clear(self):
+        window = TimestampedWindow(3)
+        window.append(0.0, 1.0)
+        window.clear()
+        assert len(window) == 0

@@ -1,0 +1,114 @@
+"""Tests for Spearman rank correlation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InsufficientDataError
+from repro.stats.spearman import pearson, rankdata, spearman
+
+
+class TestRankdata:
+    def test_simple_ranks(self):
+        assert list(rankdata([10.0, 30.0, 20.0])) == [1.0, 3.0, 2.0]
+
+    def test_ties_share_mean_rank(self):
+        ranks = rankdata([1.0, 2.0, 2.0, 3.0])
+        assert list(ranks) == [1.0, 2.5, 2.5, 4.0]
+
+    def test_all_equal(self):
+        ranks = rankdata([5.0, 5.0, 5.0])
+        assert list(ranks) == [2.0, 2.0, 2.0]
+
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                              min_value=-1e9, max_value=1e9),
+                    min_size=1, max_size=40))
+    def test_rank_sum_invariant(self, values):
+        n = len(values)
+        assert rankdata(values).sum() == pytest.approx(n * (n + 1) / 2)
+
+
+class TestSpearman:
+    def test_perfect_monotone(self):
+        x = np.arange(10.0)
+        assert spearman(x, x**3).rho == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        x = np.arange(10.0)
+        assert spearman(x, -np.exp(x / 3)).rho == pytest.approx(-1.0)
+
+    def test_nonlinear_monotone_still_perfect(self):
+        # The reason the paper picked Spearman over Pearson.
+        x = np.arange(1.0, 11.0)
+        y = np.log(x)
+        assert spearman(x, y).rho == pytest.approx(1.0)
+        assert pearson(x, y) < 1.0
+
+    def test_independent_data_weak(self):
+        rng = np.random.default_rng(1)
+        rhos = [
+            abs(spearman(rng.normal(size=30), rng.normal(size=30)).rho)
+            for _ in range(20)
+        ]
+        assert np.median(rhos) < 0.4
+
+    def test_too_few_points_returns_zero(self):
+        result = spearman([1.0, 2.0], [2.0, 1.0])
+        assert result.rho == 0.0
+        assert result.n_points == 2
+
+    def test_nans_dropped_pairwise(self):
+        x = [1.0, 2.0, np.nan, 4.0, 5.0]
+        y = [1.0, 2.0, 3.0, 4.0, 5.0]
+        result = spearman(x, y)
+        assert result.n_points == 4
+        assert result.rho == pytest.approx(1.0)
+
+    def test_constant_series_zero(self):
+        assert spearman([1.0] * 8, np.arange(8.0)).rho == 0.0
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            spearman([1.0, 2.0], [1.0])
+
+    def test_is_strong_threshold(self):
+        result = spearman(np.arange(10.0), np.arange(10.0))
+        assert result.is_strong(0.6)
+        weak = spearman([1, 2, 3, 4, 5.0], [2, 1, 4, 3, 5.0])
+        assert not weak.is_strong(0.95)
+
+    def test_outlier_influence_bounded(self):
+        # Ranking bounds how far one outlier can drag the coefficient.
+        x = np.arange(20.0)
+        y = x.copy()
+        y[10] = 1e9
+        assert spearman(x, y).rho > 0.8
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+                    min_size=4, max_size=30, unique=True))
+    def test_rho_bounds(self, values):
+        rng = np.random.default_rng(0)
+        other = rng.permutation(np.asarray(values))
+        rho = spearman(values, other).rho
+        assert -1.0 - 1e-9 <= rho <= 1.0 + 1e-9
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+                    min_size=4, max_size=30, unique=True))
+    def test_self_correlation_is_one(self, values):
+        assert spearman(values, values).rho == pytest.approx(1.0)
+
+
+class TestPearson:
+    def test_linear(self):
+        x = np.arange(10.0)
+        assert pearson(x, 2 * x + 1) == pytest.approx(1.0)
+
+    def test_needs_two(self):
+        with pytest.raises(InsufficientDataError):
+            pearson([1.0], [1.0])
+
+    def test_constant_returns_zero(self):
+        assert pearson([1.0, 1.0, 1.0], [1.0, 2.0, 3.0]) == 0.0

@@ -1,0 +1,162 @@
+"""Tests for Theil–Sen trend estimation and the acceptance rule."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InsufficientDataError
+from repro.stats.theil_sen import (
+    detect_trend,
+    least_squares_slope,
+    theil_sen_slope,
+)
+
+
+class TestTheilSenSlope:
+    def test_perfect_line(self):
+        x = np.arange(10.0)
+        assert theil_sen_slope(x, 3.0 * x + 1.0) == pytest.approx(3.0)
+
+    def test_negative_slope(self):
+        x = np.arange(10.0)
+        assert theil_sen_slope(x, -2.0 * x) == pytest.approx(-2.0)
+
+    def test_flat(self):
+        x = np.arange(10.0)
+        assert theil_sen_slope(x, np.full(10, 4.0)) == 0.0
+
+    def test_outlier_resistance(self):
+        x = np.arange(11.0)
+        y = 2.0 * x
+        y[5] += 1000.0
+        assert theil_sen_slope(x, y) == pytest.approx(2.0, abs=0.5)
+
+    def test_least_squares_not_resistant(self):
+        x = np.arange(11.0)
+        y = 2.0 * x
+        y[10] += 1000.0
+        assert abs(least_squares_slope(x, y) - 2.0) > 10.0
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            theil_sen_slope([1.0, 2.0], [1.0])
+
+    def test_too_few_points(self):
+        with pytest.raises(InsufficientDataError):
+            theil_sen_slope([1.0], [1.0])
+
+    def test_identical_x(self):
+        with pytest.raises(InsufficientDataError):
+            theil_sen_slope([2.0, 2.0, 2.0], [1.0, 2.0, 3.0])
+
+    @given(
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        st.integers(min_value=3, max_value=30),
+    )
+    def test_recovers_exact_line(self, slope, intercept, n):
+        x = np.arange(float(n))
+        y = slope * x + intercept
+        assert theil_sen_slope(x, y) == pytest.approx(slope, abs=1e-6)
+
+
+class TestDetectTrend:
+    def test_clear_upward_trend(self):
+        x = np.arange(10.0)
+        result = detect_trend(x, 5.0 * x + np.sin(x))
+        assert result.significant
+        assert result.direction == 1
+        assert result.slope == pytest.approx(5.0, abs=0.5)
+
+    def test_clear_downward_trend(self):
+        x = np.arange(10.0)
+        result = detect_trend(x, -3.0 * x)
+        assert result.direction == -1
+
+    def test_noise_rejected(self):
+        rng = np.random.default_rng(0)
+        x = np.arange(12.0)
+        rejected = 0
+        for _ in range(20):
+            result = detect_trend(x, rng.normal(0, 1, size=12))
+            rejected += not result.significant
+        assert rejected >= 15, "pure noise should rarely produce a trend"
+
+    def test_rejected_trend_reports_zero_slope(self):
+        x = np.arange(8.0)
+        y = np.array([0, 10, -3, 7, -8, 2, -1, 4.0])
+        result = detect_trend(x, y)
+        if not result.significant:
+            assert result.slope == 0.0
+            assert result.direction == 0
+
+    def test_short_window_never_significant(self):
+        result = detect_trend([0.0, 1.0, 2.0], [0.0, 5.0, 10.0], min_points=4)
+        assert not result.significant
+        assert result.n_points == 3
+
+    def test_nan_values_dropped(self):
+        x = np.arange(8.0)
+        y = 2.0 * x
+        y[3] = np.nan
+        result = detect_trend(x, y)
+        assert result.significant
+        assert result.n_points == 7
+
+    def test_alpha_bounds(self):
+        with pytest.raises(ValueError):
+            detect_trend([1, 2, 3, 4], [1, 2, 3, 4], alpha=0.5)
+        with pytest.raises(ValueError):
+            detect_trend([1, 2, 3, 4], [1, 2, 3, 4], alpha=1.5)
+
+    def test_agreement_for_monotone_data(self):
+        x = np.arange(10.0)
+        result = detect_trend(x, x**2)
+        assert result.agreement == pytest.approx(1.0)
+
+    def test_higher_alpha_is_stricter(self):
+        x = np.arange(10.0)
+        rng = np.random.default_rng(3)
+        y = 0.5 * x + rng.normal(0, 2.0, size=10)
+        loose = detect_trend(x, y, alpha=0.7)
+        strict = detect_trend(x, y, alpha=0.99)
+        if strict.significant:
+            assert loose.significant
+
+    @given(st.integers(min_value=4, max_value=20))
+    def test_constant_series_not_significant(self, n):
+        x = np.arange(float(n))
+        result = detect_trend(x, np.full(n, 3.14))
+        assert not result.significant
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=4,
+            max_size=20,
+        )
+    )
+    def test_direction_consistent_with_slope(self, values):
+        x = np.arange(float(len(values)))
+        result = detect_trend(x, values)
+        if result.direction > 0:
+            assert result.slope > 0
+        elif result.direction < 0:
+            assert result.slope < 0
+
+
+class TestLeastSquares:
+    def test_known_line(self):
+        x = np.arange(5.0)
+        assert least_squares_slope(x, 4.0 * x + 2.0) == pytest.approx(4.0)
+
+    def test_needs_two_points(self):
+        with pytest.raises(InsufficientDataError):
+            least_squares_slope([1.0], [1.0])
+
+    def test_identical_x_raises(self):
+        with pytest.raises(InsufficientDataError):
+            least_squares_slope([1.0, 1.0], [1.0, 2.0])

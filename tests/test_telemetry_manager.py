@@ -1,0 +1,175 @@
+"""Tests for the telemetry manager's signal extraction."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.latency import LatencyGoal
+from repro.core.signals import LatencyStatus, Level
+from repro.core.telemetry_manager import TelemetryManager
+from repro.core.thresholds import default_thresholds
+from repro.engine.containers import default_catalog
+from repro.engine.resources import ResourceKind
+from repro.engine.telemetry import IntervalCounters
+from repro.engine.waits import WaitClass, WaitProfile
+
+CATALOG = default_catalog()
+
+
+def make_counters(
+    index: int,
+    latency_ms: float = 50.0,
+    cpu_util: float = 0.5,
+    cpu_wait_ms: float = 100.0,
+    lock_wait_ms: float = 0.0,
+    n_latencies: int = 50,
+) -> IntervalCounters:
+    waits = WaitProfile()
+    waits.add(WaitClass.CPU, cpu_wait_ms)
+    waits.add(WaitClass.LOCK, lock_wait_ms)
+    latencies = (
+        np.full(n_latencies, latency_ms) if n_latencies else np.empty(0)
+    )
+    return IntervalCounters(
+        interval_index=index,
+        start_s=index * 60.0,
+        end_s=(index + 1) * 60.0,
+        container=CATALOG.at_level(3),
+        latencies_ms=latencies,
+        arrivals=n_latencies,
+        completions=n_latencies,
+        rejected=0,
+        utilization_median={
+            ResourceKind.CPU: cpu_util,
+            ResourceKind.MEMORY: 0.5,
+            ResourceKind.DISK_IO: 0.1,
+            ResourceKind.LOG_IO: 0.05,
+        },
+        utilization_mean={
+            ResourceKind.CPU: cpu_util,
+            ResourceKind.MEMORY: 0.5,
+            ResourceKind.DISK_IO: 0.1,
+            ResourceKind.LOG_IO: 0.05,
+        },
+        waits=waits,
+        memory_used_gb=2.0,
+        disk_physical_reads=10.0,
+    )
+
+
+def manager(goal_ms: float | None = 100.0) -> TelemetryManager:
+    goal = LatencyGoal(goal_ms) if goal_ms else None
+    return TelemetryManager(default_thresholds(), goal)
+
+
+class TestIngestion:
+    def test_signals_before_observe_raises(self):
+        with pytest.raises(ValueError):
+            manager().signals()
+
+    def test_single_interval_signals(self):
+        tm = manager()
+        tm.observe(make_counters(0, latency_ms=50.0, cpu_util=0.5))
+        signals = tm.signals()
+        assert signals.interval_index == 0
+        assert signals.latency_status is LatencyStatus.GOOD
+        assert signals.resource(ResourceKind.CPU).utilization_level is Level.MEDIUM
+
+    def test_latency_status_bad(self):
+        tm = manager(goal_ms=40.0)
+        tm.observe(make_counters(0, latency_ms=50.0))
+        assert tm.signals().latency_status is LatencyStatus.BAD
+
+    def test_no_goal_gives_unknown(self):
+        tm = manager(goal_ms=None)
+        tm.observe(make_counters(0))
+        assert tm.signals().latency_status is LatencyStatus.UNKNOWN
+
+    def test_idle_interval_gives_unknown(self):
+        tm = manager()
+        tm.observe(make_counters(0, n_latencies=0))
+        signals = tm.signals()
+        assert math.isnan(signals.latency_ms)
+        assert signals.latency_status is LatencyStatus.UNKNOWN
+
+
+class TestTrends:
+    def test_rising_latency_detected(self):
+        tm = manager()
+        for i in range(8):
+            tm.observe(make_counters(i, latency_ms=50.0 + 10.0 * i))
+        signals = tm.signals()
+        assert signals.latency_degrading
+        assert signals.latency_trend.slope == pytest.approx(10.0, rel=0.2)
+
+    def test_flat_latency_not_degrading(self):
+        tm = manager()
+        rng = np.random.default_rng(0)
+        for i in range(8):
+            tm.observe(make_counters(i, latency_ms=50.0 + rng.normal(0, 0.3)))
+        # allow occasional false positive from tiny drifts, but slope tiny
+        signals = tm.signals()
+        assert abs(signals.latency_trend.slope) < 1.0
+
+    def test_utilization_trend(self):
+        tm = manager()
+        for i in range(8):
+            tm.observe(make_counters(i, cpu_util=0.1 + 0.08 * i))
+        cpu = tm.signals().resource(ResourceKind.CPU)
+        assert cpu.utilization_trend.direction == 1
+        assert cpu.increasing_pressure
+
+
+class TestCorrelation:
+    def test_latency_wait_correlation(self):
+        tm = manager()
+        for i in range(10):
+            wait = 1000.0 * (i + 1)
+            tm.observe(make_counters(i, latency_ms=20.0 + wait / 100.0, cpu_wait_ms=wait))
+        cpu = tm.signals().resource(ResourceKind.CPU)
+        assert cpu.latency_correlation.rho > 0.9
+
+    def test_uncorrelated_wait(self):
+        tm = manager()
+        rng = np.random.default_rng(1)
+        for i in range(10):
+            tm.observe(
+                make_counters(
+                    i,
+                    latency_ms=50.0 + rng.normal(0, 5),
+                    cpu_wait_ms=float(rng.uniform(0, 1000)),
+                )
+            )
+        cpu = tm.signals().resource(ResourceKind.CPU)
+        assert abs(cpu.latency_correlation.rho) < 0.8
+
+
+class TestWaitMix:
+    def test_wait_percentages_and_dominant(self):
+        tm = manager()
+        tm.observe(make_counters(0, cpu_wait_ms=100.0, lock_wait_ms=900.0))
+        signals = tm.signals()
+        assert signals.dominant_wait is WaitClass.LOCK
+        assert signals.non_resource_wait_pct == pytest.approx(90.0)
+
+    def test_resource_wait_levels(self):
+        tm = manager()
+        tm.observe(make_counters(0, cpu_wait_ms=100_000.0))
+        cpu = tm.signals().resource(ResourceKind.CPU)
+        assert cpu.wait_level is Level.HIGH
+
+    def test_histories_accessible(self):
+        tm = manager()
+        for i in range(5):
+            tm.observe(make_counters(i, cpu_util=0.3))
+        assert len(tm.latency_history()) == 5
+        assert len(tm.utilization_history(ResourceKind.CPU)) == 5
+        assert len(tm.wait_history(ResourceKind.CPU)) == 5
+
+    def test_container_level_passed_through(self):
+        tm = manager()
+        tm.observe(make_counters(0))
+        assert tm.signals().container_level == 3

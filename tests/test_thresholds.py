@@ -1,0 +1,113 @@
+"""Tests for signal-categorization thresholds."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.signals import Level
+from repro.core.thresholds import ThresholdConfig, WaitThresholds, default_thresholds
+from repro.engine.resources import ResourceKind
+from repro.errors import ConfigurationError
+
+
+class TestWaitThresholds:
+    def test_categorize(self):
+        cuts = WaitThresholds(low_ms=100.0, high_ms=1000.0)
+        assert cuts.categorize(50.0) is Level.LOW
+        assert cuts.categorize(100.0) is Level.MEDIUM
+        assert cuts.categorize(999.0) is Level.MEDIUM
+        assert cuts.categorize(1000.0) is Level.HIGH
+
+    def test_ordering_enforced(self):
+        with pytest.raises(ConfigurationError):
+            WaitThresholds(low_ms=10.0, high_ms=10.0)
+        with pytest.raises(ConfigurationError):
+            WaitThresholds(low_ms=-1.0, high_ms=10.0)
+
+
+class TestThresholdConfig:
+    def test_defaults_valid(self):
+        config = default_thresholds()
+        assert config.util_low_pct < config.util_high_pct
+        for kind in ResourceKind:
+            assert kind in config.wait_thresholds
+
+    def test_utilization_categorization(self):
+        config = default_thresholds()
+        assert config.categorize_utilization(10.0) is Level.LOW
+        assert config.categorize_utilization(50.0) is Level.MEDIUM
+        assert config.categorize_utilization(85.0) is Level.HIGH
+
+    def test_boundaries(self):
+        config = ThresholdConfig(util_low_pct=30.0, util_high_pct=70.0)
+        assert config.categorize_utilization(30.0) is Level.MEDIUM
+        assert config.categorize_utilization(70.0) is Level.HIGH
+
+    def test_wait_significance(self):
+        config = ThresholdConfig(wait_pct_significant=35.0)
+        assert config.is_wait_significant(35.0)
+        assert not config.is_wait_significant(34.9)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ThresholdConfig(util_low_pct=80.0, util_high_pct=70.0)
+        with pytest.raises(ConfigurationError):
+            ThresholdConfig(wait_pct_significant=0.0)
+        with pytest.raises(ConfigurationError):
+            ThresholdConfig(trend_alpha=0.4)
+        with pytest.raises(ConfigurationError):
+            ThresholdConfig(correlation_strong=0.0)
+        with pytest.raises(ConfigurationError):
+            ThresholdConfig(signal_window=1)
+        with pytest.raises(ConfigurationError):
+            ThresholdConfig(smooth_intervals=0)
+
+    def test_missing_wait_thresholds_rejected(self):
+        cuts = {ResourceKind.CPU: WaitThresholds(1.0, 2.0)}
+        with pytest.raises(ConfigurationError):
+            ThresholdConfig(wait_thresholds=cuts)
+
+    def test_with_wait_thresholds_merges(self):
+        config = default_thresholds()
+        updated = config.with_wait_thresholds(
+            {ResourceKind.CPU: WaitThresholds(low_ms=1.0, high_ms=2.0)}
+        )
+        assert updated.wait_thresholds[ResourceKind.CPU].low_ms == 1.0
+        # Other resources keep their defaults.
+        assert (
+            updated.wait_thresholds[ResourceKind.DISK_IO]
+            == config.wait_thresholds[ResourceKind.DISK_IO]
+        )
+        # The original is untouched.
+        assert config.wait_thresholds[ResourceKind.CPU].low_ms != 1.0
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        config = default_thresholds()
+        clone = ThresholdConfig.from_json(config.to_json())
+        assert clone == config
+
+    def test_save_and_load(self, tmp_path):
+        config = default_thresholds()
+        path = tmp_path / "thresholds.json"
+        config.save(path)
+        assert ThresholdConfig.load(path) == config
+
+    @given(
+        low=st.floats(min_value=1.0, max_value=1e4),
+        span=st.floats(min_value=1.0, max_value=1e6),
+        sig=st.floats(min_value=1.0, max_value=100.0),
+        alpha=st.floats(min_value=0.51, max_value=1.0),
+    )
+    def test_round_trip_arbitrary_configs(self, low, span, sig, alpha):
+        cuts = {
+            kind: WaitThresholds(low_ms=low, high_ms=low + span)
+            for kind in ResourceKind
+        }
+        config = ThresholdConfig(
+            wait_thresholds=cuts, wait_pct_significant=sig, trend_alpha=alpha
+        )
+        assert ThresholdConfig.from_json(config.to_json()) == config

@@ -1,0 +1,143 @@
+"""Tests for the Figure 8 traces and the trace-driven load generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, WorkloadError
+from repro.workloads.loadgen import LoadGenerator
+from repro.workloads.traces import (
+    Trace,
+    long_burst_trace,
+    multi_burst_trace,
+    paper_trace,
+    short_burst_trace,
+    steady_trace,
+)
+
+
+class TestTrace:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            Trace(name="bad", rates=np.asarray([]))
+        with pytest.raises(WorkloadError):
+            Trace(name="bad", rates=np.asarray([-1.0]))
+        with pytest.raises(WorkloadError):
+            Trace(name="bad", rates=np.ones((2, 2)))
+
+    def test_properties(self):
+        trace = Trace(name="t", rates=np.asarray([1.0, 3.0, 2.0]))
+        assert trace.n_intervals == 3
+        assert trace.peak == 3.0
+        assert trace.mean == 2.0
+        assert trace.burstiness() == pytest.approx(1.5)
+
+    def test_scaled_to_peak(self):
+        trace = Trace(name="t", rates=np.asarray([1.0, 2.0]))
+        scaled = trace.scaled_to_peak(10.0)
+        assert scaled.peak == 10.0
+        assert scaled.rates[0] == pytest.approx(5.0)
+
+    def test_scale_zero_trace_rejected(self):
+        trace = Trace(name="t", rates=np.zeros(3))
+        with pytest.raises(WorkloadError):
+            trace.scaled_to_peak(5.0)
+
+
+class TestGenerators:
+    def test_steady_is_flat(self):
+        trace = steady_trace(n_intervals=100)
+        assert trace.burstiness() < 1.5
+
+    def test_long_burst_shape(self):
+        trace = long_burst_trace(n_intervals=200)
+        high = trace.rates > trace.peak * 0.5
+        assert 0.2 <= high.mean() <= 0.45
+
+    def test_short_burst_shorter_than_long(self):
+        long_high = (long_burst_trace(200).rates > 50).sum()
+        short_high = (short_burst_trace(200).rates > 50).sum()
+        assert short_high < long_high
+
+    def test_multi_burst_has_many_bursts(self):
+        trace = multi_burst_trace(n_intervals=240)
+        high = trace.rates > trace.rates.mean() * 1.5
+        starts = int(np.sum(high[1:] & ~high[:-1]))
+        assert starts >= 3
+
+    def test_burst_fraction_validation(self):
+        with pytest.raises(WorkloadError):
+            long_burst_trace(burst_fraction=0.0)
+
+    def test_n_bursts_validation(self):
+        with pytest.raises(WorkloadError):
+            multi_burst_trace(n_bursts=0)
+
+    def test_seeded_determinism(self):
+        a = multi_burst_trace(seed=5)
+        b = multi_burst_trace(seed=5)
+        assert np.array_equal(a.rates, b.rates)
+        c = multi_burst_trace(seed=6)
+        assert not np.array_equal(a.rates, c.rates)
+
+    def test_paper_trace_dispatch(self):
+        for number, name in ((1, "trace1"), (2, "trace2"), (3, "trace3"), (4, "trace4")):
+            assert paper_trace(number, n_intervals=50).name == name
+
+    def test_paper_trace_peak_override(self):
+        trace = paper_trace(2, n_intervals=50, peak=42.0)
+        assert trace.peak == pytest.approx(42.0)
+
+    def test_paper_trace_invalid_number(self):
+        with pytest.raises(WorkloadError):
+            paper_trace(5)
+
+    @given(st.integers(min_value=10, max_value=300), st.integers(min_value=1, max_value=4))
+    def test_all_traces_non_negative(self, n, number):
+        trace = paper_trace(number, n_intervals=n)
+        assert trace.n_intervals == n
+        assert (trace.rates >= 0).all()
+
+
+class TestLoadGenerator:
+    def test_validation(self):
+        trace = steady_trace(n_intervals=10)
+        with pytest.raises(ConfigurationError):
+            LoadGenerator(trace, interval_ticks=0)
+        with pytest.raises(ConfigurationError):
+            LoadGenerator(trace, interval_ticks=10, ramp_ticks=11)
+        with pytest.raises(ConfigurationError):
+            LoadGenerator(trace, interval_ticks=10, jitter=-0.1)
+
+    def test_interval_rates_shape(self):
+        generator = LoadGenerator(steady_trace(n_intervals=5), interval_ticks=30)
+        rates = generator.interval_rates(0)
+        assert rates.shape == (30,)
+        assert (rates >= 0).all()
+
+    def test_index_bounds(self):
+        generator = LoadGenerator(steady_trace(n_intervals=5), interval_ticks=10)
+        with pytest.raises(ConfigurationError):
+            generator.interval_rates(5)
+
+    def test_rates_track_target(self):
+        trace = Trace(name="t", rates=np.asarray([10.0, 10.0, 10.0]))
+        generator = LoadGenerator(trace, interval_ticks=60, jitter=0.01)
+        rates = generator.interval_rates(1)
+        assert rates.mean() == pytest.approx(10.0, rel=0.05)
+
+    def test_ramp_smooths_transition(self):
+        trace = Trace(name="t", rates=np.asarray([0.0, 100.0]))
+        generator = LoadGenerator(trace, interval_ticks=20, ramp_ticks=5, jitter=0.0)
+        rates = generator.interval_rates(1)
+        assert rates[0] < 50.0, "ramp starts near the previous rate"
+        assert rates[-1] == pytest.approx(100.0)
+
+    def test_iteration_covers_trace(self):
+        trace = steady_trace(n_intervals=7)
+        generator = LoadGenerator(trace, interval_ticks=10)
+        assert len(list(generator)) == 7
+        assert len(generator) == 7

@@ -1,0 +1,121 @@
+"""Tests for workload definitions and the three benchmark mixes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.bufferpool import DatasetSpec
+from repro.engine.requests import TransactionSpec
+from repro.errors import WorkloadError
+from repro.workloads import cpuio_workload, ds2_workload, tpcc_workload
+from repro.workloads.base import Workload
+
+
+class TestWorkloadBase:
+    def test_requires_specs(self):
+        with pytest.raises(WorkloadError):
+            Workload(
+                name="empty",
+                specs=(),
+                dataset=DatasetSpec(data_gb=1.0, working_set_gb=0.5),
+            )
+
+    def test_contended_specs_need_locks(self):
+        spec = TransactionSpec(
+            name="t", weight=1.0, cpu_ms=1.0, logical_reads=1.0, log_kb=0.0,
+            lock_probability=0.5, lock_hold_ms=10.0,
+        )
+        with pytest.raises(WorkloadError):
+            Workload(
+                name="w",
+                specs=(spec,),
+                dataset=DatasetSpec(data_gb=1.0, working_set_gb=0.5),
+                n_hot_locks=0,
+            )
+
+    def test_mix_fraction(self):
+        workload = tpcc_workload()
+        total = sum(workload.mix_fraction(s.name) for s in workload.specs)
+        assert total == pytest.approx(1.0)
+
+    def test_mix_fraction_unknown_name(self):
+        with pytest.raises(WorkloadError):
+            tpcc_workload().mix_fraction("nope")
+
+    def test_mean_service_positive(self):
+        for workload in (tpcc_workload(), ds2_workload(), cpuio_workload()):
+            assert workload.mean_service_ms() > 0
+
+
+class TestTpcc:
+    def test_five_transaction_types(self):
+        workload = tpcc_workload()
+        names = {s.name for s in workload.specs}
+        assert names == {
+            "new_order", "payment", "order_status", "delivery", "stock_level"
+        }
+
+    def test_new_order_payment_dominate(self):
+        workload = tpcc_workload()
+        assert workload.mix_fraction("new_order") + workload.mix_fraction(
+            "payment"
+        ) == pytest.approx(0.88)
+
+    def test_lock_bound_by_design(self):
+        # The majority of the mix passes through a hot-lock critical
+        # section — the property behind Figure 13.
+        assert tpcc_workload().lock_bound_share() > 0.5
+
+    def test_lock_hold_knob(self):
+        slow = tpcc_workload(lock_hold_ms=100.0)
+        new_order = next(s for s in slow.specs if s.name == "new_order")
+        assert new_order.lock_hold_ms == 100.0
+
+    def test_working_set_fits_small_containers(self):
+        assert tpcc_workload().dataset.working_set_gb <= 2.0
+
+
+class TestDs2:
+    def test_browse_heavy(self):
+        workload = ds2_workload()
+        assert workload.mix_fraction("browse") > 0.5
+
+    def test_light_contention(self):
+        assert ds2_workload().lock_bound_share() < 0.1
+
+    def test_read_mostly(self):
+        workload = ds2_workload()
+        browse = next(s for s in workload.specs if s.name == "browse")
+        assert browse.log_kb == 0.0
+
+
+class TestCpuio:
+    def test_default_three_classes(self):
+        workload = cpuio_workload()
+        assert {s.name for s in workload.specs} == {
+            "cpu_query", "io_query", "log_query"
+        }
+
+    def test_class_weights_drop_classes(self):
+        workload = cpuio_workload(cpu_weight=1.0, io_weight=0.0, log_weight=0.0)
+        assert [s.name for s in workload.specs] == ["cpu_query"]
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(WorkloadError):
+            cpuio_workload(cpu_weight=0.0, io_weight=0.0, log_weight=0.0)
+
+    def test_classes_stress_their_resource(self):
+        workload = cpuio_workload()
+        by_name = {s.name: s for s in workload.specs}
+        assert by_name["cpu_query"].cpu_ms > by_name["io_query"].cpu_ms
+        assert by_name["io_query"].logical_reads > by_name["cpu_query"].logical_reads
+        assert by_name["log_query"].log_kb > 0
+
+    def test_paper_working_set(self):
+        # Figure 14's configuration: ~3 GB hotspot, >95 % hotspot accesses.
+        dataset = cpuio_workload().dataset
+        assert dataset.working_set_gb == pytest.approx(3.0)
+        assert dataset.hot_access_fraction > 0.95
+
+    def test_no_locks(self):
+        assert cpuio_workload().lock_bound_share() == 0.0
