@@ -1,0 +1,322 @@
+"""Performance benchmark: incremental vs. batch telemetry statistics.
+
+Unlike the figure-reproduction benchmarks, this one tracks the *speed* of
+the telemetry hot path: :meth:`TelemetryManager.signals` runs every billing
+interval for every tenant, so at the paper's fleet scale (§2, thousands of
+tenants) the estimation layer itself must be cheap.  The benchmark measures
+the per-tenant-interval cost of ``observe() + signals()`` through
+
+* the **incremental** path (``src/repro/stats/incremental.py``: dual-heap
+  medians, cached pairwise-slope Theil–Sen, incrementally ranked
+  Spearman), and
+* the **batch** reference path (from-scratch recomputation per query),
+
+on a simulated fleet sweep, plus microbenchmarks of the three statistical
+primitives.  Before timing, a cross-checked warm-up asserts both paths
+produce identical signals.  Results are emitted machine-readable to
+``BENCH_perf_telemetry.json`` at the repository root so the performance
+trajectory is tracked across PRs.
+
+Usage::
+
+    python benchmarks/bench_perf_telemetry.py            # full fleet sweep
+    python benchmarks/bench_perf_telemetry.py --smoke    # seconds, CI-sized
+
+The full sweep runs the incremental path over 1000 tenants x 200 intervals;
+the batch path, which is the reason this PR exists, would take minutes at
+that scale, so it is timed on a subsample of tenants over the same streams
+and compared per tenant-interval (the cost is per-tenant independent).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.latency import LatencyGoal
+from repro.core.telemetry_manager import TelemetryManager
+from repro.core.thresholds import default_thresholds
+from repro.engine.containers import default_catalog
+from repro.engine.resources import ResourceKind
+from repro.engine.telemetry import IntervalCounters
+from repro.engine.waits import WaitClass, WaitProfile
+from repro.stats.incremental import (
+    IncrementalSpearman,
+    IncrementalTheilSen,
+    SlidingMedian,
+)
+from repro.stats.robust import median as batch_median
+from repro.stats.spearman import spearman
+from repro.stats.theil_sen import detect_trend
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_perf_telemetry.json"
+
+TARGET_SPEEDUP = 5.0
+#: Distinct synthetic tenant profiles; tenants cycle through the pool so
+#: fleet setup stays cheap while the managers still see varied streams.
+STREAM_POOL = 16
+
+
+# -- synthetic fleet ----------------------------------------------------------
+
+
+def make_stream(seed: int, n_intervals: int) -> list[IntervalCounters]:
+    """One tenant's stream of interval counters with bursty, noisy telemetry."""
+    rng = np.random.default_rng(seed)
+    catalog = default_catalog()
+    container = catalog.at_level(int(rng.integers(1, len(catalog) - 1)))
+    base_latency = rng.uniform(20.0, 120.0)
+    burst_at = rng.integers(0, max(n_intervals - 10, 1))
+    counters = []
+    for i in range(n_intervals):
+        bursting = burst_at <= i < burst_at + 10
+        latency = base_latency * (3.0 if bursting else 1.0) * rng.uniform(0.8, 1.25)
+        idle = rng.random() < 0.05
+        latencies = (
+            np.empty(0)
+            if idle
+            else rng.gamma(4.0, latency / 4.0, size=24)
+        )
+        waits = WaitProfile()
+        waits.add(WaitClass.CPU, float(rng.uniform(50, 500) * (2.0 if bursting else 1.0)))
+        waits.add(WaitClass.MEMORY, float(rng.uniform(0, 120)))
+        waits.add(WaitClass.DISK, float(rng.uniform(0, 200)))
+        waits.add(WaitClass.LOG, float(rng.uniform(0, 80)))
+        waits.add(WaitClass.LOCK, float(rng.uniform(0, 40)))
+        utilization = {
+            kind: float(rng.uniform(0.05, 0.95)) for kind in ResourceKind
+        }
+        counters.append(
+            IntervalCounters(
+                interval_index=i,
+                start_s=i * 60.0,
+                end_s=(i + 1) * 60.0,
+                container=container,
+                latencies_ms=latencies,
+                arrivals=latencies.size,
+                completions=latencies.size,
+                rejected=0,
+                utilization_median=utilization,
+                utilization_mean=utilization,
+                waits=waits,
+                memory_used_gb=float(rng.uniform(0.5, 8.0)),
+                disk_physical_reads=float(rng.uniform(0, 1000)),
+            )
+        )
+    return counters
+
+
+def run_fleet(
+    streams: list[list[IntervalCounters]],
+    tenant_ids: range,
+    incremental: bool,
+) -> float:
+    """Time observe()+signals() per interval for the given tenants; seconds."""
+    goal = LatencyGoal(100.0)
+    thresholds = default_thresholds()
+    managers = [
+        TelemetryManager(thresholds, goal, incremental=incremental)
+        for _ in tenant_ids
+    ]
+    start = time.perf_counter()
+    for tenant, manager in zip(tenant_ids, managers):
+        for counters in streams[tenant % len(streams)]:
+            manager.observe(counters)
+            manager.signals()
+    return time.perf_counter() - start
+
+
+def verify_equivalence(stream: list[IntervalCounters]) -> int:
+    """Cross-check incremental vs. batch signals on one stream; returns #intervals."""
+    manager = TelemetryManager(
+        default_thresholds(), LatencyGoal(100.0), cross_check=True
+    )
+    for counters in stream:
+        manager.observe(counters)
+        manager.signals()  # raises AssertionError on any mismatch
+    return len(stream)
+
+
+# -- primitive microbenchmarks ------------------------------------------------
+
+
+def bench_primitives(window: int, n_appends: int, seed: int = 7) -> dict:
+    """Per-append+query cost (µs) of each primitive, incremental vs. batch."""
+    rng = np.random.default_rng(seed)
+    xs = np.arange(n_appends, dtype=float)
+    ys = rng.normal(100.0, 15.0, size=n_appends)
+    zs = ys * 0.7 + rng.normal(0.0, 5.0, size=n_appends)
+    out: dict[str, dict[str, float]] = {}
+
+    def us(elapsed: float) -> float:
+        return 1e6 * elapsed / n_appends
+
+    sliding = SlidingMedian(window)
+    start = time.perf_counter()
+    for value in ys:
+        sliding.append(value)
+        sliding.median()
+    inc = time.perf_counter() - start
+    start = time.perf_counter()
+    for i in range(n_appends):
+        batch_median(ys[max(0, i + 1 - window) : i + 1])
+    out["median"] = {"incremental_us": us(inc), "batch_us": us(time.perf_counter() - start)}
+
+    trend = IncrementalTheilSen(window)
+    start = time.perf_counter()
+    for x, y in zip(xs, ys):
+        trend.append(x, y)
+        trend.result()
+    inc = time.perf_counter() - start
+    start = time.perf_counter()
+    for i in range(n_appends):
+        lo = max(0, i + 1 - window)
+        detect_trend(xs[lo : i + 1], ys[lo : i + 1])
+    out["theil_sen"] = {
+        "incremental_us": us(inc),
+        "batch_us": us(time.perf_counter() - start),
+    }
+
+    corr = IncrementalSpearman(window)
+    start = time.perf_counter()
+    for y, z in zip(ys, zs):
+        corr.append(y, z)
+        corr.result()
+    inc = time.perf_counter() - start
+    start = time.perf_counter()
+    for i in range(n_appends):
+        lo = max(0, i + 1 - window)
+        spearman(ys[lo : i + 1], zs[lo : i + 1])
+    out["spearman"] = {
+        "incremental_us": us(inc),
+        "batch_us": us(time.perf_counter() - start),
+    }
+
+    for entry in out.values():
+        entry["speedup"] = entry["batch_us"] / entry["incremental_us"]
+    return out
+
+
+# -- driver -------------------------------------------------------------------
+
+
+def run_benchmark(
+    smoke: bool = False,
+    tenants: int | None = None,
+    intervals: int | None = None,
+    result_path: Path = RESULT_PATH,
+) -> dict:
+    n_tenants = (24 if smoke else 1000) if tenants is None else tenants
+    n_intervals = (40 if smoke else 200) if intervals is None else intervals
+    if n_tenants < 1 or n_intervals < 1:
+        raise ValueError("tenants and intervals must be >= 1")
+    # The batch path is ~an order of magnitude slower; time it on enough
+    # tenants for a stable per-tenant-interval figure and compare rates.
+    n_batch_tenants = min(n_tenants, 8 if smoke else 50)
+
+    streams = [
+        make_stream(seed, n_intervals) for seed in range(min(STREAM_POOL, n_tenants))
+    ]
+    checked = verify_equivalence(streams[0])
+
+    incremental_s = run_fleet(streams, range(n_tenants), incremental=True)
+    batch_s = run_fleet(streams, range(n_batch_tenants), incremental=False)
+
+    inc_rate_us = 1e6 * incremental_s / (n_tenants * n_intervals)
+    batch_rate_us = 1e6 * batch_s / (n_batch_tenants * n_intervals)
+    speedup = batch_rate_us / inc_rate_us
+
+    result = {
+        "benchmark": "perf_telemetry",
+        "mode": "smoke" if smoke else "full",
+        "fleet": {
+            "tenants": n_tenants,
+            "batch_tenants": n_batch_tenants,
+            "intervals": n_intervals,
+            "incremental_s": round(incremental_s, 4),
+            "batch_s": round(batch_s, 4),
+            "incremental_us_per_tenant_interval": round(inc_rate_us, 2),
+            "batch_us_per_tenant_interval": round(batch_rate_us, 2),
+            "speedup": round(speedup, 2),
+            "target_speedup": TARGET_SPEEDUP,
+        },
+        # window=10 is the default telemetry geometry (signal_window); 64
+        # shows the asymptotic gap on larger history windows.
+        "primitives": {
+            f"window_{window}": {
+                name: {key: round(value, 3) for key, value in entry.items()}
+                for name, entry in bench_primitives(
+                    window=window, n_appends=400 if smoke else 4000
+                ).items()
+            }
+            for window in (10, 64)
+        },
+        "equivalence": {
+            "cross_checked_intervals": checked,
+            "identical_signals": True,
+        },
+    }
+    result_path.write_text(json.dumps(result, indent=2) + "\n")
+    return result
+
+
+def report(result: dict) -> str:
+    fleet = result["fleet"]
+    lines = [
+        f"fleet sweep ({fleet['tenants']} tenants x {fleet['intervals']} intervals, "
+        f"batch timed on {fleet['batch_tenants']} tenants):",
+        f"  incremental: {fleet['incremental_us_per_tenant_interval']:8.1f} us/tenant-interval"
+        f"  ({fleet['incremental_s']:.2f}s total)",
+        f"  batch:       {fleet['batch_us_per_tenant_interval']:8.1f} us/tenant-interval"
+        f"  ({fleet['batch_s']:.2f}s total)",
+        f"  speedup:     {fleet['speedup']:.1f}x (target >= {fleet['target_speedup']:.0f}x)",
+    ]
+    for window_key, primitives in result["primitives"].items():
+        lines.append(f"primitives ({window_key}, per append+query):")
+        for name, entry in primitives.items():
+            lines.append(
+                f"  {name:10s} incremental {entry['incremental_us']:7.2f} us"
+                f"  batch {entry['batch_us']:7.2f} us  ({entry['speedup']:.1f}x)"
+            )
+    lines.append(
+        f"equivalence: {result['equivalence']['cross_checked_intervals']} intervals "
+        "cross-checked, incremental == batch signals"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="CI-sized run (seconds, not minutes)"
+    )
+    parser.add_argument("--tenants", type=int, default=None)
+    parser.add_argument("--intervals", type=int, default=None)
+    args = parser.parse_args(argv)
+    result = run_benchmark(
+        smoke=args.smoke, tenants=args.tenants, intervals=args.intervals
+    )
+    print(report(result))
+    print(f"\nwrote {RESULT_PATH}")
+    fleet = result["fleet"]
+    if fleet["speedup"] < (2.0 if args.smoke else TARGET_SPEEDUP):
+        print("WARNING: speedup below target")
+        return 1
+    return 0
+
+
+def test_perf_telemetry(benchmark):
+    """pytest-benchmark entry: smoke-sized run with the speedup assertion."""
+    result = benchmark.pedantic(run_benchmark, kwargs={"smoke": True}, rounds=1, iterations=1)
+    print(report(result))
+    assert result["fleet"]["speedup"] >= 2.0
+    assert result["equivalence"]["identical_signals"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

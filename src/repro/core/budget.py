@@ -160,7 +160,11 @@ class BudgetManager:
             )
         self._interval += 1
         self._spent += cost
-        self._tokens = min(self._tokens - cost + self._fill_rate, self._depth)
+        # affordable() tolerates costs up to 1e-9 beyond the balance, so the
+        # post-charge balance is clamped at zero before refilling; otherwise
+        # repeated epsilon-overdraws would erode the documented
+        # ``available >= fill-rate floor`` invariant microscopically.
+        self._tokens = min(max(self._tokens - cost, 0.0) + self._fill_rate, self._depth)
 
     def start_new_period(self) -> None:
         """Roll into a fresh budgeting period (e.g. a new month)."""
@@ -173,11 +177,20 @@ class BudgetManager:
 def unconstrained_budget(
     catalog_max_cost: float, n_intervals: int = 1_000_000
 ) -> BudgetManager:
-    """A budget that never binds — the default when tenants set none."""
+    """A budget that never binds — the default when tenants set none.
+
+    Degenerate catalogs (``catalog_max_cost <= 0``, e.g. an all-free tier
+    or an empty-catalog sentinel) fall back to a unit-cost bucket: such a
+    catalog can only ever charge zero per interval, so any bucket with a
+    positive budget never binds for it.
+    """
+    max_cost = float(catalog_max_cost)
+    if max_cost <= 0.0:
+        max_cost = 1.0
     return BudgetManager(
-        budget=catalog_max_cost * n_intervals * 2.0,
+        budget=max_cost * n_intervals * 2.0,
         n_intervals=n_intervals,
-        min_cost=catalog_max_cost / 1000.0 if catalog_max_cost > 0 else 1e-6,
-        max_cost=catalog_max_cost,
+        min_cost=max_cost / 1000.0,
+        max_cost=max_cost,
         strategy=BurstStrategy.AGGRESSIVE,
     )

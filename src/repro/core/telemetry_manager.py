@@ -12,6 +12,17 @@ demand estimator consumes:
 * **robust correlation** — Spearman rank correlation between the latency
   series and each resource's wait series, identifying the bottleneck
   independently of scale or linearity.
+
+Signal extraction runs every billing interval for every tenant, so it is
+the fleet-simulation hot path.  By default the manager serves
+:meth:`signals` from *incrementally maintained* statistics
+(:mod:`repro.stats.incremental`): each :meth:`observe` pays an O(W)
+update and queries are then O(1)/O(W) instead of recomputing O(W²)
+pairwise slopes and full re-ranks per resource per interval.  The batch
+implementations remain available (``incremental=False``) as the
+cross-checked reference; constructing with ``cross_check=True`` evaluates
+both paths on every query and asserts they agree, which the differential
+tests and benchmarks use to prove equivalence.
 """
 
 from __future__ import annotations
@@ -26,30 +37,69 @@ from repro.engine.resources import ResourceKind
 from repro.engine.telemetry import IntervalCounters
 from repro.engine.waits import RESOURCE_WAIT_CLASS
 from repro.core.latency import LatencyGoal
+from repro.stats.incremental import IncrementalSpearman, TailMedian
 from repro.stats.rolling import TimestampedWindow
 from repro.stats.spearman import CorrelationResult, spearman
 from repro.stats.theil_sen import TrendResult, detect_trend
 
 __all__ = ["TelemetryManager"]
 
+#: Absolute tolerance for cross-checking incremental vs. batch signals.
+#: The two paths evaluate identical formulas; only floating-point
+#: summation order differs (numpy pairwise/BLAS vs. sequential).
+CROSS_CHECK_ATOL = 1e-9
+
 
 class TelemetryManager:
-    """Rolling signal extraction over a stream of interval counters."""
+    """Rolling signal extraction over a stream of interval counters.
+
+    Args:
+        thresholds: categorization thresholds and window geometry.
+        goal: optional latency goal defining the latency metric.
+        incremental: serve :meth:`signals` from incrementally maintained
+            statistics (the default) instead of batch recomputation.
+        cross_check: additionally run the batch reference on every
+            :meth:`signals` call and assert both paths agree (slow;
+            intended for differential tests and benchmark validation).
+    """
 
     def __init__(
         self,
         thresholds: ThresholdConfig,
         goal: LatencyGoal | None = None,
+        *,
+        incremental: bool = True,
+        cross_check: bool = False,
     ) -> None:
         self.thresholds = thresholds
         self.goal = goal
+        self.incremental = incremental
+        self.cross_check = cross_check
         window = thresholds.signal_window
-        self._latency = TimestampedWindow(window)
+        trend_window = thresholds.trend_window
+        # The batch reference smooths over values()[-smooth_intervals:], so
+        # the smoothing tail can never reach past the signal window.
+        smooth = min(thresholds.smooth_intervals, window)
+        self._latency = TimestampedWindow(window, trend_window=trend_window)
         self._utilization = {
-            kind: TimestampedWindow(window) for kind in ResourceKind
+            kind: TimestampedWindow(window, trend_window=trend_window)
+            for kind in ResourceKind
         }
-        self._wait_ms = {kind: TimestampedWindow(window) for kind in ResourceKind}
-        self._wait_pct = {kind: TimestampedWindow(window) for kind in ResourceKind}
+        self._wait_ms = {
+            kind: TimestampedWindow(window, trend_window=trend_window)
+            for kind in ResourceKind
+        }
+        self._wait_pct = {
+            kind: TimestampedWindow(window, trend_window=trend_window)
+            for kind in ResourceKind
+        }
+        # Incremental state: smoothed "current" values per series and the
+        # latency-vs-wait correlation per resource, updated on observe().
+        self._latency_smooth = TailMedian(smooth)
+        self._utilization_smooth = {kind: TailMedian(smooth) for kind in ResourceKind}
+        self._wait_ms_smooth = {kind: TailMedian(smooth) for kind in ResourceKind}
+        self._wait_pct_smooth = {kind: TailMedian(smooth) for kind in ResourceKind}
+        self._correlation = {kind: IncrementalSpearman(window) for kind in ResourceKind}
         self._last: IntervalCounters | None = None
 
     # -- ingestion --------------------------------------------------------------
@@ -57,12 +107,21 @@ class TelemetryManager:
     def observe(self, counters: IntervalCounters) -> None:
         """Absorb one billing interval of telemetry."""
         t = float(counters.interval_index)
-        self._latency.append(t, self._interval_latency(counters))
+        latency = self._interval_latency(counters)
+        self._latency.append(t, latency)
+        self._latency_smooth.append(latency)
         for kind in ResourceKind:
-            self._utilization[kind].append(t, counters.utilization_percent(kind))
+            utilization = counters.utilization_percent(kind)
             wait_class = RESOURCE_WAIT_CLASS[kind]
-            self._wait_ms[kind].append(t, counters.wait_ms(wait_class))
-            self._wait_pct[kind].append(t, counters.wait_percent(wait_class))
+            wait_ms = counters.wait_ms(wait_class)
+            wait_pct = counters.wait_percent(wait_class)
+            self._utilization[kind].append(t, utilization)
+            self._wait_ms[kind].append(t, wait_ms)
+            self._wait_pct[kind].append(t, wait_pct)
+            self._utilization_smooth[kind].append(utilization)
+            self._wait_ms_smooth[kind].append(wait_ms)
+            self._wait_pct_smooth[kind].append(wait_pct)
+            self._correlation[kind].append(latency, wait_ms)
         self._last = counters
 
     def _interval_latency(self, counters: IntervalCounters) -> float:
@@ -81,13 +140,50 @@ class TelemetryManager:
         """Produce the categorized signal set for the current interval."""
         if self._last is None:
             raise ValueError("no telemetry observed yet")
+        if not self.incremental:
+            return self._signals_batch()
+        result = self._signals_incremental()
+        if self.cross_check:
+            _assert_signals_close(result, self._signals_batch())
+        return result
+
+    def _signals_incremental(self) -> WorkloadSignals:
+        """Signals served from the incrementally maintained statistics."""
+        counters = self._last
+        cfg = self.thresholds
+        alpha = cfg.trend_alpha
+
+        latency_ms = self._latency_smooth.median(default=math.nan)
+        resources: dict[ResourceKind, ResourceSignals] = {}
+        for kind in ResourceKind:
+            utilization = self._utilization_smooth[kind].median()
+            wait_ms = self._wait_ms_smooth[kind].median()
+            wait_pct = self._wait_pct_smooth[kind].median()
+            resources[kind] = ResourceSignals(
+                kind=kind,
+                utilization_pct=utilization,
+                utilization_level=cfg.categorize_utilization(utilization),
+                wait_ms=wait_ms,
+                wait_level=cfg.categorize_wait(kind, wait_ms),
+                wait_pct=wait_pct,
+                wait_significant=cfg.is_wait_significant(wait_pct),
+                utilization_trend=self._utilization[kind].trend(alpha=alpha),
+                wait_trend=self._wait_ms[kind].trend(alpha=alpha),
+                latency_correlation=self._correlation[kind].result(),
+            )
+        return self._assemble(
+            counters,
+            latency_ms=latency_ms,
+            latency_trend=self._latency.trend(alpha=alpha),
+            resources=resources,
+        )
+
+    def _signals_batch(self) -> WorkloadSignals:
+        """The original from-scratch signal computation (reference path)."""
         counters = self._last
         cfg = self.thresholds
 
         latency_ms = self._smoothed_latency()
-        latency_status = self._latency_status(latency_ms)
-        latency_trend = self._trend(self._latency)
-
         latency_series = self._latency.values()
         resources: dict[ResourceKind, ResourceSignals] = {}
         for kind in ResourceKind:
@@ -111,11 +207,25 @@ class TelemetryManager:
                 wait_trend=self._trend(self._wait_ms[kind]),
                 latency_correlation=correlation,
             )
+        return self._assemble(
+            counters,
+            latency_ms=latency_ms,
+            latency_trend=self._trend(self._latency),
+            resources=resources,
+        )
 
+    def _assemble(
+        self,
+        counters: IntervalCounters,
+        *,
+        latency_ms: float,
+        latency_trend: TrendResult,
+        resources: dict[ResourceKind, ResourceSignals],
+    ) -> WorkloadSignals:
         return WorkloadSignals(
             interval_index=counters.interval_index,
             latency_ms=latency_ms,
-            latency_status=latency_status,
+            latency_status=self._latency_status(latency_ms),
             latency_trend=latency_trend,
             resources=resources,
             wait_percentages=counters.waits.percentages(),
@@ -171,3 +281,59 @@ class TelemetryManager:
 
     def wait_history(self, kind: ResourceKind):
         return self._wait_ms[kind].values()
+
+
+def _close(a: float, b: float, atol: float = CROSS_CHECK_ATOL) -> bool:
+    if math.isnan(a) or math.isnan(b):
+        return math.isnan(a) and math.isnan(b)
+    return math.isclose(a, b, rel_tol=atol, abs_tol=atol)
+
+
+def _assert_trend_close(inc: TrendResult, ref: TrendResult, label: str) -> None:
+    if (
+        inc.significant != ref.significant
+        or inc.n_points != ref.n_points
+        or not _close(inc.slope, ref.slope)
+        or not _close(inc.agreement, ref.agreement)
+    ):
+        raise AssertionError(f"{label}: incremental {inc!r} != batch {ref!r}")
+
+
+def _assert_signals_close(inc: WorkloadSignals, ref: WorkloadSignals) -> None:
+    """Assert the incremental and batch signal sets agree (cross-check mode)."""
+    if not _close(inc.latency_ms, ref.latency_ms):
+        raise AssertionError(
+            f"latency_ms: incremental {inc.latency_ms!r} != batch {ref.latency_ms!r}"
+        )
+    if inc.latency_status is not ref.latency_status:
+        raise AssertionError(
+            f"latency_status: {inc.latency_status} != {ref.latency_status}"
+        )
+    _assert_trend_close(inc.latency_trend, ref.latency_trend, "latency_trend")
+    for kind, inc_res in inc.resources.items():
+        ref_res = ref.resources[kind]
+        for field in ("utilization_pct", "wait_ms", "wait_pct"):
+            if not _close(getattr(inc_res, field), getattr(ref_res, field)):
+                raise AssertionError(
+                    f"{kind}.{field}: incremental {getattr(inc_res, field)!r} "
+                    f"!= batch {getattr(ref_res, field)!r}"
+                )
+        for field in ("utilization_level", "wait_level", "wait_significant"):
+            if getattr(inc_res, field) != getattr(ref_res, field):
+                raise AssertionError(
+                    f"{kind}.{field}: incremental {getattr(inc_res, field)!r} "
+                    f"!= batch {getattr(ref_res, field)!r}"
+                )
+        _assert_trend_close(
+            inc_res.utilization_trend, ref_res.utilization_trend,
+            f"{kind}.utilization_trend",
+        )
+        _assert_trend_close(inc_res.wait_trend, ref_res.wait_trend, f"{kind}.wait_trend")
+        inc_corr, ref_corr = inc_res.latency_correlation, ref_res.latency_correlation
+        if inc_corr.n_points != ref_corr.n_points or not _close(
+            inc_corr.rho, ref_corr.rho
+        ):
+            raise AssertionError(
+                f"{kind}.latency_correlation: incremental {inc_corr!r} "
+                f"!= batch {ref_corr!r}"
+            )

@@ -5,6 +5,13 @@ side-effect free; the telemetry manager composes these primitives into the
 paper's signals.
 """
 
+from repro.stats.incremental import (
+    IncrementalSpearman,
+    IncrementalTheilSen,
+    RunningMedian,
+    SlidingMedian,
+    TailMedian,
+)
 from repro.stats.percentiles import P2Quantile, percentile
 from repro.stats.robust import (
     breakdown_point,
@@ -25,6 +32,11 @@ from repro.stats.theil_sen import (
 )
 
 __all__ = [
+    "IncrementalSpearman",
+    "IncrementalTheilSen",
+    "RunningMedian",
+    "SlidingMedian",
+    "TailMedian",
     "P2Quantile",
     "percentile",
     "breakdown_point",

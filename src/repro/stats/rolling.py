@@ -5,17 +5,25 @@ The telemetry manager evaluates every signal over a recent-history window
 buffer with convenience accessors for the robust aggregates the estimator
 consumes; :class:`TimestampedWindow` additionally remembers when each sample
 arrived, which the trend detector needs for its x-axis.
+
+Both windows answer their hot-path queries from incrementally maintained
+state (:mod:`repro.stats.incremental`): :meth:`RollingWindow.median` from a
+dual-heap sliding median and :meth:`TimestampedWindow.trend` from a cached
+pairwise-slope structure, instead of recomputing from scratch per query.
+The batch implementations remain the cross-checked reference (see
+``tests/test_stats_incremental.py``).
 """
 
 from __future__ import annotations
 
+import math
 from collections.abc import Iterator
 
 import numpy as np
 
 from repro.errors import ConfigurationError, InsufficientDataError
-from repro.stats.robust import median as robust_median
-from repro.stats.theil_sen import TrendResult, detect_trend
+from repro.stats.incremental import IncrementalTheilSen, RunningMedian
+from repro.stats.theil_sen import TrendResult
 
 __all__ = ["RollingWindow", "TimestampedWindow"]
 
@@ -30,6 +38,10 @@ class RollingWindow:
         self._buffer = np.empty(capacity, dtype=float)
         self._size = 0
         self._next = 0
+        # Dual-heap median bag, built lazily on the first median() query and
+        # maintained incrementally afterwards, so windows that never ask for
+        # a median (e.g. a TimestampedWindow's time axis) pay nothing.
+        self._median_bag: RunningMedian | None = None
 
     @property
     def capacity(self) -> int:
@@ -43,13 +55,44 @@ class RollingWindow:
 
     def append(self, value: float) -> None:
         """Add one sample, evicting the oldest when full."""
-        self._buffer[self._next] = float(value)
+        value = float(value)
+        bag = self._median_bag
+        if bag is not None:
+            if self._size == self._capacity:
+                evicted = self._buffer[self._next]
+                if math.isfinite(evicted):
+                    bag.remove(evicted)
+            if math.isfinite(value):
+                bag.add(value)
+        self._buffer[self._next] = value
         self._next = (self._next + 1) % self._capacity
         self._size = min(self._size + 1, self._capacity)
 
     def extend(self, values: "np.typing.ArrayLike") -> None:
-        for value in np.asarray(values, dtype=float).ravel():
-            self.append(float(value))
+        """Bulk-append, writing directly into the ring buffer."""
+        arr = np.asarray(values, dtype=float).ravel()
+        n = arr.size
+        if n == 0:
+            return
+        if n >= self._capacity:
+            # Everything currently buffered is evicted; keep the tail.
+            self._buffer[:] = arr[n - self._capacity :]
+            self._next = 0
+            self._size = self._capacity
+        else:
+            end = self._next + n
+            if end <= self._capacity:
+                self._buffer[self._next : end] = arr
+            else:
+                split = self._capacity - self._next
+                self._buffer[self._next :] = arr[:split]
+                self._buffer[: end - self._capacity] = arr[split:]
+            self._next = end % self._capacity
+            self._size = min(self._size + n, self._capacity)
+        if self._median_bag is not None:
+            self._median_bag = RunningMedian.from_values(
+                self._buffer[: self._size]
+            )
 
     def values(self) -> np.ndarray:
         """Samples in arrival order, oldest first."""
@@ -65,6 +108,7 @@ class RollingWindow:
     def clear(self) -> None:
         self._size = 0
         self._next = 0
+        self._median_bag = None
 
     def last(self) -> float:
         """Most recent sample."""
@@ -73,30 +117,47 @@ class RollingWindow:
         return float(self._buffer[(self._next - 1) % self._capacity])
 
     def median(self) -> float:
-        """Robust central value of the window."""
-        return robust_median(self.values())
+        """Robust central value of the window (non-finite samples skipped)."""
+        if self._median_bag is None:
+            self._median_bag = RunningMedian.from_values(self._buffer[: self._size])
+        return self._median_bag.median()
 
     def mean(self) -> float:
         if self._size == 0:
             raise InsufficientDataError("window is empty")
-        return float(self.values().mean())
+        return float(self._buffer[: self._size].mean())
 
     def percentile(self, q: float) -> float:
         if self._size == 0:
             raise InsufficientDataError("window is empty")
-        return float(np.percentile(self.values(), q))
+        return float(np.percentile(self._buffer[: self._size], q))
 
 
 class TimestampedWindow:
-    """Rolling window of ``(time, value)`` pairs for trend/correlation use."""
+    """Rolling window of ``(time, value)`` pairs for trend/correlation use.
 
-    def __init__(self, capacity: int) -> None:
+    Args:
+        capacity: samples retained for :meth:`values`/:meth:`median`.
+        trend_window: samples the trend estimate covers (defaults to the
+            full ``capacity``); the telemetry manager detects trends over a
+            shorter tail than it keeps history for.
+    """
+
+    def __init__(self, capacity: int, trend_window: int | None = None) -> None:
         self._times = RollingWindow(capacity)
         self._values = RollingWindow(capacity)
+        span = capacity if trend_window is None else min(trend_window, capacity)
+        if span < 1:
+            raise ConfigurationError(f"trend_window must be >= 1, got {trend_window}")
+        self._trend = IncrementalTheilSen(span)
 
     @property
     def capacity(self) -> int:
         return self._times.capacity
+
+    @property
+    def trend_window(self) -> int:
+        return self._trend.capacity
 
     def __len__(self) -> int:
         return len(self._values)
@@ -104,6 +165,7 @@ class TimestampedWindow:
     def append(self, time: float, value: float) -> None:
         self._times.append(time)
         self._values.append(value)
+        self._trend.append(time, value)
 
     def times(self) -> np.ndarray:
         return self._times.values()
@@ -114,6 +176,7 @@ class TimestampedWindow:
     def clear(self) -> None:
         self._times.clear()
         self._values.clear()
+        self._trend.clear()
 
     def median(self) -> float:
         return self._values.median()
@@ -122,5 +185,10 @@ class TimestampedWindow:
         return self._values.last()
 
     def trend(self, alpha: float = 0.70) -> TrendResult:
-        """Theil–Sen trend over the window (see :mod:`repro.stats.theil_sen`)."""
-        return detect_trend(self.times(), self.values(), alpha=alpha)
+        """Theil–Sen trend over the last ``trend_window`` samples.
+
+        Served from the incrementally maintained pairwise-slope cache;
+        equivalent to ``detect_trend(times, values, alpha)`` on the same
+        tail (see :mod:`repro.stats.theil_sen`).
+        """
+        return self._trend.result(alpha=alpha)

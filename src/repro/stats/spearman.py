@@ -41,18 +41,27 @@ def rankdata(values: Sequence[float]) -> np.ndarray:
     the coefficient.
     """
     arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return np.empty(0, dtype=float)
     sorter = np.argsort(arr, kind="mergesort")
-    ranks = np.empty(arr.size, dtype=float)
-    ranks[sorter] = np.arange(1, arr.size + 1, dtype=float)
-
-    # Average the ranks within each group of ties.
     sorted_vals = arr[sorter]
+
+    # Tie groups are maximal runs of equal sorted values; ``starts`` holds
+    # each group's first sorted position.  The group's average rank is the
+    # mean of the ordinal ranks it spans, computed for all groups at once
+    # with one segmented sum (np.add.reduceat) instead of a Python loop.
     boundaries = np.flatnonzero(np.diff(sorted_vals) != 0) + 1
-    groups = np.split(np.arange(arr.size), boundaries)
-    for group in groups:
-        if group.size > 1:
-            idx = sorter[group]
-            ranks[idx] = ranks[idx].mean()
+    starts = np.concatenate(([0], boundaries))
+    counts = np.diff(np.concatenate((starts, [arr.size])))
+    ordinal = np.arange(1, arr.size + 1, dtype=float)
+    group_ranks = np.add.reduceat(ordinal, starts) / counts
+
+    # Scatter each group's shared rank back to the original positions.
+    group_index = np.zeros(arr.size, dtype=np.intp)
+    group_index[boundaries] = 1
+    np.cumsum(group_index, out=group_index)
+    ranks = np.empty(arr.size, dtype=float)
+    ranks[sorter] = group_ranks[group_index]
     return ranks
 
 

@@ -101,6 +101,22 @@ class TestUnconstrained:
             assert m.affordable(CMAX)
             m.end_interval(CMAX)
 
+    def test_zero_cost_catalog_regression(self):
+        # Regression: used to raise BudgetError because the fallback
+        # produced min_cost=1e-6 > max_cost=0.0.
+        m = unconstrained_budget(0.0)
+        for _ in range(100):
+            assert m.affordable(0.0)
+            m.end_interval(0.0)
+            assert m.available >= 0.0
+        assert m.spent == 0.0
+
+    def test_negative_cost_catalog_treated_as_degenerate(self):
+        m = unconstrained_budget(-5.0)
+        assert m.affordable(0.0)
+        m.end_interval(0.0)
+        assert m.available >= 0.0
+
 
 @settings(max_examples=60, deadline=None)
 @given(
@@ -154,3 +170,48 @@ def test_property_tokens_never_exceed_depth(n, surplus_factor):
     for _ in range(n):
         assert m.available <= m.depth + 1e-9
         m.end_interval(CMIN)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=80),
+    surplus_factor=st.floats(min_value=1.0, max_value=8.0),
+    strategy=st.sampled_from(list(BurstStrategy)),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_tokens_never_negative(n, surplus_factor, strategy, seed):
+    """Randomized charges — including epsilon overdraws — keep tokens >= 0.
+
+    ``affordable`` accepts costs up to 1e-9 beyond the balance; before the
+    clamp in ``end_interval`` a draining sequence could push ``_tokens``
+    microscopically negative and erode the ``available >= fill-rate floor``
+    invariant.
+    """
+    budget = CMIN * n * surplus_factor
+    m = BudgetManager(budget, n, CMIN, CMAX, strategy)
+    rng = np.random.default_rng(seed)
+    floor = min(m.fill_rate, m.depth)
+    for _ in range(n):
+        roll = rng.random()
+        if roll < 0.4:
+            # Epsilon overdraw: drain the bucket past its exact balance but
+            # within affordable()'s 1e-9 tolerance.
+            cost = m.available + 9e-10
+        elif roll < 0.7:
+            cost = float(rng.uniform(0.0, m.available))
+        else:
+            cost = m.available
+        assert m.affordable(cost)
+        m.end_interval(cost)
+        assert m.available >= 0.0, "tokens must never go negative"
+        assert m.available >= floor - 1e-12, "refill floor must survive overdraws"
+        assert m.available <= m.depth + 1e-9
+
+
+def test_epsilon_overdraw_regression():
+    """Draining exactly available + 1e-10 every interval stays at the floor."""
+    m = manager(budget=CMIN * 100, n=100)  # zero surplus: tightest bucket
+    for _ in range(100):
+        m.end_interval(m.available + 1e-10)
+        assert m.available >= 0.0
+        assert m.available == pytest.approx(m.fill_rate)

@@ -1,0 +1,60 @@
+"""Tier-1 smoke run of the telemetry performance benchmark.
+
+Runs ``benchmarks/bench_perf_telemetry.py`` in ``--smoke`` geometry
+(seconds, not minutes) so a regression in the incremental statistics
+layer — either a slowdown below the smoke floor or an incremental/batch
+divergence — fails the ordinary test suite fast, without waiting for the
+full fleet sweep.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_perf_telemetry.py"
+
+#: Deliberately far below the >= 5x full-sweep target: the smoke floor only
+#: has to catch "the incremental layer stopped paying for itself" while
+#: tolerating noisy shared CI machines.
+SMOKE_SPEEDUP_FLOOR = 1.5
+
+
+@pytest.fixture(scope="module")
+def bench_module():
+    spec = importlib.util.spec_from_file_location("bench_perf_telemetry", BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_smoke_benchmark(bench_module, tmp_path):
+    result = bench_module.run_benchmark(
+        smoke=True, result_path=tmp_path / "BENCH_perf_telemetry.json"
+    )
+    fleet = result["fleet"]
+    assert result["equivalence"]["identical_signals"]
+    assert result["equivalence"]["cross_checked_intervals"] > 0
+    assert fleet["speedup"] >= SMOKE_SPEEDUP_FLOOR, (
+        f"incremental telemetry path only {fleet['speedup']:.2f}x faster than "
+        f"batch (floor {SMOKE_SPEEDUP_FLOOR}x) — perf regression in "
+        "src/repro/stats/incremental.py?"
+    )
+    written = json.loads((tmp_path / "BENCH_perf_telemetry.json").read_text())
+    assert written["benchmark"] == "perf_telemetry"
+    assert written["fleet"]["speedup"] == fleet["speedup"]
+
+
+def test_smoke_primitives_match_fleet_windows(bench_module):
+    """Primitive microbenches cover the default telemetry window geometry."""
+    out = bench_module.bench_primitives(window=10, n_appends=200)
+    assert set(out) == {"median", "theil_sen", "spearman"}
+    for entry in out.values():
+        assert entry["incremental_us"] > 0.0
+        assert entry["batch_us"] > 0.0

@@ -1,0 +1,380 @@
+"""Differential tests: incremental statistics vs. their batch references.
+
+The incremental structures in :mod:`repro.stats.incremental` are only
+allowed to be *fast*; their results must be indistinguishable (within
+1e-9) from the batch implementations they replace, over arbitrary
+append/evict streams including NaN samples, constant windows, and heavy
+ties.  These tests replay randomized streams through both paths and
+compare after every single append.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.latency import LatencyGoal
+from repro.core.telemetry_manager import TelemetryManager
+from repro.core.thresholds import default_thresholds
+from repro.errors import ConfigurationError, InsufficientDataError
+from repro.stats.incremental import (
+    IncrementalSpearman,
+    IncrementalTheilSen,
+    RunningMedian,
+    SlidingMedian,
+    TailMedian,
+)
+from repro.stats.robust import median as batch_median
+from repro.stats.rolling import RollingWindow, TimestampedWindow
+from repro.stats.spearman import spearman
+from repro.stats.theil_sen import detect_trend
+
+# Sample pools: continuous values, heavy ties, and NaN gaps.
+finite_samples = st.floats(
+    allow_nan=False, allow_infinity=False, min_value=-1e6, max_value=1e6
+)
+tied_samples = st.sampled_from([0.0, 1.0, 1.0, 2.0, 5.0, 5.0, -3.0])
+stream_samples = st.one_of(finite_samples, tied_samples, st.just(math.nan))
+
+
+def batch_median_or_nan(values) -> float:
+    try:
+        return batch_median(values)
+    except InsufficientDataError:
+        return math.nan
+
+
+class TestRunningMedian:
+    def test_add_remove_interleaved(self):
+        rng = np.random.default_rng(11)
+        bag = RunningMedian()
+        live: list[float] = []
+        pool = rng.choice([1.0, 2.0, 2.0, 3.0, 7.5, -4.0], size=400).tolist()
+        pool += rng.normal(0, 100, size=200).tolist()
+        rng.shuffle(pool)
+        for value in pool:
+            if live and rng.random() < 0.4:
+                victim = live.pop(int(rng.integers(len(live))))
+                bag.remove(victim)
+            else:
+                bag.add(float(value))
+                live.append(float(value))
+            assert len(bag) == len(live)
+            if live:
+                assert bag.median() == pytest.approx(float(np.median(live)), abs=1e-12)
+
+    def test_empty_median_raises(self):
+        with pytest.raises(InsufficientDataError):
+            RunningMedian().median()
+
+    def test_remove_to_empty_and_reuse(self):
+        bag = RunningMedian()
+        bag.add(5.0)
+        bag.remove(5.0)
+        bag.add(1.0)
+        bag.add(3.0)
+        assert bag.median() == 2.0
+
+
+class TestSlidingMedian:
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigurationError):
+            SlidingMedian(0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.lists(stream_samples, max_size=80),
+    )
+    def test_matches_batch_median_per_append(self, capacity, values):
+        sliding = SlidingMedian(capacity)
+        for i, value in enumerate(values):
+            sliding.append(value)
+            window = values[max(0, i + 1 - capacity) : i + 1]
+            expected = batch_median_or_nan(window)
+            if math.isnan(expected):
+                assert sliding.n_finite == 0
+                with pytest.raises(InsufficientDataError):
+                    sliding.median()
+            else:
+                assert sliding.median() == pytest.approx(expected, abs=1e-9)
+
+    def test_constant_window(self):
+        sliding = SlidingMedian(5)
+        for _ in range(20):
+            sliding.append(4.25)
+            assert sliding.median() == 4.25
+
+    def test_clear(self):
+        sliding = SlidingMedian(3)
+        sliding.append(1.0)
+        sliding.clear()
+        assert len(sliding) == 0
+        sliding.append(9.0)
+        assert sliding.median() == 9.0
+
+
+class TestIncrementalTheilSen:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.lists(stream_samples, max_size=60),
+        st.sampled_from([0.6, 0.70, 0.9, 1.0]),
+    )
+    def test_matches_detect_trend_per_append(self, capacity, values, alpha):
+        trend = IncrementalTheilSen(capacity)
+        for i, value in enumerate(values):
+            trend.append(float(i), value)
+            xs = np.arange(max(0, i + 1 - capacity), i + 1, dtype=float)
+            ys = np.asarray(values[max(0, i + 1 - capacity) : i + 1])
+            expected = detect_trend(xs, ys, alpha=alpha)
+            got = trend.result(alpha=alpha)
+            assert got.n_points == expected.n_points
+            assert got.significant == expected.significant
+            assert got.slope == pytest.approx(expected.slope, abs=1e-9)
+            assert got.agreement == pytest.approx(expected.agreement, abs=1e-9)
+
+    def test_duplicate_x_pairs_are_skipped(self):
+        # Same x for every sample: no valid pairwise slope on either path.
+        trend = IncrementalTheilSen(8)
+        for value in (1.0, 5.0, 2.0, 9.0, 4.0):
+            trend.append(3.0, value)
+        expected = detect_trend([3.0] * 5, [1.0, 5.0, 2.0, 9.0, 4.0])
+        got = trend.result()
+        assert (got.slope, got.significant) == (expected.slope, expected.significant)
+
+    def test_alpha_validation(self):
+        trend = IncrementalTheilSen(4)
+        with pytest.raises(ValueError):
+            trend.result(alpha=0.5)
+
+    def test_unconditional_slope(self):
+        trend = IncrementalTheilSen(8)
+        with pytest.raises(InsufficientDataError):
+            trend.slope()
+        for i in range(5):
+            trend.append(float(i), 2.0 * i)
+        assert trend.slope() == pytest.approx(2.0)
+
+    def test_eviction_stream_stays_consistent(self):
+        rng = np.random.default_rng(3)
+        trend = IncrementalTheilSen(6)
+        history: list[float] = []
+        for i in range(300):
+            value = float(rng.choice([rng.normal(0, 10), 1.0, 1.0, math.nan]))
+            history.append(value)
+            trend.append(float(i), value)
+            tail = history[-6:]
+            xs = np.arange(i + 1 - len(tail), i + 1, dtype=float)
+            expected = detect_trend(xs, np.asarray(tail))
+            got = trend.result()
+            assert got.slope == pytest.approx(expected.slope, abs=1e-9)
+            assert got.significant == expected.significant
+
+
+class TestIncrementalSpearman:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.lists(st.tuples(stream_samples, stream_samples), max_size=60),
+    )
+    def test_matches_batch_spearman_per_append(self, capacity, pairs):
+        corr = IncrementalSpearman(capacity)
+        for i, (x, y) in enumerate(pairs):
+            corr.append(x, y)
+            tail = pairs[max(0, i + 1 - capacity) : i + 1]
+            expected = spearman([p[0] for p in tail], [p[1] for p in tail])
+            got = corr.result()
+            assert got.n_points == expected.n_points
+            assert got.rho == pytest.approx(expected.rho, abs=1e-9)
+
+    def test_perfect_monotonic(self):
+        corr = IncrementalSpearman(16)
+        for i in range(10):
+            corr.append(float(i), float(i * i))  # monotone, non-linear
+        assert corr.result().rho == pytest.approx(1.0)
+
+    def test_constant_side_gives_zero(self):
+        corr = IncrementalSpearman(16)
+        for i in range(8):
+            corr.append(5.0, float(i))
+        assert corr.result().rho == 0.0
+
+    def test_nan_pairs_dropped(self):
+        corr = IncrementalSpearman(10)
+        for i in range(10):
+            x = math.nan if i % 3 == 0 else float(i)
+            corr.append(x, float(-i))
+        xs = [math.nan if i % 3 == 0 else float(i) for i in range(10)]
+        expected = spearman(xs, [float(-i) for i in range(10)])
+        got = corr.result()
+        assert got.n_points == expected.n_points
+        assert got.rho == pytest.approx(expected.rho, abs=1e-9)
+
+
+class TestTailMedian:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.lists(stream_samples, max_size=40),
+    )
+    def test_matches_numpy_tail_median(self, k, values):
+        tail = TailMedian(k)
+        for i, value in enumerate(values):
+            tail.append(value)
+            window = np.asarray(values[max(0, i + 1 - k) : i + 1])
+            finite = window[~np.isnan(window)]
+            expected = math.nan if finite.size == 0 else float(np.median(finite))
+            got = tail.median(default=math.nan)
+            if math.isnan(expected):
+                assert math.isnan(got)
+            else:
+                assert got == pytest.approx(expected, abs=1e-12)
+
+
+class TestRewiredWindows:
+    """The rolling windows must serve identical answers through the new path."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.lists(stream_samples, min_size=1, max_size=50),
+    )
+    def test_rolling_window_median(self, capacity, values):
+        window = RollingWindow(capacity)
+        for i, value in enumerate(values):
+            window.append(value)
+            expected = batch_median_or_nan(window.values())
+            if math.isnan(expected):
+                with pytest.raises(InsufficientDataError):
+                    window.median()
+            else:
+                assert window.median() == pytest.approx(expected, abs=1e-9)
+
+    def test_rolling_window_median_after_extend(self):
+        window = RollingWindow(5)
+        window.extend([1.0, 2.0, 100.0])
+        assert window.median() == 2.0
+        window.extend([3.0, 4.0, 5.0, 6.0])  # wraps and evicts
+        assert window.median() == batch_median(window.values())
+        window.append(1000.0)
+        assert window.median() == batch_median(window.values())
+
+    def test_extend_interleaved_with_append_median(self):
+        rng = np.random.default_rng(5)
+        window = RollingWindow(7)
+        for _ in range(60):
+            if rng.random() < 0.5:
+                window.extend(rng.normal(0, 10, size=int(rng.integers(0, 9))))
+            else:
+                window.append(float(rng.normal(0, 10)))
+            if len(window):
+                assert window.median() == pytest.approx(
+                    float(np.median(window.values())), abs=1e-9
+                )
+
+    def test_timestamped_window_trend_matches_batch_tail(self):
+        # trend_window shorter than capacity: trend covers only the tail.
+        window = TimestampedWindow(10, trend_window=8)
+        rng = np.random.default_rng(9)
+        times, values = [], []
+        for i in range(40):
+            value = float(rng.normal(0, 5) + 0.5 * i)
+            times.append(float(i))
+            values.append(value)
+            window.append(float(i), value)
+            expected = detect_trend(times[-8:], values[-8:], alpha=0.7)
+            got = window.trend(alpha=0.7)
+            assert got.slope == pytest.approx(expected.slope, abs=1e-9)
+            assert got.significant == expected.significant
+            assert got.agreement == pytest.approx(expected.agreement, abs=1e-9)
+
+
+class TestTelemetryManagerCrossCheck:
+    """End-to-end: incremental signals() == batch signals() on live streams."""
+
+    def _counters(self, rng, index: int):
+        from repro.engine.containers import default_catalog
+        from repro.engine.resources import ResourceKind
+        from repro.engine.telemetry import IntervalCounters
+        from repro.engine.waits import WaitClass, WaitProfile
+
+        waits = WaitProfile()
+        for wait_class in WaitClass:
+            waits.add(wait_class, float(rng.uniform(0, 400)))
+        idle = rng.random() < 0.2
+        constant = rng.random() < 0.2
+        latencies = (
+            np.empty(0)
+            if idle
+            else (
+                np.full(20, 80.0)
+                if constant
+                else rng.gamma(4.0, 30.0, size=20)
+            )
+        )
+        utilization = {kind: float(rng.uniform(0, 1)) for kind in ResourceKind}
+        return IntervalCounters(
+            interval_index=index,
+            start_s=index * 60.0,
+            end_s=(index + 1) * 60.0,
+            container=default_catalog().at_level(3),
+            latencies_ms=latencies,
+            arrivals=latencies.size,
+            completions=latencies.size,
+            rejected=0,
+            utilization_median=utilization,
+            utilization_mean=utilization,
+            waits=waits,
+            memory_used_gb=2.0,
+            disk_physical_reads=10.0,
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_cross_check_randomized_stream(self, seed):
+        rng = np.random.default_rng(seed)
+        manager = TelemetryManager(
+            default_thresholds(), LatencyGoal(100.0), cross_check=True
+        )
+        for i in range(80):
+            manager.observe(self._counters(rng, i))
+            manager.signals()  # raises AssertionError on any divergence
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"smooth_intervals": 3},
+            {"smooth_intervals": 25},  # wider than the signal window
+            {"trend_window": 12, "signal_window": 6},  # trend tail == window
+            {"trend_alpha": 0.95, "smooth_intervals": 2},
+        ],
+    )
+    def test_cross_check_nondefault_geometry(self, overrides):
+        import dataclasses
+
+        thresholds = dataclasses.replace(default_thresholds(), **overrides)
+        rng = np.random.default_rng(42)
+        manager = TelemetryManager(thresholds, LatencyGoal(100.0), cross_check=True)
+        for i in range(50):
+            manager.observe(self._counters(rng, i))
+            manager.signals()
+
+    def test_cross_check_without_goal(self):
+        rng = np.random.default_rng(7)
+        manager = TelemetryManager(default_thresholds(), None, cross_check=True)
+        for i in range(40):
+            manager.observe(self._counters(rng, i))
+            manager.signals()
+
+    def test_batch_mode_still_available(self):
+        rng = np.random.default_rng(13)
+        manager = TelemetryManager(
+            default_thresholds(), LatencyGoal(100.0), incremental=False
+        )
+        for i in range(12):
+            manager.observe(self._counters(rng, i))
+        assert manager.signals().interval_index == 11

@@ -30,6 +30,50 @@ class TestRankdata:
         n = len(values)
         assert rankdata(values).sum() == pytest.approx(n * (n + 1) / 2)
 
+    def test_empty(self):
+        assert rankdata([]).size == 0
+
+    @staticmethod
+    def _rankdata_loop_reference(values) -> np.ndarray:
+        """The pre-vectorization implementation (Python loop over tie groups),
+        kept verbatim as the oracle for byte-for-byte equivalence."""
+        arr = np.asarray(values, dtype=float)
+        sorter = np.argsort(arr, kind="mergesort")
+        ranks = np.empty(arr.size, dtype=float)
+        ranks[sorter] = np.arange(1, arr.size + 1, dtype=float)
+        sorted_vals = arr[sorter]
+        boundaries = np.flatnonzero(np.diff(sorted_vals) != 0) + 1
+        groups = np.split(np.arange(arr.size), boundaries)
+        for group in groups:
+            if group.size > 1:
+                idx = sorter[group]
+                ranks[idx] = ranks[idx].mean()
+        return ranks
+
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                              min_value=-1e9, max_value=1e9),
+                    max_size=60))
+    def test_reduceat_matches_loop_reference_untied(self, values):
+        got = rankdata(values)
+        expected = self._rankdata_loop_reference(values)
+        assert got.dtype == expected.dtype
+        assert np.array_equal(got, expected)  # byte-for-byte, no tolerance
+
+    @given(st.lists(st.sampled_from([-2.0, 0.0, 0.5, 1.0, 1.0, 3.0, 3.0, 3.0]),
+                    max_size=60))
+    def test_reduceat_matches_loop_reference_heavy_ties(self, values):
+        got = rankdata(values)
+        expected = self._rankdata_loop_reference(values)
+        assert np.array_equal(got, expected)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_reduceat_matches_loop_reference_randomized(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 200))
+        # Quantized draws guarantee a realistic mix of ties and runs.
+        values = np.round(rng.normal(0, 10, size=n) * 2) / 2
+        assert np.array_equal(rankdata(values), self._rankdata_loop_reference(values))
+
 
 class TestSpearman:
     def test_perfect_monotone(self):
