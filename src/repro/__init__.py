@@ -30,20 +30,27 @@ Quickstart::
 from repro.core.autoscaler import AutoScaler, ScalingDecision
 from repro.core.ballooning import BalloonController
 from repro.core.budget import BudgetManager, BurstStrategy
+from repro.core.damper import OscillationDamper
 from repro.core.demand_estimator import DemandEstimate, DemandEstimator
 from repro.core.explanations import ActionKind, Explanation
 from repro.core.latency import LatencyGoal, LatencyMetric, PerformanceSensitivity
+from repro.core.resize_executor import ActuationReport, CircuitState, ResizeExecutor
+from repro.core.telemetry_guard import GuardAction, GuardVerdict, TelemetryGuard
 from repro.core.telemetry_manager import TelemetryManager
 from repro.core.thresholds import ThresholdConfig, default_thresholds
 from repro.engine.containers import ContainerCatalog, ContainerSpec, default_catalog
 from repro.engine.server import DatabaseServer, EngineConfig
 from repro.errors import (
+    ActuationError,
     BudgetError,
     CatalogError,
     ConfigurationError,
+    FaultError,
     InsufficientDataError,
+    PermanentActuationError,
     ReproError,
     SimulationError,
+    TransientActuationError,
     WorkloadError,
 )
 
@@ -55,6 +62,13 @@ __all__ = [
     "BalloonController",
     "BudgetManager",
     "BurstStrategy",
+    "OscillationDamper",
+    "ActuationReport",
+    "CircuitState",
+    "ResizeExecutor",
+    "GuardAction",
+    "GuardVerdict",
+    "TelemetryGuard",
     "DemandEstimate",
     "DemandEstimator",
     "ActionKind",
@@ -70,12 +84,16 @@ __all__ = [
     "default_catalog",
     "DatabaseServer",
     "EngineConfig",
+    "ActuationError",
     "BudgetError",
     "CatalogError",
     "ConfigurationError",
+    "FaultError",
     "InsufficientDataError",
+    "PermanentActuationError",
     "ReproError",
     "SimulationError",
+    "TransientActuationError",
     "WorkloadError",
     "__version__",
 ]

@@ -4,6 +4,7 @@ budgeting, ballooning, and the closed-loop auto-scaler."""
 from repro.core.autoscaler import AutoScaler, ScalingDecision
 from repro.core.ballooning import BalloonController, BalloonPhase, BalloonStatus
 from repro.core.budget import BudgetManager, BurstStrategy, unconstrained_budget
+from repro.core.damper import OscillationDamper
 from repro.core.demand_estimator import (
     DemandEstimate,
     DemandEstimator,
@@ -19,7 +20,13 @@ from repro.core.rules import (
     high_demand_rules,
     low_demand_rules,
 )
+from repro.core.resize_executor import (
+    ActuationReport,
+    CircuitState,
+    ResizeExecutor,
+)
 from repro.core.signals import LatencyStatus, Level, ResourceSignals, WorkloadSignals
+from repro.core.telemetry_guard import GuardAction, GuardVerdict, TelemetryGuard
 from repro.core.telemetry_manager import TelemetryManager
 from repro.core.thresholds import ThresholdConfig, WaitThresholds, default_thresholds
 
@@ -32,6 +39,13 @@ __all__ = [
     "BudgetManager",
     "BurstStrategy",
     "unconstrained_budget",
+    "OscillationDamper",
+    "ActuationReport",
+    "CircuitState",
+    "ResizeExecutor",
+    "GuardAction",
+    "GuardVerdict",
+    "TelemetryGuard",
     "DemandEstimate",
     "DemandEstimator",
     "ResourceDemand",

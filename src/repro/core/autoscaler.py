@@ -30,10 +30,12 @@ import numpy as np
 
 from repro.core.ballooning import BalloonController, BalloonPhase, BalloonStatus
 from repro.core.budget import BudgetManager, unconstrained_budget
+from repro.core.damper import OscillationDamper
 from repro.core.demand_estimator import DemandEstimate, DemandEstimator
 from repro.core.explanations import ActionKind, Explanation
 from repro.core.latency import LatencyGoal, PerformanceSensitivity
 from repro.core.signals import LatencyStatus, WorkloadSignals
+from repro.core.telemetry_guard import GuardAction, TelemetryGuard
 from repro.core.telemetry_manager import TelemetryManager
 from repro.core.thresholds import ThresholdConfig, default_thresholds
 from repro.engine.bufferpool import engine_overhead_gb, usable_cache_gb
@@ -83,6 +85,13 @@ class AutoScaler:
             explicit goal is given and to tune scale-down caution.
         use_waits / use_trends / use_correlation / use_ballooning:
             ablation switches; all on for the paper's design.
+        guard: optional :class:`TelemetryGuard` admitting telemetry
+            deliveries; when set, corrupt/duplicate/late intervals are
+            quarantined or discarded instead of poisoning the signal
+            windows.  ``None`` (the default) preserves the paper's
+            trust-everything behaviour exactly.
+        damper: optional :class:`OscillationDamper` enforcing a cool-down
+            when container choices flap.  ``None`` disables damping.
     """
 
     def __init__(
@@ -97,6 +106,8 @@ class AutoScaler:
         use_trends: bool = True,
         use_correlation: bool = True,
         use_ballooning: bool = True,
+        guard: TelemetryGuard | None = None,
+        damper: OscillationDamper | None = None,
     ) -> None:
         self.catalog = catalog
         self.goal = goal
@@ -116,21 +127,60 @@ class AutoScaler:
         self._balloon_limit: float | None = None
         self._low_demand_streak = 0
         self._disk_reads = RollingWindow(self.thresholds.signal_window)
+        # Degraded-mode state (inert unless a guard / damper / executor is
+        # attached): telemetry admission, flap damping, explicit safe mode
+        # driven by the resize executor's circuit breaker, and refunds the
+        # executor schedules for actuation failures.
+        self.guard = guard
+        self.damper = damper
+        self._safe_mode = False
+        self._safe_mode_reason = ""
+        self._pending_refund = 0.0
 
     @property
     def container(self) -> ContainerSpec:
         return self._container
 
+    @property
+    def in_safe_mode(self) -> bool:
+        return self._safe_mode
+
     # -- the closed loop -----------------------------------------------------
 
     def decide(self, counters: IntervalCounters) -> ScalingDecision:
         """Consume one interval's telemetry and choose the next container."""
+        if self.guard is not None:
+            verdict = self.guard.inspect(counters)
+            if verdict.action is GuardAction.DISCARD:
+                return self._passive_decision(
+                    ActionKind.TELEMETRY_DISCARDED, verdict.reasons
+                )
+            if verdict.action is GuardAction.ADMIT_LATE:
+                # The interval was already settled as a gap; the data is
+                # still worth feeding to the signal windows.
+                self.telemetry.observe(counters)
+                self._disk_reads.append(counters.disk_physical_reads)
+                return self._passive_decision(
+                    ActionKind.TELEMETRY_LATE, verdict.reasons
+                )
+            if verdict.action is GuardAction.QUARANTINE:
+                return self._degraded_decision(
+                    ActionKind.TELEMETRY_QUARANTINED,
+                    "counters quarantined, holding last known-good signals: "
+                    + "; ".join(verdict.reasons),
+                )
+            # ADMIT: settle any intervals that silently never arrived.
+            for _ in range(verdict.missed_intervals):
+                self._settle_budget(self._container.cost)
+
         self.telemetry.observe(counters)
         self._disk_reads.append(counters.disk_physical_reads)
         # Charge the interval that just ran (the paper: "at the end of the
         # i-th billing interval ... C_i tokens are subtracted"); what
         # remains is B_{i+1}, the budget the next choice must fit.
-        self.budget.end_interval(counters.container.cost)
+        self._settle_budget(counters.container.cost)
+        if self._safe_mode:
+            return self._safe_mode_decision()
         signals = self.telemetry.signals()
         demand = self.estimator.estimate(signals)
         explanations: list[Explanation] = []
@@ -155,6 +205,26 @@ class AutoScaler:
                 signals, demand, balloon_confirmed, explanations
             )
 
+        # Anti-flapping: during a damper cool-down, discretionary moves are
+        # suppressed (the budget constraint below still overrides — it is a
+        # hard invariant, damping is not).
+        if (
+            self.damper is not None
+            and self.damper.cooling_down
+            and target.name != previous.name
+        ):
+            explanations.append(
+                Explanation(
+                    action=ActionKind.OSCILLATION_DAMPED,
+                    reason=(
+                        f"resize to {target.name} suppressed: oscillation "
+                        f"cool-down ({self.damper.cooldown_remaining} "
+                        "interval(s) remaining)"
+                    ),
+                )
+            )
+            target = previous
+
         # The budget constrains every path, not just scale-ups: once the
         # bucket drains, even *holding* an expensive container is no
         # longer affordable and the tenant is forced down.
@@ -175,6 +245,21 @@ class AutoScaler:
                 )
             )
             target = forced
+
+        if self.damper is not None and self.damper.observe(
+            previous.level, target.level
+        ):
+            explanations.append(
+                Explanation(
+                    action=ActionKind.OSCILLATION_DAMPED,
+                    reason=(
+                        "up/down flapping detected "
+                        f"(> {self.damper.max_reversals} reversals in the "
+                        f"last {self.damper.window} moves); cooling down for "
+                        f"{self.damper.cooldown_intervals} interval(s)"
+                    ),
+                )
+            )
 
         if target.name != previous.name:
             self._on_resize()
@@ -495,6 +580,174 @@ class AutoScaler:
                     resource=ResourceKind.MEMORY,
                 )
             )
+
+    # -- degraded modes -------------------------------------------------------
+
+    def decide_missing(self) -> ScalingDecision:
+        """Handle a billing-interval boundary with no telemetry delivery.
+
+        The controller's tick fired but no counters arrived (telemetry
+        dropout).  The interval still ran and must be billed; the safest
+        action on zero information is to hold the current container.  A
+        late delivery for this interval can still be absorbed by the guard
+        without double-billing.
+        """
+        if self.guard is not None:
+            self.guard.note_missing_interval()
+        return self._degraded_decision(
+            ActionKind.TELEMETRY_GAP,
+            "no telemetry arrived for this interval; holding the current "
+            "container and billing the believed cost",
+        )
+
+    def notify_actuation(self, applied: ContainerSpec) -> None:
+        """Reconcile the scaler's container belief with actuation reality.
+
+        Called by :class:`~repro.core.resize_executor.ResizeExecutor` after
+        every actuation attempt.  A divergence means the decided resize did
+        not (fully) happen: adopt the actual container and drop probe state
+        keyed to the stale belief.
+        """
+        if applied.name == self._container.name:
+            return
+        self._container = applied
+        self.balloon.cancel()
+        self._balloon_limit = None
+        self._low_demand_streak = 0
+
+    def notify_balloon_actuation_failed(self) -> None:
+        """The balloon cap could not be applied; abandon the probe."""
+        self.balloon.cancel()
+        self._balloon_limit = None
+
+    def schedule_refund(self, amount: float) -> None:
+        """Credit tokens back at the next settlement (platform's fault)."""
+        if amount > 0:
+            self._pending_refund += amount
+
+    def enter_safe_mode(self, intervals: int, reason: str) -> None:
+        """Hold the current container until :meth:`exit_safe_mode`.
+
+        Driven by the resize executor's circuit breaker; ``intervals`` is
+        informational (the breaker owns the clock).
+        """
+        self._safe_mode = True
+        self._safe_mode_reason = reason
+        self._cancel_balloon_if_probing([])
+        self._low_demand_streak = 0
+
+    def exit_safe_mode(self) -> None:
+        self._safe_mode = False
+        self._safe_mode_reason = ""
+
+    def _settle_budget(self, cost: float) -> None:
+        """Apply any pending actuation refund, then charge the interval.
+
+        The refund lands first so a tenant stranded on a too-expensive
+        container by a failed scale-down stays solvent: the net charge is
+        the cost of the container the scaler actually chose.
+        """
+        if self._pending_refund > 0.0:
+            self.budget.refund(self._pending_refund)
+            self._pending_refund = 0.0
+        self.budget.end_interval(cost)
+
+    def _safe_mode_decision(self) -> ScalingDecision:
+        """Hold the current container while the circuit breaker is open."""
+        explanations = [
+            Explanation(
+                action=ActionKind.SAFE_MODE,
+                reason=(
+                    "safe mode: actuation circuit open "
+                    f"({self._safe_mode_reason}); holding "
+                    f"{self._container.name}"
+                ),
+            )
+        ]
+        self.balloon.tick_cooldown()
+        target = self._enforce_budget(self._container, explanations)
+        resized = target.name != self._container.name
+        if resized:
+            self._on_resize()
+        self._container = target
+        return ScalingDecision(
+            container=target,
+            balloon_limit_gb=self._balloon_limit,
+            resized=resized,
+            explanations=tuple(explanations),
+        )
+
+    def _degraded_decision(
+        self, kind: ActionKind, reason: str
+    ) -> ScalingDecision:
+        """Hold on untrustworthy input: bill, explain, change nothing else.
+
+        The signal windows are left untouched (hold-last-signals), the
+        balloon probe is frozen rather than advanced on bad data, and the
+        only container change allowed is a budget-forced downgrade.
+        """
+        self._settle_budget(self._container.cost)
+        explanations = [Explanation(action=kind, reason=reason)]
+        if self._safe_mode:
+            explanations.append(
+                Explanation(
+                    action=ActionKind.SAFE_MODE,
+                    reason=(
+                        "safe mode: actuation circuit open "
+                        f"({self._safe_mode_reason})"
+                    ),
+                )
+            )
+        self.balloon.tick_cooldown()
+        target = self._enforce_budget(self._container, explanations)
+        resized = target.name != self._container.name
+        if resized:
+            self._on_resize()
+        self._container = target
+        return ScalingDecision(
+            container=target,
+            balloon_limit_gb=self._balloon_limit,
+            resized=resized,
+            explanations=tuple(explanations),
+        )
+
+    def _passive_decision(
+        self, kind: ActionKind, reasons: tuple[str, ...]
+    ) -> ScalingDecision:
+        """Acknowledge a delivery that represents no new interval.
+
+        Duplicates and late redeliveries do not advance billing or scaling
+        state; the decision exists only so callers get an explained no-op.
+        """
+        return ScalingDecision(
+            container=self._container,
+            balloon_limit_gb=self._balloon_limit,
+            resized=False,
+            explanations=(
+                Explanation(action=kind, reason="; ".join(reasons)),
+            ),
+        )
+
+    def _enforce_budget(
+        self, target: ContainerSpec, explanations: list[Explanation]
+    ) -> ContainerSpec:
+        """The hard budget constraint, shared with the degraded paths."""
+        if self.budget.affordable(target.cost):
+            return target
+        affordable = [c for c in self.catalog if self.budget.affordable(c.cost)]
+        forced = max(affordable, key=lambda c: (c.cost, c.level))
+        explanations.append(
+            Explanation(
+                action=ActionKind.BUDGET_CONSTRAINED,
+                reason=(
+                    f"container {target.name} ({target.cost:g}/interval) "
+                    f"no longer fits the remaining budget "
+                    f"({self.budget.available:.1f}); forced down to "
+                    f"{forced.name}"
+                ),
+            )
+        )
+        return forced
 
     def _on_resize(self) -> None:
         self.balloon.cancel()

@@ -94,6 +94,7 @@ class BudgetManager:
         self._tokens = params.initial
         self._interval = 0
         self._spent = 0.0
+        self._refunded = 0.0
 
     def _configure(self) -> _BucketParams:
         depth = self.budget - (self.n_intervals - 1) * self.min_cost
@@ -131,6 +132,12 @@ class BudgetManager:
         return self._spent
 
     @property
+    def refunded(self) -> float:
+        """Total tokens credited back for charges the platform failed to
+        honour (e.g. a scale-down the actuator never applied)."""
+        return self._refunded
+
+    @property
     def remaining_intervals(self) -> int:
         return max(self.n_intervals - self._interval, 0)
 
@@ -166,12 +173,32 @@ class BudgetManager:
         # ``available >= fill-rate floor`` invariant microscopically.
         self._tokens = min(max(self._tokens - cost, 0.0) + self._fill_rate, self._depth)
 
+    def refund(self, amount: float) -> None:
+        """Credit tokens back for a charge the platform failed to honour.
+
+        Used by the degraded-mode control plane: when the actuator fails to
+        apply a chosen (cheaper) container and the tenant is forced to keep
+        running — and paying for — the old one, the cost difference is the
+        platform's fault, not the tenant's, so it is returned to the bucket.
+        Refunds are clamped at the bucket depth (the burst bound is a hard
+        invariant) and never drive ``spent`` below zero.
+        """
+        if amount < 0:
+            raise BudgetError("refund amount must be non-negative")
+        if amount == 0:
+            return
+        credited = min(self._tokens + amount, self._depth) - self._tokens
+        self._tokens += credited
+        self._spent = max(self._spent - credited, 0.0)
+        self._refunded += credited
+
     def start_new_period(self) -> None:
         """Roll into a fresh budgeting period (e.g. a new month)."""
         params = self._configure()
         self._tokens = params.initial
         self._interval = 0
         self._spent = 0.0
+        self._refunded = 0.0
 
 
 def unconstrained_budget(

@@ -1,0 +1,101 @@
+"""Oscillation damping for the auto-scaler (anti-flapping guard).
+
+Reactive scalers have two classic failure modes — oscillation and
+actuation failure (Qu et al., 2016).  Auto's hysteresis (the low-demand
+streak before a scale-down, trend significance tests) suppresses most
+flapping, but corrupted telemetry, quarantine holds, or a partially-applied
+resize can still push the loop into an up/down/up limit cycle, each leg of
+which pays a resize and churns the buffer pool.
+
+:class:`OscillationDamper` watches the *direction* of applied container
+changes over a sliding window.  When it sees too many direction reversals
+in too few intervals, it declares a flap and enforces a cool-down during
+which the scaler holds its current container (the decision is explained as
+``oscillation-damped``).  Genuine monotone scale-ups or scale-downs — even
+rapid ones — never trigger it: only sign *reversals* count.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import ConfigurationError
+
+__all__ = ["OscillationDamper"]
+
+
+class OscillationDamper:
+    """Detect container-level flapping and enforce a cool-down.
+
+    Args:
+        window: how many recent *resizes* (not intervals) to remember.
+        max_reversals: direction reversals tolerated inside the window
+            before the damper trips.  A reversal is an up-move directly
+            following a down-move or vice versa.
+        cooldown_intervals: intervals to hold after tripping.
+    """
+
+    def __init__(
+        self,
+        window: int = 6,
+        max_reversals: int = 2,
+        cooldown_intervals: int = 8,
+    ) -> None:
+        if window < 2:
+            raise ConfigurationError("window must be >= 2")
+        if max_reversals < 1:
+            raise ConfigurationError("max_reversals must be >= 1")
+        if cooldown_intervals < 1:
+            raise ConfigurationError("cooldown_intervals must be >= 1")
+        self.window = window
+        self.max_reversals = max_reversals
+        self.cooldown_intervals = cooldown_intervals
+        self._moves: deque[int] = deque(maxlen=window)
+        self._cooldown_left = 0
+        self.trips = 0
+
+    @property
+    def cooling_down(self) -> bool:
+        return self._cooldown_left > 0
+
+    @property
+    def cooldown_remaining(self) -> int:
+        return self._cooldown_left
+
+    def reversals(self) -> int:
+        """Direction reversals among the remembered moves."""
+        count = 0
+        previous = 0
+        for move in self._moves:
+            if previous and move == -previous:
+                count += 1
+            previous = move
+        return count
+
+    def observe(self, previous_level: int, next_level: int) -> bool:
+        """Record one interval's applied container change.
+
+        Call once per billing interval with the level actually in force
+        before and after actuation.  Returns True if this move tripped the
+        damper (the *next* intervals should hold).
+        """
+        if self._cooldown_left > 0:
+            self._cooldown_left -= 1
+            if self._cooldown_left == 0:
+                # Leaving cool-down with a clean slate; the flap that
+                # tripped us must not immediately re-trip.
+                self._moves.clear()
+            return False
+        if next_level == previous_level:
+            return False
+        self._moves.append(1 if next_level > previous_level else -1)
+        if self.reversals() > self.max_reversals:
+            self._cooldown_left = self.cooldown_intervals
+            self._moves.clear()
+            self.trips += 1
+            return True
+        return False
+
+    def reset(self) -> None:
+        self._moves.clear()
+        self._cooldown_left = 0

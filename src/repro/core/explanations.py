@@ -28,6 +28,15 @@ class ActionKind(enum.Enum):
     BALLOON_START = "balloon-start"
     BALLOON_ABORT = "balloon-abort"
     BALLOON_CONFIRM = "balloon-confirm"
+    # Degraded-mode actions: the control plane explains *why* it is not
+    # acting on this interval's telemetry or demand.
+    TELEMETRY_QUARANTINED = "telemetry-quarantined"
+    TELEMETRY_GAP = "telemetry-gap"
+    TELEMETRY_DISCARDED = "telemetry-discarded"
+    TELEMETRY_LATE = "telemetry-late"
+    ACTUATION_FAILED = "actuation-failed"
+    SAFE_MODE = "safe-mode"
+    OSCILLATION_DAMPED = "oscillation-damped"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value

@@ -1,0 +1,366 @@
+"""Reliable actuation of scaling decisions (degraded-mode control plane).
+
+The :class:`~repro.core.autoscaler.AutoScaler` *chooses* a container; this
+module *applies* the choice.  The paper's prototype assumed an actuator
+that always succeeds instantly; a production DaaS placement service fails
+transiently (busy hosts, quota races), fails permanently (host rejects the
+move), and occasionally applies a resize partially (throttled mid-resize).
+Left unhandled, any of these desynchronizes the scaler's belief about the
+running container from reality, corrupts billing, and can strand a tenant
+on a container their budget cannot sustain.
+
+:class:`ResizeExecutor` wraps the actuation path with:
+
+* **bounded retries** of transient failures with exponential backoff and
+  deterministic, seeded jitter (the backoff is bookkept in virtual ms — the
+  simulation does not sleep);
+* **belief reconciliation** — after every attempt the executor reads back
+  the container the server actually runs and tells the scaler
+  (:meth:`AutoScaler.notify_actuation`), so partial applications cannot
+  split brain the loop;
+* **budget refunds** — when actuation strands the tenant on a container
+  *more expensive* than the one the scaler chose, the cost difference is
+  the platform's fault and is scheduled for refund against the next
+  interval's charge (:meth:`AutoScaler.schedule_refund`);
+* a **circuit breaker** — after ``failure_threshold`` consecutive failed
+  actuations the circuit opens for ``open_intervals`` intervals, during
+  which no resize is attempted and the scaler is dropped into an explicit
+  safe mode (hold the current container, keep observing telemetry, explain
+  the degradation).  A half-open trial resize closes the circuit on
+  success.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.explanations import ActionKind, Explanation
+from repro.engine.containers import ContainerSpec
+from repro.errors import (
+    ActuationError,
+    ConfigurationError,
+    PermanentActuationError,
+    TransientActuationError,
+)
+
+__all__ = ["CircuitState", "ActuationReport", "ResizeExecutor"]
+
+
+class CircuitState(enum.Enum):
+    """Classic three-state breaker over the actuation path."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class ActuationReport:
+    """What one interval's actuation actually did.
+
+    Attributes:
+        requested: the container the decision asked for.
+        applied: the container the server runs after actuation (read back
+            from the server — may be the old one on failure, or an
+            intermediate one on partial application).
+        attempts: actuator calls made (0 when no resize was needed or the
+            circuit was open).
+        backoff_ms: total virtual backoff waited between retries.
+        succeeded: requested container is fully in force.
+        refund_scheduled: tokens scheduled for refund because the applied
+            container is costlier than the requested one.
+        circuit: breaker state *after* this actuation.
+        explanations: degradation trail for this interval (empty when the
+            resize applied cleanly).
+    """
+
+    requested: ContainerSpec
+    applied: ContainerSpec
+    attempts: int
+    backoff_ms: float
+    succeeded: bool
+    refund_scheduled: float
+    circuit: CircuitState
+    explanations: tuple[Explanation, ...] = ()
+
+
+class ResizeExecutor:
+    """Apply scaling decisions to a server with retries and a breaker.
+
+    Args:
+        scaler: the :class:`AutoScaler` whose decisions are executed; the
+            executor reconciles its container belief, schedules refunds,
+            and toggles its safe mode.
+        server: the actuation target — anything exposing
+            ``set_container``/``set_balloon_limit``/``container`` (a
+            :class:`~repro.engine.server.DatabaseServer` or the
+            fault-injecting wrapper around one).
+        max_attempts: actuator calls per interval before giving up.
+        backoff_base_ms / backoff_factor: exponential backoff schedule
+            between retries (virtual time).
+        jitter: uniform ±fraction applied to each backoff step, drawn from
+            a seeded RNG so chaos runs are reproducible.
+        failure_threshold: consecutive failed actuations that open the
+            circuit.
+        open_intervals: intervals the circuit stays open (safe mode).
+        seed: RNG seed for the jitter stream.
+    """
+
+    def __init__(
+        self,
+        scaler,
+        server,
+        max_attempts: int = 3,
+        backoff_base_ms: float = 200.0,
+        backoff_factor: float = 2.0,
+        jitter: float = 0.25,
+        failure_threshold: int = 3,
+        open_intervals: int = 10,
+        seed: int = 0,
+    ) -> None:
+        if max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        if backoff_base_ms < 0 or backoff_factor < 1.0:
+            raise ConfigurationError("need backoff_base_ms >= 0, factor >= 1")
+        if not 0.0 <= jitter < 1.0:
+            raise ConfigurationError("jitter must be in [0, 1)")
+        if failure_threshold < 1:
+            raise ConfigurationError("failure_threshold must be >= 1")
+        if open_intervals < 1:
+            raise ConfigurationError("open_intervals must be >= 1")
+        self.scaler = scaler
+        self.server = server
+        self.max_attempts = max_attempts
+        self.backoff_base_ms = backoff_base_ms
+        self.backoff_factor = backoff_factor
+        self.jitter = jitter
+        self.failure_threshold = failure_threshold
+        self.open_intervals = open_intervals
+        self._rng = np.random.default_rng(seed)
+        self._state = CircuitState.CLOSED
+        self._consecutive_failures = 0
+        self._open_left = 0
+        # Diagnostics for the chaos suite.
+        self.total_attempts = 0
+        self.total_failures = 0
+        self.total_refunds = 0.0
+        self.circuit_opens = 0
+
+    @property
+    def circuit(self) -> CircuitState:
+        return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._consecutive_failures
+
+    # -- per-interval execution ------------------------------------------------
+
+    def execute(self, decision) -> ActuationReport:
+        """Actuate one :class:`ScalingDecision`; call once per interval."""
+        requested: ContainerSpec = decision.container
+        current: ContainerSpec = self.server.container
+        explanations: list[Explanation] = []
+
+        if self._state is CircuitState.OPEN:
+            report = self._execute_open(requested, current, explanations)
+        elif requested.name == current.name:
+            report = self._report(
+                requested, current, attempts=0, backoff_ms=0.0,
+                succeeded=True, explanations=explanations,
+            )
+        else:
+            report = self._execute_resize(requested, current, explanations)
+
+        self._apply_balloon(decision, explanations)
+        if len(explanations) != len(report.explanations):
+            # The balloon step degraded after the resize report was built;
+            # fold its explanations (and any breaker transition) back in.
+            report = dataclasses.replace(
+                report,
+                explanations=tuple(explanations),
+                circuit=self._state,
+            )
+        return report
+
+    # -- resize paths ----------------------------------------------------------
+
+    def _execute_open(
+        self,
+        requested: ContainerSpec,
+        current: ContainerSpec,
+        explanations: list[Explanation],
+    ) -> ActuationReport:
+        """Circuit open: refuse to actuate, keep the budget whole."""
+        self._open_left -= 1
+        if self._open_left <= 0:
+            self._state = CircuitState.HALF_OPEN
+            self.scaler.exit_safe_mode()
+        refund = 0.0
+        if requested.name != current.name:
+            refund = self._schedule_refund(requested, current)
+            explanations.append(
+                Explanation(
+                    action=ActionKind.SAFE_MODE,
+                    reason=(
+                        f"circuit open ({max(self._open_left, 0)} interval(s) "
+                        f"left): resize {current.name} -> {requested.name} "
+                        "not attempted"
+                    ),
+                )
+            )
+            self.scaler.notify_actuation(current)
+        return self._report(
+            requested, current, attempts=0, backoff_ms=0.0,
+            succeeded=requested.name == current.name,
+            refund=refund, explanations=explanations,
+        )
+
+    def _execute_resize(
+        self,
+        requested: ContainerSpec,
+        current: ContainerSpec,
+        explanations: list[Explanation],
+    ) -> ActuationReport:
+        attempts = 0
+        backoff_ms = 0.0
+        error: ActuationError | None = None
+        while attempts < self.max_attempts:
+            attempts += 1
+            self.total_attempts += 1
+            try:
+                self.server.set_container(requested)
+                error = None
+                break
+            except TransientActuationError as exc:
+                error = exc
+                if attempts < self.max_attempts:
+                    backoff_ms += self._backoff(attempts)
+            except PermanentActuationError as exc:
+                error = exc
+                break
+
+        applied: ContainerSpec = self.server.container
+        succeeded = error is None and applied.name == requested.name
+
+        if succeeded:
+            self._on_success()
+            self.scaler.notify_actuation(applied)
+            return self._report(
+                requested, applied, attempts, backoff_ms,
+                succeeded=True, explanations=explanations,
+            )
+
+        self.total_failures += 1
+        refund = self._schedule_refund(requested, applied)
+        if error is not None:
+            reason = (
+                f"resize {current.name} -> {requested.name} failed after "
+                f"{attempts} attempt(s) ({type(error).__name__}: {error}); "
+                f"running {applied.name}"
+            )
+        else:
+            reason = (
+                f"resize {current.name} -> {requested.name} applied "
+                f"partially: running {applied.name}"
+            )
+        explanations.append(
+            Explanation(action=ActionKind.ACTUATION_FAILED, reason=reason)
+        )
+        self.scaler.notify_actuation(applied)
+        self._on_failure(explanations)
+        return self._report(
+            requested, applied, attempts, backoff_ms,
+            succeeded=False, refund=refund, explanations=explanations,
+        )
+
+    def _apply_balloon(self, decision, explanations: list[Explanation]) -> None:
+        """Apply the decision's balloon cap; a failure aborts the probe."""
+        try:
+            self.server.set_balloon_limit(decision.balloon_limit_gb)
+        except ActuationError as exc:
+            explanations.append(
+                Explanation(
+                    action=ActionKind.ACTUATION_FAILED,
+                    reason=f"balloon adjustment failed ({exc}); probe cancelled",
+                )
+            )
+            self.scaler.notify_balloon_actuation_failed()
+            self.total_failures += 1
+            self._on_failure(explanations)
+
+    # -- breaker bookkeeping ---------------------------------------------------
+
+    def _on_success(self) -> None:
+        self._consecutive_failures = 0
+        if self._state is CircuitState.HALF_OPEN:
+            self._state = CircuitState.CLOSED
+
+    def _on_failure(self, explanations: list[Explanation]) -> None:
+        self._consecutive_failures += 1
+        half_open_failed = self._state is CircuitState.HALF_OPEN
+        if (
+            half_open_failed
+            or self._consecutive_failures >= self.failure_threshold
+        ):
+            self._state = CircuitState.OPEN
+            self._open_left = self.open_intervals
+            self.circuit_opens += 1
+            reason = (
+                "trial resize failed while half-open"
+                if half_open_failed
+                else f"{self._consecutive_failures} consecutive actuation failures"
+            )
+            explanations.append(
+                Explanation(
+                    action=ActionKind.SAFE_MODE,
+                    reason=(
+                        f"circuit breaker opened ({reason}); holding the "
+                        f"current container for {self.open_intervals} "
+                        "interval(s)"
+                    ),
+                )
+            )
+            self.scaler.enter_safe_mode(self.open_intervals, reason)
+
+    def _schedule_refund(
+        self, requested: ContainerSpec, applied: ContainerSpec
+    ) -> float:
+        """Refund the tenant when stuck on a costlier container than chosen."""
+        extra = applied.cost - requested.cost
+        if extra <= 0:
+            return 0.0
+        self.scaler.schedule_refund(extra)
+        self.total_refunds += extra
+        return extra
+
+    def _backoff(self, attempt: int) -> float:
+        base = self.backoff_base_ms * (self.backoff_factor ** (attempt - 1))
+        if self.jitter == 0.0:
+            return base
+        return float(base * (1.0 + self._rng.uniform(-self.jitter, self.jitter)))
+
+    def _report(
+        self,
+        requested: ContainerSpec,
+        applied: ContainerSpec,
+        attempts: int,
+        backoff_ms: float,
+        succeeded: bool,
+        refund: float = 0.0,
+        explanations: list[Explanation] | None = None,
+    ) -> ActuationReport:
+        return ActuationReport(
+            requested=requested,
+            applied=applied,
+            attempts=attempts,
+            backoff_ms=backoff_ms,
+            succeeded=succeeded,
+            refund_scheduled=refund,
+            circuit=self._state,
+            explanations=tuple(explanations or ()),
+        )

@@ -1,0 +1,228 @@
+"""Telemetry admission control for the degraded-mode control plane.
+
+The robust statistics of Section 3 defend the auto-scaler against *noisy*
+telemetry — outlier intervals, checkpoint spikes — but they assume every
+billing interval actually arrives, exactly once, in order, with physically
+possible values.  Production telemetry pipelines violate all four: counters
+get dropped, duplicated, delayed, and occasionally corrupted (NaN
+latencies, negative waits, utilizations above 100 %).  A single NaN
+admitted into the Theil–Sen or Spearman windows lingers for a full window
+length and can suppress or fabricate trends.
+
+:class:`TelemetryGuard` sits in front of
+:meth:`~repro.core.telemetry_manager.TelemetryManager.observe` and issues a
+:class:`GuardVerdict` for each delivery:
+
+* **ADMIT** — fresh, in-order, valid counters: feed the windows and run the
+  normal decision path.  The verdict also reports how many intervals went
+  *missing* immediately before this one, so the caller can settle their
+  billing.
+* **ADMIT_LATE** — valid counters for an interval the controller already
+  handled as a gap: the data is still statistically useful, so it is worth
+  feeding to the windows, but the interval must not be billed twice and the
+  decision for it has already been made.
+* **QUARANTINE** — a fresh interval whose counters are physically
+  impossible (:meth:`~repro.engine.telemetry.IntervalCounters.anomalies`).
+  The caller should hold the last known-good signals instead of observing.
+* **DISCARD** — a duplicate or stale redelivery; ignore it entirely.
+
+The guard is deliberately stateful but cheap: an expected-next index, a
+bounded set of outstanding gap indexes, and the last admitted timestamp
+(for clock-skew detection across deliveries).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.engine.telemetry import IntervalCounters
+from repro.errors import ConfigurationError
+
+__all__ = ["GuardAction", "GuardVerdict", "TelemetryGuard"]
+
+
+class GuardAction(enum.Enum):
+    """What the control plane should do with one telemetry delivery."""
+
+    ADMIT = "admit"
+    ADMIT_LATE = "admit-late"
+    QUARANTINE = "quarantine"
+    DISCARD = "discard"
+
+
+@dataclass(frozen=True)
+class GuardVerdict:
+    """The guard's ruling on one delivered :class:`IntervalCounters`.
+
+    Attributes:
+        action: admission decision.
+        reasons: human-readable grounds (anomaly descriptions, duplicate /
+            stale / late diagnostics) — empty for a plain ADMIT.
+        missed_intervals: intervals that silently never arrived before this
+            delivery (ADMIT only); the caller owes a billing charge and a
+            hold decision for each.
+    """
+
+    action: GuardAction
+    reasons: tuple[str, ...] = ()
+    missed_intervals: int = 0
+
+
+@dataclass
+class GuardStats:
+    """Running tallies for diagnostics and chaos-suite assertions."""
+
+    admitted: int = 0
+    admitted_late: int = 0
+    quarantined: int = 0
+    discarded: int = 0
+    missed: int = 0
+    consecutive_quarantined: int = 0
+    reasons: list[str] = field(default_factory=list)
+
+
+class TelemetryGuard:
+    """Validate and sequence telemetry deliveries for one tenant.
+
+    Args:
+        max_tracked_gaps: bound on remembered missing-interval indexes; the
+            oldest are forgotten first (a delivery that late is treated as
+            stale and discarded).
+        degraded_after: consecutive quarantined/missing intervals after
+            which :attr:`telemetry_degraded` turns on — the signal the
+            auto-scaler uses to explain that it is flying blind.
+    """
+
+    def __init__(
+        self,
+        max_tracked_gaps: int = 64,
+        degraded_after: int = 3,
+    ) -> None:
+        if max_tracked_gaps < 1:
+            raise ConfigurationError("max_tracked_gaps must be >= 1")
+        if degraded_after < 1:
+            raise ConfigurationError("degraded_after must be >= 1")
+        self.max_tracked_gaps = max_tracked_gaps
+        self.degraded_after = degraded_after
+        self.stats = GuardStats()
+        self._expected_next: int | None = None
+        self._missing: set[int] = set()
+        self._last_end_s: float | None = None
+
+    @property
+    def telemetry_degraded(self) -> bool:
+        """True after ``degraded_after`` consecutive bad/missing intervals."""
+        return self.stats.consecutive_quarantined >= self.degraded_after
+
+    @property
+    def expected_next_index(self) -> int | None:
+        """The interval index the guard expects to admit next."""
+        return self._expected_next
+
+    # -- the admission decision ------------------------------------------------
+
+    def inspect(self, counters: IntervalCounters) -> GuardVerdict:
+        """Rule on one delivery and advance the guard's sequencing state."""
+        anomalies = counters.anomalies()
+        index = counters.interval_index
+        if anomalies:
+            # Corrupt *and* stale is just noise; corrupt and fresh is a
+            # real interval whose data cannot be trusted.
+            if self._expected_next is not None and index < self._expected_next:
+                return self._discard(
+                    [f"stale corrupt delivery for interval {index}", *anomalies]
+                )
+            return self._quarantine(anomalies, index)
+
+        if self._expected_next is None:
+            # First delivery establishes the sequence origin.
+            return self._admit(counters, missed=0)
+
+        if index < self._expected_next:
+            if index in self._missing:
+                self._missing.discard(index)
+                self.stats.admitted_late += 1
+                return GuardVerdict(
+                    GuardAction.ADMIT_LATE,
+                    (f"late delivery for already-settled interval {index}",),
+                )
+            return self._discard([f"duplicate delivery for interval {index}"])
+
+        skew = self._clock_skew(counters)
+        if skew is not None:
+            return self._quarantine([skew], index)
+
+        missed = index - self._expected_next
+        return self._admit(counters, missed=missed)
+
+    def note_missing_interval(self) -> None:
+        """Record that the controller's tick fired with no delivery.
+
+        Called by the degraded decision path when an interval boundary
+        passes without telemetry; the index is remembered so a late
+        delivery can be admitted without double-billing.
+        """
+        if self._expected_next is None:
+            # Nothing ever arrived; there is no sequence to track yet.
+            self.stats.missed += 1
+            self.stats.consecutive_quarantined += 1
+            return
+        self._remember_missing(self._expected_next)
+        self._expected_next += 1
+        self.stats.missed += 1
+        self.stats.consecutive_quarantined += 1
+
+    # -- internals -------------------------------------------------------------
+
+    def _admit(self, counters: IntervalCounters, missed: int) -> GuardVerdict:
+        index = counters.interval_index
+        if self._expected_next is not None:
+            for gap_index in range(self._expected_next, index):
+                self._remember_missing(gap_index)
+        self._expected_next = index + 1
+        self._last_end_s = counters.end_s
+        self.stats.admitted += 1
+        self.stats.missed += missed
+        self.stats.consecutive_quarantined = 0
+        reasons = (
+            (f"{missed} interval(s) missing before interval {index}",)
+            if missed
+            else ()
+        )
+        return GuardVerdict(GuardAction.ADMIT, reasons, missed_intervals=missed)
+
+    def _quarantine(self, reasons: list[str], index: int) -> GuardVerdict:
+        # A corrupt delivery still represents a real elapsed interval:
+        # advance the sequence so the stream can resynchronize, but do not
+        # trust its timestamps.
+        if self._expected_next is None or index >= self._expected_next:
+            self._expected_next = index + 1
+        self.stats.quarantined += 1
+        self.stats.consecutive_quarantined += 1
+        self.stats.reasons.extend(reasons)
+        return GuardVerdict(GuardAction.QUARANTINE, tuple(reasons))
+
+    def _discard(self, reasons: list[str]) -> GuardVerdict:
+        self.stats.discarded += 1
+        self.stats.reasons.extend(reasons)
+        return GuardVerdict(GuardAction.DISCARD, tuple(reasons))
+
+    def _clock_skew(self, counters: IntervalCounters) -> str | None:
+        """Cross-delivery clock check (within-delivery checks live in
+        ``anomalies()``): a fresh interval must not start before the last
+        admitted one ended."""
+        if self._last_end_s is None:
+            return None
+        if counters.start_s < self._last_end_s - 1e-6:
+            return (
+                f"clock skew: interval {counters.interval_index} starts at "
+                f"{counters.start_s:g}s, before the previous interval ended "
+                f"({self._last_end_s:g}s)"
+            )
+        return None
+
+    def _remember_missing(self, index: int) -> None:
+        self._missing.add(index)
+        while len(self._missing) > self.max_tracked_gaps:
+            self._missing.discard(min(self._missing))

@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.core.signals import LatencyStatus, ResourceSignals, WorkloadSignals
 from repro.core.thresholds import ThresholdConfig
+from repro.errors import InsufficientDataError
 from repro.engine.resources import ResourceKind
 from repro.engine.telemetry import IntervalCounters
 from repro.engine.waits import RESOURCE_WAIT_CLASS
@@ -137,9 +138,19 @@ class TelemetryManager:
     # -- signal extraction ---------------------------------------------------------
 
     def signals(self) -> WorkloadSignals:
-        """Produce the categorized signal set for the current interval."""
+        """Produce the categorized signal set for the current interval.
+
+        Raises:
+            InsufficientDataError: if no interval has been observed yet —
+                there is no telemetry to build signals from, and silently
+                returning NaN-filled signals would poison downstream
+                categorization.
+        """
         if self._last is None:
-            raise ValueError("no telemetry observed yet")
+            raise InsufficientDataError(
+                "no telemetry observed yet: observe() at least one interval "
+                "before requesting signals()"
+            )
         if not self.incremental:
             return self._signals_batch()
         result = self._signals_incremental()

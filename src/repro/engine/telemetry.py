@@ -99,6 +99,58 @@ class IntervalCounters:
         duration = self.duration_s
         return self.completions / duration if duration > 0 else 0.0
 
+    def anomalies(self) -> list[str]:
+        """Describe every physically impossible value in this snapshot.
+
+        A healthy engine can never emit any of these; telemetry pipelines
+        can (bit flips, torn reads, unit bugs, clock resets).  The
+        degraded-mode control plane quarantines any interval with a
+        non-empty anomaly list instead of letting it poison the robust
+        signal windows.  Returns an empty list for clean counters.
+        """
+        problems: list[str] = []
+        if self.interval_index < 0:
+            problems.append(f"negative interval_index {self.interval_index}")
+        if not (np.isfinite(self.start_s) and np.isfinite(self.end_s)):
+            problems.append("non-finite interval bounds")
+        elif self.end_s <= self.start_s:
+            problems.append(
+                f"clock skew: interval ends at {self.end_s:g}s but starts "
+                f"at {self.start_s:g}s"
+            )
+        lat = self.latencies_ms
+        if lat.size and (not np.all(np.isfinite(lat)) or bool(np.any(lat <= 0.0))):
+            problems.append("non-finite or non-positive latencies")
+        for name, count in (
+            ("arrivals", self.arrivals),
+            ("completions", self.completions),
+            ("rejected", self.rejected),
+        ):
+            if count < 0:
+                problems.append(f"negative {name} count {count}")
+        if self.completions > 0 and lat.size == 0:
+            problems.append("completions reported but no latencies recorded")
+        for label, samples in (
+            ("median", self.utilization_median),
+            ("mean", self.utilization_mean),
+        ):
+            for kind, fraction in samples.items():
+                if not np.isfinite(fraction) or not -1e-9 <= fraction <= 1.0 + 1e-9:
+                    problems.append(
+                        f"{kind.value} {label} utilization {fraction!r} "
+                        "outside [0, 1]"
+                    )
+        for wait_class, ms in self.waits.wait_ms.items():
+            if not np.isfinite(ms) or ms < 0.0:
+                problems.append(f"invalid {wait_class.value} wait {ms!r} ms")
+        if not np.isfinite(self.memory_used_gb) or self.memory_used_gb < 0.0:
+            problems.append(f"invalid memory_used_gb {self.memory_used_gb!r}")
+        if not np.isfinite(self.disk_physical_reads) or self.disk_physical_reads < 0.0:
+            problems.append(
+                f"invalid disk_physical_reads {self.disk_physical_reads!r}"
+            )
+        return problems
+
 
 class CounterAccumulator:
     """Mutable per-interval scratchpad the server writes into each tick."""

@@ -33,3 +33,27 @@ class SimulationError(ReproError):
 
 class WorkloadError(ReproError):
     """Raised for invalid workload or trace definitions."""
+
+
+class FaultError(ReproError):
+    """Base class for injected-fault errors and fault-schedule misuse.
+
+    The fault-injection subsystem (:mod:`repro.faults`) raises these to
+    model infrastructure failures; the degraded-mode control plane is
+    expected to catch and survive every one of them.
+    """
+
+
+class ActuationError(FaultError):
+    """A container resize or balloon operation failed to apply."""
+
+
+class TransientActuationError(ActuationError):
+    """An actuation failure that may succeed if retried (e.g. a busy
+    placement service).  :class:`~repro.core.resize_executor.ResizeExecutor`
+    retries these with bounded exponential backoff."""
+
+
+class PermanentActuationError(ActuationError):
+    """An actuation failure retries cannot fix this interval (e.g. the
+    target host rejects the resize).  Counts toward the circuit breaker."""

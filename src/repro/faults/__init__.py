@@ -1,0 +1,28 @@
+"""Deterministic fault injection for the degraded-mode control plane.
+
+:mod:`repro.faults` perturbs the two surfaces the auto-scaler's control
+loop touches — telemetry deliveries and actuation calls — without touching
+the simulation itself.  A seeded :class:`FaultSchedule` declares which
+failure mode strikes which billing interval; :class:`FaultyServer`
+interprets it around a real :class:`~repro.engine.server.DatabaseServer`.
+The chaos harness (:mod:`repro.harness.chaos`) drives full closed-loop
+runs through this layer and asserts the control plane's invariants.
+"""
+
+from repro.faults.chaos import FaultyServer
+from repro.faults.schedule import (
+    ACTUATION_KINDS,
+    TELEMETRY_KINDS,
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+)
+
+__all__ = [
+    "FaultyServer",
+    "FaultEvent",
+    "FaultKind",
+    "FaultSchedule",
+    "ACTUATION_KINDS",
+    "TELEMETRY_KINDS",
+]

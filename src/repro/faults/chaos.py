@@ -1,0 +1,209 @@
+"""Fault injection around a :class:`~repro.engine.server.DatabaseServer`.
+
+:class:`FaultyServer` interposes on the two surfaces the control plane
+touches — the telemetry stream and the actuation API — and perturbs them
+according to a :class:`~repro.faults.schedule.FaultSchedule`:
+
+* ``run_interval`` returns a **list** of deliveries instead of exactly one
+  set of counters: ``[]`` models a dropout, two entries model a duplicate,
+  and a withheld interval surfaces alongside the next one (late delivery).
+  Corruption and clock skew rewrite fields of the (frozen) counters via
+  ``dataclasses.replace`` — the underlying simulation is never touched, so
+  the *actual* load dynamics stay honest while the *observed* telemetry
+  lies.
+* ``set_container`` / ``set_balloon_limit`` raise
+  :class:`~repro.errors.TransientActuationError` /
+  :class:`~repro.errors.PermanentActuationError` or silently apply a
+  resize only partially, per the schedule.
+
+All randomness (corruption-mode choice) comes from a seeded RNG *separate*
+from the engine's, so injecting faults never shifts the simulation's own
+random stream: with an empty schedule the wrapper is a byte-exact
+pass-through.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.engine.containers import ContainerCatalog, ContainerSpec
+from repro.engine.resources import ResourceKind
+from repro.engine.server import DatabaseServer
+from repro.engine.telemetry import IntervalCounters
+from repro.engine.waits import WaitClass
+from repro.errors import PermanentActuationError, TransientActuationError
+from repro.faults.schedule import FaultKind, FaultSchedule
+
+__all__ = ["FaultyServer"]
+
+
+class FaultyServer:
+    """A :class:`DatabaseServer` behind an unreliable telemetry pipeline
+    and an unreliable placement service.
+
+    Args:
+        server: the real server being perturbed.
+        schedule: which faults strike which intervals.  Interval indexes
+            count ``run_interval*`` calls made *through this wrapper*,
+            starting at 0.
+        catalog: needed to compute the stalling point of a partial resize.
+        seed: RNG seed for corruption-mode choices (independent of the
+            engine's stream).
+    """
+
+    def __init__(
+        self,
+        server: DatabaseServer,
+        schedule: FaultSchedule,
+        catalog: ContainerCatalog,
+        seed: int = 0,
+    ) -> None:
+        self.server = server
+        self.schedule = schedule
+        self.catalog = catalog
+        self._rng = np.random.default_rng(seed)
+        self._index = -1
+        self._held: list[IntervalCounters] = []
+        self._transient_left = 0
+        # Injection tallies, for chaos-suite assertions.
+        self.dropped = 0
+        self.delayed = 0
+        self.duplicated = 0
+        self.corrupted = 0
+        self.skewed = 0
+        self.failed_resizes = 0
+        self.partial_resizes = 0
+        self.failed_balloons = 0
+
+    # -- pass-through surface --------------------------------------------------
+
+    @property
+    def container(self) -> ContainerSpec:
+        return self.server.container
+
+    @property
+    def balloon_limit_gb(self) -> float | None:
+        return self.server.balloon_limit_gb
+
+    @property
+    def now_s(self) -> float:
+        return self.server.now_s
+
+    @property
+    def config(self):
+        return self.server.config
+
+    @property
+    def interval_index(self) -> int:
+        """Index of the last interval run through the wrapper (-1 = none)."""
+        return self._index
+
+    def prewarm(self) -> None:
+        self.server.prewarm()
+
+    # -- telemetry path --------------------------------------------------------
+
+    def run_interval(self, rate_per_s: float) -> list[IntervalCounters]:
+        """Run one interval; return 0, 1, or 2 telemetry deliveries."""
+        rates = np.full(self.server.config.interval_ticks, float(rate_per_s))
+        return self.run_interval_with_rates(rates)
+
+    def run_interval_with_rates(self, rates: np.ndarray) -> list[IntervalCounters]:
+        counters = self.server.run_interval_with_rates(rates)
+        self._index += 1
+        index = self._index
+        transient = self.schedule.active(FaultKind.RESIZE_TRANSIENT, index)
+        self._transient_left = int(transient.magnitude) if transient else 0
+
+        # Previously withheld intervals surface now, oldest first.
+        deliveries = self._held
+        self._held = []
+
+        if self.schedule.active(FaultKind.TELEMETRY_DROP, index):
+            self.dropped += 1
+            return deliveries
+        if self.schedule.active(FaultKind.TELEMETRY_LATE, index):
+            self.delayed += 1
+            self._held.append(counters)
+            return deliveries
+        if self.schedule.active(FaultKind.TELEMETRY_CORRUPT, index):
+            self.corrupted += 1
+            deliveries.append(self._corrupt(counters))
+            return deliveries
+        skew = self.schedule.active(FaultKind.CLOCK_SKEW, index)
+        if skew is not None:
+            self.skewed += 1
+            shift = skew.magnitude * counters.duration_s
+            deliveries.append(
+                dataclasses.replace(
+                    counters,
+                    start_s=counters.start_s - shift,
+                    end_s=counters.end_s - shift,
+                )
+            )
+            return deliveries
+        deliveries.append(counters)
+        if self.schedule.active(FaultKind.TELEMETRY_DUPLICATE, index):
+            self.duplicated += 1
+            deliveries.append(counters)
+        return deliveries
+
+    def _corrupt(self, counters: IntervalCounters) -> IntervalCounters:
+        """Plant one physically impossible value (pipeline corruption)."""
+        mode = int(self._rng.integers(0, 5))
+        if mode == 0:
+            bad = counters.latencies_ms.copy()
+            if bad.size == 0:
+                bad = np.full(3, np.nan)
+            else:
+                bad[: max(bad.size // 4, 1)] = np.nan
+            return dataclasses.replace(counters, latencies_ms=bad)
+        if mode == 1:
+            waits = counters.waits.copy()
+            waits.wait_ms[WaitClass.CPU] = -12_345.0
+            return dataclasses.replace(counters, waits=waits)
+        if mode == 2:
+            medians = dict(counters.utilization_median)
+            medians[ResourceKind.CPU] = 4.2
+            return dataclasses.replace(counters, utilization_median=medians)
+        if mode == 3:
+            return dataclasses.replace(counters, disk_physical_reads=-1_000.0)
+        return dataclasses.replace(counters, arrivals=-7)
+
+    # -- actuation path --------------------------------------------------------
+
+    def set_container(self, spec: ContainerSpec) -> None:
+        current = self.server.container
+        if self.schedule.active(FaultKind.RESIZE_PERMANENT, self._index):
+            self.failed_resizes += 1
+            raise PermanentActuationError(
+                f"placement service rejected resize to {spec.name}"
+            )
+        if self._transient_left > 0:
+            self._transient_left -= 1
+            self.failed_resizes += 1
+            raise TransientActuationError(
+                f"placement service busy; resize to {spec.name} not applied"
+            )
+        partial = self.schedule.active(FaultKind.RESIZE_PARTIAL, self._index)
+        if partial is not None and spec.level != current.level:
+            self.partial_resizes += 1
+            direction = 1 if spec.level > current.level else -1
+            stalled_level = spec.level - direction
+            if stalled_level != current.level:
+                self.server.set_container(self.catalog.at_level(stalled_level))
+            # A one-level resize that stalls "one short" does not move.
+            return
+        self.server.set_container(spec)
+
+    def set_balloon_limit(self, limit_gb: float | None) -> None:
+        if limit_gb is not None and self.schedule.active(
+            FaultKind.BALLOON_FAIL, self._index
+        ):
+            self.failed_balloons += 1
+            raise TransientActuationError(
+                f"memory broker rejected balloon cap {limit_gb:g} GB"
+            )
+        self.server.set_balloon_limit(limit_gb)

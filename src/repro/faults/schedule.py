@@ -1,0 +1,241 @@
+"""Deterministic fault schedules for chaos experiments.
+
+A :class:`FaultSchedule` is a declarative list of :class:`FaultEvent`\\ s —
+*which* failure mode strikes *which* billing interval(s), with what
+intensity.  The schedule itself performs no injection: it is interpreted by
+:class:`~repro.faults.chaos.FaultyServer`, which perturbs the telemetry
+stream and the actuation surface of a real
+:class:`~repro.engine.server.DatabaseServer` accordingly.
+
+Schedules are plain data so chaos runs are reproducible and reportable: the
+randomized suite generates one with :meth:`FaultSchedule.random` from a
+seed, and any failing case can be replayed from `(seed, kinds, window)`
+alone.  An **empty** schedule is the identity: the wrapped server behaves
+byte-for-byte like an unwrapped one, which the test suite asserts.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["FaultKind", "FaultEvent", "FaultSchedule"]
+
+
+class FaultKind(enum.Enum):
+    """The failure modes the chaos layer can inject.
+
+    Telemetry-path faults (perturb what the controller *sees*):
+
+    * ``TELEMETRY_DROP`` — the interval's counters are lost forever.
+    * ``TELEMETRY_LATE`` — the counters are withheld and delivered together
+      with the *next* interval's.
+    * ``TELEMETRY_DUPLICATE`` — the counters are delivered twice.
+    * ``TELEMETRY_CORRUPT`` — a physically impossible value is planted
+      (NaN latencies, negative waits, >100 % utilization, ...).
+    * ``CLOCK_SKEW`` — the interval's timestamps jump backwards.
+
+    Actuation-path faults (perturb what the controller *does*):
+
+    * ``RESIZE_TRANSIENT`` — ``set_container`` fails ``magnitude`` times,
+      then succeeds (retryable).
+    * ``RESIZE_PERMANENT`` — ``set_container`` fails every attempt.
+    * ``RESIZE_PARTIAL`` — the resize silently stops one catalog level
+      short of the requested container.
+    * ``BALLOON_FAIL`` — applying a balloon cap fails.
+    """
+
+    TELEMETRY_DROP = "telemetry-drop"
+    TELEMETRY_LATE = "telemetry-late"
+    TELEMETRY_DUPLICATE = "telemetry-duplicate"
+    TELEMETRY_CORRUPT = "telemetry-corrupt"
+    CLOCK_SKEW = "clock-skew"
+    RESIZE_TRANSIENT = "resize-transient"
+    RESIZE_PERMANENT = "resize-permanent"
+    RESIZE_PARTIAL = "resize-partial"
+    BALLOON_FAIL = "balloon-fail"
+
+
+#: Kinds that perturb the telemetry stream (vs. the actuation surface).
+TELEMETRY_KINDS = (
+    FaultKind.TELEMETRY_DROP,
+    FaultKind.TELEMETRY_LATE,
+    FaultKind.TELEMETRY_DUPLICATE,
+    FaultKind.TELEMETRY_CORRUPT,
+    FaultKind.CLOCK_SKEW,
+)
+
+ACTUATION_KINDS = (
+    FaultKind.RESIZE_TRANSIENT,
+    FaultKind.RESIZE_PERMANENT,
+    FaultKind.RESIZE_PARTIAL,
+    FaultKind.BALLOON_FAIL,
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One failure-mode activation.
+
+    Attributes:
+        kind: the failure mode.
+        interval: first billing interval (0-based, measurement-relative)
+            the fault is active in.
+        duration: consecutive intervals the fault stays active.
+        magnitude: kind-specific intensity — for ``RESIZE_TRANSIENT`` the
+            number of consecutive failing attempts per interval; for
+            ``CLOCK_SKEW`` the backwards jump in intervals' worth of time;
+            unused by the other kinds.
+    """
+
+    kind: FaultKind
+    interval: int
+    duration: int = 1
+    magnitude: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.interval < 0:
+            raise ConfigurationError("fault interval must be >= 0")
+        if self.duration < 1:
+            raise ConfigurationError("fault duration must be >= 1")
+        if self.magnitude <= 0:
+            raise ConfigurationError("fault magnitude must be positive")
+
+    @property
+    def last_interval(self) -> int:
+        return self.interval + self.duration - 1
+
+    def covers(self, interval: int) -> bool:
+        return self.interval <= interval <= self.last_interval
+
+
+class FaultSchedule:
+    """An immutable collection of fault events, queryable per interval."""
+
+    def __init__(self, events: Sequence[FaultEvent] = ()) -> None:
+        self._events = tuple(
+            sorted(events, key=lambda e: (e.interval, e.kind.value))
+        )
+
+    @classmethod
+    def empty(cls) -> "FaultSchedule":
+        return cls(())
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        n_intervals: int,
+        n_faults: int = 6,
+        kinds: Sequence[FaultKind] | None = None,
+        first: int = 0,
+        last: int | None = None,
+    ) -> "FaultSchedule":
+        """Draw a reproducible schedule from a seed.
+
+        Faults land inside the window ``[first, last]`` (``last`` defaults
+        to ``n_intervals - 1``) so experiments can reserve fault-free head
+        and tail room — the tail is what the reconvergence assertion
+        measures against.
+        """
+        if n_intervals < 1:
+            raise ConfigurationError("n_intervals must be >= 1")
+        if last is None:
+            last = n_intervals - 1
+        if not 0 <= first <= last < n_intervals:
+            raise ConfigurationError(
+                f"need 0 <= first <= last < n_intervals, got "
+                f"[{first}, {last}] in {n_intervals}"
+            )
+        pool = tuple(kinds) if kinds else tuple(FaultKind)
+        rng = np.random.default_rng(seed)
+        events = []
+        for _ in range(n_faults):
+            kind = pool[int(rng.integers(0, len(pool)))]
+            interval = int(rng.integers(first, last + 1))
+            duration = 1
+            magnitude = 1.0
+            if kind in (FaultKind.TELEMETRY_DROP, FaultKind.TELEMETRY_CORRUPT):
+                duration = int(rng.integers(1, 4))
+            elif kind is FaultKind.RESIZE_TRANSIENT:
+                magnitude = float(rng.integers(1, 4))
+            elif kind is FaultKind.RESIZE_PERMANENT:
+                duration = int(rng.integers(1, 5))
+            elif kind is FaultKind.CLOCK_SKEW:
+                magnitude = float(rng.uniform(0.5, 3.0))
+            duration = min(duration, last - interval + 1)
+            events.append(
+                FaultEvent(
+                    kind=kind,
+                    interval=interval,
+                    duration=duration,
+                    magnitude=magnitude,
+                )
+            )
+        return cls(events)
+
+    def shifted(self, offset: int) -> "FaultSchedule":
+        """A copy with every event's interval moved by ``offset``.
+
+        The chaos harness uses this to translate measurement-relative
+        schedules into the wrapper's absolute interval indexes (which also
+        count warm-up intervals).
+        """
+        return FaultSchedule(
+            tuple(
+                FaultEvent(
+                    kind=e.kind,
+                    interval=e.interval + offset,
+                    duration=e.duration,
+                    magnitude=e.magnitude,
+                )
+                for e in self._events
+            )
+        )
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def events(self) -> tuple[FaultEvent, ...]:
+        return self._events
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._events
+
+    @property
+    def last_fault_interval(self) -> int:
+        """The last interval any fault is active in (-1 when empty)."""
+        if not self._events:
+            return -1
+        return max(event.last_interval for event in self._events)
+
+    def at(self, interval: int) -> tuple[FaultEvent, ...]:
+        """All events active in ``interval``."""
+        return tuple(e for e in self._events if e.covers(interval))
+
+    def active(self, kind: FaultKind, interval: int) -> FaultEvent | None:
+        """The first active event of ``kind`` in ``interval``, if any."""
+        for event in self._events:
+            if event.kind is kind and event.covers(interval):
+                return event
+        return None
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{e.kind.value}@{e.interval}"
+            + (f"x{e.duration}" if e.duration > 1 else "")
+            for e in self._events
+        )
+        return f"FaultSchedule([{inner}])"

@@ -8,6 +8,7 @@ from repro.fleet.analysis import (
     analyze_tenant,
     assign_container_levels,
 )
+from repro.fleet.chaos import ChaosSweepResult, TenantChaosOutcome, chaos_sweep
 from repro.fleet.calibration import (
     FleetTelemetry,
     WaitSample,
@@ -28,6 +29,9 @@ __all__ = [
     "analyze_fleet",
     "analyze_tenant",
     "assign_container_levels",
+    "ChaosSweepResult",
+    "TenantChaosOutcome",
+    "chaos_sweep",
     "FleetTelemetry",
     "WaitSample",
     "calibrate_thresholds",

@@ -1,0 +1,234 @@
+"""Fleet-scale chaos sweep: many tenants, many randomized fault schedules.
+
+The per-tenant chaos runner (:func:`~repro.harness.chaos.run_chaos`)
+validates the control plane against *one* fault schedule;
+:func:`chaos_sweep` is the service-operator view: a population of tenants
+with heterogeneous demand shapes, each subjected to an independently
+seeded random :class:`~repro.faults.schedule.FaultSchedule`, with the
+degraded-mode invariants checked on every one:
+
+* the loop never throws — every failure mode degrades into an explained
+  decision;
+* the budget is never overdrawn, and actuation-failure refunds are
+  credited back;
+* the breaker / guard diagnostics are surfaced per tenant so a sweep can
+  be summarized in one table.
+
+Every tenant is deterministic given ``base_seed``; a failing tenant can be
+replayed alone from its reported seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.budget import BudgetManager
+from repro.core.latency import LatencyGoal
+from repro.engine.server import EngineConfig
+from repro.faults.schedule import FaultSchedule
+from repro.harness.chaos import ChaosResult, run_chaos
+from repro.harness.experiment import ExperimentConfig
+from repro.workloads import Trace, cpuio_workload
+from repro.workloads.base import Workload
+
+__all__ = ["TenantChaosOutcome", "ChaosSweepResult", "chaos_sweep"]
+
+
+@dataclass(frozen=True)
+class TenantChaosOutcome:
+    """One tenant's verdict after a randomized chaos run.
+
+    ``error`` holds the formatted exception if the control loop threw
+    (it must never), ``budget_overdrawn`` flags a violated budget
+    invariant; everything else is diagnostics.
+    """
+
+    tenant_id: int
+    seed: int
+    schedule: FaultSchedule
+    error: str | None
+    budget_overdrawn: bool
+    spent: float
+    refunded: float
+    budget_total: float
+    resize_failures: int
+    circuit_opens: int
+    quarantined: int
+    missed: int
+    discarded: int
+    entered_safe_mode: bool
+
+    @property
+    def healthy(self) -> bool:
+        return self.error is None and not self.budget_overdrawn
+
+
+@dataclass(frozen=True)
+class ChaosSweepResult:
+    """The sweep's outcomes plus one-line aggregates."""
+
+    outcomes: list[TenantChaosOutcome]
+
+    @property
+    def n_tenants(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def errors(self) -> list[TenantChaosOutcome]:
+        return [o for o in self.outcomes if o.error is not None]
+
+    @property
+    def overdrawn(self) -> list[TenantChaosOutcome]:
+        return [o for o in self.outcomes if o.budget_overdrawn]
+
+    @property
+    def all_healthy(self) -> bool:
+        return all(o.healthy for o in self.outcomes)
+
+    @property
+    def total_refunded(self) -> float:
+        return sum(o.refunded for o in self.outcomes)
+
+
+def chaos_sweep(
+    n_tenants: int = 20,
+    base_seed: int = 0,
+    n_intervals: int = 24,
+    n_faults: int = 5,
+    interval_ticks: int = 15,
+    warmup_intervals: int = 6,
+    goal_ms: float | None = 150.0,
+    budget_factor: float = 0.35,
+    workload: Workload | None = None,
+) -> ChaosSweepResult:
+    """Run ``n_tenants`` independent randomized chaos runs.
+
+    Args:
+        n_tenants: population size (one fault schedule each).
+        base_seed: master seed; tenant ``t`` derives everything from
+            ``base_seed + t``.
+        n_intervals: measured billing intervals per tenant.
+        n_faults: fault events drawn per schedule.
+        interval_ticks: engine ticks per billing interval (small by
+            default — chaos sweeps trade fidelity for breadth).
+        warmup_intervals: fault-free warm-up intervals.
+        goal_ms: tenant latency goal (None = demand-driven scaling only).
+        budget_factor: position of each tenant's budget between the
+            all-smallest (0) and all-largest (1) spend for the period.
+        workload: benchmark workload; CPUIO when omitted.
+    """
+    workload = workload or cpuio_workload()
+    outcomes: list[TenantChaosOutcome] = []
+    for tenant in range(n_tenants):
+        seed = base_seed + tenant
+        outcomes.append(
+            _run_tenant(
+                tenant,
+                seed,
+                workload,
+                n_intervals=n_intervals,
+                n_faults=n_faults,
+                interval_ticks=interval_ticks,
+                warmup_intervals=warmup_intervals,
+                goal_ms=goal_ms,
+                budget_factor=budget_factor,
+            )
+        )
+    return ChaosSweepResult(outcomes=outcomes)
+
+
+def _run_tenant(
+    tenant: int,
+    seed: int,
+    workload: Workload,
+    n_intervals: int,
+    n_faults: int,
+    interval_ticks: int,
+    warmup_intervals: int,
+    goal_ms: float | None,
+    budget_factor: float,
+) -> TenantChaosOutcome:
+    rng = np.random.default_rng(seed)
+    trace = _tenant_trace(rng, tenant, n_intervals)
+    # Leave fault-free tail room so runs have a chance to stabilize.
+    last = max(n_intervals - max(n_intervals // 4, 2) - 1, 0)
+    schedule = FaultSchedule.random(
+        seed=seed, n_intervals=n_intervals, n_faults=n_faults, last=last
+    )
+    config = ExperimentConfig(
+        engine=EngineConfig(interval_ticks=interval_ticks),
+        warmup_intervals=warmup_intervals,
+        seed=seed,
+    )
+    budget = _tenant_budget(
+        config, budget_factor, warmup_intervals + n_intervals + 2
+    )
+    goal = LatencyGoal(goal_ms) if goal_ms is not None else None
+
+    error: str | None = None
+    result: ChaosResult | None = None
+    try:
+        result = run_chaos(
+            workload, trace, schedule, config=config, goal=goal, budget=budget
+        )
+    except Exception as exc:  # noqa: BLE001 - the sweep *reports* failures
+        error = f"{type(exc).__name__}: {exc}"
+
+    overdrawn = (
+        budget.spent > budget.budget + 1e-6 or budget.available < -1e-9
+    )
+    guard = result.guard if result is not None else None
+    return TenantChaosOutcome(
+        tenant_id=tenant,
+        seed=seed,
+        schedule=schedule,
+        error=error,
+        budget_overdrawn=overdrawn,
+        spent=budget.spent,
+        refunded=budget.refunded,
+        budget_total=budget.budget,
+        resize_failures=(
+            result.executor.total_failures if result is not None else 0
+        ),
+        circuit_opens=(
+            result.executor.circuit_opens if result is not None else 0
+        ),
+        quarantined=guard.stats.quarantined if guard is not None else 0,
+        missed=guard.stats.missed if guard is not None else 0,
+        discarded=guard.stats.discarded if guard is not None else 0,
+        entered_safe_mode=(
+            result is not None and result.executor.circuit_opens > 0
+        ),
+    )
+
+
+def _tenant_trace(rng: np.random.Generator, tenant: int, n_intervals: int) -> Trace:
+    """A seeded bursty demand shape, different per tenant."""
+    base = float(rng.uniform(15.0, 50.0))
+    rates = np.full(n_intervals, base)
+    for _ in range(int(rng.integers(1, 4))):
+        start = int(rng.integers(0, max(n_intervals - 2, 1)))
+        length = int(rng.integers(2, 7))
+        rates[start : start + length] += float(rng.uniform(80.0, 220.0))
+    return Trace(
+        name=f"chaos-tenant-{tenant}",
+        rates=rates,
+        description="randomized bursty demand for a chaos sweep",
+    )
+
+
+def _tenant_budget(
+    config: ExperimentConfig, budget_factor: float, n_budget_intervals: int
+) -> BudgetManager:
+    """A binding-but-feasible budget between all-smallest and all-largest."""
+    min_cost = config.catalog.smallest.cost
+    max_cost = config.catalog.max_cost
+    per_interval = min_cost + budget_factor * (max_cost - min_cost)
+    return BudgetManager(
+        budget=per_interval * n_budget_intervals,
+        n_intervals=n_budget_intervals,
+        min_cost=min_cost,
+        max_cost=max_cost,
+    )

@@ -1,5 +1,6 @@
 """Experiment harness: policy comparison runner and paper-style reports."""
 
+from repro.harness.chaos import ChaosResult, reconvergence_interval, run_chaos
 from repro.harness.experiment import (
     ComparisonResult,
     ExperimentConfig,
@@ -19,6 +20,9 @@ from repro.harness.report import (
 )
 
 __all__ = [
+    "ChaosResult",
+    "reconvergence_interval",
+    "run_chaos",
     "ComparisonResult",
     "ExperimentConfig",
     "RunResult",

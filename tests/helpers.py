@@ -8,7 +8,8 @@ from repro.core.signals import LatencyStatus, ResourceSignals, WorkloadSignals
 from repro.core.thresholds import ThresholdConfig, default_thresholds
 from repro.engine.resources import ResourceKind
 from repro.engine.server import DatabaseServer
-from repro.engine.waits import WaitClass
+from repro.engine.telemetry import IntervalCounters
+from repro.engine.waits import WaitClass, WaitProfile
 from repro.stats.spearman import CorrelationResult
 from repro.stats.theil_sen import TrendResult
 
@@ -78,6 +79,44 @@ def make_workload_signals(
         memory_used_gb=memory_used_gb,
         container_level=container_level,
         throughput_per_s=10.0,
+    )
+
+
+def make_interval_counters(
+    index: int,
+    container,
+    latency_ms: float = 50.0,
+    n_latencies: int = 40,
+    cpu_util: float = 0.4,
+    cpu_wait_ms: float = 100.0,
+    memory_used_gb: float = 1.0,
+    disk_reads: float = 100.0,
+    start_s: float | None = None,
+    end_s: float | None = None,
+) -> IntervalCounters:
+    """A clean, physically-consistent IntervalCounters for one interval."""
+    waits = WaitProfile()
+    waits.add(WaitClass.CPU, cpu_wait_ms)
+    utilization = {
+        ResourceKind.CPU: cpu_util,
+        ResourceKind.MEMORY: 0.5,
+        ResourceKind.DISK_IO: 0.05,
+        ResourceKind.LOG_IO: 0.02,
+    }
+    return IntervalCounters(
+        interval_index=index,
+        start_s=index * 60.0 if start_s is None else start_s,
+        end_s=(index + 1) * 60.0 if end_s is None else end_s,
+        container=container,
+        latencies_ms=np.full(n_latencies, float(latency_ms)),
+        arrivals=n_latencies,
+        completions=n_latencies,
+        rejected=0,
+        utilization_median=dict(utilization),
+        utilization_mean=dict(utilization),
+        waits=waits,
+        memory_used_gb=memory_used_gb,
+        disk_physical_reads=disk_reads,
     )
 
 

@@ -34,6 +34,7 @@ class CountersFactory:
         lock_wait_ms=0.0,
         memory_used_gb=0.5,
         disk_reads=100.0,
+        disk_util=0.05,
         n_latencies=60,
     ) -> IntervalCounters:
         waits = WaitProfile()
@@ -51,13 +52,13 @@ class CountersFactory:
             utilization_median={
                 ResourceKind.CPU: cpu_util,
                 ResourceKind.MEMORY: 0.5,
-                ResourceKind.DISK_IO: 0.05,
+                ResourceKind.DISK_IO: disk_util,
                 ResourceKind.LOG_IO: 0.02,
             },
             utilization_mean={
                 ResourceKind.CPU: cpu_util,
                 ResourceKind.MEMORY: 0.5,
-                ResourceKind.DISK_IO: 0.05,
+                ResourceKind.DISK_IO: disk_util,
                 ResourceKind.LOG_IO: 0.02,
             },
             waits=waits,
@@ -207,6 +208,42 @@ class TestScaleDown:
         assert decisions[-1].balloon_limit_gb is not None
         actions = {e.action for d in decisions for e in d.explanations}
         assert ActionKind.BALLOON_START in actions
+
+    def test_balloon_aborts_and_reverts_on_disk_io_spike(self):
+        auto = scaler(level=2)
+        feed = CountersFactory()
+        # Same setup as above: idle with a cached working set, probe starts.
+        decisions = self.run_idle(auto, feed, n=4, memory_used_gb=3.5)
+        assert decisions[-1].balloon_limit_gb is not None
+
+        # Mid-probe the shrink uncovers real memory demand: physical reads
+        # jump well past 2x the pre-probe baseline (100/interval) and the
+        # disk is actually pressured.  The probe must cancel, the memory
+        # cap must be lifted, and the decision must say it reverted.
+        spike = feed.make(
+            auto.container,
+            latency_ms=20.0,
+            cpu_util=0.03,
+            cpu_wait_ms=1.0,
+            memory_used_gb=3.5,
+            disk_reads=5000.0,
+            disk_util=0.85,
+        )
+        decision = auto.decide(spike)
+        assert decision.balloon_limit_gb is None
+        assert decision.container.level == 2, "must not shrink after abort"
+        aborts = [
+            e for e in decision.explanations
+            if e.action is ActionKind.BALLOON_ABORT
+        ]
+        assert aborts and "reverting" in aborts[0].reason
+
+        # The abort starts a cooldown: the same idle pattern that started
+        # the first probe must not immediately start another.
+        decisions = self.run_idle(auto, feed, n=4, memory_used_gb=3.5)
+        assert all(d.balloon_limit_gb is None for d in decisions)
+        actions = {e.action for d in decisions for e in d.explanations}
+        assert ActionKind.BALLOON_START not in actions
 
     def test_no_balloon_when_ablated(self):
         auto = scaler(level=2, use_ballooning=False)

@@ -208,6 +208,98 @@ def test_property_tokens_never_negative(n, surplus_factor, strategy, seed):
         assert m.available <= m.depth + 1e-9
 
 
+class TestRefunds:
+    def test_refund_restores_tokens_and_spend(self):
+        m = manager(budget=60.0 * 100, n=100)
+        m.end_interval(60.0)
+        tokens, spent = m.available, m.spent
+        m.refund(30.0)
+        assert m.available == pytest.approx(tokens + 30.0)
+        assert m.spent == pytest.approx(spent - 30.0)
+        assert m.refunded == pytest.approx(30.0)
+
+    def test_refund_clamped_at_depth(self):
+        # Aggressive buckets start full: a refund on a full bucket credits
+        # nothing — the burst bound D is a hard invariant.
+        m = manager()
+        assert m.available == pytest.approx(m.depth)
+        m.refund(100.0)
+        assert m.available == pytest.approx(m.depth)
+        assert m.refunded == 0.0
+
+    def test_partial_clamp_credits_only_headroom(self):
+        m = manager(budget=60.0 * 100, n=100)
+        m.end_interval(m.available)  # drain, then refill to fill rate
+        headroom = m.depth - m.available
+        spent = m.spent
+        m.refund(headroom + 500.0)
+        assert m.available == pytest.approx(m.depth)
+        assert m.refunded == pytest.approx(headroom)
+        assert m.spent == pytest.approx(spent - headroom)
+
+    def test_refund_never_drives_spent_negative(self):
+        m = manager(budget=60.0 * 100, n=100)
+        m.end_interval(7.0)
+        m.refund(7.0)
+        m.refund(7.0)  # over-refund: credited, but spent floors at 0
+        assert m.spent >= 0.0
+
+    def test_negative_refund_rejected(self):
+        with pytest.raises(BudgetError):
+            manager().refund(-1.0)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=80),
+    surplus_factor=st.floats(min_value=1.0, max_value=6.0),
+    strategy=st.sampled_from(list(BurstStrategy)),
+    fail_p=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_invariants_under_random_resize_failures(
+    n, surplus_factor, strategy, fail_p, seed
+):
+    """The chaos-suite ledger contract, driven straight at the bucket.
+
+    Each interval the scaler picks an affordable target; with probability
+    ``fail_p`` the actuator fails the resize and the tenant is billed for
+    the container actually running, with the overcharge (if any) refunded
+    the way the executor schedules it.  Whatever the failure schedule:
+    tokens stay in ``[0, D]``, the exact ledger ``spent = charged -
+    credited`` holds, and the tenant is never overdrawn past ``B``.
+    """
+    costs = [7.0, 15.0, 30.0, 45.0, 60.0, 90.0, 120.0, 150.0, 180.0, 225.0, 270.0]
+    budget = CMIN * n * surplus_factor
+    m = BudgetManager(budget, n, CMIN, CMAX, strategy)
+    rng = np.random.default_rng(seed)
+    running = costs[rng.integers(len(costs))]
+    charged = credited = 0.0
+    for _ in range(n):
+        affordable = [c for c in costs if m.affordable(c)]
+        target = float(rng.choice(affordable))
+        if target != running and rng.random() < fail_p:
+            # Failed resize: pay for the container actually in force
+            # (capped by the balance), refund any overcharge vs the choice.
+            billed = min(running, m.available)
+            m.end_interval(billed)
+            charged += billed
+            over = billed - target
+            if over > 0:
+                before = m.refunded
+                m.refund(over)
+                credited += m.refunded - before
+        else:
+            running = target
+            m.end_interval(target)
+            charged += target
+        assert 0.0 <= m.available <= m.depth + 1e-9
+        assert m.spent == pytest.approx(charged - credited)
+        assert m.spent >= 0.0
+    assert m.refunded == pytest.approx(credited)
+    assert m.spent <= budget + 1e-6
+
+
 def test_epsilon_overdraw_regression():
     """Draining exactly available + 1e-10 every interval stays at the floor."""
     m = manager(budget=CMIN * 100, n=100)  # zero surplus: tightest bucket

@@ -1,0 +1,89 @@
+"""Unit tests for the oscillation damper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.damper import OscillationDamper
+from repro.errors import ConfigurationError
+
+
+class TestDetection:
+    def test_monotone_scale_up_never_trips(self):
+        damper = OscillationDamper(window=4, max_reversals=1)
+        for level in range(8):
+            assert not damper.observe(level, level + 1)
+        assert damper.trips == 0
+
+    def test_monotone_scale_down_never_trips(self):
+        damper = OscillationDamper(window=4, max_reversals=1)
+        for level in range(8, 0, -1):
+            assert not damper.observe(level, level - 1)
+        assert damper.trips == 0
+
+    def test_holds_are_ignored(self):
+        damper = OscillationDamper(window=4, max_reversals=1)
+        for _ in range(20):
+            assert not damper.observe(3, 3)
+        assert damper.reversals() == 0
+
+    def test_flapping_trips(self):
+        damper = OscillationDamper(window=6, max_reversals=2, cooldown_intervals=5)
+        moves = [(2, 3), (3, 2), (2, 3), (3, 2)]  # up/down/up/down
+        tripped = [damper.observe(a, b) for a, b in moves]
+        assert tripped == [False, False, False, True]
+        assert damper.cooling_down
+        assert damper.cooldown_remaining == 5
+
+    def test_old_reversals_fall_out_of_window(self):
+        damper = OscillationDamper(window=3, max_reversals=1)
+        damper.observe(2, 3)
+        damper.observe(3, 2)  # one reversal
+        damper.observe(2, 1)
+        damper.observe(1, 0)
+        # The up-move has left the window; all remembered moves are downs.
+        assert damper.reversals() == 0
+
+
+class TestCooldown:
+    def test_cooldown_counts_down_on_every_interval(self):
+        damper = OscillationDamper(window=4, max_reversals=1, cooldown_intervals=3)
+        damper.observe(2, 3)
+        damper.observe(3, 2)
+        damper.observe(2, 3)  # trips
+        assert damper.cooling_down
+        for expected in (2, 1, 0):
+            damper.observe(3, 3)
+            assert damper.cooldown_remaining == expected
+        assert not damper.cooling_down
+
+    def test_moves_cleared_after_cooldown(self):
+        damper = OscillationDamper(window=4, max_reversals=1, cooldown_intervals=2)
+        damper.observe(2, 3)
+        damper.observe(3, 2)
+        damper.observe(2, 3)  # trips
+        damper.observe(3, 3)
+        damper.observe(3, 3)  # cooldown expires
+        # A single fresh reversal must not immediately re-trip.
+        assert not damper.observe(3, 4)
+        assert not damper.observe(4, 3)
+
+    def test_reset(self):
+        damper = OscillationDamper(window=4, max_reversals=1, cooldown_intervals=9)
+        damper.observe(2, 3)
+        damper.observe(3, 2)
+        damper.observe(2, 3)
+        assert damper.cooling_down
+        damper.reset()
+        assert not damper.cooling_down
+        assert damper.reversals() == 0
+
+
+class TestValidation:
+    def test_configuration_validated(self):
+        with pytest.raises(ConfigurationError):
+            OscillationDamper(window=1)
+        with pytest.raises(ConfigurationError):
+            OscillationDamper(max_reversals=0)
+        with pytest.raises(ConfigurationError):
+            OscillationDamper(cooldown_intervals=0)

@@ -1,0 +1,291 @@
+"""Chaos suite: the closed loop under randomized and targeted faults.
+
+The acceptance bar for the degraded-mode control plane:
+
+* ≥ 20 randomized seeded fault schedules run through the fleet harness
+  with **zero unhandled exceptions** and **zero budget overdraws**;
+* failed resizes that strand a tenant on a costlier container refund the
+  cost difference;
+* after the faults stop, the decision trace **reconverges** to the
+  fault-free twin's within a bounded number of intervals;
+* with an empty schedule the chaos harness is **byte-identical** to the
+  plain experiment harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.autoscaler import AutoScaler
+from repro.core.budget import BudgetManager
+from repro.core.explanations import ActionKind
+from repro.core.latency import LatencyGoal
+from repro.core.resize_executor import CircuitState, ResizeExecutor
+from repro.core.telemetry_guard import TelemetryGuard
+from repro.core.thresholds import default_thresholds
+from repro.engine.containers import default_catalog
+from repro.engine.server import EngineConfig
+from repro.errors import TransientActuationError
+from repro.faults import FaultEvent, FaultKind, FaultSchedule
+from repro.fleet.chaos import chaos_sweep
+from repro.harness.chaos import reconvergence_interval, run_chaos
+from repro.harness.experiment import ExperimentConfig, run_policy
+from repro.policies.auto import AutoPolicy
+from repro.workloads import Trace, cpuio_workload
+
+from tests.helpers import make_interval_counters
+
+CATALOG = default_catalog()
+GOAL = LatencyGoal(100.0)
+
+# Small-but-honest simulation settings shared by the integration tests.
+FAST = dict(interval_ticks=10, warmup_intervals=4)
+
+
+def fast_config(seed=7):
+    return ExperimentConfig(
+        engine=EngineConfig(interval_ticks=FAST["interval_ticks"]),
+        warmup_intervals=FAST["warmup_intervals"],
+        seed=seed,
+    )
+
+
+def steady_trace(n=24, rate=40.0):
+    return Trace(name="chaos-steady", rates=np.full(n, rate))
+
+
+def burst_trace(n=24, base=15.0, peak=260.0, start=0, length=12):
+    rates = np.full(n, base)
+    rates[start : start + length] = peak
+    return Trace(name="chaos-burst", rates=rates)
+
+
+class TestRandomizedSweep:
+    def test_twenty_randomized_schedules_survive(self):
+        # The headline chaos assertion: 20 tenants x 5 random faults each,
+        # every failure mode in the pool, budgets binding — and the loop
+        # must never throw and never overdraw.
+        result = chaos_sweep(
+            n_tenants=20,
+            base_seed=100,
+            n_intervals=16,
+            n_faults=5,
+            interval_ticks=FAST["interval_ticks"],
+            warmup_intervals=FAST["warmup_intervals"],
+        )
+        assert result.n_tenants == 20
+        assert [o.error for o in result.outcomes] == [None] * 20
+        assert result.overdrawn == []
+        assert result.all_healthy
+        # The sweep must actually have exercised the degraded paths.
+        assert sum(o.missed + o.quarantined + o.discarded
+                   for o in result.outcomes) > 0
+        assert sum(o.resize_failures for o in result.outcomes) > 0
+
+    def test_sweep_is_deterministic(self):
+        a = chaos_sweep(n_tenants=3, base_seed=5, n_intervals=10,
+                        interval_ticks=8, warmup_intervals=3)
+        b = chaos_sweep(n_tenants=3, base_seed=5, n_intervals=10,
+                        interval_ticks=8, warmup_intervals=3)
+        assert [o.spent for o in a.outcomes] == [o.spent for o in b.outcomes]
+        assert [o.schedule.events for o in a.outcomes] == [
+            o.schedule.events for o in b.outcomes
+        ]
+
+
+class TestByteIdentity:
+    def test_empty_schedule_matches_plain_harness_exactly(self):
+        # The degraded-mode machinery must be invisible when nothing fails:
+        # same containers, same explanations, same bills as the pre-chaos
+        # harness running a plain AutoScaler.
+        workload = cpuio_workload()
+        trace = burst_trace(n=30, start=6, length=10)
+        config = fast_config()
+
+        chaos = run_chaos(
+            workload, trace, FaultSchedule.empty(), config=config, goal=GOAL
+        )
+        scaler = AutoScaler(
+            catalog=config.catalog, goal=GOAL, thresholds=config.thresholds
+        )
+        policy = AutoPolicy(scaler)
+        plain = run_policy(workload, trace, policy, config)
+
+        measured = policy.decisions[config.warmup_intervals :]
+        assert [d.container.name for d in chaos.interval_decisions] == [
+            d.container.name for d in measured
+        ]
+        assert [d.explanation_text() for d in chaos.interval_decisions] == [
+            d.explanation_text() for d in measured
+        ]
+        assert chaos.containers == plain.containers
+        assert [r.cost for r in chaos.meter.records] == [
+            r.cost for r in plain.meter.records
+        ]
+        # No degraded-path activity at all.
+        assert chaos.guard.stats.quarantined == 0
+        assert chaos.guard.stats.missed == 0
+        assert chaos.executor.total_failures == 0
+
+
+class TestReconvergence:
+    def test_decision_trace_reconverges_after_faults(self):
+        workload = cpuio_workload()
+        trace = steady_trace(n=26, rate=45.0)
+        schedule = FaultSchedule(
+            [
+                FaultEvent(FaultKind.TELEMETRY_DROP, interval=2, duration=2),
+                FaultEvent(FaultKind.TELEMETRY_CORRUPT, interval=5),
+                FaultEvent(FaultKind.RESIZE_TRANSIENT, interval=6, magnitude=2),
+                FaultEvent(FaultKind.TELEMETRY_DUPLICATE, interval=7),
+            ]
+        )
+        faulted = run_chaos(
+            workload, trace, schedule, config=fast_config(), goal=GOAL
+        )
+        clean = run_chaos(
+            workload, trace, FaultSchedule.empty(),
+            config=fast_config(), goal=GOAL,
+        )
+        k = reconvergence_interval(
+            faulted.containers, clean.containers, schedule.last_fault_interval
+        )
+        assert k is not None, (
+            f"no reconvergence: faulted={faulted.containers} "
+            f"clean={clean.containers}"
+        )
+        assert k <= 12
+
+
+class TestSafeMode:
+    def test_breaker_opens_safe_mode_and_recovers(self):
+        # A placement outage during a demand burst: every resize attempt
+        # fails for 6 intervals.  The breaker must open, the scaler must
+        # hold in explicit safe mode, and the loop must recover once the
+        # outage ends.
+        workload = cpuio_workload()
+        trace = burst_trace(n=26, start=0, length=26)
+        schedule = FaultSchedule(
+            [FaultEvent(FaultKind.RESIZE_PERMANENT, interval=0, duration=6)]
+        )
+        result = run_chaos(
+            workload, trace, schedule, config=fast_config(), goal=GOAL,
+            executor_kwargs=dict(failure_threshold=2, open_intervals=3),
+        )
+        assert result.executor.circuit_opens >= 1
+        actions = {
+            e.action for d in result.interval_decisions for e in d.explanations
+        }
+        assert ActionKind.SAFE_MODE in actions
+        assert ActionKind.ACTUATION_FAILED in {
+            e.action for r in result.reports for e in r.explanations
+        }
+        # The outage ended with room to spare: the breaker must have closed
+        # again and safe mode must be over.
+        assert result.executor.circuit is CircuitState.CLOSED
+        assert not result.scaler.in_safe_mode
+        # With the actuator healthy again the burst is finally answered.
+        assert result.containers[-1] != result.containers[0]
+
+
+class AlwaysFailingServer:
+    """Actuation target whose resizes never apply (balloons are fine)."""
+
+    def __init__(self, container):
+        self.container = container
+        self.balloon_limit_gb = None
+
+    def set_container(self, spec):
+        raise TransientActuationError("placement outage")
+
+    def set_balloon_limit(self, limit_gb):
+        self.balloon_limit_gb = limit_gb
+
+
+class TestRefunds:
+    def idle_counters(self, index, container):
+        return make_interval_counters(
+            index,
+            container,
+            latency_ms=20.0,
+            cpu_util=0.03,
+            cpu_wait_ms=1.0,
+            memory_used_gb=0.5,
+        )
+
+    def test_failed_scale_down_refunds_cost_difference(self):
+        # The scaler chooses a cheaper container; the actuator cannot
+        # deliver it, so the tenant keeps paying for the big one.  The
+        # difference must come back as budget tokens.
+        budget = BudgetManager(
+            budget=60.0 * 50, n_intervals=50, min_cost=7.0, max_cost=270.0
+        )
+        auto = AutoScaler(
+            catalog=CATALOG,
+            initial_container=CATALOG.at_level(4),
+            goal=GOAL,
+            budget=budget,
+            thresholds=default_thresholds(),
+            guard=TelemetryGuard(),
+        )
+        server = AlwaysFailingServer(CATALOG.at_level(4))
+        executor = ResizeExecutor(
+            auto, server, max_attempts=2, failure_threshold=10, jitter=0.0
+        )
+
+        index = 0
+        refund_expected = 0.0
+        for _ in range(12):
+            decision = auto.decide(self.idle_counters(index, auto.container))
+            index += 1
+            report = executor.execute(decision)
+            if decision.resized:
+                # Scale-down chosen but not applied: the cost difference
+                # must be scheduled and the belief reconciled.
+                assert not report.succeeded
+                refund_expected = (
+                    CATALOG.at_level(4).cost - decision.container.cost
+                )
+                assert report.refund_scheduled == pytest.approx(refund_expected)
+                assert auto.container.name == "C4"
+                break
+        else:
+            pytest.fail("scaler never attempted the scale-down")
+
+        # The refund lands at the next settlement, keeping net spend equal
+        # to what the tenant was actually given.
+        spent_before = budget.spent
+        auto.decide(self.idle_counters(index, auto.container))
+        assert budget.refunded == pytest.approx(refund_expected)
+        assert budget.spent == pytest.approx(
+            spent_before + CATALOG.at_level(4).cost - refund_expected
+        )
+
+    def test_budget_never_overdrawn_while_stuck_on_expensive_container(self):
+        # Drain the bucket while actuation failures pin the tenant to an
+        # expensive container: refunds must keep the ledger solvent (no
+        # BudgetError) even though the scaler keeps choosing cheaper sizes.
+        budget = BudgetManager(
+            budget=45.0 * 30, n_intervals=30, min_cost=7.0, max_cost=270.0
+        )
+        auto = AutoScaler(
+            catalog=CATALOG,
+            initial_container=CATALOG.at_level(6),
+            goal=GOAL,
+            budget=budget,
+            thresholds=default_thresholds(),
+            guard=TelemetryGuard(),
+        )
+        server = AlwaysFailingServer(CATALOG.at_level(6))
+        executor = ResizeExecutor(
+            auto, server, max_attempts=1, failure_threshold=1000, jitter=0.0
+        )
+        index = 0
+        for _ in range(25):
+            decision = auto.decide(self.idle_counters(index, auto.container))
+            index += 1
+            executor.execute(decision)
+            assert budget.available >= -1e-9
+        assert budget.spent <= budget.budget + 1e-6
+        assert budget.refunded > 0.0

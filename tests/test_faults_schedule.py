@@ -1,0 +1,218 @@
+"""Unit tests for fault schedules and the fault-injecting server wrapper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.containers import default_catalog
+from repro.engine.server import DatabaseServer, EngineConfig
+from repro.errors import (
+    ConfigurationError,
+    PermanentActuationError,
+    TransientActuationError,
+)
+from repro.faults import FaultEvent, FaultKind, FaultSchedule, FaultyServer
+from repro.workloads import cpuio_workload
+
+CATALOG = default_catalog()
+
+
+class TestFaultEvent:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(FaultKind.TELEMETRY_DROP, interval=-1)
+        with pytest.raises(ConfigurationError):
+            FaultEvent(FaultKind.TELEMETRY_DROP, interval=0, duration=0)
+        with pytest.raises(ConfigurationError):
+            FaultEvent(FaultKind.CLOCK_SKEW, interval=0, magnitude=0.0)
+
+    def test_covers(self):
+        event = FaultEvent(FaultKind.TELEMETRY_DROP, interval=3, duration=2)
+        assert not event.covers(2)
+        assert event.covers(3)
+        assert event.covers(4)
+        assert not event.covers(5)
+
+
+class TestFaultSchedule:
+    def test_empty_schedule(self):
+        schedule = FaultSchedule.empty()
+        assert schedule.is_empty
+        assert schedule.last_fault_interval == -1
+        assert schedule.at(0) == ()
+
+    def test_lookup(self):
+        schedule = FaultSchedule(
+            [
+                FaultEvent(FaultKind.TELEMETRY_DROP, interval=2),
+                FaultEvent(FaultKind.RESIZE_TRANSIENT, interval=2, magnitude=2),
+                FaultEvent(FaultKind.CLOCK_SKEW, interval=5, duration=3),
+            ]
+        )
+        assert len(schedule.at(2)) == 2
+        assert schedule.active(FaultKind.TELEMETRY_DROP, 2) is not None
+        assert schedule.active(FaultKind.TELEMETRY_DROP, 3) is None
+        assert schedule.active(FaultKind.CLOCK_SKEW, 7) is not None
+        assert schedule.last_fault_interval == 7
+
+    def test_shifted(self):
+        schedule = FaultSchedule([FaultEvent(FaultKind.TELEMETRY_DROP, interval=2)])
+        moved = schedule.shifted(10)
+        assert moved.active(FaultKind.TELEMETRY_DROP, 12) is not None
+        assert moved.active(FaultKind.TELEMETRY_DROP, 2) is None
+
+    def test_random_is_deterministic(self):
+        a = FaultSchedule.random(seed=42, n_intervals=30, n_faults=8)
+        b = FaultSchedule.random(seed=42, n_intervals=30, n_faults=8)
+        assert a.events == b.events
+        c = FaultSchedule.random(seed=43, n_intervals=30, n_faults=8)
+        assert a.events != c.events
+
+    def test_random_respects_window(self):
+        schedule = FaultSchedule.random(
+            seed=0, n_intervals=40, n_faults=12, first=5, last=20
+        )
+        for event in schedule:
+            assert 5 <= event.interval
+            assert event.last_interval <= 20
+
+    def test_random_window_validated(self):
+        with pytest.raises(ConfigurationError):
+            FaultSchedule.random(seed=0, n_intervals=10, first=5, last=3)
+        with pytest.raises(ConfigurationError):
+            FaultSchedule.random(seed=0, n_intervals=10, last=10)
+
+
+def make_faulty(schedule, interval_ticks=8, seed=0):
+    workload = cpuio_workload()
+    server = DatabaseServer(
+        specs=workload.specs,
+        dataset=workload.dataset,
+        container=CATALOG.at_level(2),
+        config=EngineConfig(interval_ticks=interval_ticks, seed=seed),
+        n_hot_locks=workload.n_hot_locks,
+    )
+    return FaultyServer(server, schedule, CATALOG, seed=seed)
+
+
+class TestFaultyServerTelemetry:
+    def test_empty_schedule_is_passthrough(self):
+        faulty = make_faulty(FaultSchedule.empty())
+        for i in range(3):
+            deliveries = faulty.run_interval(30.0)
+            assert len(deliveries) == 1
+            assert deliveries[0].interval_index == i
+            assert deliveries[0].anomalies() == []
+
+    def test_drop_returns_nothing(self):
+        schedule = FaultSchedule([FaultEvent(FaultKind.TELEMETRY_DROP, interval=1)])
+        faulty = make_faulty(schedule)
+        assert len(faulty.run_interval(30.0)) == 1
+        assert faulty.run_interval(30.0) == []
+        assert len(faulty.run_interval(30.0)) == 1
+        assert faulty.dropped == 1
+
+    def test_late_delivery_surfaces_next_interval(self):
+        schedule = FaultSchedule([FaultEvent(FaultKind.TELEMETRY_LATE, interval=1)])
+        faulty = make_faulty(schedule)
+        faulty.run_interval(30.0)
+        assert faulty.run_interval(30.0) == []
+        deliveries = faulty.run_interval(30.0)
+        assert [c.interval_index for c in deliveries] == [1, 2]
+
+    def test_duplicate_delivers_twice(self):
+        schedule = FaultSchedule(
+            [FaultEvent(FaultKind.TELEMETRY_DUPLICATE, interval=0)]
+        )
+        faulty = make_faulty(schedule)
+        deliveries = faulty.run_interval(30.0)
+        assert len(deliveries) == 2
+        assert deliveries[0] is deliveries[1]
+
+    def test_corruption_plants_detectable_anomaly(self):
+        schedule = FaultSchedule(
+            [FaultEvent(FaultKind.TELEMETRY_CORRUPT, interval=0, duration=5)]
+        )
+        faulty = make_faulty(schedule)
+        for _ in range(5):
+            (delivery,) = faulty.run_interval(30.0)
+            assert delivery.anomalies() != []
+        assert faulty.corrupted == 5
+
+    def test_clock_skew_shifts_timestamps_backwards(self):
+        schedule = FaultSchedule(
+            [FaultEvent(FaultKind.CLOCK_SKEW, interval=1, magnitude=1.5)]
+        )
+        faulty = make_faulty(schedule)
+        (first,) = faulty.run_interval(30.0)
+        (skewed,) = faulty.run_interval(30.0)
+        assert skewed.start_s < first.end_s
+        assert skewed.end_s > skewed.start_s  # internally consistent
+
+    def test_underlying_simulation_not_perturbed(self):
+        # Telemetry faults lie about the interval but never change what
+        # actually ran: the *next* clean interval matches a fault-free twin.
+        schedule = FaultSchedule(
+            [FaultEvent(FaultKind.TELEMETRY_CORRUPT, interval=1)]
+        )
+        faulty = make_faulty(schedule, seed=5)
+        clean = make_faulty(FaultSchedule.empty(), seed=5)
+        for i in range(4):
+            got = faulty.run_interval(30.0)
+            want = clean.run_interval(30.0)
+            if i != 1:
+                assert got[0].completions == want[0].completions
+                assert got[0].latencies_ms.tolist() == want[0].latencies_ms.tolist()
+
+
+class TestFaultyServerActuation:
+    def test_transient_fails_then_succeeds(self):
+        schedule = FaultSchedule(
+            [FaultEvent(FaultKind.RESIZE_TRANSIENT, interval=0, magnitude=2)]
+        )
+        faulty = make_faulty(schedule)
+        faulty.run_interval(30.0)
+        target = CATALOG.at_level(3)
+        for _ in range(2):
+            with pytest.raises(TransientActuationError):
+                faulty.set_container(target)
+        faulty.set_container(target)
+        assert faulty.container.name == target.name
+
+    def test_permanent_always_fails(self):
+        schedule = FaultSchedule(
+            [FaultEvent(FaultKind.RESIZE_PERMANENT, interval=0)]
+        )
+        faulty = make_faulty(schedule)
+        faulty.run_interval(30.0)
+        for _ in range(4):
+            with pytest.raises(PermanentActuationError):
+                faulty.set_container(CATALOG.at_level(3))
+
+    def test_partial_resize_stalls_one_level_short(self):
+        schedule = FaultSchedule(
+            [FaultEvent(FaultKind.RESIZE_PARTIAL, interval=0)]
+        )
+        faulty = make_faulty(schedule)
+        faulty.run_interval(30.0)
+        faulty.set_container(CATALOG.at_level(5))  # from level 2
+        assert faulty.container.level == 4
+        assert faulty.partial_resizes == 1
+
+    def test_partial_one_level_resize_does_not_move(self):
+        schedule = FaultSchedule(
+            [FaultEvent(FaultKind.RESIZE_PARTIAL, interval=0)]
+        )
+        faulty = make_faulty(schedule)
+        faulty.run_interval(30.0)
+        faulty.set_container(CATALOG.at_level(3))
+        assert faulty.container.level == 2
+
+    def test_balloon_fault(self):
+        schedule = FaultSchedule([FaultEvent(FaultKind.BALLOON_FAIL, interval=0)])
+        faulty = make_faulty(schedule)
+        faulty.run_interval(30.0)
+        with pytest.raises(TransientActuationError):
+            faulty.set_balloon_limit(2.0)
+        faulty.set_balloon_limit(None)  # clearing always works

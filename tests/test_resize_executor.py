@@ -1,0 +1,254 @@
+"""Unit tests for the resize executor (retries, refunds, circuit breaker)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.autoscaler import ScalingDecision
+from repro.core.explanations import ActionKind
+from repro.core.resize_executor import CircuitState, ResizeExecutor
+from repro.engine.containers import default_catalog
+from repro.errors import (
+    ConfigurationError,
+    PermanentActuationError,
+    TransientActuationError,
+)
+
+CATALOG = default_catalog()
+
+
+class StubScaler:
+    """Records every control-plane callback the executor makes."""
+
+    def __init__(self, container):
+        self.container = container
+        self.refunds: list[float] = []
+        self.safe_mode_events: list[str] = []
+        self.actuations: list = []
+        self.balloon_failures = 0
+
+    def notify_actuation(self, applied):
+        self.actuations.append(applied)
+        self.container = applied
+
+    def schedule_refund(self, amount):
+        self.refunds.append(amount)
+
+    def enter_safe_mode(self, intervals, reason):
+        self.safe_mode_events.append("enter")
+
+    def exit_safe_mode(self):
+        self.safe_mode_events.append("exit")
+
+    def notify_balloon_actuation_failed(self):
+        self.balloon_failures += 1
+
+
+class StubServer:
+    """An actuation target that fails a scripted number of times."""
+
+    def __init__(self, container, fail=0, error=TransientActuationError,
+                 balloon_fail=False):
+        self.container = container
+        self.fail = fail
+        self.error = error
+        self.balloon_fail = balloon_fail
+        self.balloon_limit_gb = None
+        self.calls = 0
+
+    def set_container(self, spec):
+        self.calls += 1
+        if self.fail > 0:
+            self.fail -= 1
+            raise self.error("scripted failure")
+        self.container = spec
+
+    def set_balloon_limit(self, limit_gb):
+        if self.balloon_fail and limit_gb is not None:
+            raise TransientActuationError("scripted balloon failure")
+        self.balloon_limit_gb = limit_gb
+
+
+def decision(container, balloon=None):
+    return ScalingDecision(
+        container=container, balloon_limit_gb=balloon, resized=False
+    )
+
+
+def make(level=2, fail=0, error=TransientActuationError, **kwargs):
+    scaler = StubScaler(CATALOG.at_level(level))
+    server = StubServer(CATALOG.at_level(level), fail=fail, error=error)
+    executor = ResizeExecutor(scaler, server, jitter=0.0, **kwargs)
+    return scaler, server, executor
+
+
+class TestHappyPath:
+    def test_no_change_makes_no_attempts(self):
+        scaler, server, executor = make()
+        report = executor.execute(decision(server.container))
+        assert report.succeeded
+        assert report.attempts == 0
+        assert server.calls == 0
+
+    def test_clean_resize(self):
+        scaler, server, executor = make(level=2)
+        target = CATALOG.at_level(3)
+        report = executor.execute(decision(target))
+        assert report.succeeded
+        assert report.attempts == 1
+        assert server.container.name == target.name
+        assert scaler.actuations[-1].name == target.name
+
+    def test_transient_failure_retried_to_success(self):
+        scaler, server, executor = make(level=2, fail=2, max_attempts=3)
+        target = CATALOG.at_level(3)
+        report = executor.execute(decision(target))
+        assert report.succeeded
+        assert report.attempts == 3
+        assert report.backoff_ms > 0
+        assert scaler.refunds == []
+
+
+class TestFailures:
+    def test_retries_exhausted_reconciles_belief(self):
+        scaler, server, executor = make(level=3, fail=5, max_attempts=2)
+        target = CATALOG.at_level(4)
+        report = executor.execute(decision(target))
+        assert not report.succeeded
+        assert report.attempts == 2
+        assert report.applied.name == CATALOG.at_level(3).name
+        assert scaler.actuations[-1].name == CATALOG.at_level(3).name
+        assert any(
+            e.action is ActionKind.ACTUATION_FAILED for e in report.explanations
+        )
+
+    def test_permanent_failure_aborts_immediately(self):
+        scaler, server, executor = make(
+            level=3, fail=5, error=PermanentActuationError, max_attempts=3
+        )
+        report = executor.execute(decision(CATALOG.at_level(4)))
+        assert not report.succeeded
+        assert report.attempts == 1
+
+    def test_failed_scale_down_schedules_cost_difference_refund(self):
+        # Stuck on the expensive container: the tenant chose the cheap one,
+        # the platform must eat the difference.
+        scaler, server, executor = make(level=4, fail=5, max_attempts=2)
+        target = CATALOG.at_level(2)
+        report = executor.execute(decision(target))
+        expected = CATALOG.at_level(4).cost - target.cost
+        assert report.refund_scheduled == pytest.approx(expected)
+        assert scaler.refunds == [pytest.approx(expected)]
+
+    def test_failed_scale_up_schedules_no_refund(self):
+        # Stuck on the *cheaper* container: the tenant is billed for what
+        # actually ran, nothing to refund.
+        scaler, server, executor = make(level=2, fail=5, max_attempts=2)
+        report = executor.execute(decision(CATALOG.at_level(4)))
+        assert report.refund_scheduled == 0.0
+        assert scaler.refunds == []
+
+    def test_balloon_failure_aborts_probe(self):
+        scaler = StubScaler(CATALOG.at_level(2))
+        server = StubServer(CATALOG.at_level(2), balloon_fail=True)
+        executor = ResizeExecutor(scaler, server, jitter=0.0)
+        report = executor.execute(decision(server.container, balloon=2.5))
+        assert scaler.balloon_failures == 1
+        assert executor.total_failures == 1
+        # The resize itself (a no-op) still succeeded.
+        assert report.succeeded
+
+
+class TestCircuitBreaker:
+    def failing_executor(self, failure_threshold=2, open_intervals=3):
+        scaler, server, executor = make(
+            level=3,
+            fail=10_000,
+            max_attempts=1,
+            failure_threshold=failure_threshold,
+            open_intervals=open_intervals,
+        )
+        return scaler, server, executor
+
+    def test_opens_after_threshold_and_enters_safe_mode(self):
+        scaler, server, executor = self.failing_executor(failure_threshold=2)
+        target = decision(CATALOG.at_level(4))
+        assert executor.execute(target).circuit is CircuitState.CLOSED
+        report = executor.execute(target)
+        assert report.circuit is CircuitState.OPEN
+        assert scaler.safe_mode_events == ["enter"]
+        assert any(
+            e.action is ActionKind.SAFE_MODE for e in report.explanations
+        )
+
+    def test_open_circuit_attempts_nothing(self):
+        scaler, server, executor = self.failing_executor(failure_threshold=1)
+        target = decision(CATALOG.at_level(4))
+        executor.execute(target)  # opens
+        calls_before = server.calls
+        report = executor.execute(target)
+        assert server.calls == calls_before
+        assert report.attempts == 0
+        assert not report.succeeded
+
+    def test_half_open_trial_closes_on_success(self):
+        scaler, server, executor = self.failing_executor(
+            failure_threshold=1, open_intervals=2
+        )
+        target = decision(CATALOG.at_level(4))
+        executor.execute(target)  # opens
+        executor.execute(target)  # open, 1 left
+        executor.execute(target)  # open -> half-open; safe mode exits
+        assert executor.circuit is CircuitState.HALF_OPEN
+        assert scaler.safe_mode_events[-1] == "exit"
+        server.fail = 0  # actuator recovers
+        report = executor.execute(target)
+        assert report.succeeded
+        assert executor.circuit is CircuitState.CLOSED
+
+    def test_half_open_trial_failure_reopens(self):
+        scaler, server, executor = self.failing_executor(
+            failure_threshold=1, open_intervals=1
+        )
+        target = decision(CATALOG.at_level(4))
+        executor.execute(target)  # opens
+        executor.execute(target)  # -> half-open
+        assert executor.circuit is CircuitState.HALF_OPEN
+        report = executor.execute(target)  # trial fails
+        assert report.circuit is CircuitState.OPEN
+        assert executor.circuit_opens == 2
+
+
+class TestBackoffAndValidation:
+    def test_backoff_grows_exponentially_without_jitter(self):
+        scaler, server, executor = make(
+            level=2, fail=2, max_attempts=3,
+            backoff_base_ms=100.0, backoff_factor=2.0,
+        )
+        report = executor.execute(decision(CATALOG.at_level(3)))
+        # Two backoffs: after attempt 1 (100 ms) and attempt 2 (200 ms).
+        assert report.backoff_ms == pytest.approx(300.0)
+
+    def test_jitter_is_deterministic_per_seed(self):
+        def run(seed):
+            scaler = StubScaler(CATALOG.at_level(2))
+            server = StubServer(CATALOG.at_level(2), fail=2)
+            executor = ResizeExecutor(
+                scaler, server, jitter=0.5, seed=seed, max_attempts=3
+            )
+            return executor.execute(decision(CATALOG.at_level(3))).backoff_ms
+
+        assert run(1) == run(1)
+        assert run(1) != run(2)
+
+    def test_configuration_validated(self):
+        scaler = StubScaler(CATALOG.at_level(2))
+        server = StubServer(CATALOG.at_level(2))
+        with pytest.raises(ConfigurationError):
+            ResizeExecutor(scaler, server, max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            ResizeExecutor(scaler, server, jitter=1.5)
+        with pytest.raises(ConfigurationError):
+            ResizeExecutor(scaler, server, failure_threshold=0)
+        with pytest.raises(ConfigurationError):
+            ResizeExecutor(scaler, server, backoff_factor=0.5)

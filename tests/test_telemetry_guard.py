@@ -1,0 +1,141 @@
+"""Unit tests for the telemetry admission guard."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.telemetry_guard import GuardAction, TelemetryGuard
+from repro.engine.containers import default_catalog
+from repro.errors import ConfigurationError
+
+from tests.helpers import make_interval_counters
+
+CATALOG = default_catalog()
+C = CATALOG.at_level(2)
+
+
+def counters(index: int, **kwargs):
+    return make_interval_counters(index, C, **kwargs)
+
+
+class TestCleanStream:
+    def test_in_order_stream_admits_everything(self):
+        guard = TelemetryGuard()
+        for i in range(5):
+            verdict = guard.inspect(counters(i))
+            assert verdict.action is GuardAction.ADMIT
+            assert verdict.missed_intervals == 0
+            assert verdict.reasons == ()
+        assert guard.stats.admitted == 5
+        assert not guard.telemetry_degraded
+
+    def test_first_delivery_establishes_origin(self):
+        guard = TelemetryGuard()
+        verdict = guard.inspect(counters(41))
+        assert verdict.action is GuardAction.ADMIT
+        assert verdict.missed_intervals == 0
+        assert guard.expected_next_index == 42
+
+
+class TestSequencing:
+    def test_gap_reports_missed_intervals(self):
+        guard = TelemetryGuard()
+        guard.inspect(counters(0))
+        verdict = guard.inspect(counters(3))
+        assert verdict.action is GuardAction.ADMIT
+        assert verdict.missed_intervals == 2
+        assert guard.stats.missed == 2
+
+    def test_duplicate_discarded(self):
+        guard = TelemetryGuard()
+        guard.inspect(counters(0))
+        verdict = guard.inspect(counters(0))
+        assert verdict.action is GuardAction.DISCARD
+        assert "duplicate" in verdict.reasons[0]
+        assert guard.stats.discarded == 1
+
+    def test_noted_missing_interval_admits_late_delivery(self):
+        guard = TelemetryGuard()
+        guard.inspect(counters(0))
+        guard.note_missing_interval()  # interval 1 never arrived
+        verdict = guard.inspect(counters(2))
+        assert verdict.action is GuardAction.ADMIT
+        late = guard.inspect(counters(1))
+        assert late.action is GuardAction.ADMIT_LATE
+        # ... but only once: a second copy is a duplicate.
+        again = guard.inspect(counters(1))
+        assert again.action is GuardAction.DISCARD
+
+    def test_gap_admission_remembers_skipped_indexes(self):
+        guard = TelemetryGuard()
+        guard.inspect(counters(0))
+        guard.inspect(counters(3))  # 1 and 2 skipped silently
+        assert guard.inspect(counters(1)).action is GuardAction.ADMIT_LATE
+        assert guard.inspect(counters(2)).action is GuardAction.ADMIT_LATE
+
+    def test_tracked_gaps_bounded(self):
+        guard = TelemetryGuard(max_tracked_gaps=2)
+        guard.inspect(counters(0))
+        for _ in range(5):
+            guard.note_missing_interval()
+        # Only the 2 most recent gaps (indexes 4, 5) are remembered.
+        assert guard.inspect(counters(1)).action is GuardAction.DISCARD
+        assert guard.inspect(counters(5)).action is GuardAction.ADMIT_LATE
+
+
+class TestQuarantine:
+    def test_corrupt_fresh_interval_quarantined(self):
+        guard = TelemetryGuard()
+        guard.inspect(counters(0))
+        bad = dataclasses.replace(counters(1), disk_physical_reads=-5.0)
+        verdict = guard.inspect(bad)
+        assert verdict.action is GuardAction.QUARANTINE
+        assert any("disk_physical_reads" in r for r in verdict.reasons)
+        # The sequence still advances: the next interval is fresh.
+        assert guard.inspect(counters(2)).action is GuardAction.ADMIT
+
+    def test_corrupt_stale_interval_discarded(self):
+        guard = TelemetryGuard()
+        guard.inspect(counters(0))
+        guard.inspect(counters(1))
+        bad = dataclasses.replace(counters(0), arrivals=-1)
+        assert guard.inspect(bad).action is GuardAction.DISCARD
+
+    def test_nan_latencies_quarantined(self):
+        guard = TelemetryGuard()
+        guard.inspect(counters(0))
+        bad = dataclasses.replace(
+            counters(1), latencies_ms=np.array([50.0, np.nan, 60.0])
+        )
+        assert guard.inspect(bad).action is GuardAction.QUARANTINE
+
+    def test_cross_delivery_clock_skew_quarantined(self):
+        guard = TelemetryGuard()
+        guard.inspect(counters(0))  # ends at 60 s
+        skewed = counters(1, start_s=10.0, end_s=70.0)
+        verdict = guard.inspect(skewed)
+        assert verdict.action is GuardAction.QUARANTINE
+        assert any("clock skew" in r for r in verdict.reasons)
+
+    def test_degraded_after_consecutive_bad_intervals(self):
+        guard = TelemetryGuard(degraded_after=2)
+        guard.inspect(counters(0))
+        assert not guard.telemetry_degraded
+        guard.note_missing_interval()
+        bad = dataclasses.replace(counters(2), arrivals=-1)
+        guard.inspect(bad)
+        assert guard.telemetry_degraded
+        # A clean admission clears the streak.
+        guard.inspect(counters(3))
+        assert not guard.telemetry_degraded
+
+
+class TestValidation:
+    def test_configuration_validated(self):
+        with pytest.raises(ConfigurationError):
+            TelemetryGuard(max_tracked_gaps=0)
+        with pytest.raises(ConfigurationError):
+            TelemetryGuard(degraded_after=0)

@@ -15,6 +15,7 @@ from repro.engine.containers import default_catalog
 from repro.engine.resources import ResourceKind
 from repro.engine.telemetry import IntervalCounters
 from repro.engine.waits import WaitClass, WaitProfile
+from repro.errors import InsufficientDataError, ReproError
 
 CATALOG = default_catalog()
 
@@ -67,8 +68,43 @@ def manager(goal_ms: float | None = 100.0) -> TelemetryManager:
 
 class TestIngestion:
     def test_signals_before_observe_raises(self):
-        with pytest.raises(ValueError):
+        # The typed error (not a bare ValueError) so API-boundary callers
+        # can catch ReproError / InsufficientDataError specifically.
+        with pytest.raises(InsufficientDataError):
             manager().signals()
+
+    def test_signals_before_observe_error_is_catchable_at_boundary(self):
+        with pytest.raises(ReproError):
+            manager().signals()
+
+    def test_idle_intervals_do_not_leak_nan(self):
+        # Intervals with zero completions yield NaN latency by design, but
+        # every other signal must stay finite and the NaN must surface as
+        # UNKNOWN status, never as NaN-categorized levels.
+        tm = manager()
+        for i in range(6):
+            tm.observe(make_counters(i, n_latencies=0))
+        signals = tm.signals()
+        assert math.isnan(signals.latency_ms)
+        assert signals.latency_status is LatencyStatus.UNKNOWN
+        assert math.isfinite(signals.latency_trend.slope)
+        for kind in ResourceKind:
+            res = signals.resource(kind)
+            assert math.isfinite(res.utilization_pct)
+            assert math.isfinite(res.wait_ms)
+            assert math.isfinite(res.wait_pct)
+            assert math.isfinite(res.utilization_trend.slope)
+            assert math.isfinite(res.wait_trend.slope)
+            assert math.isfinite(res.latency_correlation.rho)
+
+    def test_idle_then_active_recovers_latency(self):
+        tm = manager()
+        for i in range(3):
+            tm.observe(make_counters(i, n_latencies=0))
+        tm.observe(make_counters(3, latency_ms=42.0))
+        signals = tm.signals()
+        assert signals.latency_ms == pytest.approx(42.0)
+        assert signals.latency_status is LatencyStatus.GOOD
 
     def test_single_interval_signals(self):
         tm = manager()
