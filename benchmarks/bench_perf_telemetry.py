@@ -37,13 +37,20 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.autoscaler import AutoScaler
 from repro.core.latency import LatencyGoal
 from repro.core.telemetry_manager import TelemetryManager
 from repro.core.thresholds import default_thresholds
 from repro.engine.containers import default_catalog
 from repro.engine.resources import ResourceKind
+from repro.engine.server import EngineConfig
 from repro.engine.telemetry import IntervalCounters
 from repro.engine.waits import WaitClass, WaitProfile
+from repro.harness.experiment import ExperimentConfig, run_policy
+from repro.obs.events import TraceLevel
+from repro.obs.tracer import Tracer
+from repro.policies.auto import AutoPolicy
+from repro.workloads import Trace, cpuio_workload
 from repro.stats.incremental import (
     IncrementalSpearman,
     IncrementalTheilSen,
@@ -202,6 +209,72 @@ def bench_primitives(window: int, n_appends: int, seed: int = 7) -> dict:
     return out
 
 
+# -- tracing overhead ---------------------------------------------------------
+
+TRACING_OVERHEAD_TARGET_PCT = 10.0
+
+
+def bench_tracing_overhead(smoke: bool = False, repeats: int = 3) -> dict:
+    """Wall-clock cost of DECISION-level tracing on a full policy run.
+
+    Runs the same workload x trace through ``run_policy`` with and without
+    a tracer attached (best-of-``repeats`` each, interleaved so machine
+    drift hits both arms) and verifies along the way that the traced run
+    chooses identical containers and produces an identical bill — tracing
+    must be pure observation.
+    """
+    n = 16 if smoke else 48
+    rates = np.full(n, 25.0)
+    rates[n // 4 : n // 2] = 220.0
+    workload = cpuio_workload()
+
+    def one_run(tracer: Tracer | None):
+        config = ExperimentConfig(
+            engine=EngineConfig(interval_ticks=10), warmup_intervals=4, seed=7
+        )
+        scaler = AutoScaler(
+            catalog=config.catalog,
+            goal=LatencyGoal(100.0),
+            thresholds=config.thresholds,
+        )
+        trace = Trace(name="overhead", rates=rates)
+        start = time.perf_counter()
+        result = run_policy(workload, trace, AutoPolicy(scaler), config, tracer=tracer)
+        return time.perf_counter() - start, result
+
+    untraced_s = float("inf")
+    traced_s = float("inf")
+    baseline = None
+    n_events = 0
+    for _ in range(repeats):
+        elapsed, result = one_run(None)
+        untraced_s = min(untraced_s, elapsed)
+        baseline = result
+
+        tracer = Tracer("overhead", level=TraceLevel.DECISION)
+        elapsed, traced = one_run(tracer)
+        traced_s = min(traced_s, elapsed)
+        n_events = len(tracer)
+        assert traced.containers == baseline.containers, (
+            "traced run diverged from untraced run: tracing is not invisible"
+        )
+        assert [r.cost for r in traced.meter.records] == [
+            r.cost for r in baseline.meter.records
+        ], "traced run billed differently from untraced run"
+
+    overhead_pct = 100.0 * (traced_s - untraced_s) / untraced_s
+    return {
+        "intervals": n,
+        "repeats": repeats,
+        "untraced_s": round(untraced_s, 4),
+        "traced_s": round(traced_s, 4),
+        "overhead_pct": round(overhead_pct, 2),
+        "target_overhead_pct": TRACING_OVERHEAD_TARGET_PCT,
+        "events_per_run": n_events,
+        "byte_identical": True,
+    }
+
+
 # -- driver -------------------------------------------------------------------
 
 
@@ -256,6 +329,7 @@ def run_benchmark(
             }
             for window in (10, 64)
         },
+        "tracing": bench_tracing_overhead(smoke=smoke),
         "equivalence": {
             "cross_checked_intervals": checked,
             "identical_signals": True,
@@ -283,6 +357,17 @@ def report(result: dict) -> str:
                 f"  {name:10s} incremental {entry['incremental_us']:7.2f} us"
                 f"  batch {entry['batch_us']:7.2f} us  ({entry['speedup']:.1f}x)"
             )
+    tracing = result["tracing"]
+    lines.append(
+        f"tracing overhead ({tracing['intervals']} intervals, DECISION level, "
+        f"best of {tracing['repeats']}):"
+    )
+    lines.append(
+        f"  untraced {tracing['untraced_s']:.3f}s  traced {tracing['traced_s']:.3f}s"
+        f"  -> {tracing['overhead_pct']:+.1f}% "
+        f"(target < {tracing['target_overhead_pct']:.0f}%), "
+        f"{tracing['events_per_run']} events, decisions and bills byte-identical"
+    )
     lines.append(
         f"equivalence: {result['equivalence']['cross_checked_intervals']} intervals "
         "cross-checked, incremental == batch signals"

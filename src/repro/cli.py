@@ -7,13 +7,18 @@ Three subcommands mirror the repository's main activities:
 * ``repro calibrate`` — collect fleet telemetry, calibrate wait
   thresholds, and write a ``ThresholdConfig`` JSON;
 * ``repro fleet-analysis`` — run the Figure 2 change-event analysis over
-  a synthetic tenant population.
+  a synthetic tenant population;
+* ``repro trace`` — capture, filter, and summarize structured decision
+  traces (``capture`` / ``show`` / ``summary``).
 
 Examples::
 
     python -m repro.cli compare --workload tpcc --trace 4 --goal-factor 1.25
     python -m repro.cli calibrate --tenants 40 --out thresholds.json
     python -m repro.cli fleet-analysis --tenants 300
+    python -m repro.cli trace capture --scenario chaos --out chaos.jsonl
+    python -m repro.cli trace show chaos.jsonl --component executor
+    python -m repro.cli trace summary chaos.jsonl --json
 """
 
 from __future__ import annotations
@@ -26,6 +31,7 @@ from repro.core.thresholds import ThresholdConfig, default_thresholds
 from repro.engine.containers import default_catalog
 from repro.harness.experiment import ExperimentConfig, run_comparison
 from repro.harness.report import comparison_table
+from repro.obs.scenarios import SCENARIO_NAMES
 from repro.workloads import cpuio_workload, ds2_workload, paper_trace, tpcc_workload
 
 __all__ = ["main", "build_parser"]
@@ -88,6 +94,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--days", type=float, default=7.0, help="analysis horizon (default: 7)"
     )
     fleet.add_argument("--seed", type=int, default=42)
+
+    trace = sub.add_parser(
+        "trace", help="capture / inspect structured decision traces"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    capture = trace_sub.add_parser(
+        "capture", help="run a canonical scenario and write its trace"
+    )
+    capture.add_argument(
+        "--scenario", choices=SCENARIO_NAMES, default="steady",
+        help="canonical scenario to run (default: steady)",
+    )
+    capture.add_argument(
+        "--out", type=str, required=True, help="output JSONL trace path"
+    )
+    capture.add_argument(
+        "--metrics", type=str, default=None,
+        help="also write the metrics snapshot to this JSON path",
+    )
+    capture.add_argument(
+        "--level", choices=("decision", "debug"), default="debug",
+        help="trace verbosity (default: debug, what the goldens pin)",
+    )
+
+    show = trace_sub.add_parser(
+        "show", help="print a trace's events, optionally filtered"
+    )
+    show.add_argument("file", type=str, help="JSONL trace file")
+    show.add_argument("--component", type=str, default=None)
+    show.add_argument("--kind", type=str, default=None)
+    show.add_argument("--interval", type=int, default=None)
+    show.add_argument("--decision", type=str, default=None)
+    show.add_argument(
+        "--limit", type=int, default=None, help="print at most N events"
+    )
+
+    summary = trace_sub.add_parser(
+        "summary", help="aggregate counts for a trace file"
+    )
+    summary.add_argument("file", type=str, help="JSONL trace file")
+    summary.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
     return parser
 
 
@@ -152,12 +202,121 @@ def _cmd_fleet_analysis(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    handlers = {
+        "capture": _cmd_trace_capture,
+        "show": _cmd_trace_show,
+        "summary": _cmd_trace_summary,
+    }
+    return handlers[args.trace_command](args)
+
+
+def _cmd_trace_capture(args: argparse.Namespace) -> int:
+    from repro.obs.events import TraceLevel
+    from repro.obs.scenarios import run_scenario
+
+    level = TraceLevel.DEBUG if args.level == "debug" else TraceLevel.DECISION
+    tracer = run_scenario(args.scenario, level=level)
+    tracer.write(args.out)
+    print(f"scenario {args.scenario!r}: {len(tracer)} events -> {args.out}")
+    if args.metrics:
+        tracer.metrics.write(args.metrics)
+        print(f"metrics snapshot -> {args.metrics}")
+    return 0
+
+
+def _load_trace_or_fail(path: str):
+    from repro.obs.tracer import load_events
+
+    try:
+        return load_events(path)
+    except FileNotFoundError:
+        print(f"error: no such trace file: {path}", file=sys.stderr)
+        return None
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+
+
+def _cmd_trace_show(args: argparse.Namespace) -> int:
+    events = _load_trace_or_fail(args.file)
+    if events is None:
+        return 2
+    if not events:
+        print(f"error: trace {args.file} contains no events", file=sys.stderr)
+        return 1
+    shown = 0
+    for event in events:
+        if args.component is not None and event.component != args.component:
+            continue
+        if args.kind is not None and event.kind.value != args.kind:
+            continue
+        if args.interval is not None and event.interval != args.interval:
+            continue
+        if args.decision is not None and event.decision_id != args.decision:
+            continue
+        decision = f" [{event.decision_id}]" if event.decision_id else ""
+        fields = ", ".join(f"{k}={v}" for k, v in event.fields.items())
+        print(
+            f"#{event.seq:05d} i={event.interval:>3d}{decision} "
+            f"{event.component}/{event.kind.value}: {fields}"
+        )
+        shown += 1
+        if args.limit is not None and shown >= args.limit:
+            break
+    print(f"({shown} of {len(events)} events shown)")
+    return 0
+
+
+def _cmd_trace_summary(args: argparse.Namespace) -> int:
+    import json
+    from collections import Counter
+
+    events = _load_trace_or_fail(args.file)
+    if events is None:
+        return 2
+    if not events:
+        print(f"error: trace {args.file} contains no events", file=sys.stderr)
+        return 1
+    by_component: Counter[str] = Counter(e.component for e in events)
+    by_kind: Counter[str] = Counter(e.kind.value for e in events)
+    intervals = {e.interval for e in events}
+    decisions = {e.decision_id for e in events if e.decision_id}
+    summary = {
+        "file": args.file,
+        "events": len(events),
+        "intervals": len(intervals),
+        "first_interval": min(intervals),
+        "last_interval": max(intervals),
+        "decisions": len(decisions),
+        "by_component": dict(sorted(by_component.items())),
+        "by_kind": dict(sorted(by_kind.items())),
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"{args.file}: {summary['events']} events over "
+        f"{summary['intervals']} intervals "
+        f"({summary['first_interval']}..{summary['last_interval']}), "
+        f"{summary['decisions']} decisions"
+    )
+    print("by component:")
+    for name, count in summary["by_component"].items():
+        print(f"  {name:>12}: {count}")
+    print("by kind:")
+    for name, count in summary["by_kind"].items():
+        print(f"  {name:>16}: {count}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "compare": _cmd_compare,
         "calibrate": _cmd_calibrate,
         "fleet-analysis": _cmd_fleet_analysis,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

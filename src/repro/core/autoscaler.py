@@ -42,6 +42,8 @@ from repro.engine.bufferpool import engine_overhead_gb, usable_cache_gb
 from repro.engine.containers import ContainerCatalog, ContainerSpec
 from repro.engine.resources import ResourceKind, ResourceVector
 from repro.engine.telemetry import IntervalCounters
+from repro.obs.events import EventKind
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.stats.rolling import RollingWindow
 
 __all__ = ["ScalingDecision", "AutoScaler"]
@@ -59,6 +61,11 @@ class ScalingDecision:
         demand: the demand estimate behind the decision (None during the
             initial warm-up interval).
         signals: the signal set behind the decision (None during warm-up).
+        decision_id: correlation key (``d00042``) tying this decision's
+            trace events — estimate, budget checks, resize attempts, any
+            eventual refund — into one chain.  Empty when the scaler
+            pre-dates the tracer (old pickles) or in unit tests that build
+            decisions by hand.
     """
 
     container: ContainerSpec
@@ -67,6 +74,7 @@ class ScalingDecision:
     explanations: tuple[Explanation, ...] = ()
     demand: DemandEstimate | None = None
     signals: WorkloadSignals | None = None
+    decision_id: str = ""
 
     def explanation_text(self) -> str:
         return "; ".join(str(e) for e in self.explanations)
@@ -108,6 +116,7 @@ class AutoScaler:
         use_ballooning: bool = True,
         guard: TelemetryGuard | None = None,
         damper: OscillationDamper | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.catalog = catalog
         self.goal = goal
@@ -135,7 +144,24 @@ class AutoScaler:
         self.damper = damper
         self._safe_mode = False
         self._safe_mode_reason = ""
-        self._pending_refund = 0.0
+        self._pending_refunds: list[tuple[float, str | None]] = []
+        # Observability: one tracer threaded through every sub-component,
+        # and a monotonically minted decision id correlating each
+        # decision's events (estimate → budget checks → resize → refund).
+        self.tracer: Tracer = NULL_TRACER
+        self._decision_seq = 0
+        self._prev_decision_id: str | None = None
+        if tracer is not None:
+            self.attach_tracer(tracer)
+
+    def attach_tracer(self, tracer: Tracer) -> None:
+        """Thread one run's tracer through the whole control plane."""
+        self.tracer = tracer
+        self.telemetry.tracer = tracer
+        self.estimator.tracer = tracer
+        self.budget.bind_tracer(tracer)
+        if self.guard is not None:
+            self.guard.tracer = tracer
 
     @property
     def container(self) -> ContainerSpec:
@@ -144,6 +170,13 @@ class AutoScaler:
     @property
     def in_safe_mode(self) -> bool:
         return self._safe_mode
+
+    def _mint_decision(self) -> str:
+        """New decision id; also becomes the tracer's ambient correlation."""
+        decision_id = f"d{self._decision_seq:05d}"
+        self._decision_seq += 1
+        self.tracer.set_decision(decision_id)
+        return decision_id
 
     # -- the closed loop -----------------------------------------------------
 
@@ -164,6 +197,7 @@ class AutoScaler:
                     ActionKind.TELEMETRY_LATE, verdict.reasons
                 )
             if verdict.action is GuardAction.QUARANTINE:
+                self.tracer.set_interval(counters.interval_index)
                 return self._degraded_decision(
                     ActionKind.TELEMETRY_QUARANTINED,
                     "counters quarantined, holding last known-good signals: "
@@ -173,14 +207,18 @@ class AutoScaler:
             for _ in range(verdict.missed_intervals):
                 self._settle_budget(self._container.cost)
 
+        self.tracer.set_interval(counters.interval_index)
         self.telemetry.observe(counters)
         self._disk_reads.append(counters.disk_physical_reads)
         # Charge the interval that just ran (the paper: "at the end of the
         # i-th billing interval ... C_i tokens are subtracted"); what
-        # remains is B_{i+1}, the budget the next choice must fit.
-        self._settle_budget(counters.container.cost)
+        # remains is B_{i+1}, the budget the next choice must fit.  The
+        # charge is attributed to the decision that chose the billed
+        # container — the *previous* one.
+        self._settle_budget(counters.container.cost, self._prev_decision_id)
         if self._safe_mode:
             return self._safe_mode_decision()
+        decision_id = self._mint_decision()
         signals = self.telemetry.signals()
         demand = self.estimator.estimate(signals)
         explanations: list[Explanation] = []
@@ -223,28 +261,19 @@ class AutoScaler:
                     ),
                 )
             )
+            self.tracer.emit(
+                "damper", EventKind.DAMPER,
+                action="suppressed", suppressed_target=target.name,
+                cooldown_remaining=self.damper.cooldown_remaining,
+            )
             target = previous
 
         # The budget constrains every path, not just scale-ups: once the
         # bucket drains, even *holding* an expensive container is no
         # longer affordable and the tenant is forced down.
-        if not self.budget.affordable(target.cost):
-            affordable = [
-                c for c in self.catalog if self.budget.affordable(c.cost)
-            ]
-            forced = max(affordable, key=lambda c: (c.cost, c.level))
-            explanations.append(
-                Explanation(
-                    action=ActionKind.BUDGET_CONSTRAINED,
-                    reason=(
-                        f"container {target.name} ({target.cost:g}/interval) "
-                        f"no longer fits the remaining budget "
-                        f"({self.budget.available:.1f}); forced down to "
-                        f"{forced.name}"
-                    ),
-                )
-            )
-            target = forced
+        constrained = self._enforce_budget(target, explanations)
+        budget_forced = constrained.name != target.name
+        target = constrained
 
         if self.damper is not None and self.damper.observe(
             previous.level, target.level
@@ -260,22 +289,36 @@ class AutoScaler:
                     ),
                 )
             )
+            self.tracer.emit(
+                "damper", EventKind.DAMPER,
+                action="tripped",
+                cooldown_intervals=self.damper.cooldown_intervals,
+            )
 
         if target.name != previous.name:
             self._on_resize()
+            self.tracer.emit(
+                "scaler", EventKind.RESIZE_APPLIED,
+                from_container=previous.name, to_container=target.name,
+                from_level=previous.level, to_level=target.level,
+                forced=budget_forced,
+            )
         self._container = target
         if not explanations:
             explanations.append(
                 Explanation(ActionKind.NO_CHANGE, "demand matches current container")
             )
-        return ScalingDecision(
+        decision = ScalingDecision(
             container=target,
             balloon_limit_gb=self._balloon_limit,
             resized=target.name != previous.name,
             explanations=tuple(explanations),
             demand=demand,
             signals=signals,
+            decision_id=decision_id,
         )
+        self._finish_decision(decision)
+        return decision
 
     # -- scale-up ---------------------------------------------------------------
 
@@ -421,6 +464,12 @@ class AutoScaler:
                             resource=ResourceKind.MEMORY,
                         )
                     )
+                    self.tracer.emit(
+                        "balloon", EventKind.BALLOON,
+                        transition="probe-started",
+                        limit_gb=decision.limit_gb,
+                        target_memory_gb=target.memory_gb,
+                    )
                 return current  # hold while probing / cooling down
             # Ballooning ablated: shrink blindly (the Figure 14 "no
             # ballooning" behaviour).
@@ -538,6 +587,10 @@ class AutoScaler:
                     resource=ResourceKind.MEMORY,
                 )
             )
+            self.tracer.emit(
+                "balloon", EventKind.BALLOON,
+                transition="cancelled-pressure",
+            )
             return False
         decision = self.balloon.observe(counters)
         self._balloon_limit = decision.limit_gb
@@ -553,6 +606,11 @@ class AutoScaler:
                     resource=ResourceKind.MEMORY,
                 )
             )
+            self.tracer.emit(
+                "balloon", EventKind.BALLOON,
+                transition="aborted-io-spike",
+                io_spike_ratio=self.balloon.io_spike_ratio,
+            )
             return False
         if decision.status is BalloonStatus.CONFIRMED_LOW:
             self._balloon_limit = None
@@ -565,6 +623,9 @@ class AutoScaler:
                     ),
                     resource=ResourceKind.MEMORY,
                 )
+            )
+            self.tracer.emit(
+                "balloon", EventKind.BALLOON, transition="confirmed-low",
             )
             return True
         return False
@@ -580,6 +641,9 @@ class AutoScaler:
                     resource=ResourceKind.MEMORY,
                 )
             )
+            self.tracer.emit(
+                "balloon", EventKind.BALLOON, transition="cancelled-scale-up",
+            )
 
     # -- degraded modes -------------------------------------------------------
 
@@ -592,6 +656,7 @@ class AutoScaler:
         late delivery for this interval can still be absorbed by the guard
         without double-billing.
         """
+        self.tracer.set_interval(self.tracer.current_interval + 1)
         if self.guard is not None:
             self.guard.note_missing_interval()
         return self._degraded_decision(
@@ -620,10 +685,17 @@ class AutoScaler:
         self.balloon.cancel()
         self._balloon_limit = None
 
-    def schedule_refund(self, amount: float) -> None:
-        """Credit tokens back at the next settlement (platform's fault)."""
+    def schedule_refund(
+        self, amount: float, decision_id: str | None = None
+    ) -> None:
+        """Credit tokens back at the next settlement (platform's fault).
+
+        ``decision_id`` names the resize decision whose failed actuation
+        earned the refund, so the eventual BUDGET_REFUND event joins back
+        to the attempt that caused it.
+        """
         if amount > 0:
-            self._pending_refund += amount
+            self._pending_refunds.append((amount, decision_id))
 
     def enter_safe_mode(self, intervals: int, reason: str) -> None:
         """Hold the current container until :meth:`exit_safe_mode`.
@@ -640,20 +712,25 @@ class AutoScaler:
         self._safe_mode = False
         self._safe_mode_reason = ""
 
-    def _settle_budget(self, cost: float) -> None:
-        """Apply any pending actuation refund, then charge the interval.
+    def _settle_budget(self, cost: float, decision_id: str | None = None) -> None:
+        """Apply any pending actuation refunds, then charge the interval.
 
-        The refund lands first so a tenant stranded on a too-expensive
+        The refunds land first so a tenant stranded on a too-expensive
         container by a failed scale-down stays solvent: the net charge is
-        the cost of the container the scaler actually chose.
+        the cost of the container the scaler actually chose.  Each refund
+        is credited under the decision id of the resize that earned it;
+        the charge is attributed to ``decision_id`` (the decision that
+        chose the billed container).
         """
-        if self._pending_refund > 0.0:
-            self.budget.refund(self._pending_refund)
-            self._pending_refund = 0.0
-        self.budget.end_interval(cost)
+        if self._pending_refunds:
+            for amount, refund_decision_id in self._pending_refunds:
+                self.budget.refund(amount, refund_decision_id)
+            self._pending_refunds.clear()
+        self.budget.end_interval(cost, decision_id)
 
     def _safe_mode_decision(self) -> ScalingDecision:
         """Hold the current container while the circuit breaker is open."""
+        decision_id = self._mint_decision()
         explanations = [
             Explanation(
                 action=ActionKind.SAFE_MODE,
@@ -665,17 +742,27 @@ class AutoScaler:
             )
         ]
         self.balloon.tick_cooldown()
-        target = self._enforce_budget(self._container, explanations)
-        resized = target.name != self._container.name
+        previous = self._container
+        target = self._enforce_budget(previous, explanations)
+        resized = target.name != previous.name
         if resized:
             self._on_resize()
+            self.tracer.emit(
+                "scaler", EventKind.RESIZE_APPLIED,
+                from_container=previous.name, to_container=target.name,
+                from_level=previous.level, to_level=target.level,
+                forced=True,
+            )
         self._container = target
-        return ScalingDecision(
+        decision = ScalingDecision(
             container=target,
             balloon_limit_gb=self._balloon_limit,
             resized=resized,
             explanations=tuple(explanations),
+            decision_id=decision_id,
         )
+        self._finish_decision(decision)
+        return decision
 
     def _degraded_decision(
         self, kind: ActionKind, reason: str
@@ -686,7 +773,8 @@ class AutoScaler:
         balloon probe is frozen rather than advanced on bad data, and the
         only container change allowed is a budget-forced downgrade.
         """
-        self._settle_budget(self._container.cost)
+        self._settle_budget(self._container.cost, self._prev_decision_id)
+        decision_id = self._mint_decision()
         explanations = [Explanation(action=kind, reason=reason)]
         if self._safe_mode:
             explanations.append(
@@ -699,17 +787,27 @@ class AutoScaler:
                 )
             )
         self.balloon.tick_cooldown()
-        target = self._enforce_budget(self._container, explanations)
-        resized = target.name != self._container.name
+        previous = self._container
+        target = self._enforce_budget(previous, explanations)
+        resized = target.name != previous.name
         if resized:
             self._on_resize()
+            self.tracer.emit(
+                "scaler", EventKind.RESIZE_APPLIED,
+                from_container=previous.name, to_container=target.name,
+                from_level=previous.level, to_level=target.level,
+                forced=True,
+            )
         self._container = target
-        return ScalingDecision(
+        decision = ScalingDecision(
             container=target,
             balloon_limit_gb=self._balloon_limit,
             resized=resized,
             explanations=tuple(explanations),
+            decision_id=decision_id,
         )
+        self._finish_decision(decision)
+        return decision
 
     def _passive_decision(
         self, kind: ActionKind, reasons: tuple[str, ...]
@@ -718,21 +816,53 @@ class AutoScaler:
 
         Duplicates and late redeliveries do not advance billing or scaling
         state; the decision exists only so callers get an explained no-op.
+        It still gets a decision id of its own, but — having settled no
+        billing — it does not become the attribution target for the next
+        interval's charge.
         """
-        return ScalingDecision(
+        decision_id = self._mint_decision()
+        decision = ScalingDecision(
             container=self._container,
             balloon_limit_gb=self._balloon_limit,
             resized=False,
             explanations=(
                 Explanation(action=kind, reason="; ".join(reasons)),
             ),
+            decision_id=decision_id,
         )
+        self._finish_decision(decision, passive=True)
+        return decision
+
+    def _finish_decision(
+        self, decision: ScalingDecision, passive: bool = False
+    ) -> None:
+        """Record the DECISION event and roll the correlation state."""
+        if not passive:
+            self._prev_decision_id = decision.decision_id or None
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "scaler", EventKind.DECISION,
+                decision_id=decision.decision_id or None,
+                container=decision.container.name,
+                resized=decision.resized,
+                actions=[e.action.value for e in decision.explanations],
+                balloon_limit_gb=decision.balloon_limit_gb,
+                budget_available=self.budget.available,
+                safe_mode=self._safe_mode,
+            )
+            self.tracer.set_decision(None)
 
     def _enforce_budget(
         self, target: ContainerSpec, explanations: list[Explanation]
     ) -> ContainerSpec:
         """The hard budget constraint, shared with the degraded paths."""
-        if self.budget.affordable(target.cost):
+        affordable_now = self.budget.affordable(target.cost)
+        self.tracer.emit(
+            "budget", EventKind.BUDGET_CHECK,
+            target=target.name, cost=target.cost,
+            available=self.budget.available, affordable=affordable_now,
+        )
+        if affordable_now:
             return target
         affordable = [c for c in self.catalog if self.budget.affordable(c.cost)]
         forced = max(affordable, key=lambda c: (c.cost, c.level))

@@ -29,8 +29,14 @@ import enum
 from dataclasses import dataclass
 
 from repro.errors import BudgetError
+from repro.obs.events import EventKind
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 __all__ = ["BurstStrategy", "BudgetManager", "unconstrained_budget"]
+
+#: Histogram edges for per-interval charges, in tokens (container costs in
+#: the default catalog span 1–96).
+SPEND_BUCKETS = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
 
 
 class BurstStrategy(enum.Enum):
@@ -95,6 +101,11 @@ class BudgetManager:
         self._interval = 0
         self._spent = 0.0
         self._refunded = 0.0
+        self.tracer: Tracer = NULL_TRACER
+
+    def bind_tracer(self, tracer: Tracer) -> None:
+        """Attach the run's tracer; ledger movements become trace events."""
+        self.tracer = tracer
 
     def _configure(self) -> _BucketParams:
         depth = self.budget - (self.n_intervals - 1) * self.min_cost
@@ -151,11 +162,12 @@ class BudgetManager:
 
     # -- state transitions --------------------------------------------------------
 
-    def end_interval(self, cost: float) -> None:
+    def end_interval(self, cost: float, decision_id: str | None = None) -> None:
         """Charge the interval's container cost and refill the bucket.
 
         The paper: "At the end of the i-th billing interval, TR tokens are
-        added and C_i tokens are subtracted."
+        added and C_i tokens are subtracted."  ``decision_id`` correlates
+        the charge to the scaling decision that chose the billed container.
         """
         if self.exhausted_period:
             raise BudgetError("budgeting period already finished")
@@ -165,15 +177,40 @@ class BudgetManager:
             raise BudgetError(
                 f"cost {cost} exceeds available budget {self._tokens:.2f}"
             )
+        before = self._tokens
         self._interval += 1
         self._spent += cost
         # affordable() tolerates costs up to 1e-9 beyond the balance, so the
         # post-charge balance is clamped at zero before refilling; otherwise
         # repeated epsilon-overdraws would erode the documented
         # ``available >= fill-rate floor`` invariant microscopically.
-        self._tokens = min(max(self._tokens - cost, 0.0) + self._fill_rate, self._depth)
+        after_spend = max(before - cost, 0.0)
+        filled = after_spend + self._fill_rate
+        self._tokens = min(filled, self._depth)
+        if self.tracer.enabled:
+            tracer = self.tracer
+            tracer.emit(
+                "budget", EventKind.BUDGET_SPEND, decision_id=decision_id,
+                cost=cost, tokens_before=before, tokens_after=after_spend,
+                spent_total=self._spent,
+            )
+            tracer.emit(
+                "budget", EventKind.BUDGET_FILL, decision_id=decision_id,
+                fill=self._fill_rate, tokens_after=self._tokens,
+            )
+            if before - cost < 0.0:
+                tracer.emit(
+                    "budget", EventKind.BUDGET_CLAMP, decision_id=decision_id,
+                    bound="zero", overdraw=cost - before,
+                )
+            if filled > self._depth:
+                tracer.emit(
+                    "budget", EventKind.BUDGET_CLAMP, decision_id=decision_id,
+                    bound="depth", overshoot=filled - self._depth,
+                )
+            tracer.metrics.histogram("budget.spend_cost", SPEND_BUCKETS).observe(cost)
 
-    def refund(self, amount: float) -> None:
+    def refund(self, amount: float, decision_id: str | None = None) -> None:
         """Credit tokens back for a charge the platform failed to honour.
 
         Used by the degraded-mode control plane: when the actuator fails to
@@ -181,7 +218,8 @@ class BudgetManager:
         running — and paying for — the old one, the cost difference is the
         platform's fault, not the tenant's, so it is returned to the bucket.
         Refunds are clamped at the bucket depth (the burst bound is a hard
-        invariant) and never drive ``spent`` below zero.
+        invariant) and never drive ``spent`` below zero.  ``decision_id``
+        correlates the credit back to the resize attempt that caused it.
         """
         if amount < 0:
             raise BudgetError("refund amount must be non-negative")
@@ -191,6 +229,16 @@ class BudgetManager:
         self._tokens += credited
         self._spent = max(self._spent - credited, 0.0)
         self._refunded += credited
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "budget", EventKind.BUDGET_REFUND, decision_id=decision_id,
+                amount=amount, credited=credited, tokens_after=self._tokens,
+            )
+            if credited < amount:
+                self.tracer.emit(
+                    "budget", EventKind.BUDGET_CLAMP, decision_id=decision_id,
+                    bound="depth", overshoot=amount - credited,
+                )
 
     def start_new_period(self) -> None:
         """Roll into a fresh budgeting period (e.g. a new month)."""

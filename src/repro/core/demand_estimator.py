@@ -36,8 +36,13 @@ from repro.core.signals import Level, WorkloadSignals
 from repro.core.thresholds import ThresholdConfig
 from repro.engine.resources import SCALABLE_KINDS, ResourceKind
 from repro.engine.waits import WaitClass
+from repro.obs.events import EventKind
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 __all__ = ["ResourceDemand", "DemandEstimate", "DemandEstimator"]
+
+#: Histogram edges for per-dimension step votes (votes are in −1..+2).
+STEP_BUCKETS = (-1.0, 0.0, 1.0, 2.0)
 
 
 @dataclass(frozen=True)
@@ -121,6 +126,7 @@ class DemandEstimator:
     use_waits: bool = True
     use_trends: bool = True
     use_correlation: bool = True
+    tracer: Tracer = field(default=NULL_TRACER, repr=False)
     _high_rules: tuple[Rule, ...] = field(init=False, repr=False)
     _low_rules: tuple[Rule, ...] = field(init=False, repr=False)
 
@@ -158,10 +164,47 @@ class DemandEstimator:
         dominant = signals.dominant_wait
         if dominant not in (WaitClass.LOCK, WaitClass.SYSTEM):
             dominant = None
-        return DemandEstimate(
+        estimate = DemandEstimate(
             demands=demands,
             non_resource_bound=non_resource_bound,
             dominant_non_resource_wait=dominant if non_resource_bound else None,
+        )
+        if self.tracer.enabled:
+            self._trace_estimate(signals, estimate)
+        return estimate
+
+    def _trace_estimate(
+        self, signals: WorkloadSignals, estimate: DemandEstimate
+    ) -> None:
+        tracer = self.tracer
+        steps_hist = tracer.metrics.histogram("estimator.steps", STEP_BUCKETS)
+        for kind in SCALABLE_KINDS:
+            demand = estimate.demand(kind)
+            steps_hist.observe(demand.steps)
+            if demand.rule_id is None:
+                continue
+            resource = signals.resource(kind)
+            tracer.emit(
+                "estimator", EventKind.RULE_FIRED,
+                resource=kind.value,
+                rule_id=demand.rule_id,
+                steps=demand.steps,
+                reason=demand.reason,
+                util_level=resource.utilization_level.value,
+                wait_level=resource.wait_level.value,
+                wait_significant=resource.wait_significant,
+            )
+            tracer.metrics.counter(f"estimator.rule.{demand.rule_id}").inc()
+        tracer.emit(
+            "estimator", EventKind.ESTIMATE,
+            steps={
+                kind.value: estimate.demand(kind).steps for kind in SCALABLE_KINDS
+            },
+            any_high=estimate.any_high,
+            all_low=estimate.all_low,
+            non_resource_bound=estimate.non_resource_bound,
+            dominant_non_resource_wait=estimate.dominant_non_resource_wait,
+            latency_status=signals.latency_status.value,
         )
 
     # -- internals ------------------------------------------------------------

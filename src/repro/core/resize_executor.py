@@ -46,6 +46,8 @@ from repro.errors import (
     PermanentActuationError,
     TransientActuationError,
 )
+from repro.obs.events import EventKind
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 __all__ = ["CircuitState", "ActuationReport", "ResizeExecutor"]
 
@@ -108,6 +110,9 @@ class ResizeExecutor:
             circuit.
         open_intervals: intervals the circuit stays open (safe mode).
         seed: RNG seed for the jitter stream.
+        tracer: optional run tracer; actuation attempts, results, and
+            breaker transitions become trace events correlated (by
+            decision id) to the decisions that caused them.
     """
 
     def __init__(
@@ -121,6 +126,7 @@ class ResizeExecutor:
         failure_threshold: int = 3,
         open_intervals: int = 10,
         seed: int = 0,
+        tracer: Tracer | None = None,
     ) -> None:
         if max_attempts < 1:
             raise ConfigurationError("max_attempts must be >= 1")
@@ -144,6 +150,8 @@ class ResizeExecutor:
         self._state = CircuitState.CLOSED
         self._consecutive_failures = 0
         self._open_left = 0
+        self.tracer: Tracer = tracer if tracer is not None else NULL_TRACER
+        self._current_decision_id: str | None = None
         # Diagnostics for the chaos suite.
         self.total_attempts = 0
         self.total_failures = 0
@@ -165,6 +173,7 @@ class ResizeExecutor:
         requested: ContainerSpec = decision.container
         current: ContainerSpec = self.server.container
         explanations: list[Explanation] = []
+        self._current_decision_id = getattr(decision, "decision_id", "") or None
 
         if self._state is CircuitState.OPEN:
             report = self._execute_open(requested, current, explanations)
@@ -185,6 +194,19 @@ class ResizeExecutor:
                 explanations=tuple(explanations),
                 circuit=self._state,
             )
+        if self.tracer.enabled and (report.attempts or not report.succeeded):
+            self.tracer.emit(
+                "executor", EventKind.RESIZE_RESULT,
+                decision_id=self._current_decision_id,
+                requested=report.requested.name,
+                applied=report.applied.name,
+                attempts=report.attempts,
+                backoff_ms=report.backoff_ms,
+                succeeded=report.succeeded,
+                refund_scheduled=report.refund_scheduled,
+                circuit=report.circuit.value,
+            )
+        self._current_decision_id = None
         return report
 
     # -- resize paths ----------------------------------------------------------
@@ -198,7 +220,7 @@ class ResizeExecutor:
         """Circuit open: refuse to actuate, keep the budget whole."""
         self._open_left -= 1
         if self._open_left <= 0:
-            self._state = CircuitState.HALF_OPEN
+            self._transition(CircuitState.HALF_OPEN, "open window elapsed")
             self.scaler.exit_safe_mode()
         refund = 0.0
         if requested.name != current.name:
@@ -235,13 +257,16 @@ class ResizeExecutor:
             try:
                 self.server.set_container(requested)
                 error = None
+                self._trace_attempt(requested, attempts, "ok")
                 break
             except TransientActuationError as exc:
                 error = exc
+                self._trace_attempt(requested, attempts, "transient", exc)
                 if attempts < self.max_attempts:
                     backoff_ms += self._backoff(attempts)
             except PermanentActuationError as exc:
                 error = exc
+                self._trace_attempt(requested, attempts, "permanent", exc)
                 break
 
         applied: ContainerSpec = self.server.container
@@ -298,7 +323,7 @@ class ResizeExecutor:
     def _on_success(self) -> None:
         self._consecutive_failures = 0
         if self._state is CircuitState.HALF_OPEN:
-            self._state = CircuitState.CLOSED
+            self._transition(CircuitState.CLOSED, "trial resize succeeded")
 
     def _on_failure(self, explanations: list[Explanation]) -> None:
         self._consecutive_failures += 1
@@ -307,14 +332,14 @@ class ResizeExecutor:
             half_open_failed
             or self._consecutive_failures >= self.failure_threshold
         ):
-            self._state = CircuitState.OPEN
-            self._open_left = self.open_intervals
-            self.circuit_opens += 1
             reason = (
                 "trial resize failed while half-open"
                 if half_open_failed
                 else f"{self._consecutive_failures} consecutive actuation failures"
             )
+            self._transition(CircuitState.OPEN, reason)
+            self._open_left = self.open_intervals
+            self.circuit_opens += 1
             explanations.append(
                 Explanation(
                     action=ActionKind.SAFE_MODE,
@@ -334,9 +359,34 @@ class ResizeExecutor:
         extra = applied.cost - requested.cost
         if extra <= 0:
             return 0.0
-        self.scaler.schedule_refund(extra)
+        self.scaler.schedule_refund(extra, self._current_decision_id)
         self.total_refunds += extra
         return extra
+
+    def _transition(self, state: CircuitState, reason: str) -> None:
+        previous = self._state
+        self._state = state
+        self.tracer.emit(
+            "executor", EventKind.CIRCUIT,
+            decision_id=self._current_decision_id,
+            from_state=previous.value, to_state=state.value, reason=reason,
+        )
+
+    def _trace_attempt(
+        self,
+        requested: ContainerSpec,
+        attempt: int,
+        outcome: str,
+        error: ActuationError | None = None,
+    ) -> None:
+        if not self.tracer.enabled:
+            return
+        self.tracer.emit(
+            "executor", EventKind.RESIZE_ATTEMPT,
+            decision_id=self._current_decision_id,
+            requested=requested.name, attempt=attempt, outcome=outcome,
+            error=str(error) if error is not None else None,
+        )
 
     def _backoff(self, attempt: int) -> float:
         base = self.backoff_base_ms * (self.backoff_factor ** (attempt - 1))

@@ -38,6 +38,8 @@ from dataclasses import dataclass, field
 
 from repro.engine.telemetry import IntervalCounters
 from repro.errors import ConfigurationError
+from repro.obs.events import EventKind, TraceLevel
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 __all__ = ["GuardAction", "GuardVerdict", "TelemetryGuard"]
 
@@ -106,6 +108,7 @@ class TelemetryGuard:
         self.max_tracked_gaps = max_tracked_gaps
         self.degraded_after = degraded_after
         self.stats = GuardStats()
+        self.tracer: Tracer = NULL_TRACER
         self._expected_next: int | None = None
         self._missing: set[int] = set()
         self._last_end_s: float | None = None
@@ -124,6 +127,27 @@ class TelemetryGuard:
 
     def inspect(self, counters: IntervalCounters) -> GuardVerdict:
         """Rule on one delivery and advance the guard's sequencing state."""
+        verdict = self._inspect(counters)
+        if self.tracer.enabled:
+            # Plain admits are the overwhelmingly common case; keep them at
+            # DEBUG so default-level traces only record the interesting
+            # verdicts (quarantines, discards, late/gapped admits).
+            routine = (
+                verdict.action is GuardAction.ADMIT
+                and verdict.missed_intervals == 0
+            )
+            self.tracer.emit(
+                "guard", EventKind.GUARD,
+                level=TraceLevel.DEBUG if routine else TraceLevel.DECISION,
+                interval=counters.interval_index,
+                action=verdict.action.value,
+                reasons=list(verdict.reasons),
+                missed_intervals=verdict.missed_intervals,
+                degraded=self.telemetry_degraded,
+            )
+        return verdict
+
+    def _inspect(self, counters: IntervalCounters) -> GuardVerdict:
         anomalies = counters.anomalies()
         index = counters.interval_index
         if anomalies:
@@ -163,15 +187,25 @@ class TelemetryGuard:
         passes without telemetry; the index is remembered so a late
         delivery can be admitted without double-billing.
         """
+        missing_index = self._expected_next
         if self._expected_next is None:
             # Nothing ever arrived; there is no sequence to track yet.
             self.stats.missed += 1
             self.stats.consecutive_quarantined += 1
-            return
-        self._remember_missing(self._expected_next)
-        self._expected_next += 1
-        self.stats.missed += 1
-        self.stats.consecutive_quarantined += 1
+        else:
+            self._remember_missing(self._expected_next)
+            self._expected_next += 1
+            self.stats.missed += 1
+            self.stats.consecutive_quarantined += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "guard", EventKind.GUARD,
+                interval=missing_index if missing_index is not None else -1,
+                action="missing",
+                reasons=["controller tick fired with no telemetry delivery"],
+                missed_intervals=1,
+                degraded=self.telemetry_degraded,
+            )
 
     # -- internals -------------------------------------------------------------
 

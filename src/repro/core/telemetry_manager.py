@@ -38,6 +38,8 @@ from repro.engine.resources import ResourceKind
 from repro.engine.telemetry import IntervalCounters
 from repro.engine.waits import RESOURCE_WAIT_CLASS
 from repro.core.latency import LatencyGoal
+from repro.obs.events import EventKind, TraceLevel
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.stats.incremental import IncrementalSpearman, TailMedian
 from repro.stats.rolling import TimestampedWindow
 from repro.stats.spearman import CorrelationResult, spearman
@@ -102,6 +104,10 @@ class TelemetryManager:
         self._wait_pct_smooth = {kind: TailMedian(smooth) for kind in ResourceKind}
         self._correlation = {kind: IncrementalSpearman(window) for kind in ResourceKind}
         self._last: IntervalCounters | None = None
+        #: Attached by :meth:`AutoScaler.attach_tracer`; DEBUG-level events
+        #: record each observation and the trend/correlation evidence behind
+        #: every signal set.
+        self.tracer: Tracer = NULL_TRACER
 
     # -- ingestion --------------------------------------------------------------
 
@@ -124,6 +130,15 @@ class TelemetryManager:
             self._wait_pct_smooth[kind].append(wait_pct)
             self._correlation[kind].append(latency, wait_ms)
         self._last = counters
+        if self.tracer.enabled_for(TraceLevel.DEBUG):
+            self.tracer.emit(
+                "telemetry", EventKind.TELEMETRY, level=TraceLevel.DEBUG,
+                interval=counters.interval_index,
+                latency_ms=latency, completions=counters.completions,
+                window_len=len(self._latency),
+                signal_window=self.thresholds.signal_window,
+                trend_window=self.thresholds.trend_window,
+            )
 
     def _interval_latency(self, counters: IntervalCounters) -> float:
         """Latency in the goal's metric for one interval; NaN if idle."""
@@ -152,11 +167,44 @@ class TelemetryManager:
                 "before requesting signals()"
             )
         if not self.incremental:
-            return self._signals_batch()
-        result = self._signals_incremental()
-        if self.cross_check:
-            _assert_signals_close(result, self._signals_batch())
+            result = self._signals_batch()
+        else:
+            result = self._signals_incremental()
+            if self.cross_check:
+                _assert_signals_close(result, self._signals_batch())
+        if self.tracer.enabled_for(TraceLevel.DEBUG):
+            self._trace_signals(result)
         return result
+
+    def _trace_signals(self, signals: WorkloadSignals) -> None:
+        """DEBUG event: the full evidence behind one signal set."""
+        per_resource = {}
+        for kind, res in signals.resources.items():
+            per_resource[kind.value] = {
+                "util_pct": res.utilization_pct,
+                "util_level": res.utilization_level.value,
+                "wait_ms": res.wait_ms,
+                "wait_level": res.wait_level.value,
+                "wait_pct": res.wait_pct,
+                "wait_significant": res.wait_significant,
+                "util_trend_sig": res.utilization_trend.significant,
+                "util_trend_agreement": res.utilization_trend.agreement,
+                "wait_trend_sig": res.wait_trend.significant,
+                "wait_trend_slope": res.wait_trend.slope,
+                "wait_trend_agreement": res.wait_trend.agreement,
+                "corr_rho": res.latency_correlation.rho,
+            }
+        self.tracer.emit(
+            "telemetry", EventKind.SIGNALS, level=TraceLevel.DEBUG,
+            interval=signals.interval_index,
+            latency_ms=signals.latency_ms,
+            latency_status=signals.latency_status.value,
+            latency_trend_slope=signals.latency_trend.slope,
+            latency_trend_sig=signals.latency_trend.significant,
+            latency_trend_agreement=signals.latency_trend.agreement,
+            trend_alpha=self.thresholds.trend_alpha,
+            resources=per_resource,
+        )
 
     def _signals_incremental(self) -> WorkloadSignals:
         """Signals served from the incrementally maintained statistics."""

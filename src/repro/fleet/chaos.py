@@ -20,6 +20,7 @@ replayed alone from its reported seed.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
 
 import numpy as np
@@ -30,6 +31,7 @@ from repro.engine.server import EngineConfig
 from repro.faults.schedule import FaultSchedule
 from repro.harness.chaos import ChaosResult, run_chaos
 from repro.harness.experiment import ExperimentConfig
+from repro.obs.tracer import Tracer
 from repro.workloads import Trace, cpuio_workload
 from repro.workloads.base import Workload
 
@@ -102,6 +104,7 @@ def chaos_sweep(
     goal_ms: float | None = 150.0,
     budget_factor: float = 0.35,
     workload: Workload | None = None,
+    tracer_for: Callable[[int], Tracer | None] | None = None,
 ) -> ChaosSweepResult:
     """Run ``n_tenants`` independent randomized chaos runs.
 
@@ -118,6 +121,10 @@ def chaos_sweep(
         budget_factor: position of each tenant's budget between the
             all-smallest (0) and all-largest (1) spend for the period.
         workload: benchmark workload; CPUIO when omitted.
+        tracer_for: optional ``tenant_id -> Tracer | None`` factory; a
+            returned tracer is threaded through that tenant's control
+            plane (use it to trace one misbehaving tenant out of a sweep
+            without paying for the rest).
     """
     workload = workload or cpuio_workload()
     outcomes: list[TenantChaosOutcome] = []
@@ -134,6 +141,7 @@ def chaos_sweep(
                 warmup_intervals=warmup_intervals,
                 goal_ms=goal_ms,
                 budget_factor=budget_factor,
+                tracer=tracer_for(tenant) if tracer_for is not None else None,
             )
         )
     return ChaosSweepResult(outcomes=outcomes)
@@ -149,6 +157,7 @@ def _run_tenant(
     warmup_intervals: int,
     goal_ms: float | None,
     budget_factor: float,
+    tracer: Tracer | None = None,
 ) -> TenantChaosOutcome:
     rng = np.random.default_rng(seed)
     trace = _tenant_trace(rng, tenant, n_intervals)
@@ -171,7 +180,8 @@ def _run_tenant(
     result: ChaosResult | None = None
     try:
         result = run_chaos(
-            workload, trace, schedule, config=config, goal=goal, budget=budget
+            workload, trace, schedule, config=config, goal=goal,
+            budget=budget, tracer=tracer,
         )
     except Exception as exc:  # noqa: BLE001 - the sweep *reports* failures
         error = f"{type(exc).__name__}: {exc}"

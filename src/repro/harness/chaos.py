@@ -42,6 +42,8 @@ from repro.engine.telemetry import IntervalCounters
 from repro.faults.chaos import FaultyServer
 from repro.faults.schedule import FaultSchedule
 from repro.harness.experiment import ExperimentConfig
+from repro.obs.events import EventKind
+from repro.obs.tracer import Tracer
 from repro.workloads.base import Workload
 from repro.workloads.loadgen import LoadGenerator
 from repro.workloads.traces import Trace
@@ -104,6 +106,7 @@ def run_chaos(
     damper: OscillationDamper | None = None,
     scaler_kwargs: dict | None = None,
     executor_kwargs: dict | None = None,
+    tracer: Tracer | None = None,
 ) -> ChaosResult:
     """Run Auto against ``trace`` with ``schedule``'s faults injected.
 
@@ -121,6 +124,9 @@ def run_chaos(
             attached when omitted.
         scaler_kwargs / executor_kwargs: extra keyword arguments for
             :class:`AutoScaler` / :class:`ResizeExecutor`.
+        tracer: optional run tracer, threaded through the scaler, guard,
+            estimator, budget, and executor; the harness adds one BILLING
+            event per measured interval.
     """
     config = config or ExperimentConfig()
     engine = dc_replace(config.engine, seed=config.seed)
@@ -146,8 +152,11 @@ def run_chaos(
         config.catalog,
         seed=config.seed + 2,
     )
+    if tracer is not None:
+        scaler.attach_tracer(tracer)
     executor = ResizeExecutor(
-        scaler, server, seed=config.seed + 3, **(executor_kwargs or {})
+        scaler, server, seed=config.seed + 3, tracer=tracer,
+        **(executor_kwargs or {})
     )
     loadgen = LoadGenerator(
         trace,
@@ -176,6 +185,14 @@ def run_chaos(
         containers.append(in_force.name)
         deliveries = server.run_interval_with_rates(rates)
         meter.charge(interval_index, in_force)
+        if tracer is not None and tracer.enabled:
+            tracer.emit(
+                "harness", EventKind.BILLING,
+                interval=config.warmup_intervals + interval_index,
+                billed_interval=interval_index,
+                container=in_force.name,
+                cost=in_force.cost,
+            )
         all_counters.extend(deliveries)
         decision, per_delivery = _decide(scaler, deliveries)
         decisions.extend(per_delivery)

@@ -31,6 +31,8 @@ from repro.engine.resources import ResourceKind
 from repro.engine.server import DatabaseServer, EngineConfig
 from repro.engine.telemetry import IntervalCounters
 from repro.harness.metrics import RunMetrics, compute_metrics
+from repro.obs.events import EventKind
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.policies.auto import AutoPolicy
 from repro.policies.base import ScalingPolicy
 from repro.policies.oracle import TraceOraclePolicy, oracle_container_sequence
@@ -95,8 +97,16 @@ def run_policy(
     trace: Trace,
     policy: ScalingPolicy,
     config: ExperimentConfig,
+    tracer: Tracer | None = None,
 ) -> RunResult:
-    """Run one policy against a trace-driven workload."""
+    """Run one policy against a trace-driven workload.
+
+    ``tracer`` (optional) is threaded through the policy's control plane
+    when the policy supports it (``attach_tracer``); the harness itself
+    records one BILLING event per measured interval.  Tracing is pure
+    observation: traced and untraced runs make identical decisions and
+    produce identical bills.
+    """
     engine = replace(config.engine, seed=config.seed)
     server = DatabaseServer(
         specs=workload.specs,
@@ -110,6 +120,9 @@ def run_policy(
         interval_ticks=engine.interval_ticks,
         seed=config.seed + 1,
     )
+    tracer = tracer if tracer is not None else NULL_TRACER
+    if tracer.enabled and hasattr(policy, "attach_tracer"):
+        policy.attach_tracer(tracer)
 
     # Warm-up: run at the trace's opening rate, let the policy adapt, and
     # discard the telemetry.
@@ -130,6 +143,14 @@ def run_policy(
         containers.append(server.container.name)
         counters = server.run_interval_with_rates(rates)
         meter.charge(interval_index, counters.container)
+        if tracer.enabled:
+            tracer.emit(
+                "harness", EventKind.BILLING,
+                interval=counters.interval_index,
+                billed_interval=interval_index,
+                container=counters.container.name,
+                cost=counters.container.cost,
+            )
         all_counters.append(counters)
         _apply(policy, counters, server)
 

@@ -1,0 +1,32 @@
+"""Structured decision-trace observability for the scaling control plane.
+
+Public surface:
+
+* :class:`~repro.obs.events.TraceEvent` / :class:`~repro.obs.events.EventKind`
+  / :class:`~repro.obs.events.TraceLevel` — the event taxonomy;
+* :class:`~repro.obs.tracer.Tracer` — the per-run ring-buffered collector
+  (plus :data:`~repro.obs.tracer.NULL_TRACER`, the disabled default);
+* :class:`~repro.obs.metrics.MetricsRegistry` — deterministic counters,
+  gauges, and fixed-bucket histograms;
+* :mod:`~repro.obs.scenarios` — the canonical seeded scenarios the
+  golden-trace suite and ``repro trace capture`` share.
+"""
+
+from repro.obs.events import EventKind, TraceEvent, TraceLevel
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer, events_to_jsonl, load_events
+
+__all__ = [
+    "EventKind",
+    "TraceEvent",
+    "TraceLevel",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "events_to_jsonl",
+    "load_events",
+]

@@ -1,0 +1,162 @@
+"""Deterministic in-process metrics: counters, gauges, histograms.
+
+A :class:`MetricsRegistry` is the aggregate companion to the event
+stream: where the :class:`~repro.obs.tracer.Tracer` answers *why did this
+decision happen*, the registry answers *how often does each thing
+happen* cheaply enough to stay on for entire fleet sweeps.
+
+Everything is built for reproducibility:
+
+* histogram bucket boundaries are fixed at creation (never adapted to
+  data), so two runs over the same stream serialize identically;
+* snapshots are emitted with sorted metric names;
+* no wall time, no process state — only what instrumented code reports.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.obs.events import json_safe
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: Default bucket boundaries (upper-inclusive edges) for histograms whose
+#: callers do not specify their own: a coarse log scale wide enough for
+#: milliseconds, token costs, and step counts alike.
+DEFAULT_BUCKETS = (0.0, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
+                   500.0, 1000.0, 5000.0)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError("counters only increase")
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins level."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-boundary histogram (deterministic serialization).
+
+    ``boundaries`` are upper-inclusive bucket edges; one implicit
+    overflow bucket catches everything beyond the last edge, so
+    ``len(counts) == len(boundaries) + 1`` and the counts always sum to
+    the observation count.
+    """
+
+    __slots__ = ("name", "boundaries", "counts", "count", "total")
+
+    def __init__(self, name: str, boundaries: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        edges = tuple(float(b) for b in boundaries)
+        if not edges or any(b <= a for b, a in zip(edges[1:], edges)):
+            raise ConfigurationError(
+                "histogram boundaries must be non-empty and strictly increasing"
+            )
+        self.name = name
+        self.boundaries = edges
+        self.counts = [0] * (len(edges) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect_left(self.boundaries, value)] += 1
+        self.count += 1
+        self.total += value
+
+
+class MetricsRegistry:
+    """Get-or-create registry over the three instrument types.
+
+    A name may only ever be one instrument type; re-registering a
+    histogram under different boundaries is an error — silent boundary
+    drift would break cross-run snapshot diffs.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        self._check_free(name, self._counters)
+        return self._counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        self._check_free(name, self._gauges)
+        return self._gauges.setdefault(name, Gauge(name))
+
+    def histogram(
+        self, name: str, boundaries: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        self._check_free(name, self._histograms)
+        existing = self._histograms.get(name)
+        if existing is not None:
+            if existing.boundaries != tuple(float(b) for b in boundaries):
+                raise ConfigurationError(
+                    f"histogram {name!r} re-registered with different boundaries"
+                )
+            return existing
+        return self._histograms.setdefault(name, Histogram(name, boundaries))
+
+    def _check_free(self, name: str, own: dict) -> None:
+        for family in (self._counters, self._gauges, self._histograms):
+            if family is not own and name in family:
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as a different type"
+                )
+
+    # -- export ----------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Canonical snapshot: sorted names, JSON-safe values."""
+        return {
+            "counters": {
+                name: json_safe(c.value)
+                for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: json_safe(g.value)
+                for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "boundaries": list(h.boundaries),
+                    "counts": list(h.counts),
+                    "count": h.count,
+                    "sum": json_safe(h.total),
+                }
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.snapshot(), indent=2, sort_keys=True)
+
+    def write(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json() + "\n")

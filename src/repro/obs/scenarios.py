@@ -1,0 +1,150 @@
+"""Canonical seeded scenarios for trace capture and golden-trace tests.
+
+Each scenario is a small, fully deterministic control-loop run with a
+distinct character:
+
+* ``steady`` — a flat-demand tenant with a latency goal: the trace is
+  dominated by NO_CHANGE decisions, scale-down probes, and ballooning.
+* ``bursty-budget`` — a bursty tenant under an aggressive, *binding*
+  token-bucket budget: scale-ups, budget clamps, and forced downgrades.
+* ``chaos`` — the degraded-mode loop under a fixed fault schedule:
+  guard verdicts, executor retries, refunds, circuit activity.
+
+The golden-trace suite (``tests/test_golden_traces.py``) pins each
+scenario's full DEBUG-level event stream; ``repro trace capture`` runs
+the same functions so a human can regenerate or inspect the exact traces
+the tests compare against.  Keep the geometry small — goldens are
+checked into the repository and diffed line by line.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.autoscaler import AutoScaler
+from repro.core.budget import BudgetManager, BurstStrategy
+from repro.core.latency import LatencyGoal
+from repro.engine.server import EngineConfig
+from repro.faults.schedule import FaultEvent, FaultKind, FaultSchedule
+from repro.harness.experiment import ExperimentConfig
+from repro.obs.tracer import Tracer
+from repro.obs.events import TraceLevel
+
+__all__ = ["SCENARIO_NAMES", "run_scenario"]
+
+#: Shared small-but-honest geometry (mirrors the chaos suite's FAST dict).
+_INTERVAL_TICKS = 10
+_WARMUP = 4
+_SEED = 7
+_GOAL_MS = 100.0
+
+
+def _config(seed: int = _SEED) -> ExperimentConfig:
+    return ExperimentConfig(
+        engine=EngineConfig(interval_ticks=_INTERVAL_TICKS),
+        warmup_intervals=_WARMUP,
+        seed=seed,
+    )
+
+
+def _binding_budget(
+    config: ExperimentConfig, n_intervals: int, factor: float = 0.30
+) -> BudgetManager:
+    """A budget between all-smallest (0) and all-largest (1) spend."""
+    min_cost = config.catalog.smallest.cost
+    max_cost = config.catalog.max_cost
+    per_interval = min_cost + factor * (max_cost - min_cost)
+    return BudgetManager(
+        budget=per_interval * n_intervals,
+        n_intervals=n_intervals,
+        min_cost=min_cost,
+        max_cost=max_cost,
+        strategy=BurstStrategy.AGGRESSIVE,
+    )
+
+
+def _run_steady(tracer: Tracer) -> None:
+    from repro.harness.experiment import run_policy
+    from repro.policies.auto import AutoPolicy
+    from repro.workloads import Trace, cpuio_workload
+
+    config = _config()
+    trace = Trace(name="golden-steady", rates=np.full(16, 40.0))
+    scaler = AutoScaler(
+        catalog=config.catalog,
+        goal=LatencyGoal(_GOAL_MS),
+        thresholds=config.thresholds,
+    )
+    run_policy(cpuio_workload(), trace, AutoPolicy(scaler), config, tracer=tracer)
+
+
+def _run_bursty_budget(tracer: Tracer) -> None:
+    from repro.harness.experiment import run_policy
+    from repro.policies.auto import AutoPolicy
+    from repro.workloads import Trace, cpuio_workload
+
+    config = _config()
+    rates = np.full(18, 15.0)
+    rates[4:12] = 260.0
+    trace = Trace(name="golden-bursty", rates=rates)
+    budget = _binding_budget(config, _WARMUP + 18 + 2)
+    scaler = AutoScaler(
+        catalog=config.catalog,
+        goal=LatencyGoal(_GOAL_MS),
+        budget=budget,
+        thresholds=config.thresholds,
+    )
+    run_policy(cpuio_workload(), trace, AutoPolicy(scaler), config, tracer=tracer)
+
+
+def _run_chaos(tracer: Tracer) -> None:
+    from repro.harness.chaos import run_chaos
+    from repro.workloads import Trace, cpuio_workload
+
+    config = _config()
+    rates = np.full(18, 20.0)
+    rates[5:11] = 220.0
+    trace = Trace(name="golden-chaos", rates=rates)
+    schedule = FaultSchedule(
+        (
+            FaultEvent(FaultKind.TELEMETRY_DROP, interval=2),
+            FaultEvent(FaultKind.RESIZE_TRANSIENT, interval=6, magnitude=2),
+            FaultEvent(FaultKind.TELEMETRY_CORRUPT, interval=8, duration=2),
+            FaultEvent(FaultKind.TELEMETRY_DUPLICATE, interval=11),
+            FaultEvent(FaultKind.RESIZE_PERMANENT, interval=12),
+        )
+    )
+    budget = _binding_budget(config, _WARMUP + 18 + 2, factor=0.35)
+    run_chaos(
+        cpuio_workload(),
+        trace,
+        schedule,
+        config=config,
+        goal=LatencyGoal(_GOAL_MS),
+        budget=budget,
+        tracer=tracer,
+    )
+
+
+_SCENARIOS = {
+    "steady": _run_steady,
+    "bursty-budget": _run_bursty_budget,
+    "chaos": _run_chaos,
+}
+
+SCENARIO_NAMES = tuple(sorted(_SCENARIOS))
+
+
+def run_scenario(name: str, level: TraceLevel = TraceLevel.DEBUG) -> Tracer:
+    """Run one canonical scenario and return its populated tracer.
+
+    Raises:
+        KeyError: for an unknown scenario name.
+    """
+    if name not in _SCENARIOS:
+        raise KeyError(
+            f"unknown scenario {name!r}; choose from {', '.join(SCENARIO_NAMES)}"
+        )
+    tracer = Tracer(run_id=name, level=level)
+    _SCENARIOS[name](tracer)
+    return tracer

@@ -20,6 +20,10 @@ class AutoPolicy(ScalingPolicy):
         self.last_decision: ScalingDecision | None = None
         self.decisions: list[ScalingDecision] = []
 
+    def attach_tracer(self, tracer) -> None:
+        """Thread a run tracer through the wrapped scaler."""
+        self.scaler.attach_tracer(tracer)
+
     def initial_container(self) -> ContainerSpec:
         return self.scaler.container
 

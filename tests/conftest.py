@@ -17,6 +17,21 @@ from repro.stats.spearman import CorrelationResult
 from repro.stats.theil_sen import TrendResult
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="regenerate the golden trace files in tests/goldens/ instead "
+        "of diffing against them",
+    )
+
+
+@pytest.fixture
+def update_goldens(request: pytest.FixtureRequest) -> bool:
+    return bool(request.config.getoption("--update-goldens"))
+
+
 @pytest.fixture
 def catalog() -> ContainerCatalog:
     return default_catalog()

@@ -35,6 +35,24 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["calibrate"])
 
+    def test_trace_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+    def test_trace_capture_defaults(self):
+        args = build_parser().parse_args(
+            ["trace", "capture", "--out", "t.jsonl"]
+        )
+        assert args.scenario == "steady"
+        assert args.level == "debug"
+        assert args.metrics is None
+
+    def test_trace_capture_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["trace", "capture", "--scenario", "nope", "--out", "t.jsonl"]
+            )
+
 
 class TestCommands:
     def test_compare_runs_small(self, capsys):
@@ -81,3 +99,123 @@ class TestCommands:
             ]
         )
         assert exit_code == 0
+
+
+@pytest.fixture(scope="module")
+def steady_trace_files(tmp_path_factory):
+    """Capture the steady scenario once and share the files module-wide."""
+    root = tmp_path_factory.mktemp("traces")
+    trace_path = root / "steady.jsonl"
+    metrics_path = root / "metrics.json"
+    exit_code = main(
+        [
+            "trace", "capture",
+            "--scenario", "steady",
+            "--out", str(trace_path),
+            "--metrics", str(metrics_path),
+        ]
+    )
+    assert exit_code == 0
+    return trace_path, metrics_path
+
+
+class TestTraceCommands:
+    def test_capture_writes_trace_and_metrics(self, steady_trace_files):
+        trace_path, metrics_path = steady_trace_files
+        assert trace_path.exists()
+        assert metrics_path.exists()
+        from repro.obs.tracer import load_events
+
+        events = load_events(trace_path)
+        assert events
+        assert events[0].seq == 0
+
+    def test_metrics_export_round_trip(self, steady_trace_files):
+        import json
+
+        trace_path, metrics_path = steady_trace_files
+        from repro.obs.tracer import load_events
+
+        events = load_events(trace_path)
+        snapshot = json.loads(metrics_path.read_text())
+        name = f"events.{events[0].component}.{events[0].kind.value}"
+        counted = sum(
+            1
+            for e in events
+            if e.component == events[0].component and e.kind == events[0].kind
+        )
+        assert snapshot["counters"][name] == counted
+
+    def test_show_filters_by_component(self, steady_trace_files, capsys):
+        trace_path, _ = steady_trace_files
+        exit_code = main(
+            ["trace", "show", str(trace_path), "--component", "scaler"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        body, _, footer = out.rstrip().rpartition("\n")
+        assert "events shown)" in footer
+        assert body
+        for line in body.splitlines():
+            assert " scaler/" in line
+
+    def test_show_limit(self, steady_trace_files, capsys):
+        trace_path, _ = steady_trace_files
+        exit_code = main(["trace", "show", str(trace_path), "--limit", "3"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("#00000 ")
+        assert "(3 of " in out
+
+    def test_summary_json_round_trip(self, steady_trace_files, capsys):
+        import json
+
+        trace_path, _ = steady_trace_files
+        exit_code = main(["trace", "summary", str(trace_path), "--json"])
+        assert exit_code == 0
+        summary = json.loads(capsys.readouterr().out)
+        from repro.obs.tracer import load_events
+
+        events = load_events(trace_path)
+        assert summary["events"] == len(events)
+        assert sum(summary["by_kind"].values()) == len(events)
+        assert sum(summary["by_component"].values()) == len(events)
+
+    def test_summary_human_readable(self, steady_trace_files, capsys):
+        trace_path, _ = steady_trace_files
+        exit_code = main(["trace", "summary", str(trace_path)])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "by component:" in out
+        assert "by kind:" in out
+
+    def test_show_missing_file_exits_2(self, tmp_path, capsys):
+        exit_code = main(["trace", "show", str(tmp_path / "absent.jsonl")])
+        assert exit_code == 2
+        assert "no such trace file" in capsys.readouterr().err
+
+    def test_summary_missing_file_exits_2(self, tmp_path, capsys):
+        exit_code = main(["trace", "summary", str(tmp_path / "absent.jsonl")])
+        assert exit_code == 2
+        assert "no such trace file" in capsys.readouterr().err
+
+    def test_show_corrupt_file_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"seq": 0}\nnot json\n')
+        exit_code = main(["trace", "show", str(bad)])
+        assert exit_code == 2
+        assert "bad.jsonl" in capsys.readouterr().err
+
+    def test_show_empty_trace_exits_1(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        exit_code = main(["trace", "show", str(empty)])
+        assert exit_code == 1
+        assert "no events" in capsys.readouterr().err
+
+    def test_summary_empty_trace_exits_1(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        exit_code = main(["trace", "summary", str(empty)])
+        assert exit_code == 1
+        assert "no events" in capsys.readouterr().err

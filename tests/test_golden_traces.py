@@ -1,0 +1,89 @@
+"""Golden-trace regression suite.
+
+Each canonical scenario (:mod:`repro.obs.scenarios`) is run fresh and its
+full DEBUG-level event stream is diffed, line by line, against the
+checked-in golden under ``tests/goldens/``.  Any change to estimator rule
+firings, the budget ledger, guard verdicts, or executor retry behaviour
+shows up as a readable unified diff — an intentional behaviour change
+regenerates the goldens with::
+
+    pytest tests/test_golden_traces.py --update-goldens
+
+Determinism is asserted too: two consecutive runs of the same scenario
+must serialize byte-identically before the golden comparison means
+anything.
+"""
+
+from __future__ import annotations
+
+import difflib
+from pathlib import Path
+
+import pytest
+
+from repro.obs.scenarios import SCENARIO_NAMES, run_scenario
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+#: How much diff to show before truncating — enough to read the failure,
+#: not enough to drown the report when a trace diverges early.
+MAX_DIFF_LINES = 60
+
+
+def _golden_path(name: str) -> Path:
+    return GOLDEN_DIR / f"{name}.jsonl"
+
+
+def _readable_diff(golden: str, fresh: str, name: str) -> str:
+    diff = list(
+        difflib.unified_diff(
+            golden.splitlines(),
+            fresh.splitlines(),
+            fromfile=f"goldens/{name}.jsonl (checked in)",
+            tofile=f"{name} (fresh run)",
+            lineterm="",
+        )
+    )
+    shown = diff[:MAX_DIFF_LINES]
+    if len(diff) > MAX_DIFF_LINES:
+        shown.append(f"... ({len(diff) - MAX_DIFF_LINES} more diff lines)")
+    return "\n".join(shown)
+
+
+@pytest.mark.parametrize("name", SCENARIO_NAMES)
+class TestGoldenTraces:
+    def test_scenario_is_deterministic(self, name):
+        # Two consecutive runs must be byte-identical; otherwise a golden
+        # mismatch could be nondeterminism rather than a behaviour change.
+        first = run_scenario(name).to_jsonl()
+        second = run_scenario(name).to_jsonl()
+        assert first == second, f"scenario {name!r} is not deterministic"
+
+    def test_trace_matches_golden(self, name, update_goldens):
+        tracer = run_scenario(name)
+        fresh = tracer.to_jsonl()
+        path = _golden_path(name)
+        if update_goldens:
+            path.write_text(fresh)
+            pytest.skip(f"regenerated {path}")
+        assert path.exists(), (
+            f"missing golden {path}; generate it with "
+            "`pytest tests/test_golden_traces.py --update-goldens`"
+        )
+        golden = path.read_text()
+        if fresh != golden:
+            pytest.fail(
+                f"trace for scenario {name!r} diverged from its golden.\n"
+                "If this change is intentional, regenerate with "
+                "`pytest tests/test_golden_traces.py --update-goldens` "
+                "and commit the new goldens.\n\n"
+                + _readable_diff(golden, fresh, name),
+                pytrace=False,
+            )
+
+    def test_trace_has_no_drops(self, name):
+        # A golden that silently overflowed its ring buffer would pin only
+        # the tail of the run; keep the scenarios small enough to retain
+        # everything.
+        tracer = run_scenario(name)
+        assert tracer.dropped == 0

@@ -1,0 +1,189 @@
+"""Property tests for trace invariants under randomized workloads.
+
+Three structural invariants the observability layer promises:
+
+1. on a clean (fault-free) run, the interval clock stamped onto events is
+   monotonically non-decreasing in emission order;
+2. every RESIZE_APPLIED is preceded, under the same decision id, by an
+   ESTIMATE and a BUDGET_CHECK — no resize without evidence and an
+   affordability ruling;
+3. the metrics registry agrees with the event stream: per-kind counters
+   equal event counts, and the budget spend histogram has exactly one
+   observation per BUDGET_SPEND event.
+
+Each hypothesis example drives a real (small) simulation, so example
+counts are kept deliberately low.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.autoscaler import AutoScaler
+from repro.core.budget import BudgetManager
+from repro.core.latency import LatencyGoal
+from repro.engine.resources import SCALABLE_KINDS
+from repro.engine.server import EngineConfig
+from repro.harness.experiment import ExperimentConfig, run_policy
+from repro.obs.events import EventKind, TraceLevel
+from repro.obs.tracer import Tracer
+from repro.policies.auto import AutoPolicy
+from repro.workloads import Trace, cpuio_workload
+
+WORKLOAD = cpuio_workload()
+
+rate_traces = st.lists(
+    st.floats(min_value=5.0, max_value=280.0, allow_nan=False),
+    min_size=6,
+    max_size=12,
+)
+
+
+def _run_traced(rates, seed=3, budget_factor=None):
+    config = ExperimentConfig(
+        engine=EngineConfig(interval_ticks=6),
+        warmup_intervals=2,
+        seed=seed,
+    )
+    trace = Trace(name="prop", rates=np.asarray(rates))
+    budget = None
+    if budget_factor is not None:
+        min_cost = config.catalog.smallest.cost
+        max_cost = config.catalog.max_cost
+        per_interval = min_cost + budget_factor * (max_cost - min_cost)
+        n = config.warmup_intervals + len(rates) + 2
+        budget = BudgetManager(
+            budget=per_interval * n, n_intervals=n,
+            min_cost=min_cost, max_cost=max_cost,
+        )
+    scaler = AutoScaler(
+        catalog=config.catalog,
+        goal=LatencyGoal(100.0),
+        budget=budget,
+        thresholds=config.thresholds,
+    )
+    tracer = Tracer("prop", level=TraceLevel.DEBUG)
+    run_policy(WORKLOAD, trace, AutoPolicy(scaler), config, tracer=tracer)
+    assert tracer.dropped == 0
+    return tracer
+
+
+class TestTracingInvisibility:
+    def test_traced_run_matches_untraced_run_exactly(self):
+        # Tracing is pure observation: at the default DECISION level a
+        # traced run must make identical decisions, pick identical
+        # containers, and produce an identical bill to an untraced run.
+        rates = np.full(14, 18.0)
+        rates[4:10] = 230.0
+
+        def _one(tracer):
+            config = ExperimentConfig(
+                engine=EngineConfig(interval_ticks=6),
+                warmup_intervals=2,
+                seed=11,
+            )
+            scaler = AutoScaler(
+                catalog=config.catalog,
+                goal=LatencyGoal(100.0),
+                thresholds=config.thresholds,
+            )
+            policy = AutoPolicy(scaler)
+            result = run_policy(
+                WORKLOAD, Trace(name="inv", rates=rates), policy, config,
+                tracer=tracer,
+            )
+            return result, policy
+
+        untraced, untraced_policy = _one(None)
+        tracer = Tracer("inv", level=TraceLevel.DECISION)
+        traced, traced_policy = _one(tracer)
+
+        assert traced.containers == untraced.containers
+        assert [r.cost for r in traced.meter.records] == [
+            r.cost for r in untraced.meter.records
+        ]
+        assert [d.explanation_text() for d in traced_policy.decisions] == [
+            d.explanation_text() for d in untraced_policy.decisions
+        ]
+        # And the trace actually captured the run.
+        assert tracer.events(kind=EventKind.DECISION)
+        assert tracer.events(kind=EventKind.RESIZE_APPLIED)
+
+
+class TestIntervalMonotonicity:
+    @settings(max_examples=8, deadline=None)
+    @given(rates=rate_traces)
+    def test_intervals_non_decreasing_on_clean_runs(self, rates):
+        tracer = _run_traced(rates)
+        intervals = [e.interval for e in tracer.events()]
+        assert intervals, "a traced run must emit events"
+        assert all(a <= b for a, b in zip(intervals, intervals[1:])), (
+            "interval clock went backwards on a fault-free run"
+        )
+        # seq is the total order and must be gap-free for an undropped run.
+        seqs = [e.seq for e in tracer.events()]
+        assert seqs == list(range(len(seqs)))
+
+
+class TestResizeProvenance:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        rates=rate_traces,
+        budget_factor=st.one_of(
+            st.none(), st.floats(min_value=0.15, max_value=0.8)
+        ),
+    )
+    def test_every_resize_has_estimate_and_budget_check(
+        self, rates, budget_factor
+    ):
+        tracer = _run_traced(rates, budget_factor=budget_factor)
+        events = tracer.events()
+        seen_by_decision: dict[str, set[EventKind]] = {}
+        for event in events:
+            if event.decision_id is None:
+                continue
+            seen = seen_by_decision.setdefault(event.decision_id, set())
+            if event.kind is EventKind.RESIZE_APPLIED:
+                assert EventKind.ESTIMATE in seen, (
+                    f"resize under {event.decision_id} without a prior "
+                    "demand estimate"
+                )
+                assert EventKind.BUDGET_CHECK in seen, (
+                    f"resize under {event.decision_id} without a prior "
+                    "affordability check"
+                )
+            seen.add(event.kind)
+
+
+class TestMetricsAgreeWithEvents:
+    @settings(max_examples=8, deadline=None)
+    @given(rates=rate_traces)
+    def test_counters_and_histograms_match_event_counts(self, rates):
+        tracer = _run_traced(rates, budget_factor=0.3)
+        events = tracer.events()
+        snapshot = tracer.metrics.snapshot()
+
+        by_name: dict[str, int] = {}
+        for event in events:
+            name = f"events.{event.component}.{event.kind.value}"
+            by_name[name] = by_name.get(name, 0) + 1
+        for name, count in by_name.items():
+            assert snapshot["counters"][name] == count, name
+        # And nothing was counted that never appeared as an event.
+        event_counters = {
+            n: v for n, v in snapshot["counters"].items()
+            if n.startswith("events.")
+        }
+        assert event_counters == by_name
+
+        spends = [e for e in events if e.kind is EventKind.BUDGET_SPEND]
+        hist = snapshot["histograms"]["budget.spend_cost"]
+        assert hist["count"] == len(spends)
+        assert sum(hist["counts"]) == len(spends)
+        assert hist["sum"] == sum(e.fields["cost"] for e in spends)
+
+        estimates = [e for e in events if e.kind is EventKind.ESTIMATE]
+        steps_hist = snapshot["histograms"]["estimator.steps"]
+        assert steps_hist["count"] == len(SCALABLE_KINDS) * len(estimates)

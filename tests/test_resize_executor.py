@@ -31,7 +31,7 @@ class StubScaler:
         self.actuations.append(applied)
         self.container = applied
 
-    def schedule_refund(self, amount):
+    def schedule_refund(self, amount, decision_id=None):
         self.refunds.append(amount)
 
     def enter_safe_mode(self, intervals, reason):
