@@ -1,0 +1,132 @@
+"""CI perf-regression gate over the committed benchmark results.
+
+Validates ``BENCH_perf_telemetry.json`` (the full-mode numbers regenerated
+by ``benchmarks/bench_perf_telemetry.py`` and committed alongside perf
+changes) against the floors the repository claims:
+
+* vectorized fleet sweep >= 10x over the scalar decide loop, with the
+  decision-identity assertion having passed;
+* window-64 Theil–Sen and Spearman >= 3x over their batch references;
+* incremental/batch signal equivalence and tracing byte-identity held.
+
+The gate intentionally reads the *committed* JSON rather than re-running
+the benchmark: CI machines are too noisy to time a fleet sweep, but they
+can verify that whoever touched the hot path re-ran the benchmark and
+that the committed numbers still back the README/DESIGN claims.  Run the
+smoke suite (``tests/test_perf_telemetry_smoke.py``) for a fresh,
+machine-local timing check.
+
+Usage::
+
+    python benchmarks/check_perf_gate.py [path/to/BENCH_perf_telemetry.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_RESULT_PATH = REPO_ROOT / "BENCH_perf_telemetry.json"
+
+#: (path into the JSON, floor) — committed full-mode numbers must meet these.
+SPEEDUP_FLOORS = [
+    (("fleet_vectorized", "speedup"), 10.0),
+    (("fleet", "window_10", "speedup"), 3.0),
+    (("fleet", "window_64", "speedup"), 3.0),
+    (("primitives", "window_64", "theil_sen", "speedup"), 3.0),
+    (("primitives", "window_64", "spearman", "speedup"), 3.0),
+    (("primitives", "window_10", "theil_sen", "speedup"), 3.0),
+    (("primitives", "window_10", "spearman", "speedup"), 3.0),
+]
+
+TRUTH_FLAGS = [
+    ("fleet_vectorized", "decisions_identical"),
+    ("equivalence", "identical_signals"),
+    ("tracing", "byte_identical"),
+]
+
+#: The acceptance criterion for paper-scale sweeps: single-digit seconds.
+SWEEP_100K_MAX_MEAN_INTERVAL_S = 10.0
+
+
+def _lookup(result: dict, path: tuple) -> object:
+    node = result
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            raise KeyError("/".join(map(str, path)))
+        node = node[key]
+    return node
+
+
+def check(result: dict) -> list[str]:
+    """Return a list of violations (empty = gate passes)."""
+    problems = []
+    if result.get("mode") != "full":
+        problems.append(
+            f"committed results must come from a full run, got mode="
+            f"{result.get('mode')!r}: re-run "
+            "`python benchmarks/bench_perf_telemetry.py` and commit the JSON"
+        )
+        return problems
+    for path, floor in SPEEDUP_FLOORS:
+        name = "/".join(map(str, path))
+        try:
+            value = _lookup(result, path)
+        except KeyError:
+            problems.append(f"missing {name}")
+            continue
+        if not isinstance(value, (int, float)) or value < floor:
+            problems.append(f"{name} = {value} below the {floor}x floor")
+    for path in TRUTH_FLAGS:
+        name = "/".join(map(str, path))
+        try:
+            value = _lookup(result, path)
+        except KeyError:
+            problems.append(f"missing {name}")
+            continue
+        if value is not True:
+            problems.append(f"{name} = {value!r}, expected True")
+    try:
+        mean_s = _lookup(result, ("sweep_100k", "mean_interval_s"))
+        if mean_s > SWEEP_100K_MAX_MEAN_INTERVAL_S:
+            problems.append(
+                f"sweep_100k/mean_interval_s = {mean_s}s exceeds the "
+                f"{SWEEP_100K_MAX_MEAN_INTERVAL_S}s ceiling"
+            )
+    except KeyError:
+        problems.append("missing sweep_100k/mean_interval_s")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    path = Path(args[0]) if args else DEFAULT_RESULT_PATH
+    if not path.exists():
+        print(f"perf gate: {path} not found")
+        return 1
+    result = json.loads(path.read_text())
+    problems = check(result)
+    if problems:
+        print(f"perf gate FAILED against {path}:")
+        for problem in problems:
+            print(f"  - {problem}")
+        print(
+            "\nIf the hot path legitimately changed, regenerate with "
+            "`python benchmarks/bench_perf_telemetry.py` on a quiet machine "
+            "and commit the refreshed JSON."
+        )
+        return 1
+    vec = result["fleet_vectorized"]
+    sweep = result["sweep_100k"]
+    print(
+        f"perf gate OK: vectorized {vec['speedup']}x "
+        f"({vec['tenants']} tenants), 100k sweep "
+        f"{sweep['mean_interval_s']}s/interval, all floors met"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,7 +26,17 @@ from repro.engine.resources import ResourceKind
 from repro.engine.telemetry import IntervalCounters
 from repro.errors import ConfigurationError
 
-__all__ = ["BalloonPhase", "BalloonStatus", "BalloonController"]
+__all__ = [
+    "MIN_SHRINK_STEP_GB",
+    "BalloonPhase",
+    "BalloonStatus",
+    "BalloonController",
+]
+
+#: Smallest balloon shrink per interval, GB.  Keeps the probe terminating
+#: instead of approaching the target asymptotically; shared with the
+#: vectorized fleet engine so both probes walk identical limit sequences.
+MIN_SHRINK_STEP_GB = 0.1
 
 
 class BalloonPhase(enum.Enum):
@@ -198,9 +208,9 @@ class BalloonController:
 
     def _next_limit(self, current_gb: float) -> float:
         gap = current_gb - self._target_gb
-        # Step a fraction of the remaining gap but never less than a
-        # tenth of a GB, so the probe terminates instead of approaching
-        # the target asymptotically while keeping any hot-page eviction
-        # (and hence re-warm cost on abort) small.
-        step = max(gap * self.shrink_step_fraction, 0.1)
+        # Step a fraction of the remaining gap but never less than
+        # MIN_SHRINK_STEP_GB, so the probe terminates instead of
+        # approaching the target asymptotically while keeping any
+        # hot-page eviction (and hence re-warm cost on abort) small.
+        step = max(gap * self.shrink_step_fraction, MIN_SHRINK_STEP_GB)
         return max(self._target_gb, current_gb - step)

@@ -44,6 +44,13 @@ __all__ = ["ResourceDemand", "DemandEstimate", "DemandEstimator"]
 #: Histogram edges for per-dimension step votes (votes are in −1..+2).
 STEP_BUCKETS = (-1.0, 0.0, 1.0, 2.0)
 
+#: Rule ids minted by the estimator itself (outside the rule hierarchy).
+#: Shared with the vectorized fleet engine so both paths report the same
+#: provenance strings.
+COUPLED_RULE_ID = "M1-disk-coupled"
+UTIL_ONLY_HIGH_RULE_ID = "U-high"
+UTIL_ONLY_LOW_RULE_ID = "U-low"
+
 
 @dataclass(frozen=True)
 class ResourceDemand:
@@ -215,14 +222,14 @@ class DemandEstimator:
             return ResourceDemand(
                 kind=resource.kind,
                 steps=1,
-                rule_id="U-high",
+                rule_id=UTIL_ONLY_HIGH_RULE_ID,
                 reason="HIGH utilization (wait signals ablated)",
             )
         if resource.utilization_level is Level.LOW:
             return ResourceDemand(
                 kind=resource.kind,
                 steps=-1,
-                rule_id="U-low",
+                rule_id=UTIL_ONLY_LOW_RULE_ID,
                 reason="LOW utilization (wait signals ablated)",
             )
         return ResourceDemand(kind=resource.kind, steps=0)
@@ -246,7 +253,7 @@ class DemandEstimator:
             demands[ResourceKind.MEMORY] = ResourceDemand(
                 kind=ResourceKind.MEMORY,
                 steps=disk.steps,
-                rule_id="M1-disk-coupled",
+                rule_id=COUPLED_RULE_ID,
                 reason=(
                     "disk bottleneck with significant memory waits: "
                     "capacity misses implicate memory"

@@ -22,8 +22,36 @@ from repro.fleet.population import (
     synthesize_population,
     usage_series,
 )
+from repro.fleet.vectorized import (
+    RULE_NAMES,
+    FleetDecisions,
+    FleetDemand,
+    FleetSignals,
+    FleetTelemetryArrays,
+    VectorizedAutoScaler,
+    VectorizedTelemetry,
+    counters_to_interval_arrays,
+    estimate_fleet,
+    replay_decisions,
+    run_synthetic_sweep,
+    sharded_synthetic_sweep,
+    synthesize_fleet_telemetry,
+)
 
 __all__ = [
+    "RULE_NAMES",
+    "FleetDecisions",
+    "FleetDemand",
+    "FleetSignals",
+    "FleetTelemetryArrays",
+    "VectorizedAutoScaler",
+    "VectorizedTelemetry",
+    "counters_to_interval_arrays",
+    "estimate_fleet",
+    "replay_decisions",
+    "run_synthetic_sweep",
+    "sharded_synthetic_sweep",
+    "synthesize_fleet_telemetry",
     "ChangeEventStats",
     "FleetDemandAnalysis",
     "analyze_fleet",

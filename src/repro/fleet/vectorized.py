@@ -1,0 +1,1361 @@
+"""The vectorized fleet engine: struct-of-arrays control-loop sweep.
+
+The scalar control plane (:class:`repro.core.autoscaler.AutoScaler` over
+:class:`repro.core.telemetry_manager.TelemetryManager`) evaluates one
+tenant per call; at fleet scale (the paper's service runs the loop for the
+whole cluster each billing interval, and URSA-style capacity loops touch
+every tenant per cycle) the Python-object dispatch dominates wall-clock.
+This module runs the *same* control loop for all tenants at once:
+
+* :class:`VectorizedTelemetry` — the fleet's signal windows as ``(T, W)``
+  ring matrices sharing one cursor, with signal extraction batched through
+  :mod:`repro.stats.batched` (one Theil–Sen kernel call covers the latency
+  + 4 utilization + 4 wait trends of every tenant).
+* :func:`estimate_fleet` — the rule hierarchy as stacked boolean condition
+  masks; first-match selection is an ``argmax`` over the stack.  Rule ids
+  and step sizes are read from :func:`repro.core.rules.high_demand_rules`
+  so the two implementations cannot silently diverge (a hierarchy edit
+  trips the import-time layout check here and the differential tests).
+* :class:`VectorizedAutoScaler` — budget settlement, the balloon state
+  machine, the latency gate, scale-up container search (``searchsorted``
+  over the lock-step allocation/cost tables), scale-down streaks, the
+  oscillation damper, and budget enforcement as array ops over the whole
+  fleet.
+
+Scope and contracts:
+
+* **Byte-identical decisions.**  Given the same per-interval inputs the
+  vectorized sweep reproduces the scalar ``AutoScaler.decide`` outputs
+  exactly — container level, ``resized``, balloon limit, per-resource
+  steps, rule ids, and the ordered action-kind list.  Floating-point
+  signal values match the scalar incremental path to 1e-9 (Spearman is
+  bit-identical by the shared integer-rank formulation).  Held by
+  ``tests/test_fleet_vectorized.py`` and the golden replay test.
+* **The scalar path remains the reference** — and the only path for
+  degraded modes: telemetry guards, safe mode, resize executors and fault
+  injection (``harness.chaos``) stay per-tenant objects.  The vectorized
+  engine covers the healthy-telemetry fleet sweep, which is the hot path.
+* **Lock-step catalogs only.**  Dimension-scaled variants break the
+  level⇔cost monotonicity the ``searchsorted`` searches rely on;
+  constructing with such a catalog raises.
+
+Ordering does not matter to any signal: trends and correlations depend
+only on the *set* of ``(t, value)`` samples and the tail medians on the
+sample multiset, so ring columns are consumed unordered and the windows
+never need rotation.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import NamedTuple, Sequence
+
+import numpy as np
+
+from repro.core.ballooning import MIN_SHRINK_STEP_GB
+from repro.core.budget import BudgetManager, unconstrained_budget
+from repro.core.damper import OscillationDamper
+from repro.core.demand_estimator import (
+    COUPLED_RULE_ID,
+    UTIL_ONLY_HIGH_RULE_ID,
+    UTIL_ONLY_LOW_RULE_ID,
+)
+from repro.core.explanations import ActionKind
+from repro.core.latency import LatencyGoal, PerformanceSensitivity
+from repro.core.rules import MAX_STEP, high_demand_rules, low_demand_rules
+from repro.core.thresholds import ThresholdConfig, default_thresholds
+from repro.engine.bufferpool import engine_overhead_gb, usable_cache_gb
+from repro.engine.containers import ContainerCatalog
+from repro.engine.resources import SCALABLE_KINDS
+from repro.engine.telemetry import IntervalCounters
+from repro.engine.waits import RESOURCE_WAIT_CLASS
+from repro.errors import BudgetError, CatalogError, InsufficientDataError
+from repro.stats.batched import (
+    batched_detect_trend,
+    batched_spearman,
+    batched_tail_median,
+)
+
+__all__ = [
+    "RULE_NAMES",
+    "LAT_GOOD",
+    "LAT_BAD",
+    "LAT_UNKNOWN",
+    "FleetSignals",
+    "FleetDemand",
+    "FleetDecisions",
+    "FleetTelemetryArrays",
+    "VectorizedTelemetry",
+    "VectorizedAutoScaler",
+    "estimate_fleet",
+    "counters_to_interval_arrays",
+    "replay_decisions",
+    "synthesize_fleet_telemetry",
+    "run_synthetic_sweep",
+    "sharded_synthetic_sweep",
+]
+
+K = len(SCALABLE_KINDS)  # resource dimensions, in SCALABLE_KINDS order
+_CPU, _MEM, _DISK, _LOG = range(K)
+
+#: Latency-status codes (integer mirror of LatencyStatus).
+LAT_GOOD, LAT_BAD, LAT_UNKNOWN = 0, 1, 2
+
+# -- rule table ---------------------------------------------------------------
+#
+# The vectorized predicates below are hand-written mask expressions; their
+# ids, step sizes, and evaluation order come from the scalar hierarchy so
+# the two stay in lock step.  If the scalar hierarchy is edited, this
+# layout check fails at import and points at the mask table to update.
+
+_HIGH_RULES = high_demand_rules()
+_LOW_RULES = low_demand_rules()
+_EXPECTED_HIGH = (
+    "H0-saturated-strong",
+    "H1-strong-pressure-trending",
+    "H2-strong-pressure",
+    "H2b-saturated-high-waits",
+    "H3-high-waits-trending",
+    "H4-medium-waits-trending",
+    "H5-correlated-bottleneck",
+    "H7-moderate-pressure",
+    "H6-saturated-with-waits",
+)
+_EXPECTED_LOW = ("L1-idle", "L2-quiet-moderate")
+if tuple(r.rule_id for r in _HIGH_RULES) != _EXPECTED_HIGH or tuple(
+    r.rule_id for r in _LOW_RULES
+) != _EXPECTED_LOW:
+    raise RuntimeError(
+        "repro.core.rules hierarchy changed: update the vectorized rule "
+        "masks in repro.fleet.vectorized.estimate_fleet to match"
+    )
+
+#: Rule-id strings by rule code; code 0 means "no rule fired".
+RULE_NAMES: tuple[str | None, ...] = (
+    (None,)
+    + tuple(r.rule_id for r in _HIGH_RULES)
+    + tuple(r.rule_id for r in _LOW_RULES)
+    + (COUPLED_RULE_ID, UTIL_ONLY_HIGH_RULE_ID, UTIL_ONLY_LOW_RULE_ID)
+)
+_N_HIGH = len(_HIGH_RULES)
+_RULE_L1 = _N_HIGH + 1
+_RULE_L2 = _N_HIGH + 2
+_RULE_M1 = _N_HIGH + 3
+_RULE_U_HIGH = _N_HIGH + 4
+_RULE_U_LOW = _N_HIGH + 5
+_HIGH_STEPS = np.array([r.steps for r in _HIGH_RULES], dtype=np.int8)
+
+# Balloon phases, integer mirror of BalloonPhase.
+_B_IDLE, _B_PROBING, _B_COOLDOWN = 0, 1, 2
+
+
+class FleetSignals(NamedTuple):
+    """Struct-of-arrays :class:`repro.core.signals.WorkloadSignals`.
+
+    Per-resource arrays are ``(K, T)`` in ``SCALABLE_KINDS`` order; levels
+    are coded LOW=0 / MEDIUM=1 / HIGH=2 and latency status GOOD=0 / BAD=1
+    / UNKNOWN=2.
+    """
+
+    latency_ms: np.ndarray  # (T,) smoothed; NaN when idle
+    latency_status: np.ndarray  # (T,) int8
+    lat_slope: np.ndarray  # (T,)
+    lat_significant: np.ndarray  # (T,) bool
+    lat_agreement: np.ndarray  # (T,)
+    lat_n_points: np.ndarray  # (T,) int
+    lat_direction: np.ndarray  # (T,) int8
+    util_pct: np.ndarray  # (K, T) smoothed
+    util_level: np.ndarray  # (K, T) int8
+    wait_ms: np.ndarray  # (K, T) smoothed
+    wait_level: np.ndarray  # (K, T) int8
+    wait_pct: np.ndarray  # (K, T) smoothed
+    wait_significant: np.ndarray  # (K, T) bool
+    util_slope: np.ndarray  # (K, T)
+    util_significant: np.ndarray  # (K, T) bool
+    util_agreement: np.ndarray  # (K, T)
+    util_direction: np.ndarray  # (K, T) int8
+    wait_slope: np.ndarray  # (K, T)
+    wait_trend_significant: np.ndarray  # (K, T) bool
+    wait_agreement: np.ndarray  # (K, T)
+    wait_direction: np.ndarray  # (K, T) int8
+    rho: np.ndarray  # (K, T)
+    corr_n_points: np.ndarray  # (K, T) int
+
+
+class FleetDemand(NamedTuple):
+    """Struct-of-arrays :class:`repro.core.demand_estimator.DemandEstimate`."""
+
+    steps: np.ndarray  # (K, T) int8 in [-MAX_STEP, MAX_STEP]
+    rules: np.ndarray  # (K, T) int8 index into RULE_NAMES
+    any_high: np.ndarray  # (T,) bool
+    all_low: np.ndarray  # (T,) bool — memory exempt, as in the scalar
+    all_low_or_flat: np.ndarray  # (T,) bool
+
+
+class FleetDecisions(NamedTuple):
+    """One interval's decisions for the whole fleet.
+
+    ``actions`` mirrors the scalar decision's ordered
+    ``[e.action.value for e in explanations]`` list per tenant; it is
+    ``None`` when the scaler was built with ``record_actions=False``
+    (the fleet-benchmark configuration).
+    """
+
+    level: np.ndarray  # (T,) int — container level in force next interval
+    resized: np.ndarray  # (T,) bool
+    balloon_limit_gb: np.ndarray  # (T,) float; NaN means "no cap"
+    steps: np.ndarray  # (K, T) int8
+    rules: np.ndarray  # (K, T) int8
+    actions: tuple[tuple[str, ...], ...] | None
+
+
+def _sign8(values: np.ndarray) -> np.ndarray:
+    return np.sign(values).astype(np.int8)
+
+
+class VectorizedTelemetry:
+    """Fleet-wide signal windows as ring matrices with one shared cursor.
+
+    One :meth:`observe` per billing interval writes a column; ring order
+    is irrelevant to every downstream statistic (see module docstring), so
+    :meth:`signals` gathers the last-k ring columns without rotation.
+    Unwritten slots hold NaN, which the batched kernels drop exactly like
+    the scalar paths drop absent samples — so a cold window needs no
+    special-casing either.
+    """
+
+    def __init__(
+        self,
+        n_tenants: int,
+        thresholds: ThresholdConfig,
+        goal: LatencyGoal | None = None,
+    ) -> None:
+        if n_tenants < 1:
+            raise ValueError("n_tenants must be >= 1")
+        self.n_tenants = n_tenants
+        self.thresholds = thresholds
+        self.goal = goal
+        window = thresholds.signal_window
+        self._window = window
+        self._smooth = min(thresholds.smooth_intervals, window)
+        self._t = np.full(window, np.nan)  # one shared interval clock
+        self._lat = np.full((n_tenants, window), np.nan)
+        self._util = np.full((K, n_tenants, window), np.nan)
+        self._wait = np.full((K, n_tenants, window), np.nan)
+        self._wpct = np.full((K, n_tenants, window), np.nan)
+        self._cursor = 0
+        self._count = 0
+        cuts = [thresholds.wait_thresholds[kind] for kind in SCALABLE_KINDS]
+        self._wait_low = np.array([c.low_ms for c in cuts])[:, None]
+        self._wait_high = np.array([c.high_ms for c in cuts])[:, None]
+
+    def __len__(self) -> int:
+        return min(self._count, self._window)
+
+    def observe(
+        self,
+        t: float,
+        latency_ms: np.ndarray,
+        util_pct: np.ndarray,
+        wait_ms: np.ndarray,
+        wait_pct: np.ndarray,
+    ) -> None:
+        """Absorb one billing interval for every tenant.
+
+        ``t`` is the shared interval clock (the scalar manager's
+        ``float(counters.interval_index)``); per-resource inputs are
+        ``(K, T)`` in ``SCALABLE_KINDS`` order, utilization in percent.
+        """
+        c = self._cursor
+        self._t[c] = float(t)
+        self._lat[:, c] = latency_ms
+        self._util[:, :, c] = util_pct
+        self._wait[:, :, c] = wait_ms
+        self._wpct[:, :, c] = wait_pct
+        self._cursor = (c + 1) % self._window
+        self._count += 1
+
+    def _tail_cols(self, k: int) -> np.ndarray:
+        """Ring indices of the last ``min(k, window)`` written slots.
+
+        When fewer than ``k`` columns are written the extra slots are the
+        NaN-initialized ones, which every consumer drops — the surviving
+        sample set is exactly the scalar window's.
+        """
+        k = min(k, self._window)
+        return (self._cursor - 1 - np.arange(k)) % self._window
+
+    def signals(self) -> FleetSignals:
+        """The categorized fleet signal set for the current interval."""
+        if self._count == 0:
+            raise InsufficientDataError(
+                "no telemetry observed yet: observe() at least one interval "
+                "before requesting signals()"
+            )
+        cfg = self.thresholds
+        n = self.n_tenants
+
+        # Trends: one kernel call for latency + K utilization + K wait
+        # series, over the trend sub-window.
+        tcols = self._tail_cols(cfg.trend_window)
+        x = self._t[tcols]
+        stack = np.empty((1 + 2 * K, n, tcols.size))
+        stack[0] = self._lat[:, tcols]
+        stack[1 : 1 + K] = self._util[:, :, tcols]
+        stack[1 + K :] = self._wait[:, :, tcols]
+        trend = batched_detect_trend(
+            x, stack.reshape(-1, tcols.size), alpha=cfg.trend_alpha
+        )
+        slope = trend.slope.reshape(1 + 2 * K, n)
+        sig = trend.significant.reshape(1 + 2 * K, n)
+        agree = trend.agreement.reshape(1 + 2 * K, n)
+        npts = trend.n_points.reshape(1 + 2 * K, n)
+        # TrendResult.direction: sign of the slope iff significant.
+        direction = np.where(sig, _sign8(slope), np.int8(0)).astype(np.int8)
+
+        # Correlation: latency vs each resource's waits over the full
+        # window (order-invariant; non-finite pairs drop per row).
+        lat_rep = np.broadcast_to(
+            self._lat, (K, n, self._window)
+        ).reshape(-1, self._window)
+        corr = batched_spearman(lat_rep, self._wait.reshape(-1, self._window))
+        rho = corr.rho.reshape(K, n)
+        corr_n = corr.n_points.reshape(K, n)
+
+        # Smoothed "current" values: tail medians (defaults: latency NaN,
+        # resources 0.0 — the scalar TailMedian defaults).
+        scols = self._tail_cols(self._smooth)
+        latency_ms = batched_tail_median(
+            self._lat[:, scols], scols.size, default=np.nan
+        )
+        res_stack = np.empty((3 * K, n, scols.size))
+        res_stack[:K] = self._util[:, :, scols]
+        res_stack[K : 2 * K] = self._wait[:, :, scols]
+        res_stack[2 * K :] = self._wpct[:, :, scols]
+        smoothed = batched_tail_median(
+            res_stack.reshape(-1, scols.size), scols.size, default=0.0
+        ).reshape(3 * K, n)
+        util_s, wait_s, wpct_s = smoothed[:K], smoothed[K : 2 * K], smoothed[2 * K :]
+
+        util_level = (
+            (util_s >= cfg.util_low_pct).astype(np.int8)
+            + (util_s >= cfg.util_high_pct)
+        ).astype(np.int8)
+        wait_level = (
+            (wait_s >= self._wait_low).astype(np.int8) + (wait_s >= self._wait_high)
+        ).astype(np.int8)
+        wait_significant = wpct_s >= cfg.wait_pct_significant
+
+        if self.goal is None:
+            status = np.full(n, LAT_UNKNOWN, dtype=np.int8)
+        else:
+            status = np.where(
+                np.isnan(latency_ms),
+                np.int8(LAT_UNKNOWN),
+                np.where(
+                    latency_ms <= self.goal.target_ms,
+                    np.int8(LAT_GOOD),
+                    np.int8(LAT_BAD),
+                ),
+            ).astype(np.int8)
+
+        return FleetSignals(
+            latency_ms=latency_ms,
+            latency_status=status,
+            lat_slope=slope[0],
+            lat_significant=sig[0],
+            lat_agreement=agree[0],
+            lat_n_points=npts[0],
+            lat_direction=direction[0],
+            util_pct=util_s,
+            util_level=util_level,
+            wait_ms=wait_s,
+            wait_level=wait_level,
+            wait_pct=wpct_s,
+            wait_significant=wait_significant,
+            util_slope=slope[1 : 1 + K],
+            util_significant=sig[1 : 1 + K],
+            util_agreement=agree[1 : 1 + K],
+            util_direction=direction[1 : 1 + K],
+            wait_slope=slope[1 + K :],
+            wait_trend_significant=sig[1 + K :],
+            wait_agreement=agree[1 + K :],
+            wait_direction=direction[1 + K :],
+            rho=rho,
+            corr_n_points=corr_n,
+        )
+
+
+def estimate_fleet(
+    signals: FleetSignals,
+    thresholds: ThresholdConfig,
+    *,
+    use_waits: bool = True,
+    use_trends: bool = True,
+    use_correlation: bool = True,
+) -> FleetDemand:
+    """The rule hierarchy as stacked masks; first match wins via argmax.
+
+    Mirrors :meth:`repro.core.demand_estimator.DemandEstimator.estimate`
+    exactly, including the memory/disk coupling and the ``use_waits``
+    ablation (which replaces the hierarchy with utilization extremes but
+    still applies the coupling afterwards, as the scalar does).
+    """
+    u_lvl, w_lvl = signals.util_level, signals.wait_level
+    w_sig = signals.wait_significant
+    n = u_lvl.shape[1]
+
+    if not use_waits:
+        steps = np.where(
+            u_lvl == 2, np.int8(1), np.where(u_lvl == 0, np.int8(-1), np.int8(0))
+        ).astype(np.int8)
+        rules = np.where(
+            u_lvl == 2,
+            np.int8(_RULE_U_HIGH),
+            np.where(u_lvl == 0, np.int8(_RULE_U_LOW), np.int8(0)),
+        ).astype(np.int8)
+    else:
+        u_dir, w_dir = signals.util_direction, signals.wait_direction
+        sat = signals.util_pct >= 95.0
+        uH, uM, uL = u_lvl == 2, u_lvl == 1, u_lvl == 0
+        wH, wM, wL = w_lvl == 2, w_lvl == 1, w_lvl == 0
+        wMH = w_lvl >= 1
+        if use_trends:
+            trending = (u_dir > 0) | (w_dir > 0)
+            not_trending = (u_dir <= 0) & (w_dir <= 0)
+        else:
+            trending = np.zeros_like(uH)
+            not_trending = np.ones_like(uH)
+        if use_correlation:
+            correlated = np.abs(signals.rho) >= thresholds.correlation_strong
+        else:
+            correlated = np.zeros_like(uH)
+
+        # The hierarchy, in _EXPECTED_HIGH order (checked at import).
+        conds = np.stack(
+            [
+                sat & wH & w_sig,                       # H0-saturated-strong
+                uH & wH & w_sig & trending,             # H1-strong-pressure-trending
+                uH & wH & w_sig,                        # H2-strong-pressure
+                sat & wH,                               # H2b-saturated-high-waits
+                uH & wH & ~w_sig & trending,            # H3-high-waits-trending
+                uH & wM & w_sig & trending,             # H4-medium-waits-trending
+                uH & wMH & correlated,                  # H5-correlated-bottleneck
+                uM & wMH & w_sig,                       # H7-moderate-pressure
+                sat & wMH & w_sig,                      # H6-saturated-with-waits
+            ]
+        )
+        fired = conds.any(axis=0)
+        first = conds.argmax(axis=0)
+        steps = np.where(fired, _HIGH_STEPS[first], np.int8(0)).astype(np.int8)
+        rules = np.where(fired, (first + 1).astype(np.int8), np.int8(0)).astype(
+            np.int8
+        )
+
+        # Low-demand rules: only where no high rule fired, never for memory.
+        l1 = uL & wL & not_trending
+        l2 = uM & wL & ~w_sig & use_trends & (u_dir < 0) & (w_dir <= 0)
+        non_memory = np.ones((K, 1), dtype=bool)
+        non_memory[_MEM] = False
+        low = ~fired & non_memory & (l1 | l2)
+        steps = np.where(low, np.int8(-1), steps).astype(np.int8)
+        rules = np.where(
+            low, np.where(l1, np.int8(_RULE_L1), np.int8(_RULE_L2)), rules
+        ).astype(np.int8)
+
+    # Memory/disk coupling (applies to both paths, as in the scalar).
+    couple = (
+        (steps[_DISK] > 0)
+        & ~(steps[_MEM] > 0)
+        & (signals.wait_level[_MEM] >= 1)
+        & signals.wait_significant[_MEM]
+    )
+    steps[_MEM] = np.where(couple, steps[_DISK], steps[_MEM])
+    rules[_MEM] = np.where(couple, np.int8(_RULE_M1), rules[_MEM])
+
+    np.clip(steps, -MAX_STEP, MAX_STEP, out=steps)
+    any_high = (steps > 0).any(axis=0)
+    non_mem_rows = [i for i in range(K) if i != _MEM]
+    return FleetDemand(
+        steps=steps,
+        rules=rules,
+        any_high=any_high,
+        all_low=(steps[non_mem_rows] < 0).all(axis=0),
+        all_low_or_flat=~any_high,
+    )
+
+
+class VectorizedAutoScaler:
+    """The whole-fleet closed loop: scalar ``AutoScaler.decide`` as array ops.
+
+    One :meth:`decide_batch` call consumes one billing interval for every
+    tenant and returns :class:`FleetDecisions`.  Per-tenant heterogeneity
+    is supported where the scalar supports it (initial level, budget);
+    thresholds, goal, sensitivity and ablation switches are fleet-wide.
+
+    Degraded modes (telemetry guard, safe mode, resize-executor coupling)
+    are deliberately out of scope — faulty tenants belong on the scalar
+    path (see module docstring).
+
+    Args:
+        catalog: a pure lock-step catalog (dimension-scaled variants raise).
+        n_tenants: fleet size ``T``.
+        initial_level: starting container level, scalar or ``(T,)``.
+        goal / thresholds / sensitivity: as the scalar AutoScaler.
+        budget: one :class:`BudgetManager` *template* applied to every
+            tenant, a sequence of per-tenant managers, or None for the
+            unconstrained default.  Managers are read for their bucket
+            parameters and current state, never mutated.
+        damper: an :class:`OscillationDamper` *template* supplying
+            (window, max_reversals, cooldown_intervals); None disables
+            damping, matching the scalar default.
+        record_actions: keep the per-tenant ordered action lists on each
+            decision (required for byte-identity checks; costs a Python
+            loop over tenants, so the fleet benchmark turns it off).
+    """
+
+    def __init__(
+        self,
+        catalog: ContainerCatalog,
+        n_tenants: int,
+        *,
+        initial_level: int | np.ndarray = 0,
+        goal: LatencyGoal | None = None,
+        budget: BudgetManager | Sequence[BudgetManager] | None = None,
+        thresholds: ThresholdConfig | None = None,
+        sensitivity: PerformanceSensitivity = PerformanceSensitivity.MEDIUM,
+        use_waits: bool = True,
+        use_trends: bool = True,
+        use_correlation: bool = True,
+        use_ballooning: bool = True,
+        damper: OscillationDamper | None = None,
+        record_actions: bool = True,
+    ) -> None:
+        if len(catalog) != catalog.num_levels:
+            raise CatalogError(
+                "vectorized engine requires a pure lock-step catalog "
+                "(dimension-scaled variants break the level/cost searches)"
+            )
+        self.catalog = catalog
+        self.n_tenants = n_tenants
+        self.goal = goal
+        self.thresholds = thresholds or default_thresholds()
+        self.sensitivity = sensitivity
+        self.use_waits = use_waits
+        self.use_trends = use_trends
+        self.use_correlation = use_correlation
+        self.use_ballooning = use_ballooning
+        self._record_actions = record_actions
+
+        levels = [catalog.at_level(i) for i in range(catalog.num_levels)]
+        self._costs = np.array([c.cost for c in levels])
+        self._names = [c.name for c in levels]
+        # (K, L) allocation table; nondecreasing by catalog dominance.
+        self._res = np.array(
+            [[c.resources.get(kind) for c in levels] for kind in SCALABLE_KINDS]
+        )
+        self._mem = self._res[_MEM]
+        if use_ballooning and np.any(np.diff(self._mem) <= 0):
+            raise CatalogError(
+                "ballooning requires strictly increasing memory per level"
+            )
+        self._usable_cache = np.array([usable_cache_gb(m) for m in self._mem])
+        self._overhead = np.array([engine_overhead_gb(m) for m in self._mem])
+        self._n_levels = len(levels)
+
+        self.level = np.broadcast_to(
+            np.asarray(initial_level, dtype=np.int64), (n_tenants,)
+        ).copy()
+        if np.any((self.level < 0) | (self.level >= self._n_levels)):
+            raise CatalogError("initial_level outside the catalog")
+
+        self.telemetry = VectorizedTelemetry(n_tenants, self.thresholds, goal)
+        self._init_budget(budget)
+
+        # Balloon state machine, struct-of-arrays (NaN == scalar None).
+        self._b_phase = np.zeros(n_tenants, dtype=np.int8)
+        self._b_limit = np.full(n_tenants, np.nan)
+        self._b_target = np.full(n_tenants, np.nan)
+        self._b_baseline = np.full(n_tenants, np.nan)
+        self._b_cooldown = np.zeros(n_tenants, dtype=np.int64)
+        self._b_failed = np.full(n_tenants, np.nan)
+        self.balloon_limit_gb = np.full(n_tenants, np.nan)  # scaler-side cap
+
+        self._low_streak = np.zeros(n_tenants, dtype=np.int64)
+        window = self.thresholds.signal_window
+        self._disk_reads = np.full((n_tenants, window), np.nan)
+        self._disk_cursor = 0
+
+        self._damper = damper
+        if damper is not None:
+            self._d_moves = np.zeros((n_tenants, damper.window), dtype=np.int8)
+            self._d_len = np.zeros(n_tenants, dtype=np.int64)
+            self._d_cooldown = np.zeros(n_tenants, dtype=np.int64)
+            self.damper_trips = 0
+
+        # Balloon tunables come from one reference controller's defaults so
+        # the two implementations share a single source of truth.
+        from repro.core.ballooning import BalloonController
+
+        ref = BalloonController()
+        self._shrink_fraction = ref.shrink_step_fraction
+        self._io_spike_ratio = ref.io_spike_ratio
+        self._disk_pressure_pct = ref.disk_pressure_pct
+        self._balloon_cooldown = ref.cooldown_intervals
+
+    # -- setup helpers -----------------------------------------------------
+
+    def _init_budget(
+        self, budget: BudgetManager | Sequence[BudgetManager] | None
+    ) -> None:
+        n = self.n_tenants
+        if budget is None:
+            budget = unconstrained_budget(self.catalog.max_cost)
+        if isinstance(budget, BudgetManager):
+            managers: Sequence[BudgetManager] = [budget] * n
+        else:
+            managers = list(budget)
+            if len(managers) != n:
+                raise BudgetError(
+                    f"need {n} budget managers, got {len(managers)}"
+                )
+        self._tokens = np.array([m.available for m in managers])
+        self._depth = np.array([m.depth for m in managers])
+        self._fill = np.array([m.fill_rate for m in managers])
+        self._period_n = np.array([m.n_intervals for m in managers])
+        self._interval_i = np.array(
+            [m.n_intervals - m.remaining_intervals for m in managers]
+        )
+        self._spent = np.array([m.spent for m in managers])
+
+    @property
+    def budget_available(self) -> np.ndarray:
+        return self._tokens
+
+    def container_names(self) -> list[str]:
+        return [self._names[lvl] for lvl in self.level]
+
+    def rule_names(self, rules_row: np.ndarray) -> list[str | None]:
+        return [RULE_NAMES[code] for code in rules_row]
+
+    # -- the closed loop ---------------------------------------------------
+
+    def decide_batch(
+        self,
+        t: float,
+        latency_ms: np.ndarray,
+        util_pct: np.ndarray,
+        wait_ms: np.ndarray,
+        wait_pct: np.ndarray,
+        memory_used_gb: np.ndarray,
+        disk_physical_reads: np.ndarray,
+        billed_cost: np.ndarray | None = None,
+    ) -> FleetDecisions:
+        """Consume one interval's fleet telemetry; choose every container.
+
+        Inputs mirror the fields the scalar loop reads off one
+        :class:`IntervalCounters` (see :func:`counters_to_interval_arrays`);
+        ``billed_cost`` defaults to the engine's own container belief,
+        which is what a healthy closed loop bills.
+        """
+        n = self.n_tenants
+        level = self.level
+        latency_ms = np.asarray(latency_ms, dtype=float)
+        disk_physical_reads = np.asarray(disk_physical_reads, dtype=float)
+
+        self.telemetry.observe(t, latency_ms, util_pct, wait_ms, wait_pct)
+        self._disk_reads[:, self._disk_cursor] = disk_physical_reads
+        self._disk_cursor = (self._disk_cursor + 1) % self._disk_reads.shape[1]
+
+        if billed_cost is None:
+            billed_cost = self._costs[level]
+        self._settle_budget(np.asarray(billed_cost, dtype=float))
+
+        signals = self.telemetry.signals()
+        demand = estimate_fleet(
+            signals,
+            self.thresholds,
+            use_waits=self.use_waits,
+            use_trends=self.use_trends,
+            use_correlation=self.use_correlation,
+        )
+        needs_help = self._latency_needs_help(signals)
+
+        balloon = self._handle_balloon(
+            signals, demand, needs_help, util_pct, disk_physical_reads
+        )
+        balloon_aborted, balloon_confirmed = balloon
+
+        # Without a latency goal, scaling is driven by demand alone.
+        if self.goal is None:
+            wants_up = demand.any_high
+        else:
+            wants_up = demand.any_high & needs_help
+        hold_help = ~wants_up & needs_help
+        down_path = ~wants_up & ~needs_help
+
+        target = level.copy()
+        # -- scale-up ------------------------------------------------------
+        up_clipped = np.zeros(n, dtype=bool)
+        if np.any(wants_up):
+            up_target, up_clipped = self._scale_up_targets(level, demand.steps)
+            target = np.where(wants_up, up_target, target)
+            up_clipped &= wants_up
+            self._low_streak[wants_up] = 0
+        # -- explained hold (latency bad, no resource demand) --------------
+        self._low_streak[hold_help] = 0
+        # -- scale-down ----------------------------------------------------
+        probe_started = np.zeros(n, dtype=bool)
+        shrink = np.zeros(n, dtype=bool)
+        if np.any(down_path):
+            down = self._maybe_scale_down(
+                level,
+                signals,
+                demand,
+                balloon_confirmed,
+                down_path,
+                np.asarray(memory_used_gb, dtype=float),
+            )
+            down_target, probe_started, shrink = down
+            target = np.where(down_path, down_target, target)
+
+        previous = level
+        # -- damper cool-down suppresses discretionary moves ---------------
+        suppressed = np.zeros(n, dtype=bool)
+        if self._damper is not None:
+            suppressed = (self._d_cooldown > 0) & (target != previous)
+            target = np.where(suppressed, previous, target)
+
+        # -- the hard budget constraint ------------------------------------
+        affordable = self._costs[target] <= self._tokens + 1e-9
+        if not np.all(affordable):
+            forced_level = (
+                np.searchsorted(self._costs, self._tokens + 1e-9, side="right")
+                - 1
+            )
+            if np.any(forced_level[~affordable] < 0):
+                raise BudgetError(
+                    "no container affordable for some tenant (budget "
+                    "invariant violated)"
+                )
+            target = np.where(affordable, target, forced_level)
+        budget_forced = ~affordable
+
+        # -- damper observes the applied move ------------------------------
+        tripped = np.zeros(n, dtype=bool)
+        if self._damper is not None:
+            tripped = self._damper_observe(previous, target)
+
+        resized = target != previous
+        if np.any(resized):
+            # _on_resize: cancel probes keyed to the stale size.
+            self._b_phase[resized] = _B_IDLE
+            self._b_limit[resized] = np.nan
+            self._b_cooldown[resized] = 0
+            self.balloon_limit_gb[resized] = np.nan
+            self._low_streak[resized] = 0
+        self.level = target
+
+        actions = None
+        if self._record_actions:
+            actions = self._assemble_actions(
+                balloon_aborted,
+                balloon_confirmed,
+                wants_up,
+                demand.steps,
+                up_clipped,
+                hold_help,
+                probe_started,
+                shrink,
+                suppressed,
+                budget_forced,
+                tripped,
+            )
+        return FleetDecisions(
+            level=target.copy(),
+            resized=resized,
+            balloon_limit_gb=self.balloon_limit_gb.copy(),
+            steps=demand.steps.copy(),
+            rules=demand.rules.copy(),
+            actions=actions,
+        )
+
+    # -- pieces of the loop, in scalar-source order ------------------------
+
+    def _settle_budget(self, cost: np.ndarray) -> None:
+        if np.any(self._interval_i >= self._period_n):
+            raise BudgetError("budgeting period already finished")
+        if np.any(cost > self._tokens + 1e-9):
+            worst = int(np.argmax(cost - self._tokens))
+            raise BudgetError(
+                f"cost {cost[worst]} exceeds available budget "
+                f"{self._tokens[worst]:.2f} (tenant {worst})"
+            )
+        self._interval_i += 1
+        self._spent += cost
+        after = np.maximum(self._tokens - cost, 0.0)
+        np.minimum(after + self._fill, self._depth, out=self._tokens)
+
+    def _latency_needs_help(self, signals: FleetSignals) -> np.ndarray:
+        """BAD latency, or a significant *material* degrading trend."""
+        if self.goal is None:
+            return np.zeros(self.n_tenants, dtype=bool)
+        bad = signals.latency_status == LAT_BAD
+        degrading = (signals.lat_direction > 0) & ~np.isnan(signals.latency_ms)
+        target = self.goal.target_ms
+        near_goal = signals.latency_ms >= 0.6 * target
+        material = (
+            signals.lat_slope * self.thresholds.trend_window >= 0.10 * target
+        )
+        return bad | (degrading & near_goal & material)
+
+    def _handle_balloon(
+        self,
+        signals: FleetSignals,
+        demand: FleetDemand,
+        needs_help: np.ndarray,
+        util_pct: np.ndarray,
+        disk_reads: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Advance active probes; returns (aborted/cancelled, confirmed)."""
+        probing = self._b_phase == _B_PROBING
+        was_cooling = self._b_phase == _B_COOLDOWN
+
+        cancel = probing & (needs_help | demand.any_high)
+        if np.any(cancel):
+            self._b_phase[cancel] = _B_IDLE
+            self._b_limit[cancel] = np.nan
+            self._b_cooldown[cancel] = 0
+            self.balloon_limit_gb[cancel] = np.nan
+
+        observe = probing & ~cancel
+        confirmed = np.zeros(self.n_tenants, dtype=bool)
+        aborted = np.zeros(self.n_tenants, dtype=bool)
+        if np.any(observe):
+            # The balloon judges disk pressure on the *raw* interval
+            # utilization, not the smoothed signal (scalar: observe()
+            # reads counters.utilization_median directly).
+            spiked = disk_reads > self._b_baseline * self._io_spike_ratio
+            aborted = (
+                observe & spiked & (util_pct[_DISK] >= self._disk_pressure_pct)
+            )
+            if np.any(aborted):
+                self._b_phase[aborted] = _B_COOLDOWN
+                self._b_cooldown[aborted] = self._balloon_cooldown
+                self._b_failed[aborted] = self._b_target[aborted]
+                self._b_limit[aborted] = np.nan
+                self.balloon_limit_gb[aborted] = np.nan
+            live = observe & ~aborted
+            confirmed = live & (self._b_limit <= self._b_target + 1e-9)
+            if np.any(confirmed):
+                self._b_phase[confirmed] = _B_IDLE
+                self._b_limit[confirmed] = np.nan
+                self.balloon_limit_gb[confirmed] = np.nan
+            shrinking = live & ~confirmed
+            if np.any(shrinking):
+                new_limit = self._next_limits(
+                    self._b_limit[shrinking], self._b_target[shrinking]
+                )
+                self._b_limit[shrinking] = new_limit
+                self.balloon_limit_gb[shrinking] = new_limit
+
+        # Idle/cooldown tenants tick their cooldown clock.
+        tick = was_cooling
+        if np.any(tick):
+            self._b_cooldown[tick] -= 1
+            done = tick & (self._b_cooldown <= 0)
+            self._b_phase[done] = _B_IDLE
+            self._b_cooldown[done] = 0
+        return cancel | aborted, confirmed
+
+    def _next_limits(self, current_gb: np.ndarray, target_gb: np.ndarray):
+        gap = current_gb - target_gb
+        step = np.maximum(gap * self._shrink_fraction, MIN_SHRINK_STEP_GB)
+        return np.maximum(target_gb, current_gb - step)
+
+    def _scale_up_targets(
+        self, level: np.ndarray, steps: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized cheapest_covering_within over the lock-step tables."""
+        top = self._n_levels - 1
+        covering = np.zeros(self.n_tenants, dtype=np.int64)
+        for k in range(K):
+            stepped = np.minimum(level + steps[k], top)
+            desired = np.where(
+                steps[k] > 0, self._res[k, stepped], self._res[k, level]
+            )
+            # Smallest level whose allocation covers the desired amount;
+            # clamps to the largest when nothing does (smallest_covering's
+            # fallback).
+            need = np.minimum(
+                np.searchsorted(self._res[k], desired, side="left"), top
+            )
+            np.maximum(covering, need, out=covering)
+        covering_cost = self._costs[covering]
+        # cheapest_covering_within: plain <= (no epsilon) on the covering
+        # check; fall back to the most expensive affordable container.
+        afford_covering = covering_cost <= self._tokens
+        fallback = np.maximum(
+            np.searchsorted(self._costs, self._tokens, side="right") - 1, 0
+        )
+        chosen = np.where(afford_covering, covering, fallback)
+        clipped = self._costs[chosen] < covering_cost
+        # Never scale *down* as a side effect of a scale-up search.
+        chosen = np.where(self._costs[chosen] < self._costs[level], level, chosen)
+        return chosen, clipped
+
+    def _maybe_scale_down(
+        self,
+        level: np.ndarray,
+        signals: FleetSignals,
+        demand: FleetDemand,
+        balloon_confirmed: np.ndarray,
+        down_path: np.ndarray,
+        memory_used_gb: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        at_floor = level == 0
+        allowed = self._scale_down_allowed(level, signals, demand)
+        blocked = down_path & (at_floor | ~allowed)
+        self._low_streak[blocked] = 0
+        active = down_path & ~at_floor & allowed
+        self._low_streak[active] += 1
+        ready = active & (
+            self._low_streak >= self.sensitivity.idle_intervals_before_scale_down
+        )
+
+        below = np.maximum(level - 1, 0)
+        cached = np.maximum(memory_used_gb - self._overhead[level], 0.0)
+        needs_probe = cached > self._usable_cache[below] + 1e-9
+        gate = ready & needs_probe & ~balloon_confirmed
+
+        probe_started = np.zeros(self.n_tenants, dtype=bool)
+        if self.use_ballooning:
+            can_probe = (
+                (self._b_phase == _B_IDLE)
+                & (self._b_cooldown == 0)
+                & (
+                    np.isnan(self._b_failed)
+                    | (self._mem[below] > self._b_failed + 1e-9)
+                )
+            )
+            probe_started = gate & can_probe
+            if np.any(probe_started):
+                rows = probe_started
+                baseline = np.maximum(self._disk_baseline()[rows], 1.0)
+                self._b_phase[rows] = _B_PROBING
+                self._b_target[rows] = self._mem[below[rows]]
+                self._b_baseline[rows] = baseline
+                limits = self._next_limits(
+                    self._mem[level[rows]], self._mem[below[rows]]
+                )
+                self._b_limit[rows] = limits
+                self.balloon_limit_gb[rows] = limits
+            # Hold while probing / cooling down; the streak is deliberately
+            # NOT reset (scalar returns early before the reset line).
+            shrink = ready & ~gate
+        else:
+            # Ballooning ablated: shrink blindly (Figure 14 behaviour).
+            shrink = ready
+        self._low_streak[shrink] = 0
+        target = np.where(shrink, below, level)
+        return target, probe_started, shrink
+
+    def _scale_down_allowed(
+        self, level: np.ndarray, signals: FleetSignals, demand: FleetDemand
+    ) -> np.ndarray:
+        base_ok = ~demand.any_high & ~(signals.lat_direction > 0)
+        if self.goal is None:
+            return base_ok & demand.all_low
+        unknown = signals.latency_status == LAT_UNKNOWN
+        good = signals.latency_status == LAT_GOOD
+        margin = self.sensitivity.scale_down_margin
+        with np.errstate(invalid="ignore"):
+            headroom = signals.latency_ms <= margin * self.goal.target_ms
+        fits = self._fits_next_size_down(level, signals)
+        return base_ok & (
+            (unknown & demand.all_low_or_flat)
+            | (
+                good
+                & headroom
+                & (demand.all_low | (demand.all_low_or_flat & fits))
+            )
+        )
+
+    def _fits_next_size_down(
+        self, level: np.ndarray, signals: FleetSignals
+    ) -> np.ndarray:
+        below = np.maximum(level - 1, 0)
+        allowed_pct = self._allowed_projected_utilization(signals)
+        fits = level > 0
+        for k in range(K):
+            if k == _MEM:
+                continue  # memory safety is the balloon probe's job
+            alloc = self._res[k, below]
+            positive = alloc > 0
+            projected = np.divide(
+                signals.util_pct[k] * self._res[k, level],
+                alloc,
+                out=np.full(self.n_tenants, np.inf),
+                where=positive,
+            )
+            fits = fits & positive & (projected < allowed_pct)
+        return fits
+
+    def _allowed_projected_utilization(self, signals: FleetSignals):
+        base = min(self.thresholds.util_high_pct * 1.15, 92.0)
+        out = np.full(self.n_tenants, base)
+        if self.goal is None:
+            return out
+        lat = signals.latency_ms
+        finite = np.isfinite(lat)
+        out[finite & (lat <= 0)] = 92.0
+        pos = finite & (lat > 0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(pos, self.goal.target_ms / np.where(pos, lat, 1.0), 0.0)
+        relax = pos & (ratio >= 1.8)
+        if np.any(relax):
+            out[relax] = np.minimum(92.0, base * np.sqrt(ratio[relax] / 1.3))
+        return out
+
+    def _disk_baseline(self) -> np.ndarray:
+        """Per-tenant median of the recent disk-read window (NaN-free)."""
+        return batched_tail_median(
+            self._disk_reads, self._disk_reads.shape[1], default=1.0
+        )
+
+    def _damper_observe(
+        self, previous: np.ndarray, target: np.ndarray
+    ) -> np.ndarray:
+        damper = self._damper
+        assert damper is not None
+        cooling = self._d_cooldown > 0
+        self._d_cooldown[cooling] -= 1
+        finished = cooling & (self._d_cooldown == 0)
+        # Leaving cool-down with a clean slate.
+        self._d_len[finished] = 0
+        self._d_moves[finished] = 0
+
+        moved = ~cooling & (target != previous)
+        if np.any(moved):
+            full = moved & (self._d_len == damper.window)
+            if np.any(full):
+                self._d_moves[full, :-1] = self._d_moves[full, 1:]
+            move = np.where(target > previous, np.int8(1), np.int8(-1))
+            slot = np.where(full, damper.window - 1, self._d_len)
+            rows = np.flatnonzero(moved)
+            self._d_moves[rows, slot[rows]] = move[rows]
+            self._d_len[moved & ~full] += 1
+        # Reversals: adjacent opposite-sign pairs (zero-padded tail never
+        # matches, so no length masking is needed).
+        prev_m = self._d_moves[:, :-1]
+        next_m = self._d_moves[:, 1:]
+        reversals = np.count_nonzero(
+            (prev_m != 0) & (next_m == -prev_m), axis=1
+        )
+        tripped = moved & (reversals > damper.max_reversals)
+        if np.any(tripped):
+            self._d_cooldown[tripped] = damper.cooldown_intervals
+            self._d_len[tripped] = 0
+            self._d_moves[tripped] = 0
+            self.damper_trips += int(np.count_nonzero(tripped))
+        return tripped
+
+    def _assemble_actions(
+        self,
+        balloon_aborted,
+        balloon_confirmed,
+        wants_up,
+        steps,
+        up_clipped,
+        hold_help,
+        probe_started,
+        shrink,
+        suppressed,
+        budget_forced,
+        tripped,
+    ) -> tuple[tuple[str, ...], ...]:
+        """Per-tenant explanation actions, in the scalar append order."""
+        slots: list[tuple[str, np.ndarray]] = [
+            (ActionKind.BALLOON_ABORT.value, balloon_aborted),
+            (ActionKind.BALLOON_CONFIRM.value, balloon_confirmed),
+        ]
+        for k in range(K):
+            slots.append((ActionKind.SCALE_UP.value, wants_up & (steps[k] > 0)))
+        slots.extend(
+            [
+                (ActionKind.BUDGET_CONSTRAINED.value, up_clipped),
+                (ActionKind.NO_CHANGE.value, hold_help),
+                (ActionKind.BALLOON_START.value, probe_started),
+                (ActionKind.SCALE_DOWN.value, shrink),
+                (ActionKind.OSCILLATION_DAMPED.value, suppressed),
+                (ActionKind.BUDGET_CONSTRAINED.value, budget_forced),
+                (ActionKind.OSCILLATION_DAMPED.value, tripped),
+            ]
+        )
+        no_change = (ActionKind.NO_CHANGE.value,)
+        columns = [(value, np.flatnonzero(mask)) for value, mask in slots]
+        rows: list[list[str]] = [[] for _ in range(self.n_tenants)]
+        for value, idx in columns:
+            for i in idx:
+                rows[i].append(value)
+        return tuple(tuple(r) if r else no_change for r in rows)
+
+
+# -- replay: drive the vectorized loop from recorded IntervalCounters ---------
+
+
+def counters_to_interval_arrays(
+    counters_row: Sequence[IntervalCounters], goal: LatencyGoal | None
+) -> dict:
+    """One interval's fleet telemetry, as decide_batch's array inputs.
+
+    ``counters_row`` holds one :class:`IntervalCounters` per tenant for
+    the *same* billing interval.  Latency is reduced exactly as the scalar
+    manager's ``_interval_latency`` does: the goal's metric when a goal is
+    set, p95 otherwise, NaN when idle.
+    """
+    n = len(counters_row)
+    first = counters_row[0]
+    if any(c.interval_index != first.interval_index for c in counters_row):
+        raise ValueError("fleet replay needs one shared interval clock")
+    latency = np.full(n, np.nan)
+    for i, c in enumerate(counters_row):
+        if c.latencies_ms.size:
+            if goal is not None:
+                latency[i] = goal.measure(c.latencies_ms)
+            else:
+                latency[i] = c.latency_percentile(95.0)
+    util = np.empty((K, n))
+    wait = np.empty((K, n))
+    wpct = np.empty((K, n))
+    for k, kind in enumerate(SCALABLE_KINDS):
+        wait_class = RESOURCE_WAIT_CLASS[kind]
+        for i, c in enumerate(counters_row):
+            util[k, i] = c.utilization_percent(kind)
+            wait[k, i] = c.wait_ms(wait_class)
+            wpct[k, i] = c.wait_percent(wait_class)
+    return {
+        "t": float(first.interval_index),
+        "latency_ms": latency,
+        "util_pct": util,
+        "wait_ms": wait,
+        "wait_pct": wpct,
+        "memory_used_gb": np.array([c.memory_used_gb for c in counters_row]),
+        "disk_physical_reads": np.array(
+            [c.disk_physical_reads for c in counters_row]
+        ),
+        "billed_cost": np.array([c.container.cost for c in counters_row]),
+    }
+
+
+def replay_decisions(
+    streams: Sequence[Sequence[IntervalCounters]],
+    scaler: VectorizedAutoScaler,
+) -> list[FleetDecisions]:
+    """Replay per-tenant counter streams through a vectorized scaler.
+
+    ``streams[tenant][interval]`` must form a rectangular fleet; the
+    billed cost is taken from the recorded counters (the container the
+    closed loop actually ran), so a replay of a healthy scalar run settles
+    the budget identically.
+    """
+    lengths = {len(s) for s in streams}
+    if len(lengths) != 1:
+        raise ValueError("all tenant streams must have the same length")
+    (n_intervals,) = lengths
+    out = []
+    for i in range(n_intervals):
+        arrays = counters_to_interval_arrays(
+            [stream[i] for stream in streams], scaler.goal
+        )
+        decision = scaler.decide_batch(
+            arrays["t"],
+            arrays["latency_ms"],
+            arrays["util_pct"],
+            arrays["wait_ms"],
+            arrays["wait_pct"],
+            arrays["memory_used_gb"],
+            arrays["disk_physical_reads"],
+            billed_cost=arrays["billed_cost"],
+        )
+        out.append(decision)
+    return out
+
+
+# -- synthetic fleet telemetry (benchmark / 100k sweep) -----------------------
+
+
+class FleetTelemetryArrays(NamedTuple):
+    """Pre-generated open-loop fleet telemetry, indexed [interval]."""
+
+    latency_ms: np.ndarray  # (I, T)
+    util_pct: np.ndarray  # (I, K, T)
+    wait_ms: np.ndarray  # (I, K, T)
+    wait_pct: np.ndarray  # (I, K, T)
+    memory_used_gb: np.ndarray  # (I, T)
+    disk_physical_reads: np.ndarray  # (I, T)
+
+
+def synthesize_fleet_telemetry(
+    n_tenants: int,
+    n_intervals: int,
+    seed: int = 7,
+    idle_fraction: float = 0.05,
+) -> FleetTelemetryArrays:
+    """Seeded synthetic fleet telemetry mirroring the benchmark streams.
+
+    Matches the *distributions* of ``bench_perf_telemetry.make_stream``
+    (gamma-ish latencies with a per-tenant burst window, six-class waits
+    reduced to the four resource classes' magnitude/percentage, uniform
+    utilization) without simulating an engine, so generation stays cheap
+    at 100k tenants.  Telemetry is open-loop: it does not react to the
+    controller's decisions, exactly like the benchmark's pre-built
+    streams.
+    """
+    rng = np.random.default_rng(seed)
+    shape = (n_intervals, n_tenants)
+    base = rng.uniform(20.0, 120.0, n_tenants)
+    burst_start = rng.integers(0, max(n_intervals - 10, 1), n_tenants)
+    intervals = np.arange(n_intervals)[:, None]
+    bursting = (intervals >= burst_start) & (intervals < burst_start + 10)
+
+    latency = base * rng.uniform(0.85, 1.35, shape)
+    latency = np.where(bursting, latency * 3.0, latency)
+    latency[rng.random(shape) < idle_fraction] = np.nan
+
+    waits = np.empty((n_intervals, 6, n_tenants))
+    waits[:, 0] = rng.uniform(50.0, 500.0, shape) * np.where(bursting, 2.0, 1.0)
+    waits[:, 1] = rng.uniform(0.0, 120.0, shape)
+    waits[:, 2] = rng.uniform(0.0, 200.0, shape)
+    waits[:, 3] = rng.uniform(0.0, 80.0, shape)
+    waits[:, 4] = rng.uniform(0.0, 40.0, shape)  # lock
+    waits[:, 5] = rng.uniform(0.0, 20.0, shape)  # system
+    total = waits.sum(axis=1)
+    wait_ms = waits[:, :K].copy()
+    with np.errstate(invalid="ignore", divide="ignore"):
+        wait_pct = np.where(
+            total[:, None] > 0.0, 100.0 * wait_ms / total[:, None], 0.0
+        )
+
+    util = rng.uniform(5.0, 95.0, (n_intervals, K, n_tenants))
+    memory_used = rng.uniform(0.2, 6.0, shape)
+    disk_reads = rng.uniform(0.0, 300.0, shape)
+    return FleetTelemetryArrays(
+        latency_ms=latency,
+        util_pct=util,
+        wait_ms=wait_ms,
+        wait_pct=wait_pct,
+        memory_used_gb=memory_used,
+        disk_physical_reads=disk_reads,
+    )
+
+
+def run_synthetic_sweep(
+    n_tenants: int,
+    n_intervals: int,
+    seed: int = 7,
+    *,
+    catalog: ContainerCatalog | None = None,
+    thresholds: ThresholdConfig | None = None,
+    goal_ms: float | None = 100.0,
+    record_actions: bool = False,
+    telemetry: FleetTelemetryArrays | None = None,
+) -> dict:
+    """Time a vectorized fleet sweep over seeded synthetic telemetry.
+
+    Returns per-interval wall-clock (the acceptance metric for the
+    100k-tenant sweep) plus a decision digest so results are comparable
+    across runs.
+    """
+    from repro.engine.containers import default_catalog
+
+    catalog = catalog or default_catalog()
+    data = telemetry or synthesize_fleet_telemetry(n_tenants, n_intervals, seed)
+    goal = LatencyGoal(goal_ms) if goal_ms is not None else None
+    scaler = VectorizedAutoScaler(
+        catalog,
+        n_tenants,
+        goal=goal,
+        thresholds=thresholds,
+        record_actions=record_actions,
+    )
+    per_interval = []
+    resizes = 0
+    for i in range(n_intervals):
+        start = time.perf_counter()
+        decision = scaler.decide_batch(
+            float(i),
+            data.latency_ms[i],
+            data.util_pct[i],
+            data.wait_ms[i],
+            data.wait_pct[i],
+            data.memory_used_gb[i],
+            data.disk_physical_reads[i],
+        )
+        per_interval.append(time.perf_counter() - start)
+        resizes += int(np.count_nonzero(decision.resized))
+    level_hist = np.bincount(scaler.level, minlength=catalog.num_levels)
+    return {
+        "n_tenants": n_tenants,
+        "n_intervals": n_intervals,
+        "seed": seed,
+        "total_s": float(sum(per_interval)),
+        "per_interval_s": [float(v) for v in per_interval],
+        "mean_interval_s": float(np.mean(per_interval)),
+        "max_interval_s": float(np.max(per_interval)),
+        "resizes": resizes,
+        "final_level_histogram": [int(v) for v in level_hist],
+    }
+
+
+def _run_shard(args: tuple) -> dict:
+    n_tenants, n_intervals, seed, goal_ms = args
+    return run_synthetic_sweep(
+        n_tenants, n_intervals, seed=seed, goal_ms=goal_ms
+    )
+
+
+def sharded_synthetic_sweep(
+    n_tenants: int,
+    n_intervals: int,
+    seed: int = 7,
+    *,
+    n_shards: int = 4,
+    goal_ms: float | None = 100.0,
+) -> dict:
+    """Split the fleet across processes (the optional simulator-side shard).
+
+    Tenants are independent, so the sweep is embarrassingly parallel: each
+    shard runs its slice of the fleet in a worker process.  Useful when
+    the simulator side (telemetry generation) rather than the numpy
+    kernels is the bottleneck; kernel-bound sweeps gain little because
+    numpy already saturates memory bandwidth.
+    """
+    import multiprocessing as mp
+
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    sizes = [n_tenants // n_shards] * n_shards
+    for i in range(n_tenants % n_shards):
+        sizes[i] += 1
+    sizes = [s for s in sizes if s > 0]
+    jobs = [
+        (size, n_intervals, seed + shard, goal_ms)
+        for shard, size in enumerate(sizes)
+    ]
+    start = time.perf_counter()
+    if len(jobs) == 1:
+        results = [_run_shard(jobs[0])]
+    else:
+        ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else None)
+        with ctx.Pool(processes=len(jobs)) as pool:
+            results = pool.map(_run_shard, jobs)
+    wall = time.perf_counter() - start
+    return {
+        "n_tenants": n_tenants,
+        "n_intervals": n_intervals,
+        "n_shards": len(jobs),
+        "wall_s": float(wall),
+        "wall_per_interval_s": float(wall / n_intervals),
+        "shards": results,
+    }

@@ -5,6 +5,15 @@ side-effect free; the telemetry manager composes these primitives into the
 paper's signals.
 """
 
+from repro.stats.batched import (
+    SLOPE_CHUNK_ELEMENTS,
+    BatchedCorrelation,
+    BatchedTrend,
+    batched_detect_trend,
+    batched_spearman,
+    batched_tail_median,
+    fractional_ranks,
+)
 from repro.stats.incremental import (
     IncrementalSpearman,
     IncrementalTheilSen,
@@ -32,6 +41,13 @@ from repro.stats.theil_sen import (
 )
 
 __all__ = [
+    "SLOPE_CHUNK_ELEMENTS",
+    "BatchedCorrelation",
+    "BatchedTrend",
+    "batched_detect_trend",
+    "batched_spearman",
+    "batched_tail_median",
+    "fractional_ranks",
     "IncrementalSpearman",
     "IncrementalTheilSen",
     "RunningMedian",

@@ -1,0 +1,275 @@
+"""Batched signal kernels over ``(tenants, window)`` matrices.
+
+The scalar statistics in :mod:`repro.stats.theil_sen`,
+:mod:`repro.stats.spearman` and :mod:`repro.stats.incremental` evaluate one
+tenant's window per call.  At fleet scale (the paper's service operates on
+the whole DBaaS cluster every billing interval, and URSA-style capacity
+loops evaluate every tenant per cycle) the per-call Python and numpy
+dispatch overhead dominates: 100k tenants × a handful of signals is
+~1M interpreter round-trips per interval.
+
+This module computes the same statistics for *all tenants at once*:
+
+* :func:`batched_detect_trend` — Theil–Sen trend with the paper's
+  α-sign-agreement acceptance rule, over every row of a ``(T, W)`` matrix.
+* :func:`batched_spearman` — tie-averaged Spearman rank correlation per
+  row, via an exact integer reformulation (no per-row re-ranking loops).
+* :func:`batched_tail_median` — NaN-dropping tail median with a default
+  for all-NaN rows, the batched :class:`repro.stats.incremental.TailMedian`.
+
+Semantics contracts (held by ``tests/test_stats_batched.py``):
+
+* NaN/inf handling, minimum-point rules, tie averaging and agreement
+  thresholds match the scalar batch references row-for-row.
+* ``significant``/``n_points`` are exact; floats match the scalar batch
+  reference to 1e-9 (they are bit-identical in almost every case — the
+  only divergence is summation order inside Spearman's dot products,
+  and :func:`batched_spearman` avoids even that by using exact integer
+  arithmetic, making it bit-identical to the *incremental* vector path).
+
+Memory: the pairwise-slope stage materialises ``(chunk, W(W-1)/2)``
+scratch, so tenants are processed in chunks bounded by
+:data:`SLOPE_CHUNK_ELEMENTS` elements rather than all at once.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+import numpy as np
+
+__all__ = [
+    "BatchedTrend",
+    "BatchedCorrelation",
+    "SLOPE_CHUNK_ELEMENTS",
+    "batched_detect_trend",
+    "batched_spearman",
+    "batched_tail_median",
+    "fractional_ranks",
+]
+
+#: Upper bound on elements in one pairwise-slope scratch matrix.  At
+#: window 64 (2016 pairs) this processes ~2000 tenants per chunk — about
+#: 64 MB of transient float64 scratch across the four pairwise arrays.
+SLOPE_CHUNK_ELEMENTS = 4_000_000
+
+
+class BatchedTrend(NamedTuple):
+    """Struct-of-arrays :class:`repro.stats.theil_sen.TrendResult`."""
+
+    slope: np.ndarray  # (T,) float — 0.0 where not significant
+    significant: np.ndarray  # (T,) bool
+    agreement: np.ndarray  # (T,) float
+    n_points: np.ndarray  # (T,) int
+
+
+class BatchedCorrelation(NamedTuple):
+    """Struct-of-arrays :class:`repro.stats.spearman.CorrelationResult`."""
+
+    rho: np.ndarray  # (T,) float — 0.0 where undefined / too few points
+    n_points: np.ndarray  # (T,) int
+
+
+def _as_matrix_pair(x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y = np.asarray(y, dtype=float)
+    if y.ndim != 2:
+        raise ValueError(f"y must be (tenants, window), got shape {y.shape}")
+    x = np.asarray(x, dtype=float)
+    if x.ndim == 1:
+        x = np.broadcast_to(x, y.shape)
+    if x.shape != y.shape:
+        raise ValueError(f"x shape {x.shape} does not match y shape {y.shape}")
+    return x, y
+
+
+def batched_detect_trend(
+    x: np.ndarray,
+    y: np.ndarray,
+    alpha: float = 0.70,
+    min_points: int = 4,
+) -> BatchedTrend:
+    """Row-wise :func:`repro.stats.theil_sen.detect_trend` over ``(T, W)``.
+
+    ``x`` may be a shared ``(W,)`` axis (the common case: one interval
+    clock for the whole fleet) or per-tenant ``(T, W)``.  Samples with a
+    non-finite coordinate on either axis are excluded from that row's
+    estimate, and pairs with identical x are skipped, exactly as the
+    scalar reference does.
+    """
+    if not 0.5 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0.5, 1.0], got {alpha}")
+    shared_x = np.asarray(x, dtype=float).ndim == 1
+    x, y = _as_matrix_pair(x, y)
+    n_tenants, window = y.shape
+    finite = np.isfinite(x) & np.isfinite(y)
+    n_points = np.count_nonzero(finite, axis=1)
+
+    slope = np.zeros(n_tenants)
+    agreement = np.zeros(n_tenants)
+    significant = np.zeros(n_tenants, dtype=bool)
+    if window < 2:
+        return BatchedTrend(slope, significant, agreement, n_points)
+
+    ii, jj = np.triu_indices(window, k=1)
+    n_pairs = ii.size
+    # Work transposed: pair selection on axis 0 of a (W, T) matrix is a
+    # contiguous row gather (one memcpy per pair) instead of a strided
+    # (T, P) element gather, which measures ~7x faster at fleet scale.
+    y_t = np.ascontiguousarray(y.T)
+    finite_t = np.ascontiguousarray(finite.T)
+    if shared_x:
+        x_row = x[0]
+        dx_shared = (x_row[jj] - x_row[ii])[:, None]
+    else:
+        x_t = np.ascontiguousarray(x.T)
+
+    chunk = max(1, SLOPE_CHUNK_ELEMENTS // max(1, n_pairs))
+    for start in range(0, n_tenants, chunk):
+        stop = min(start + chunk, n_tenants)
+        yc = y_t[:, start:stop]
+        fc = finite_t[:, start:stop]
+        dx = dx_shared if shared_x else x_t[jj, start:stop] - x_t[ii, start:stop]
+        with np.errstate(invalid="ignore"):
+            # inf - inf lanes produce NaN here; they are masked below.
+            dy = yc[jj] - yc[ii]
+        valid = fc[ii] & fc[jj] & (dx != 0.0)
+        slopes = np.divide(dy, dx, out=np.full_like(dy, np.nan), where=valid)
+        n_valid = np.count_nonzero(valid, axis=0)
+        pos = np.count_nonzero(slopes > 0.0, axis=0)
+        neg = np.count_nonzero(slopes < 0.0, axis=0)
+        # Columns with too few finite samples (or no valid pairs) report
+        # the scalar early-return shape: slope 0, agreement 0, and never
+        # significant.
+        usable = (n_points[start:stop] >= min_points) & (n_valid > 0)
+        agree = np.where(usable, np.maximum(pos, neg) / np.maximum(n_valid, 1), 0.0)
+        sig = usable & (agree >= alpha)
+        agreement[start:stop] = agree
+        significant[start:stop] = sig
+        # Medians only where a trend was accepted.  Columns whose every
+        # pair is valid take the fast np.median path; columns with NaN
+        # placeholders (vertical or non-finite pairs) go through
+        # nanmedian, which matches np.median of the compacted valid
+        # slopes bit-for-bit.
+        clean = np.flatnonzero(sig & (n_valid == n_pairs))
+        if clean.size * 2 > stop - start:
+            # Majority of columns need a median: one full-matrix median
+            # beats the strided column gather (NaN-contaminated columns
+            # yield NaN here, but only clean columns are read back).
+            slope[start + clean] = np.median(slopes, axis=0)[clean]
+        elif clean.size:
+            slope[start + clean] = np.median(slopes[:, clean], axis=0)
+        dirty = np.flatnonzero(sig & (n_valid != n_pairs))
+        if dirty.size:
+            slope[start + dirty] = np.nanmedian(slopes[:, dirty], axis=0)
+    return BatchedTrend(slope, significant, agreement, n_points)
+
+
+def fractional_ranks(values: np.ndarray) -> np.ndarray:
+    """Row-wise doubled tie-averaged ranks of a ``(T, W)`` matrix.
+
+    Returns integer ``u`` with ``u[t, i] = 2 * rank(values[t, i]) - 1``
+    where ``rank`` is the 1-based fractional (tie-averaged) rank within
+    row ``t`` — i.e. ``u = count(< v) + count(<= v)``, the doubled-rank
+    form whose sums stay exact integers.  Rows must be NaN-free; callers
+    replace excluded entries with a ``+inf`` sentinel beforehand (ranks of
+    the remaining entries are unaffected because the sentinel sorts last).
+    """
+    n_tenants, window = values.shape
+    order = np.argsort(values, axis=1, kind="stable")
+    sorted_vals = np.take_along_axis(values, order, axis=1)
+    positions = np.arange(window, dtype=np.int64)
+    # A "run" is a maximal block of equal sorted values.  run_start carries
+    # each run's first position forward; run_end carries the last position
+    # backward (via the flipped cumulative minimum).
+    new_run = np.empty((n_tenants, window), dtype=bool)
+    new_run[:, 0] = True
+    np.not_equal(sorted_vals[:, 1:], sorted_vals[:, :-1], out=new_run[:, 1:])
+    run_start = np.maximum.accumulate(np.where(new_run, positions, 0), axis=1)
+    run_end = np.flip(
+        np.minimum.accumulate(
+            np.flip(np.where(np.roll(new_run, -1, axis=1), positions, window - 1), axis=1),
+            axis=1,
+        ),
+        axis=1,
+    )
+    # 0-based run bounds [s, e] ⇒ 1-based ranks s+1 .. e+1 ⇒ doubled
+    # tie-averaged rank u = (s+1) + (e+1) - 1 = s + e + 1.
+    u_sorted = run_start + run_end + 1
+    u = np.empty_like(u_sorted)
+    np.put_along_axis(u, order, u_sorted, axis=1)
+    return u
+
+
+def batched_spearman(
+    x: np.ndarray,
+    y: np.ndarray,
+    min_points: int = 4,
+) -> BatchedCorrelation:
+    """Row-wise :func:`repro.stats.spearman.spearman` over ``(T, W)``.
+
+    Pairs with a non-finite value on either axis are dropped per row;
+    rows with fewer than ``min_points`` surviving pairs (or a constant
+    axis) report ``rho = 0.0``.
+
+    Uses the doubled-rank integer identity (see
+    :class:`repro.stats.incremental.IncrementalSpearman`): with
+    ``u = 2·rank(x) − 1`` and ``v = 2·rank(y) − 1`` over the ``n`` valid
+    pairs, ``Σu = n²`` exactly, so
+
+        rho = (Σuv − n³) / sqrt((Σu² − n³)(Σv² − n³))
+
+    in *exact integer arithmetic* — bit-identical to the incremental
+    vector path and within 1e-9 of the float batch reference.
+    """
+    x, y = _as_matrix_pair(x, y)
+    n_tenants, window = y.shape
+    valid = np.isfinite(x) & np.isfinite(y)
+    n_points = np.count_nonzero(valid, axis=1)
+    rho = np.zeros(n_tenants)
+    if window == 0:
+        return BatchedCorrelation(rho, n_points)
+
+    # Excluded entries become +inf sentinels: they sort after every finite
+    # value, so the valid entries' fractional ranks are exactly the ranks
+    # they would get in the compacted row.
+    xs = np.where(valid, x, np.inf)
+    ys = np.where(valid, y, np.inf)
+    ux = fractional_ranks(xs)
+    uy = fractional_ranks(ys)
+    ux = np.where(valid, ux, 0)
+    uy = np.where(valid, uy, 0)
+    n3 = n_points.astype(np.int64) ** 3
+    a = np.einsum("tw,tw->t", ux, ux) - n3
+    b = np.einsum("tw,tw->t", uy, uy) - n3
+    c = np.einsum("tw,tw->t", ux, uy) - n3
+    ab = a * b
+    compute = (n_points >= min_points) & (ab > 0)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        rho = np.where(compute, c / np.sqrt(np.where(compute, ab, 1)), 0.0)
+    return BatchedCorrelation(rho, n_points)
+
+
+def batched_tail_median(
+    values: np.ndarray,
+    k: int,
+    default: float = 0.0,
+) -> np.ndarray:
+    """Row-wise NaN-dropping median of the last ``k`` columns.
+
+    The batched :class:`repro.stats.incremental.TailMedian`: NaN entries
+    are excluded, and rows whose tail is entirely NaN report ``default``.
+    ``±inf`` propagates through the median exactly as ``np.median`` does.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 2:
+        raise ValueError(f"values must be (tenants, window), got {values.shape}")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    tail = values[:, -k:]
+    all_nan = np.all(np.isnan(tail), axis=1)
+    out = np.full(values.shape[0], default, dtype=float)
+    rows = np.flatnonzero(~all_nan)
+    if rows.size:
+        with np.errstate(invalid="ignore"):
+            out[rows] = np.nanmedian(tail[rows], axis=1)
+    return out

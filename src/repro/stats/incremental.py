@@ -13,13 +13,20 @@ per appended sample and answer queries from maintained state:
 
 * :class:`RunningMedian` / :class:`SlidingMedian` — dual-heap median with
   lazy eviction: O(log W) amortized insert/remove, O(1) query.
-* :class:`IncrementalTheilSen` — a sorted pairwise-slope cache: appending a
+* :class:`IncrementalTheilSen` — a pairwise-slope cache: appending a
   sample computes only the O(W) slopes involving the new (and evicted)
   sample instead of all O(W²); sign counts for the α-agreement test are
-  maintained alongside, so a trend query is O(1).
+  maintained alongside, so a trend query is O(1) unless a median is
+  actually owed.  Small windows keep the cache in a sorted Python list;
+  larger windows (where per-element insort shifting once degraded the
+  path to batch cost — the window-64 regression) keep the slopes
+  *unsorted* in a flat ring-indexed matrix updated with one vectorized
+  gather/scatter per append, and answer median queries with a single
+  ``np.partition`` introselect.
 * :class:`IncrementalSpearman` — paired sliding windows with incrementally
   maintained sort order, so fractional ranks come from binary search rather
-  than a fresh argsort + tie-group pass per query.
+  than a fresh argsort + tie-group pass per query; large windows answer
+  the query with vectorized rank lookups over the sorted views.
 * :class:`TailMedian` — exact ``np.median``-semantics median of the last
   few samples, for the manager's smoothing of "current" values.
 
@@ -36,6 +43,8 @@ import math
 from bisect import bisect_left, bisect_right, insort
 from collections import deque
 from collections.abc import Iterable
+
+import numpy as np
 
 from repro.errors import ConfigurationError, InsufficientDataError
 from repro.stats.spearman import CorrelationResult
@@ -181,6 +190,39 @@ class SlidingMedian:
         self._bag = RunningMedian()
 
 
+#: Window size at which the slope/rank caches switch from plain Python
+#: lists (lowest constant for the manager's default 8–10-sample windows)
+#: to ndarray state with vectorized maintenance.  At capacity W the
+#: slope cache holds S = W(W−1)/2 entries, and per-element ``insort``
+#: shifting costs O(W·S) interpreter work per append — which is what
+#: silently degraded the window-64 path to batch cost.
+VECTOR_MIN_CAPACITY = 24
+
+#: Shared per-capacity index tables for the ring slope matrix, keyed by
+#: window capacity: ``(idx, oth)`` where ``idx[i]`` lists the flat
+#: positions of every pair involving ring slot ``i`` and ``oth[i]`` the
+#: other slot of each such pair.  A fleet instantiates thousands of
+#: same-capacity estimators, so the tables are built once per capacity.
+_PAIR_TABLES: dict[int, tuple[list[np.ndarray], list[np.ndarray]]] = {}
+
+
+def _pair_tables(capacity: int) -> tuple[list[np.ndarray], list[np.ndarray]]:
+    tables = _PAIR_TABLES.get(capacity)
+    if tables is None:
+        ii, jj = np.triu_indices(capacity, k=1)
+        flat_of = np.empty((capacity, capacity), dtype=np.intp)
+        order = np.arange(ii.size, dtype=np.intp)
+        flat_of[ii, jj] = order
+        flat_of[jj, ii] = order
+        oth = np.arange(capacity, dtype=np.intp)[None, :].repeat(capacity, axis=0)
+        oth = oth[~np.eye(capacity, dtype=bool)].reshape(capacity, capacity - 1)
+        idx = np.take_along_axis(flat_of, oth, axis=1)
+        # Lists of row views: Python-list indexing per append is cheaper
+        # than carving a fresh ndarray row slice each time.
+        tables = _PAIR_TABLES[capacity] = (list(idx), list(oth))
+    return tables
+
+
 class IncrementalTheilSen:
     """Sliding-window Theil–Sen trend with O(W)-slope updates per append.
 
@@ -188,16 +230,27 @@ class IncrementalTheilSen:
 
     * the finite samples (pairs where both coordinates are finite — the
       exact filter :func:`repro.stats.theil_sen.detect_trend` applies);
-    * a sorted list of all pairwise slopes between finite samples with
-      distinct x (vertical pairs are skipped, as in the batch code);
+    * all pairwise slopes between finite samples with distinct x
+      (vertical pairs are skipped, as in the batch code);
     * counts of strictly-positive and strictly-negative slopes for the
       paper's α-sign-agreement test.
 
     Appending a sample removes the ≤ W−1 slopes involving the evicted
     sample and inserts the ≤ W−1 slopes involving the new one — O(W)
-    slope computations versus the batch O(W²), with an additional
-    O(W·S) list-maintenance term (S = slope count) that is negligible at
-    telemetry window sizes.  A trend query is O(1).
+    slope computations versus the batch O(W²).
+
+    Below :data:`VECTOR_MIN_CAPACITY` the slopes live in a Python list
+    kept sorted with ``insort`` (lowest constant at the manager's default
+    8–10-sample windows).  At or above it they live *unsorted* in a flat
+    upper-triangle matrix indexed by ring slot: every sample owns a fixed
+    set of W−1 flat positions (one per other slot), so an append is one
+    vectorized gather of the dying row, one slope broadcast, and one
+    scatter of the new row — no per-element interpreter work and no
+    O(S) sorted-order maintenance, which is what regressed the window-64
+    path to batch cost.  Sign counts make the α-agreement test O(1); the
+    slope median is computed only when a trend is actually significant,
+    with a single ``np.partition`` introselect over the S = W(W−1)/2
+    cached slopes (NaN placeholders sort last, exactly as in ``np.sort``).
     """
 
     def __init__(self, capacity: int, min_points: int = MIN_TREND_POINTS) -> None:
@@ -205,44 +258,71 @@ class IncrementalTheilSen:
             raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
         self._capacity = capacity
         self._min_points = min_points
-        self._samples: deque[tuple[float, float]] = deque()
-        self._finite: deque[tuple[float, float]] = deque()
-        self._slopes: list[float] = []
+        self._vector = capacity >= VECTOR_MIN_CAPACITY
+        # Sign/validity tallies over the cached slopes; maintained on
+        # both paths so a query never scans the cache to test agreement.
         self._positive = 0
         self._negative = 0
+        if self._vector:
+            self._idx, self._oth = _pair_tables(capacity)
+            self._n = 0
+            self._nfin = 0
+            self._cursor = 0
+            self._fin = [False] * capacity
+            self._rx = np.full(capacity, np.nan)
+            self._ry = np.full(capacity, np.nan)
+            self._flat = np.full(capacity * (capacity - 1) // 2, np.nan)
+            self._valid = 0
+            self._newbuf = np.empty(capacity - 1)
+            self._dxbuf = np.empty(capacity - 1)
+            self._boolbuf = np.empty(capacity - 1, dtype=bool)
+        else:
+            self._samples: deque[tuple[float, float]] = deque()
+            self._fx: deque[float] = deque()
+            self._fy: deque[float] = deque()
+            self._slopes: list[float] = []
 
     @property
     def capacity(self) -> int:
         return self._capacity
 
     def __len__(self) -> int:
-        return len(self._samples)
+        return self._n if self._vector else len(self._samples)
 
     @property
     def n_points(self) -> int:
         """Number of finite samples in the window."""
-        return len(self._finite)
+        return self._nfin if self._vector else len(self._fx)
 
     def append(self, x: float, y: float) -> None:
         x, y = float(x), float(y)
+        if self._vector:
+            self._append_vector(x, y)
+            return
+        evicted: tuple[float, float] | None = None
         if len(self._samples) == self._capacity:
             old = self._samples.popleft()
             if math.isfinite(old[0]) and math.isfinite(old[1]):
-                self._finite.popleft()
-                self._remove_slopes(old)
+                self._fx.popleft()
+                self._fy.popleft()
+                evicted = old
         self._samples.append((x, y))
-        if math.isfinite(x) and math.isfinite(y):
-            self._add_slopes((x, y))
-            self._finite.append((x, y))
+        finite_new = math.isfinite(x) and math.isfinite(y)
+        if evicted is not None:
+            self._remove_slopes(evicted)
+        if finite_new:
+            self._add_slopes(x, y)
+            self._fx.append(x)
+            self._fy.append(y)
 
     def result(self, alpha: float = 0.70) -> TrendResult:
         """The current window's trend, under ``detect_trend`` semantics."""
         if not 0.5 < alpha <= 1.0:
             raise ValueError(f"alpha must be in (0.5, 1.0], got {alpha}")
-        n = len(self._finite)
-        if n < self._min_points or not self._slopes:
+        n = self.n_points
+        total = self._valid if self._vector else len(self._slopes)
+        if n < self._min_points or total == 0:
             return TrendResult(slope=0.0, significant=False, agreement=0.0, n_points=n)
-        total = len(self._slopes)
         agreement = max(self._positive, self._negative) / total
         significant = agreement >= alpha
         slope = self._median_slope() if significant else 0.0
@@ -252,31 +332,99 @@ class IncrementalTheilSen:
 
     def slope(self) -> float:
         """Unconditional Theil–Sen slope (median of cached pairwise slopes)."""
-        if len(self._finite) < 2:
+        if self.n_points < 2:
             raise InsufficientDataError("Theil-Sen needs at least 2 points")
-        if not self._slopes:
+        if (self._valid if self._vector else len(self._slopes)) == 0:
             raise InsufficientDataError("all x values identical; slope undefined")
         return self._median_slope()
 
     def clear(self) -> None:
-        self._samples.clear()
-        self._finite.clear()
-        self._slopes.clear()
         self._positive = 0
         self._negative = 0
+        if self._vector:
+            self._n = 0
+            self._nfin = 0
+            self._cursor = 0
+            self._fin = [False] * self._capacity
+            self._rx.fill(np.nan)
+            self._ry.fill(np.nan)
+            self._flat.fill(np.nan)
+            self._valid = 0
+        else:
+            self._samples.clear()
+            self._fx.clear()
+            self._fy.clear()
+            self._slopes = []
+
+    # -- vectorized ring-matrix path (large windows) -------------------------
+
+    def _append_vector(self, x: float, y: float) -> None:
+        i = self._cursor
+        self._cursor = i + 1 if i + 1 < self._capacity else 0
+        b = self._boolbuf
+        cnz = np.count_nonzero
+        if self._n < self._capacity:
+            self._n += 1
+        elif self._fin[i]:
+            # Retire the evicted sample's row of cached slopes.
+            self._nfin -= 1
+            old = self._flat[self._idx[i]]
+            self._positive -= cnz(np.greater(old, 0.0, out=b))
+            self._negative -= cnz(np.less(old, 0.0, out=b))
+            self._valid -= old.size - cnz(np.isnan(old, out=b))
+        if math.isfinite(x) and math.isfinite(y):
+            self._nfin += 1
+            self._fin[i] = True
+            # Slopes against every other slot; empty slots and non-finite
+            # samples hold NaN coordinates, which propagate to NaN slopes
+            # and fall out of the counts below without explicit masking.
+            new = np.subtract(self._ry[self._oth[i]], y, out=self._newbuf)
+            dx = np.subtract(self._rx[self._oth[i]], x, out=self._dxbuf)
+            n_vertical = 0
+            if not dx.all():
+                # Rare vertical pairs (duplicate x): NaN-out so the slope
+                # is skipped, exactly like the batch dx != 0 filter.
+                zero = np.equal(dx, 0.0, out=b)
+                n_vertical = cnz(zero)
+                dx[zero] = np.nan
+            np.divide(new, dx, out=new)
+            self._positive += cnz(np.greater(new, 0.0, out=b))
+            self._negative += cnz(np.less(new, 0.0, out=b))
+            self._valid += self._nfin - 1 - n_vertical
+            self._flat[self._idx[i]] = new
+            self._rx[i] = x
+            self._ry[i] = y
+        else:
+            self._fin[i] = False
+            self._flat[self._idx[i]] = np.nan
+            self._rx[i] = np.nan
+            self._ry[i] = np.nan
 
     # -- internals -----------------------------------------------------------
 
     def _median_slope(self) -> float:
-        slopes = self._slopes
-        mid = len(slopes) // 2
-        if len(slopes) % 2:
-            return slopes[mid]
-        return (slopes[mid - 1] + slopes[mid]) / 2.0
+        if not self._vector:
+            slopes = self._slopes
+            mid = len(slopes) // 2
+            if len(slopes) % 2:
+                return float(slopes[mid])
+            return (float(slopes[mid - 1]) + float(slopes[mid])) / 2.0
+        # The flat matrix holds the valid slopes plus NaN placeholders;
+        # introselect orders NaN after every float (same comparator as
+        # np.sort), so ranks [0, valid) are exactly the live slopes.
+        valid = self._valid
+        mid = valid >> 1
+        part = np.partition(self._flat, mid)
+        upper = part[mid]
+        if valid & 1:
+            return float(upper)
+        # Lower middle = max of the left partition (ranks [0, mid)).
+        return (float(part[:mid].max()) + float(upper)) / 2.0
 
-    def _add_slopes(self, new: tuple[float, float]) -> None:
-        xn, yn = new
-        for xo, yo in self._finite:
+    # Python-list path (small windows).
+
+    def _add_slopes(self, xn: float, yn: float) -> None:
+        for xo, yo in zip(self._fx, self._fy):
             dx = xn - xo
             if dx == 0.0:
                 continue
@@ -289,7 +437,7 @@ class IncrementalTheilSen:
 
     def _remove_slopes(self, old: tuple[float, float]) -> None:
         xo, yo = old
-        for xn, yn in self._finite:
+        for xn, yn in zip(self._fx, self._fy):
             dx = xn - xo
             if dx == 0.0:
                 continue
@@ -309,11 +457,23 @@ class IncrementalSpearman:
 
     Keeps the finite ``(x, y)`` pairs of the last ``capacity`` appends
     (pairs where either side is non-finite are dropped, exactly as
-    :func:`repro.stats.spearman.spearman` does) together with sorted views
-    of the x and y values.  The sort order is maintained incrementally on
-    append/evict, so a correlation query derives each pair's fractional
-    (tie-averaged) rank by binary search instead of re-sorting and
-    tie-grouping both windows from scratch.
+    :func:`repro.stats.spearman.spearman` does).  Below
+    :data:`VECTOR_MIN_CAPACITY` sorted lists are maintained by ``insort``
+    and a query derives each pair's fractional (tie-averaged) rank by a
+    Python loop of bisects.  At or above it, the pairs live in ndarray
+    ring buffers: an append is two scalar writes and a cursor bump (no
+    ndarray traffic at all — every signal here is invariant to sample
+    order, so eviction never compacts), and a query sorts the two small
+    windows and reads each pair's *doubled rank* ``u = bl + br`` off two
+    ``searchsorted`` passes (occurrences of a value span sorted positions
+    ``[bl, br)``, so ``u`` is twice the tie-averaged rank minus one, an
+    exact integer even under ties).  The rank means and the factor-4
+    scaling cancel out of
+        rho = (Σuv - n³) / sqrt((Σu² - n³)(Σv² - n³)),
+    leaving three exact integer dot products — bit-identical to the batch
+    formulation.  Per query that is ~a dozen small-array kernel calls
+    with no Python-container conversions, which on call-overhead-bound
+    hosts is what keeps the window-64 win over the batch path.
     """
 
     def __init__(self, capacity: int, min_points: int = 4) -> None:
@@ -321,10 +481,17 @@ class IncrementalSpearman:
             raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
         self._capacity = capacity
         self._min_points = min_points
+        self._vector = capacity >= VECTOR_MIN_CAPACITY
         self._pairs: deque[tuple[float, float]] = deque()
-        self._finite: deque[tuple[float, float]] = deque()
-        self._sorted_x: list[float] = []
-        self._sorted_y: list[float] = []
+        if self._vector:
+            self._nf = 0  # finite pairs live at ring slots [head, head+_nf)
+            self._head = 0
+            self._ring = np.empty((2, capacity))  # rows: x, y
+        else:
+            self._fx: deque[float] = deque()
+            self._fy: deque[float] = deque()
+            self._sorted_x: list[float] = []
+            self._sorted_y: list[float] = []
 
     @property
     def capacity(self) -> int:
@@ -335,35 +502,88 @@ class IncrementalSpearman:
 
     @property
     def n_points(self) -> int:
-        return len(self._finite)
+        return self._nf if self._vector else len(self._fx)
 
     def append(self, x: float, y: float) -> None:
         x, y = float(x), float(y)
+        if self._vector:
+            self._append_vector(x, y)
+            return
         if len(self._pairs) == self._capacity:
             ox, oy = self._pairs.popleft()
             if math.isfinite(ox) and math.isfinite(oy):
-                self._finite.popleft()
+                self._fx.popleft()
+                self._fy.popleft()
                 self._sorted_x.pop(bisect_left(self._sorted_x, ox))
                 self._sorted_y.pop(bisect_left(self._sorted_y, oy))
         self._pairs.append((x, y))
         if math.isfinite(x) and math.isfinite(y):
-            self._finite.append((x, y))
+            self._fx.append(x)
+            self._fy.append(y)
             insort(self._sorted_x, x)
             insort(self._sorted_y, y)
 
+    def _append_vector(self, x: float, y: float) -> None:
+        capacity = self._capacity
+        if len(self._pairs) == capacity:
+            ox, oy = self._pairs.popleft()
+            if math.isfinite(ox) and math.isfinite(oy):
+                # The oldest finite pair sits at the ring head; dropping
+                # it is a cursor bump, no data moves.
+                self._head = (self._head + 1) % capacity
+                self._nf -= 1
+        self._pairs.append((x, y))
+        if math.isfinite(x) and math.isfinite(y):
+            slot = (self._head + self._nf) % capacity
+            ring = self._ring
+            ring[0, slot] = x
+            ring[1, slot] = y
+            self._nf += 1
+
+    def _window(self, n: int) -> np.ndarray:
+        """The n live pairs as (2, n), index-aligned (order unspecified)."""
+        if n == self._capacity:
+            return self._ring
+        head, end = self._head, self._head + n
+        if end <= self._capacity:
+            return self._ring[:, head:end]
+        end -= self._capacity  # wrapped (cold window / NaN gaps only)
+        return np.concatenate((self._ring[:, head:], self._ring[:, :end]), axis=1)
+
     def result(self) -> CorrelationResult:
         """Current correlation, under batch ``spearman`` semantics."""
-        n = len(self._finite)
+        n = self.n_points
         if n < self._min_points:
             return CorrelationResult(rho=0.0, n_points=n)
-        sx, sy = self._sorted_x, self._sorted_y
         # Fractional rank of v in a sorted list: occurrences span sorted
         # positions [bisect_left, bisect_right), i.e. 1-based ranks
         # bl+1 .. br, whose mean is (bl + br + 1) / 2 — the same
         # tie-averaged rank `rankdata` assigns.
+        if self._vector:
+            # Integer reformulation: with u_i = bl_i + br_i, the centered
+            # rank is (u_i - n)/2, so the rank sums become exact integer
+            # dot products and the shared factor 1/4 cancels out of rho:
+            #     rho = (Σuv - n³) / sqrt((Σu² - n³)(Σv² - n³))
+            # (Σu = n² because ranks always sum to n(n+1)/2, ties or not.)
+            window = self._window(n)
+            sorted_both = np.sort(window, axis=1)  # one kernel, both axes
+            fx, fy = window[0], window[1]
+            sx, sy = sorted_both[0], sorted_both[1]
+            ux = sx.searchsorted(fx)
+            ux += sx.searchsorted(fx, "right")
+            uy = sy.searchsorted(fy)
+            uy += sy.searchsorted(fy, "right")
+            n3 = n * n * n
+            a = int(ux @ ux) - n3
+            b = int(uy @ uy) - n3
+            c = int(ux @ uy) - n3
+            ab = a * b  # exact: Python ints
+            rho = c / math.sqrt(ab) if ab > 0 else 0.0
+            return CorrelationResult(rho=rho, n_points=n)
         mean_rank = (n + 1) / 2.0  # ranks always sum to n(n+1)/2, ties or not
+        sx, sy = self._sorted_x, self._sorted_y
         sxx = sxy = syy = 0.0
-        for x, y in self._finite:
+        for x, y in zip(self._fx, self._fy):
             rx = (bisect_left(sx, x) + bisect_right(sx, x) + 1) / 2.0 - mean_rank
             ry = (bisect_left(sy, y) + bisect_right(sy, y) + 1) / 2.0 - mean_rank
             sxx += rx * rx
@@ -375,9 +595,14 @@ class IncrementalSpearman:
 
     def clear(self) -> None:
         self._pairs.clear()
-        self._finite.clear()
-        self._sorted_x.clear()
-        self._sorted_y.clear()
+        if self._vector:
+            self._nf = 0
+            self._head = 0
+        else:
+            self._fx.clear()
+            self._fy.clear()
+            self._sorted_x.clear()
+            self._sorted_y.clear()
 
 
 class TailMedian:

@@ -2,7 +2,8 @@
 
 Runs ``benchmarks/bench_perf_telemetry.py`` in ``--smoke`` geometry
 (seconds, not minutes) so a regression in the incremental statistics
-layer — either a slowdown below the smoke floor or an incremental/batch
+layer or the vectorized fleet engine — a slowdown below the smoke
+floors, an incremental/batch divergence, or a scalar/vectorized decision
 divergence — fails the ordinary test suite fast, without waiting for the
 full fleet sweep.
 """
@@ -24,6 +25,17 @@ BENCH_PATH = REPO_ROOT / "benchmarks" / "bench_perf_telemetry.py"
 #: tolerating noisy shared CI machines.
 SMOKE_SPEEDUP_FLOOR = 1.5
 
+#: The vectorized sweep amortizes per-interval overhead across tenants, so
+#: a 24-tenant smoke fleet sees only a fraction of the 1000-tenant >= 10x
+#: target; the floor catches "the sweep stopped being vectorized".
+SMOKE_VECTORIZED_SPEEDUP_FLOOR = 2.0
+
+#: Per-primitive steady-state floors at the window-64 geometry (the
+#: regression this PR sequence fixed: both primitives had degraded to
+#: *slower than batch* at 64).  Full-run numbers are well above these;
+#: the smoke floor tolerates noisy CI neighbours.
+SMOKE_W64_PRIMITIVE_FLOORS = {"theil_sen": 3.0, "spearman": 3.0}
+
 #: Looser than the 10% full-sweep target for the same reason: a smoke run
 #: is short enough that scheduler jitter alone can move the needle a few
 #: percent, but a tracing layer that suddenly costs a quarter of the run
@@ -40,17 +52,25 @@ def bench_module():
     return module
 
 
-def test_smoke_benchmark(bench_module, tmp_path):
-    result = bench_module.run_benchmark(
-        smoke=True, result_path=tmp_path / "BENCH_perf_telemetry.json"
-    )
-    fleet = result["fleet"]
+@pytest.fixture(scope="module")
+def smoke_result(bench_module, tmp_path_factory):
+    path = tmp_path_factory.mktemp("bench") / "BENCH_perf_telemetry.json"
+    result = bench_module.run_benchmark(smoke=True, result_path=path)
+    return result, path
+
+
+def test_smoke_benchmark(smoke_result):
+    result, path = smoke_result
+    fleet = result["fleet"]["window_10"]
     assert result["equivalence"]["identical_signals"]
     assert result["equivalence"]["cross_checked_intervals"] > 0
     assert fleet["speedup"] >= SMOKE_SPEEDUP_FLOOR, (
         f"incremental telemetry path only {fleet['speedup']:.2f}x faster than "
         f"batch (floor {SMOKE_SPEEDUP_FLOOR}x) — perf regression in "
         "src/repro/stats/incremental.py?"
+    )
+    assert fleet["measured_intervals"] < fleet["intervals"], (
+        "warm-up intervals must be excluded from the measured window"
     )
     tracing = result["tracing"]
     assert tracing["byte_identical"], (
@@ -62,9 +82,37 @@ def test_smoke_benchmark(bench_module, tmp_path):
         f"ceiling ({SMOKE_TRACING_OVERHEAD_MAX_PCT:.0f}%) — hot-path emission "
         "in src/repro/obs/tracer.py or over-eager instrumentation?"
     )
-    written = json.loads((tmp_path / "BENCH_perf_telemetry.json").read_text())
+    written = json.loads(path.read_text())
     assert written["benchmark"] == "perf_telemetry"
-    assert written["fleet"]["speedup"] == fleet["speedup"]
+    assert written["fleet"]["window_10"]["speedup"] == fleet["speedup"]
+
+
+def test_smoke_vectorized_sweep(smoke_result):
+    """The vectorized engine must agree with the scalar loop and still win."""
+    result, _ = smoke_result
+    vec = result["fleet_vectorized"]
+    assert vec["decisions_identical"], (
+        "vectorized fleet sweep diverged from the scalar AutoScaler"
+    )
+    assert vec["decisions_compared"] == vec["tenants"] * vec["intervals"]
+    assert vec["speedup"] >= SMOKE_VECTORIZED_SPEEDUP_FLOOR, (
+        f"vectorized sweep only {vec['speedup']:.2f}x faster than the scalar "
+        f"decide loop (smoke floor {SMOKE_VECTORIZED_SPEEDUP_FLOOR}x) — "
+        "regression in src/repro/fleet/vectorized.py?"
+    )
+
+
+def test_smoke_w64_primitive_floors(smoke_result):
+    """Window-64 Theil–Sen and Spearman must stay comfortably ahead of batch."""
+    result, _ = smoke_result
+    w64 = result["primitives"]["window_64"]
+    for name, floor in SMOKE_W64_PRIMITIVE_FLOORS.items():
+        speedup = w64[name]["speedup"]
+        assert speedup >= floor, (
+            f"{name} at window 64 is only {speedup:.2f}x faster than batch "
+            f"(floor {floor}x) — the window-64 regression in "
+            "src/repro/stats/incremental.py is back"
+        )
 
 
 def test_smoke_primitives_match_fleet_windows(bench_module):
