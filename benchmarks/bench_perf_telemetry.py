@@ -541,6 +541,91 @@ def bench_tracing_overhead(smoke: bool = False, repeats: int = 3) -> dict:
     }
 
 
+# -- columnar fleet-pipeline overhead -----------------------------------------
+
+FLEET_OBS_OVERHEAD_TARGET_PCT = 10.0
+
+
+def bench_fleet_observability(
+    n_tenants: int, n_intervals: int, repeats: int = 3
+) -> dict:
+    """Instrumented vs. uninstrumented vectorized sweep.
+
+    Both arms consume the same pre-generated synthetic telemetry in the
+    benchmark configuration (``record_actions=False``).  The instrumented
+    arm carries the full fleet pipeline: a columnar
+    :class:`~repro.obs.fleet.FleetTraceRecorder` (aux capture off, as in
+    production), a DECISION-level tracer receiving the per-interval
+    aggregate events, and a :class:`~repro.obs.fleet.FleetHealthMonitor`.
+    Arms are interleaved best-of-``repeats`` so machine drift hits both,
+    and final fleet state is asserted identical — recording must be pure
+    observation.
+    """
+    from repro.fleet.vectorized import synthesize_fleet_telemetry
+    from repro.obs.fleet import FleetHealthMonitor, FleetTraceRecorder
+
+    catalog = default_catalog()
+    goal = LatencyGoal(100.0)
+    data = synthesize_fleet_telemetry(n_tenants, n_intervals, seed=7)
+
+    def one_run(instrumented: bool):
+        scaler = VectorizedAutoScaler(
+            catalog, n_tenants, goal=goal, record_actions=False
+        )
+        tracer = None
+        if instrumented:
+            tracer = Tracer("fleet-obs", level=TraceLevel.DECISION)
+            recorder = FleetTraceRecorder(
+                tracer=tracer,
+                health=FleetHealthMonitor(tracer=tracer),
+                capture_aux=False,
+            )
+            scaler.attach_recorder(recorder)
+        resizes = 0
+        start = time.perf_counter()
+        for i in range(n_intervals):
+            decision = scaler.decide_batch(
+                float(i),
+                data.latency_ms[i],
+                data.util_pct[i],
+                data.wait_ms[i],
+                data.wait_pct[i],
+                data.memory_used_gb[i],
+                data.disk_physical_reads[i],
+            )
+            resizes += int(np.count_nonzero(decision.resized))
+        elapsed = time.perf_counter() - start
+        return elapsed, resizes, scaler.level.copy(), tracer
+
+    uninstrumented_s = float("inf")
+    instrumented_s = float("inf")
+    n_events = 0
+    for _ in range(repeats):
+        elapsed, base_resizes, base_levels, _ = one_run(False)
+        uninstrumented_s = min(uninstrumented_s, elapsed)
+
+        elapsed, resizes, levels, tracer = one_run(True)
+        instrumented_s = min(instrumented_s, elapsed)
+        n_events = len(tracer)
+        assert resizes == base_resizes and np.array_equal(levels, base_levels), (
+            "instrumented sweep diverged from uninstrumented sweep: "
+            "recording is not pure observation"
+        )
+
+    overhead_pct = 100.0 * (instrumented_s - uninstrumented_s) / uninstrumented_s
+    return {
+        "tenants": n_tenants,
+        "intervals": n_intervals,
+        "repeats": repeats,
+        "uninstrumented_s": round(uninstrumented_s, 4),
+        "instrumented_s": round(instrumented_s, 4),
+        "overhead_pct": round(overhead_pct, 2),
+        "target_overhead_pct": FLEET_OBS_OVERHEAD_TARGET_PCT,
+        "events_per_run": n_events,
+        "decisions_identical": True,
+    }
+
+
 # -- driver -------------------------------------------------------------------
 
 
@@ -592,6 +677,7 @@ def run_benchmark(
             for window in (10, 64)
         },
         "tracing": bench_tracing_overhead(smoke=smoke),
+        "fleet_observability": bench_fleet_observability(n_tenants, n_intervals),
         "equivalence": {
             "cross_checked_intervals": checked,
             "identical_signals": True,
@@ -650,6 +736,18 @@ def report(result: dict) -> str:
         f"  -> {tracing['overhead_pct']:+.1f}% "
         f"(target < {tracing['target_overhead_pct']:.0f}%), "
         f"{tracing['events_per_run']} events, decisions and bills byte-identical"
+    )
+    obs = result["fleet_observability"]
+    lines.append(
+        f"fleet pipeline overhead ({obs['tenants']} tenants x "
+        f"{obs['intervals']} intervals, best of {obs['repeats']}):"
+    )
+    lines.append(
+        f"  uninstrumented {obs['uninstrumented_s']:.3f}s  "
+        f"instrumented {obs['instrumented_s']:.3f}s"
+        f"  -> {obs['overhead_pct']:+.1f}% "
+        f"(target < {obs['target_overhead_pct']:.0f}%), "
+        f"{obs['events_per_run']} events, fleet state identical"
     )
     lines.append(
         f"equivalence: {result['equivalence']['cross_checked_intervals']} intervals "

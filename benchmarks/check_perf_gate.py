@@ -7,7 +7,9 @@ changes) against the floors the repository claims:
 * vectorized fleet sweep >= 10x over the scalar decide loop, with the
   decision-identity assertion having passed;
 * window-64 Theil–Sen and Spearman >= 3x over their batch references;
-* incremental/batch signal equivalence and tracing byte-identity held.
+* incremental/batch signal equivalence and tracing byte-identity held;
+* the columnar fleet observability pipeline (recorder + tracer + health
+  monitor) costs < 10% over the uninstrumented sweep, decisions identical.
 
 The gate intentionally reads the *committed* JSON rather than re-running
 the benchmark: CI machines are too noisy to time a fleet sweep, but they
@@ -45,6 +47,12 @@ TRUTH_FLAGS = [
     ("fleet_vectorized", "decisions_identical"),
     ("equivalence", "identical_signals"),
     ("tracing", "byte_identical"),
+    ("fleet_observability", "decisions_identical"),
+]
+
+#: (path into the JSON, ceiling) — overheads the committed numbers must stay under.
+OVERHEAD_CEILINGS = [
+    (("fleet_observability", "overhead_pct"), 10.0),
 ]
 
 #: The acceptance criterion for paper-scale sweeps: single-digit seconds.
@@ -88,6 +96,15 @@ def check(result: dict) -> list[str]:
             continue
         if value is not True:
             problems.append(f"{name} = {value!r}, expected True")
+    for path, ceiling in OVERHEAD_CEILINGS:
+        name = "/".join(map(str, path))
+        try:
+            value = _lookup(result, path)
+        except KeyError:
+            problems.append(f"missing {name}")
+            continue
+        if not isinstance(value, (int, float)) or value > ceiling:
+            problems.append(f"{name} = {value} above the {ceiling}% ceiling")
     try:
         mean_s = _lookup(result, ("sweep_100k", "mean_interval_s"))
         if mean_s > SWEEP_100K_MAX_MEAN_INTERVAL_S:
@@ -120,10 +137,12 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     vec = result["fleet_vectorized"]
     sweep = result["sweep_100k"]
+    obs = result["fleet_observability"]
     print(
         f"perf gate OK: vectorized {vec['speedup']}x "
         f"({vec['tenants']} tenants), 100k sweep "
-        f"{sweep['mean_interval_s']}s/interval, all floors met"
+        f"{sweep['mean_interval_s']}s/interval, fleet pipeline "
+        f"{obs['overhead_pct']:+.1f}% overhead, all floors met"
     )
     return 0
 

@@ -8,8 +8,11 @@ Three subcommands mirror the repository's main activities:
   thresholds, and write a ``ThresholdConfig`` JSON;
 * ``repro fleet-analysis`` — run the Figure 2 change-event analysis over
   a synthetic tenant population;
-* ``repro trace`` — capture, filter, and summarize structured decision
-  traces (``capture`` / ``show`` / ``summary``).
+* ``repro trace`` — capture, filter, summarize, and drill into
+  structured decision traces (``capture`` / ``show`` / ``summary`` /
+  ``explain``);
+* ``repro fleet report`` — record (or load) a columnar fleet trace and
+  render the fleet-wide summary as JSON or markdown.
 
 Examples::
 
@@ -19,6 +22,9 @@ Examples::
     python -m repro.cli trace capture --scenario chaos --out chaos.jsonl
     python -m repro.cli trace show chaos.jsonl --component executor
     python -m repro.cli trace summary chaos.jsonl --json
+    python -m repro.cli fleet report --tenants 8 --intervals 24 \\
+        --save-store fleet.npz
+    python -m repro.cli trace explain --store fleet.npz --tenant 3 --interval 9
 """
 
 from __future__ import annotations
@@ -138,6 +144,53 @@ def build_parser() -> argparse.ArgumentParser:
     summary.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
     )
+
+    explain = trace_sub.add_parser(
+        "explain",
+        help="scalar-equivalent decision trace for one tenant-interval "
+        "of a columnar fleet store (replayed + parity-checked)",
+    )
+    explain.add_argument(
+        "--store", type=str, required=True,
+        help="columnar fleet trace store (.npz, from 'fleet report "
+        "--save-store')",
+    )
+    explain.add_argument("--tenant", type=int, required=True)
+    explain.add_argument("--interval", type=int, required=True)
+    explain.add_argument(
+        "--level", choices=("decision", "debug"), default="debug",
+        help="replay trace verbosity (default: debug)",
+    )
+
+    fleet_cmd = sub.add_parser(
+        "fleet", help="columnar fleet trace pipeline commands"
+    )
+    fleet_sub = fleet_cmd.add_subparsers(dest="fleet_command", required=True)
+    report = fleet_sub.add_parser(
+        "report", help="summarize a fleet run as JSON or markdown"
+    )
+    report.add_argument(
+        "--store", type=str, default=None,
+        help="report on an existing store instead of recording a new run",
+    )
+    report.add_argument("--tenants", type=int, default=8)
+    report.add_argument("--intervals", type=int, default=24)
+    report.add_argument("--seed", type=int, default=7)
+    report.add_argument(
+        "--goal-ms", type=float, default=100.0,
+        help="latency goal for the recorded run (<= 0 disables the goal)",
+    )
+    report.add_argument(
+        "--format", choices=("json", "markdown"), default="json",
+    )
+    report.add_argument(
+        "--out", type=str, default=None,
+        help="write the report here instead of stdout",
+    )
+    report.add_argument(
+        "--save-store", type=str, default=None,
+        help="also persist the columnar store (.npz) for later drill-down",
+    )
     return parser
 
 
@@ -207,6 +260,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         "capture": _cmd_trace_capture,
         "show": _cmd_trace_show,
         "summary": _cmd_trace_summary,
+        "explain": _cmd_trace_explain,
     }
     return handlers[args.trace_command](args)
 
@@ -282,9 +336,13 @@ def _cmd_trace_summary(args: argparse.Namespace) -> int:
     by_kind: Counter[str] = Counter(e.kind.value for e in events)
     intervals = {e.interval for e in events}
     decisions = {e.decision_id for e in events if e.decision_id}
+    # Ring-buffer drops leave a gap at the front: seq numbers are
+    # tracer-wide and 0-based, so a capped trace starts above 0.
+    dropped = events[-1].seq + 1 - len(events)
     summary = {
         "file": args.file,
         "events": len(events),
+        "dropped": dropped,
         "intervals": len(intervals),
         "first_interval": min(intervals),
         "last_interval": max(intervals),
@@ -301,12 +359,94 @@ def _cmd_trace_summary(args: argparse.Namespace) -> int:
         f"({summary['first_interval']}..{summary['last_interval']}), "
         f"{summary['decisions']} decisions"
     )
+    if dropped:
+        print(
+            f"WARNING: {dropped} events were dropped by the tracer's "
+            "ring buffer (capture with a larger capacity to keep them)"
+        )
     print("by component:")
     for name, count in summary["by_component"].items():
         print(f"  {name:>12}: {count}")
     print("by kind:")
     for name, count in summary["by_kind"].items():
         print(f"  {name:>16}: {count}")
+    return 0
+
+
+def _load_store_or_fail(path: str):
+    from repro.obs.fleet import FleetTraceStore
+
+    try:
+        return FleetTraceStore.load(path)
+    except FileNotFoundError:
+        print(f"error: no such fleet store: {path}", file=sys.stderr)
+        return None
+    except (ValueError, KeyError) as exc:
+        print(f"error: not a fleet trace store: {exc}", file=sys.stderr)
+        return None
+
+
+def _cmd_trace_explain(args: argparse.Namespace) -> int:
+    from repro.obs.events import TraceLevel
+    from repro.obs.fleet import FleetParityError, explain
+
+    store = _load_store_or_fail(args.store)
+    if store is None:
+        return 2
+    level = TraceLevel.DEBUG if args.level == "debug" else TraceLevel.DECISION
+    try:
+        result = explain(store, args.tenant, args.interval, level=level)
+    except IndexError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FleetParityError as exc:
+        print(f"error: parity check failed: {exc}", file=sys.stderr)
+        return 1
+    # Events only on stdout (byte-comparable to a scalar capture);
+    # bookkeeping on stderr.
+    sys.stdout.write(result.jsonl)
+    print(
+        f"tenant {args.tenant} interval {args.interval}: "
+        f"{len(result.events)} events, parity verified over "
+        f"{result.intervals_replayed} replayed intervals",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    handlers = {"report": _cmd_fleet_report}
+    return handlers[args.fleet_command](args)
+
+
+def _cmd_fleet_report(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs.fleet import fleet_report, record_synthetic_fleet, render_markdown
+
+    if args.store is not None:
+        store = _load_store_or_fail(args.store)
+        if store is None:
+            return 2
+    else:
+        goal_ms = args.goal_ms if args.goal_ms > 0 else None
+        store = record_synthetic_fleet(
+            args.tenants, args.intervals, seed=args.seed, goal_ms=goal_ms
+        )
+    if args.save_store:
+        store.save(args.save_store)
+        print(f"columnar store -> {args.save_store}", file=sys.stderr)
+    report = fleet_report(store)
+    if args.format == "markdown":
+        rendered = render_markdown(report)
+    else:
+        rendered = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    if args.out:
+        Path(args.out).write_text(rendered)
+        print(f"fleet report -> {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(rendered)
     return 0
 
 
@@ -317,6 +457,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "calibrate": _cmd_calibrate,
         "fleet-analysis": _cmd_fleet_analysis,
         "trace": _cmd_trace,
+        "fleet": _cmd_fleet,
     }
     return handlers[args.command](args)
 

@@ -31,6 +31,7 @@ from repro.engine.server import EngineConfig
 from repro.faults.schedule import FaultSchedule
 from repro.harness.chaos import ChaosResult, run_chaos
 from repro.harness.experiment import ExperimentConfig
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Tracer
 from repro.workloads import Trace, cpuio_workload
 from repro.workloads.base import Workload
@@ -105,6 +106,7 @@ def chaos_sweep(
     budget_factor: float = 0.35,
     workload: Workload | None = None,
     tracer_for: Callable[[int], Tracer | None] | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> ChaosSweepResult:
     """Run ``n_tenants`` independent randomized chaos runs.
 
@@ -125,6 +127,11 @@ def chaos_sweep(
             returned tracer is threaded through that tenant's control
             plane (use it to trace one misbehaving tenant out of a sweep
             without paying for the rest).
+        metrics: optional registry accumulating sweep-wide ``chaos.*``
+            counters (tenants, errors, overdraws, resize failures,
+            circuit opens, guard verdicts, safe-mode entries) and the
+            ``chaos.total_refunded`` gauge, so sweeps feed the same
+            exporters as the fleet pipeline.
     """
     workload = workload or cpuio_workload()
     outcomes: list[TenantChaosOutcome] = []
@@ -144,7 +151,34 @@ def chaos_sweep(
                 tracer=tracer_for(tenant) if tracer_for is not None else None,
             )
         )
-    return ChaosSweepResult(outcomes=outcomes)
+    result = ChaosSweepResult(outcomes=outcomes)
+    if metrics is not None:
+        _record_sweep_metrics(metrics, result)
+    return result
+
+
+def _record_sweep_metrics(
+    metrics: MetricsRegistry, result: ChaosSweepResult
+) -> None:
+    counts = {
+        "chaos.tenants": result.n_tenants,
+        "chaos.errors": len(result.errors),
+        "chaos.budget_overdrawn": len(result.overdrawn),
+        "chaos.resize_failures": sum(
+            o.resize_failures for o in result.outcomes
+        ),
+        "chaos.circuit_opens": sum(o.circuit_opens for o in result.outcomes),
+        "chaos.quarantined": sum(o.quarantined for o in result.outcomes),
+        "chaos.missed": sum(o.missed for o in result.outcomes),
+        "chaos.discarded": sum(o.discarded for o in result.outcomes),
+        "chaos.safe_mode_entries": sum(
+            1 for o in result.outcomes if o.entered_safe_mode
+        ),
+    }
+    for name, value in counts.items():
+        if value:
+            metrics.counter(name).inc(float(value))
+    metrics.gauge("chaos.total_refunded").set(result.total_refunded)
 
 
 def _run_tenant(

@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.engine.resources import ResourceKind
 from repro.errors import ConfigurationError
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["DemandPattern", "TenantProfile", "synthesize_population", "rate_series"]
 
@@ -92,8 +93,17 @@ class TenantProfile:
     seed: int
 
 
-def synthesize_population(n_tenants: int, seed: int = 42) -> list[TenantProfile]:
-    """Generate a diverse tenant population."""
+def synthesize_population(
+    n_tenants: int,
+    seed: int = 42,
+    metrics: MetricsRegistry | None = None,
+) -> list[TenantProfile]:
+    """Generate a diverse tenant population.
+
+    When ``metrics`` is given, the drawn demand-shape mix lands as
+    ``population.pattern.<shape>`` counters — the fleet pipeline's
+    exporters then ship the population composition alongside the run.
+    """
     if n_tenants < 1:
         raise ConfigurationError("n_tenants must be >= 1")
     rng = np.random.default_rng(seed)
@@ -125,6 +135,11 @@ def synthesize_population(n_tenants: int, seed: int = 42) -> list[TenantProfile]
                 seed=int(rng.integers(0, 2**31 - 1)),
             )
         )
+    if metrics is not None:
+        for tenant in tenants:
+            metrics.counter(
+                f"population.pattern.{tenant.pattern.value}"
+            ).inc()
     return tenants
 
 

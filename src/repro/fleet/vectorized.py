@@ -48,7 +48,7 @@ never need rotation.
 from __future__ import annotations
 
 import time
-from typing import NamedTuple, Sequence
+from typing import Callable, NamedTuple, Sequence
 
 import numpy as np
 
@@ -68,8 +68,9 @@ from repro.engine.bufferpool import engine_overhead_gb, usable_cache_gb
 from repro.engine.containers import ContainerCatalog
 from repro.engine.resources import SCALABLE_KINDS
 from repro.engine.telemetry import IntervalCounters
-from repro.engine.waits import RESOURCE_WAIT_CLASS
+from repro.engine.waits import RESOURCE_WAIT_CLASS, WaitClass
 from repro.errors import BudgetError, CatalogError, InsufficientDataError
+from repro.obs.metrics import MetricsRegistry
 from repro.stats.batched import (
     batched_detect_trend,
     batched_spearman,
@@ -512,6 +513,12 @@ class VectorizedAutoScaler:
         record_actions: keep the per-tenant ordered action lists on each
             decision (required for byte-identity checks; costs a Python
             loop over tenants, so the fleet benchmark turns it off).
+        clock: optional monotonic clock (``time.perf_counter``-like).
+            When set, each :meth:`decide_batch` records per-stage wall
+            clock (signals / estimate_fleet / actuation / whole batch)
+            into ``self.metrics`` histograms ``fleet.stage.*``; when
+            None (the default) no clock is read and the loop is
+            byte-stable across hosts.
     """
 
     def __init__(
@@ -530,6 +537,7 @@ class VectorizedAutoScaler:
         use_ballooning: bool = True,
         damper: OscillationDamper | None = None,
         record_actions: bool = True,
+        clock: Callable[[], float] | None = None,
     ) -> None:
         if len(catalog) != catalog.num_levels:
             raise CatalogError(
@@ -546,6 +554,13 @@ class VectorizedAutoScaler:
         self.use_correlation = use_correlation
         self.use_ballooning = use_ballooning
         self._record_actions = record_actions
+        #: Per-stage timing histograms land here when ``clock`` is set;
+        #: recorders and health monitors may add their own instruments.
+        self.metrics = MetricsRegistry()
+        self._clock = clock
+        self._recorder = None
+        self._clamp_zero: np.ndarray | None = None
+        self._clamp_depth: np.ndarray | None = None
 
         levels = [catalog.at_level(i) for i in range(catalog.num_levels)]
         self._costs = np.array([c.cost for c in levels])
@@ -638,6 +653,24 @@ class VectorizedAutoScaler:
     def rule_names(self, rules_row: np.ndarray) -> list[str | None]:
         return [RULE_NAMES[code] for code in rules_row]
 
+    def attach_recorder(self, recorder) -> None:
+        """Attach a columnar trace recorder (duck-typed).
+
+        The recorder receives one :meth:`record_interval` call per
+        :meth:`decide_batch`; ``recorder.bind(self)`` runs immediately so
+        it can capture the initial budget/level state the drill-down
+        replay needs.  Must happen before the first interval — a recorder
+        attached mid-run could not reconstruct the scalar-equivalent
+        history.
+        """
+        if self.telemetry._count != 0:
+            raise ValueError(
+                "attach_recorder() before the first decide_batch: the "
+                "columnar store must cover the run from interval 0"
+            )
+        self._recorder = recorder
+        recorder.bind(self)
+
     # -- the closed loop ---------------------------------------------------
 
     def decide_batch(
@@ -660,6 +693,8 @@ class VectorizedAutoScaler:
         """
         n = self.n_tenants
         level = self.level
+        clock = self._clock
+        t_start = clock() if clock is not None else 0.0
         latency_ms = np.asarray(latency_ms, dtype=float)
         disk_physical_reads = np.asarray(disk_physical_reads, dtype=float)
 
@@ -669,9 +704,11 @@ class VectorizedAutoScaler:
 
         if billed_cost is None:
             billed_cost = self._costs[level]
-        self._settle_budget(np.asarray(billed_cost, dtype=float))
+        billed_cost = np.asarray(billed_cost, dtype=float)
+        self._settle_budget(billed_cost)
 
         signals = self.telemetry.signals()
+        t_signals = clock() if clock is not None else 0.0
         demand = estimate_fleet(
             signals,
             self.thresholds,
@@ -679,6 +716,7 @@ class VectorizedAutoScaler:
             use_trends=self.use_trends,
             use_correlation=self.use_correlation,
         )
+        t_estimate = clock() if clock is not None else 0.0
         needs_help = self._latency_needs_help(signals)
 
         balloon = self._handle_balloon(
@@ -771,6 +809,51 @@ class VectorizedAutoScaler:
                 budget_forced,
                 tripped,
             )
+
+        if clock is not None:
+            t_end = clock()
+            h = self.metrics.histogram
+            h("fleet.stage.signals").observe((t_signals - t_start) * 1e3)
+            h("fleet.stage.estimate_fleet").observe(
+                (t_estimate - t_signals) * 1e3
+            )
+            h("fleet.stage.actuation").observe((t_end - t_estimate) * 1e3)
+            h("fleet.stage.decide_batch").observe((t_end - t_start) * 1e3)
+
+        if self._recorder is not None:
+            self._recorder.record_interval(
+                t=t,
+                latency_ms=latency_ms,
+                util_pct=np.asarray(util_pct, dtype=float),
+                wait_ms=np.asarray(wait_ms, dtype=float),
+                wait_pct=np.asarray(wait_pct, dtype=float),
+                memory_used_gb=np.asarray(memory_used_gb, dtype=float),
+                disk_physical_reads=disk_physical_reads,
+                billed_cost=billed_cost,
+                level_before=previous,
+                level_after=target,
+                resized=resized,
+                steps=demand.steps,
+                rules=demand.rules,
+                needs_help=needs_help,
+                wants_up=wants_up,
+                hold_help=hold_help,
+                up_clipped=up_clipped,
+                probe_started=probe_started,
+                shrink=shrink,
+                suppressed=suppressed,
+                budget_forced=budget_forced,
+                tripped=tripped,
+                balloon_aborted=balloon_aborted,
+                balloon_confirmed=balloon_confirmed,
+                clamp_zero=self._clamp_zero,
+                clamp_depth=self._clamp_depth,
+                tokens=self._tokens,
+                spent=self._spent,
+                balloon_limit_gb=self.balloon_limit_gb,
+                actions=actions,
+            )
+
         return FleetDecisions(
             level=target.copy(),
             resized=resized,
@@ -794,6 +877,11 @@ class VectorizedAutoScaler:
         self._interval_i += 1
         self._spent += cost
         after = np.maximum(self._tokens - cost, 0.0)
+        if self._recorder is not None:
+            # The scalar ledger's clamp events, as masks, captured before
+            # the in-place refill mutates the token array.
+            self._clamp_zero = (self._tokens - cost) < 0.0
+            self._clamp_depth = (after + self._fill) > self._depth
         np.minimum(after + self._fill, self._depth, out=self._tokens)
 
     def _latency_needs_help(self, signals: FleetSignals) -> np.ndarray:
@@ -1105,7 +1193,10 @@ class VectorizedAutoScaler:
 
 
 def counters_to_interval_arrays(
-    counters_row: Sequence[IntervalCounters], goal: LatencyGoal | None
+    counters_row: Sequence[IntervalCounters],
+    goal: LatencyGoal | None,
+    *,
+    include_aux: bool = False,
 ) -> dict:
     """One interval's fleet telemetry, as decide_batch's array inputs.
 
@@ -1113,6 +1204,13 @@ def counters_to_interval_arrays(
     the *same* billing interval.  Latency is reduced exactly as the scalar
     manager's ``_interval_latency`` does: the goal's metric when a goal is
     set, p95 otherwise, NaN when idle.
+
+    With ``include_aux`` the dict gains an ``"aux"`` entry carrying the
+    raw pieces the columnar trace store needs to rebuild bit-identical
+    :class:`IntervalCounters` for the per-tenant drill-down replay:
+    utilization *fractions* (the scalar recomputes percent from these),
+    the lock/system wait classes (the other four are the ``wait_ms``
+    rows), and the completions / wall-clock bookkeeping fields.
     """
     n = len(counters_row)
     first = counters_row[0]
@@ -1134,7 +1232,7 @@ def counters_to_interval_arrays(
             util[k, i] = c.utilization_percent(kind)
             wait[k, i] = c.wait_ms(wait_class)
             wpct[k, i] = c.wait_percent(wait_class)
-    return {
+    out = {
         "t": float(first.interval_index),
         "latency_ms": latency,
         "util_pct": util,
@@ -1146,6 +1244,26 @@ def counters_to_interval_arrays(
         ),
         "billed_cost": np.array([c.container.cost for c in counters_row]),
     }
+    if include_aux:
+        util_frac = np.empty((K, n))
+        for k, kind in enumerate(SCALABLE_KINDS):
+            for i, c in enumerate(counters_row):
+                util_frac[k, i] = c.utilization_median[kind]
+        out["aux"] = {
+            "util_frac": util_frac,
+            "lock_ms": np.array(
+                [c.wait_ms(WaitClass.LOCK) for c in counters_row]
+            ),
+            "system_ms": np.array(
+                [c.wait_ms(WaitClass.SYSTEM) for c in counters_row]
+            ),
+            "completions": np.array(
+                [c.completions for c in counters_row], dtype=np.int64
+            ),
+            "start_s": np.array([c.start_s for c in counters_row]),
+            "end_s": np.array([c.end_s for c in counters_row]),
+        }
+    return out
 
 
 def replay_decisions(
@@ -1163,11 +1281,16 @@ def replay_decisions(
     if len(lengths) != 1:
         raise ValueError("all tenant streams must have the same length")
     (n_intervals,) = lengths
+    recorder = scaler._recorder
     out = []
     for i in range(n_intervals):
         arrays = counters_to_interval_arrays(
-            [stream[i] for stream in streams], scaler.goal
+            [stream[i] for stream in streams],
+            scaler.goal,
+            include_aux=recorder is not None,
         )
+        if recorder is not None:
+            recorder.stage_aux(arrays["aux"])
         decision = scaler.decide_batch(
             arrays["t"],
             arrays["latency_ms"],
@@ -1186,7 +1309,13 @@ def replay_decisions(
 
 
 class FleetTelemetryArrays(NamedTuple):
-    """Pre-generated open-loop fleet telemetry, indexed [interval]."""
+    """Pre-generated open-loop fleet telemetry, indexed [interval].
+
+    The trailing lock/system wait classes are optional: only the columnar
+    trace recorder needs them (to rebuild full six-class
+    :class:`~repro.engine.waits.WaitProfile` objects for the drill-down
+    replay); the decide loop itself never reads them.
+    """
 
     latency_ms: np.ndarray  # (I, T)
     util_pct: np.ndarray  # (I, K, T)
@@ -1194,6 +1323,8 @@ class FleetTelemetryArrays(NamedTuple):
     wait_pct: np.ndarray  # (I, K, T)
     memory_used_gb: np.ndarray  # (I, T)
     disk_physical_reads: np.ndarray  # (I, T)
+    lock_wait_ms: np.ndarray | None = None  # (I, T)
+    system_wait_ms: np.ndarray | None = None  # (I, T)
 
 
 def synthesize_fleet_telemetry(
@@ -1247,6 +1378,8 @@ def synthesize_fleet_telemetry(
         wait_pct=wait_pct,
         memory_used_gb=memory_used,
         disk_physical_reads=disk_reads,
+        lock_wait_ms=waits[:, 4].copy(),
+        system_wait_ms=waits[:, 5].copy(),
     )
 
 
@@ -1260,12 +1393,17 @@ def run_synthetic_sweep(
     goal_ms: float | None = 100.0,
     record_actions: bool = False,
     telemetry: FleetTelemetryArrays | None = None,
+    recorder=None,
+    clock: Callable[[], float] | None = None,
 ) -> dict:
     """Time a vectorized fleet sweep over seeded synthetic telemetry.
 
     Returns per-interval wall-clock (the acceptance metric for the
     100k-tenant sweep) plus a decision digest so results are comparable
-    across runs.
+    across runs.  ``recorder`` optionally attaches a columnar trace
+    recorder (see :mod:`repro.obs.fleet`) — the configuration the
+    observability overhead benchmark times; ``clock`` enables the
+    per-stage timing histograms.
     """
     from repro.engine.containers import default_catalog
 
@@ -1278,7 +1416,10 @@ def run_synthetic_sweep(
         goal=goal,
         thresholds=thresholds,
         record_actions=record_actions,
+        clock=clock,
     )
+    if recorder is not None:
+        scaler.attach_recorder(recorder)
     per_interval = []
     resizes = 0
     for i in range(n_intervals):

@@ -9,12 +9,39 @@ Public surface:
 * :class:`~repro.obs.metrics.MetricsRegistry` — deterministic counters,
   gauges, and fixed-bucket histograms;
 * :mod:`~repro.obs.scenarios` — the canonical seeded scenarios the
-  golden-trace suite and ``repro trace capture`` share.
+  golden-trace suite and ``repro trace capture`` share;
+* :mod:`~repro.obs.exporters` — snapshot merging plus Prometheus/JSONL
+  exposition of registry snapshots;
+* :mod:`~repro.obs.fleet` — the columnar fleet trace pipeline
+  (loaded lazily: it imports the vectorized engine, which scalar-only
+  consumers of this package never need).
 """
 
 from repro.obs.events import EventKind, TraceEvent, TraceLevel
+from repro.obs.exporters import (
+    merge_snapshots,
+    parse_prometheus,
+    snapshot_to_jsonl,
+    to_prometheus,
+    write_prometheus,
+)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer, events_to_jsonl, load_events
+
+#: Names re-exported from :mod:`repro.obs.fleet` on first attribute access.
+_FLEET_NAMES = (
+    "FleetParityError",
+    "FleetTraceRecorder",
+    "FleetTraceStore",
+    "ExplainResult",
+    "explain",
+    "fleet_metrics_registry",
+    "FleetSloThresholds",
+    "FleetHealthMonitor",
+    "fleet_report",
+    "render_markdown",
+    "record_synthetic_fleet",
+)
 
 __all__ = [
     "EventKind",
@@ -29,4 +56,18 @@ __all__ = [
     "NULL_TRACER",
     "events_to_jsonl",
     "load_events",
+    "merge_snapshots",
+    "to_prometheus",
+    "parse_prometheus",
+    "snapshot_to_jsonl",
+    "write_prometheus",
+    *_FLEET_NAMES,
 ]
+
+
+def __getattr__(name: str):
+    if name in _FLEET_NAMES:
+        from repro.obs import fleet
+
+        return getattr(fleet, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -74,6 +74,9 @@ class EventKind(enum.Enum):
     # Harness bookkeeping and profiling.
     BILLING = "billing"  # meter charge for one measured interval
     STAGE = "stage"  # profiled stage timing (injected clock)
+    # Fleet pipeline (columnar, one event per interval for the fleet).
+    FLEET_INTERVAL = "fleet-interval"  # aggregate vectorized decide_batch
+    FLEET_HEALTH = "fleet-health"  # SLO aggregate threshold crossing
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value

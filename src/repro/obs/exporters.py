@@ -1,0 +1,257 @@
+"""Metrics exporters: snapshot merging, Prometheus text format, JSONL.
+
+A fleet run produces many :class:`~repro.obs.metrics.MetricsRegistry`
+snapshots — one per scalar tenant, or one aggregate from the columnar
+pipeline.  This module turns them into operator-facing artifacts:
+
+* :func:`merge_snapshots` — the fleet aggregate of per-tenant snapshots
+  (counters and gauges sum; histograms require identical boundaries and
+  sum element-wise).  The columnar pipeline's registry must equal the
+  merge of the per-tenant scalar registries — the property suite holds
+  the two to exact equality.
+* :func:`to_prometheus` / :func:`parse_prometheus` — the Prometheus
+  text exposition format and its inverse.  The pair is a fixed point:
+  ``to_prometheus(parse_prometheus(text)) == text``, which is what the
+  round-trip test pins.
+* :func:`snapshot_to_jsonl` — one canonical JSON line per metric, for
+  log shippers that prefer line-delimited records.
+
+Determinism: metric names are emitted sorted, floats are formatted with
+``repr`` (shortest round-trip form), and nothing reads host state.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.obs.events import json_safe
+
+__all__ = [
+    "merge_snapshots",
+    "sanitize_metric_name",
+    "to_prometheus",
+    "parse_prometheus",
+    "snapshot_to_jsonl",
+    "write_prometheus",
+]
+
+_EMPTY_SNAPSHOT: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def merge_snapshots(snapshots: Iterable[dict]) -> dict:
+    """Merge registry snapshots into one fleet-aggregate snapshot.
+
+    Counters and gauges sum (a summed gauge reads as a fleet total —
+    e.g. per-tenant ``refunded`` gauges merge into tokens refunded fleet
+    wide).  Histograms must share boundaries exactly; their bucket
+    counts, observation counts, and sums add element-wise.
+    """
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, dict] = {}
+    for snap in snapshots:
+        for name, value in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0.0) + value
+        for name, value in snap.get("gauges", {}).items():
+            gauges[name] = gauges.get(name, 0.0) + value
+        for name, hist in snap.get("histograms", {}).items():
+            merged = histograms.get(name)
+            if merged is None:
+                histograms[name] = {
+                    "boundaries": list(hist["boundaries"]),
+                    "counts": list(hist["counts"]),
+                    "count": hist["count"],
+                    "sum": hist["sum"],
+                }
+                continue
+            if merged["boundaries"] != list(hist["boundaries"]):
+                raise ConfigurationError(
+                    f"histogram {name!r} has mismatched boundaries across "
+                    "snapshots; refusing to merge"
+                )
+            merged["counts"] = [
+                a + b for a, b in zip(merged["counts"], hist["counts"])
+            ]
+            merged["count"] += hist["count"]
+            merged["sum"] += hist["sum"]
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": dict(sorted(histograms.items())),
+    }
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map a registry metric name onto the Prometheus grammar.
+
+    Dots and dashes (our namespace separators) become underscores; any
+    other illegal character does too.  The mapping is stable but not
+    invertible — exposition deals in sanitized names only.
+    """
+    sanitized = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _format_value(value: float) -> str:
+    """Shortest exact decimal form (integers lose the trailing ``.0``)."""
+    value = float(value)
+    if value == int(value) and abs(value) < 1e16:
+        return str(int(value))
+    return repr(value)
+
+
+def to_prometheus(snapshot: dict, prefix: str = "repro_") -> str:
+    """Render a registry snapshot in Prometheus text exposition format.
+
+    Counters gain the conventional ``_total`` suffix; histograms render
+    cumulative ``_bucket{le="..."}`` series plus ``_sum`` / ``_count``.
+    Output is sorted by metric name and ends with a newline.
+    """
+    lines: list[str] = []
+    for name in sorted(snapshot.get("counters", {})):
+        metric = prefix + sanitize_metric_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(
+            f"{metric}_total {_format_value(snapshot['counters'][name])}"
+        )
+    for name in sorted(snapshot.get("gauges", {})):
+        metric = prefix + sanitize_metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(snapshot['gauges'][name])}")
+    for name in sorted(snapshot.get("histograms", {})):
+        hist = snapshot["histograms"][name]
+        metric = prefix + sanitize_metric_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for edge, count in zip(hist["boundaries"], hist["counts"]):
+            cumulative += count
+            lines.append(
+                f'{metric}_bucket{{le="{_format_value(edge)}"}} {cumulative}'
+            )
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {hist["count"]}')
+        lines.append(f"{metric}_sum {_format_value(hist['sum'])}")
+        lines.append(f"{metric}_count {hist['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+_TYPE_RE = re.compile(r"^# TYPE (\S+) (counter|gauge|histogram)$")
+_SAMPLE_RE = re.compile(r"^(\S+?)(?:\{le=\"([^\"]+)\"\})? (\S+)$")
+
+
+def parse_prometheus(text: str, prefix: str = "repro_") -> dict:
+    """Parse :func:`to_prometheus` output back into a snapshot dict.
+
+    The inverse up to name sanitization: ``to_prometheus(parse(text))``
+    reproduces ``text`` byte for byte.  Raises :class:`ValueError` on
+    anything that is not well-formed exposition output.
+    """
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, dict] = {}
+    types: dict[str, str] = {}
+    buckets: dict[str, list[tuple[float, float]]] = {}
+    inf_counts: dict[str, float] = {}
+    sums: dict[str, float] = {}
+    counts: dict[str, float] = {}
+
+    def strip_prefix(metric: str) -> str:
+        if not metric.startswith(prefix):
+            raise ValueError(f"metric {metric!r} lacks prefix {prefix!r}")
+        return metric[len(prefix):]
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        type_match = _TYPE_RE.match(line)
+        if type_match:
+            types[strip_prefix(type_match.group(1))] = type_match.group(2)
+            continue
+        sample = _SAMPLE_RE.match(line)
+        if sample is None:
+            raise ValueError(f"line {lineno}: not exposition format: {line!r}")
+        metric, le, raw = sample.groups()
+        value = float(raw)
+        if le is not None:
+            base = strip_prefix(metric)
+            if not base.endswith("_bucket"):
+                raise ValueError(f"line {lineno}: le label on non-bucket")
+            base = base[: -len("_bucket")]
+            if le == "+Inf":
+                inf_counts[base] = value
+            else:
+                buckets.setdefault(base, []).append((float(le), value))
+            continue
+        name = strip_prefix(metric)
+        if name.endswith("_sum") and types.get(name[:-4]) == "histogram":
+            sums[name[:-4]] = value
+        elif name.endswith("_count") and types.get(name[:-6]) == "histogram":
+            counts[name[:-6]] = value
+        elif name.endswith("_total") and types.get(name[:-6]) == "counter":
+            counters[name[:-6]] = value
+        elif types.get(name) == "gauge":
+            gauges[name] = value
+        else:
+            raise ValueError(
+                f"line {lineno}: sample {metric!r} has no TYPE declaration"
+            )
+
+    for name, kind in types.items():
+        if kind != "histogram":
+            continue
+        edges_cum = buckets.get(name, [])
+        boundaries = [edge for edge, _ in edges_cum]
+        cumulative = [c for _, c in edges_cum]
+        per_bucket = [
+            int(c - (cumulative[i - 1] if i else 0.0))
+            for i, c in enumerate(cumulative)
+        ]
+        total_count = int(inf_counts.get(name, 0.0))
+        overflow = total_count - sum(per_bucket)
+        histograms[name] = {
+            "boundaries": boundaries,
+            "counts": per_bucket + [overflow],
+            "count": total_count,
+            "sum": sums.get(name, 0.0),
+        }
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": dict(sorted(histograms.items())),
+    }
+
+
+def snapshot_to_jsonl(snapshot: dict) -> str:
+    """One canonical JSON line per metric (sorted, NaN-safe)."""
+    lines = []
+    for name in sorted(snapshot.get("counters", {})):
+        lines.append(
+            {"type": "counter", "name": name,
+             "value": json_safe(snapshot["counters"][name])}
+        )
+    for name in sorted(snapshot.get("gauges", {})):
+        lines.append(
+            {"type": "gauge", "name": name,
+             "value": json_safe(snapshot["gauges"][name])}
+        )
+    for name in sorted(snapshot.get("histograms", {})):
+        hist = snapshot["histograms"][name]
+        lines.append(
+            {"type": "histogram", "name": name,
+             "boundaries": list(hist["boundaries"]),
+             "counts": list(hist["counts"]),
+             "count": hist["count"], "sum": json_safe(hist["sum"])}
+        )
+    out = [json.dumps(rec, sort_keys=True, separators=(",", ":")) for rec in lines]
+    return "\n".join(out) + ("\n" if out else "")
+
+
+def write_prometheus(
+    snapshot: dict, path: str | Path, prefix: str = "repro_"
+) -> None:
+    Path(path).write_text(to_prometheus(snapshot, prefix=prefix))

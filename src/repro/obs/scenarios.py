@@ -126,10 +126,35 @@ def _run_chaos(tracer: Tracer) -> None:
     )
 
 
+def _run_fleet_steady(tracer: Tracer) -> None:
+    """Seeded 8-tenant vectorized run through the columnar pipeline.
+
+    The trace carries one aggregate ``fleet-interval`` event per interval
+    plus ``fleet-health`` crossings from a monitor whose throttling
+    threshold sits inside the synthetic fleet's operating range, so the
+    golden pins both event kinds.
+    """
+    from repro.obs.fleet import (
+        FleetHealthMonitor,
+        FleetSloThresholds,
+        record_synthetic_fleet,
+    )
+
+    health = FleetHealthMonitor(
+        window=4,
+        thresholds=FleetSloThresholds(throttling_p95_ms=1000.0),
+        tracer=tracer,
+    )
+    record_synthetic_fleet(
+        8, 12, seed=_SEED, goal_ms=_GOAL_MS, tracer=tracer, health=health
+    )
+
+
 _SCENARIOS = {
     "steady": _run_steady,
     "bursty-budget": _run_bursty_budget,
     "chaos": _run_chaos,
+    "fleet_steady": _run_fleet_steady,
 }
 
 SCENARIO_NAMES = tuple(sorted(_SCENARIOS))

@@ -1,0 +1,150 @@
+"""Property tests for the columnar fleet pipeline.
+
+Two equivalence claims, each checked on randomized small fleets:
+
+1. **Metrics equivalence** — the fleet-aggregate registry derived from
+   the columnar store equals the :func:`merge_snapshots` of per-tenant
+   scalar DECISION-level registries, exactly (counters, histogram
+   buckets, sums).
+2. **Drill-down parity under chaos-shaped telemetry** — ``explain``
+   stays byte-identical to the scalar tracer even when the recorded
+   streams carry fault-shaped perturbations (latency spikes, wait
+   storms, disk surges at the intervals of a random
+   :class:`~repro.faults.schedule.FaultSchedule`, the same generator the
+   chaos sweep draws from).  The vectorized engine deliberately excludes
+   the guard/safe-mode machinery, so faults here perturb *values* the
+   healthy loop consumes, not the delivery mechanism.
+
+Each example replays a real fleet, so example counts stay low.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.autoscaler import AutoScaler
+from repro.core.latency import LatencyGoal
+from repro.engine.containers import default_catalog
+from repro.engine.waits import WaitClass, WaitProfile
+from repro.faults.schedule import FaultSchedule
+from repro.fleet.vectorized import VectorizedAutoScaler, replay_decisions
+from repro.obs.events import TraceLevel
+from repro.obs.exporters import merge_snapshots
+from repro.obs.fleet import FleetTraceRecorder, explain, fleet_metrics_registry
+from repro.obs.tracer import Tracer, events_to_jsonl
+from tests.test_fleet_vectorized import make_streams
+
+fleet_shapes = st.tuples(
+    st.integers(min_value=2, max_value=6),    # tenants
+    st.integers(min_value=5, max_value=12),   # intervals
+    st.integers(min_value=0, max_value=2**16),  # seed
+)
+
+
+def _fleet(n_tenants, n_intervals, seed, goal_ms=100.0):
+    catalog = default_catalog()
+    rng = np.random.default_rng(seed + 999)
+    levels = rng.integers(0, catalog.num_levels, n_tenants)
+    streams = make_streams(n_tenants, n_intervals, seed, catalog, levels)
+    goal = LatencyGoal(goal_ms) if goal_ms else None
+    return catalog, levels, streams, goal
+
+
+def _perturb_with_faults(streams, base_seed, n_intervals):
+    """Impose chaos-schedule-shaped value perturbations on the streams.
+
+    Tenant ``t`` gets ``FaultSchedule.random(seed=base_seed + t)`` — the
+    chaos sweep's seeding scheme — and every scheduled interval sees a
+    3x latency spike, doubled waits, and a 4x disk-read surge.
+    """
+    perturbed = []
+    for t, stream in enumerate(streams):
+        schedule = FaultSchedule.random(
+            seed=base_seed + t, n_intervals=n_intervals, n_faults=5
+        )
+        hot = {
+            event.interval + offset
+            for event in schedule.events
+            for offset in range(event.duration)
+        }
+        new_stream = []
+        for counters in stream:
+            if counters.interval_index not in hot:
+                new_stream.append(counters)
+                continue
+            waits = WaitProfile()
+            for wait_class in WaitClass:
+                waits.add(wait_class, counters.wait_ms(wait_class) * 2.0)
+            new_stream.append(
+                dataclasses.replace(
+                    counters,
+                    latencies_ms=counters.latencies_ms * 3.0,
+                    waits=waits,
+                    disk_physical_reads=counters.disk_physical_reads * 4.0,
+                )
+            )
+        perturbed.append(new_stream)
+    return perturbed
+
+
+def _columnar_store(catalog, levels, streams, goal):
+    scaler = VectorizedAutoScaler(
+        catalog, len(streams), initial_level=levels, goal=goal
+    )
+    recorder = FleetTraceRecorder()
+    scaler.attach_recorder(recorder)
+    replay_decisions(streams, scaler)
+    return recorder.finish()
+
+
+@settings(max_examples=8, deadline=None)
+@given(shape=fleet_shapes)
+def test_columnar_metrics_equal_merged_scalar_registries(shape):
+    n_tenants, n_intervals, seed = shape
+    catalog, levels, streams, goal = _fleet(n_tenants, n_intervals, seed)
+    store = _columnar_store(catalog, levels, streams, goal)
+    columnar = fleet_metrics_registry(store).snapshot()
+
+    snapshots = []
+    for t in range(n_tenants):
+        tracer = Tracer(run_id=f"t{t}", level=TraceLevel.DECISION)
+        scaler = AutoScaler(
+            catalog,
+            initial_container=catalog.at_level(int(levels[t])),
+            goal=goal,
+            tracer=tracer,
+        )
+        for counters in streams[t]:
+            scaler.decide(counters)
+        snapshots.append(tracer.metrics.snapshot())
+    assert columnar == merge_snapshots(snapshots)
+
+
+@settings(max_examples=6, deadline=None)
+@given(shape=fleet_shapes)
+def test_explain_parity_under_chaos_schedules(shape):
+    n_tenants, n_intervals, seed = shape
+    catalog, levels, streams, goal = _fleet(n_tenants, n_intervals, seed)
+    streams = _perturb_with_faults(streams, base_seed=100 + seed, n_intervals=n_intervals)
+    store = _columnar_store(catalog, levels, streams, goal)
+
+    # Drill into every tenant at the final interval: the full-prefix
+    # replay parity-checks every earlier interval on the way there.
+    last = n_intervals - 1
+    for t in range(n_tenants):
+        tracer = Tracer(run_id=f"scalar-t{t}", level=TraceLevel.DEBUG)
+        scaler = AutoScaler(
+            catalog,
+            initial_container=catalog.at_level(int(levels[t])),
+            goal=goal,
+            tracer=tracer,
+        )
+        for counters in streams[t]:
+            scaler.decide(counters)
+        result = explain(store, t, last)
+        assert result.intervals_replayed == n_intervals
+        assert result.jsonl == events_to_jsonl(tracer.events(interval=last))
