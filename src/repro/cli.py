@@ -12,7 +12,11 @@ Three subcommands mirror the repository's main activities:
   structured decision traces (``capture`` / ``show`` / ``summary`` /
   ``explain``);
 * ``repro fleet report`` — record (or load) a columnar fleet trace and
-  render the fleet-wide summary as JSON or markdown.
+  render the fleet-wide summary as JSON or markdown;
+* ``repro serve`` — run the durable controller service over a seeded
+  multi-tenant fleet, checkpointing each interval (optionally killing
+  and restoring the controller at chosen intervals);
+* ``repro checkpoint inspect`` — summarize a checkpoint file.
 
 Examples::
 
@@ -25,6 +29,9 @@ Examples::
     python -m repro.cli fleet report --tenants 8 --intervals 24 \\
         --save-store fleet.npz
     python -m repro.cli trace explain --store fleet.npz --tenant 3 --interval 9
+    python -m repro.cli serve --tenants 4 --intervals 20 \\
+        --checkpoint-dir ckpts --kill-at 7,13
+    python -m repro.cli checkpoint inspect ckpts/latest.json
 """
 
 from __future__ import annotations
@@ -191,6 +198,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--save-store", type=str, default=None,
         help="also persist the columnar store (.npz) for later drill-down",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the durable controller service over a seeded fleet",
+    )
+    serve.add_argument("--tenants", type=int, default=4)
+    serve.add_argument("--intervals", type=int, default=20)
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument(
+        "--checkpoint-dir", type=str, default=None,
+        help="persist checkpoints here (checkpoint-<interval>.json + "
+        "latest.json); in-memory only when omitted",
+    )
+    serve.add_argument(
+        "--checkpoint-every", type=int, default=1,
+        help="intervals between checkpoints (default: 1)",
+    )
+    serve.add_argument(
+        "--kill-at", type=str, default=None,
+        help="comma-separated intervals after which the controller is "
+        "killed and restored from its latest checkpoint",
+    )
+    serve.add_argument(
+        "--goal-ms", type=float, default=100.0,
+        help="latency goal for every tenant (<= 0 disables the goal)",
+    )
+
+    checkpoint = sub.add_parser(
+        "checkpoint", help="inspect controller checkpoints"
+    )
+    checkpoint_sub = checkpoint.add_subparsers(
+        dest="checkpoint_command", required=True
+    )
+    inspect_cmd = checkpoint_sub.add_parser(
+        "inspect", help="summarize one checkpoint file"
+    )
+    inspect_cmd.add_argument("file", type=str, help="checkpoint JSON file")
+    inspect_cmd.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
     return parser
 
 
@@ -286,6 +333,18 @@ def _load_trace_or_fail(path: str):
         return load_events(path)
     except FileNotFoundError:
         print(f"error: no such trace file: {path}", file=sys.stderr)
+        return None
+    except IsADirectoryError:
+        print(f"error: {path} is a directory, not a trace file", file=sys.stderr)
+        return None
+    except UnicodeDecodeError:
+        print(
+            f"error: {path} is not a text file (binary or wrong encoding)",
+            file=sys.stderr,
+        )
+        return None
+    except OSError as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
         return None
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -450,6 +509,118 @@ def _cmd_fleet_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_specs(n_tenants: int, n_intervals: int, seed: int, goal_ms: float):
+    """Seeded heterogeneous tenants for ``repro serve``: each gets its own
+    base rate and burst window, so the service has real scaling work."""
+    import numpy as np
+
+    from repro.core.latency import LatencyGoal
+    from repro.service import TenantSpec
+    from repro.workloads import Trace
+
+    goal = LatencyGoal(goal_ms) if goal_ms > 0 else None
+    specs = []
+    for i in range(n_tenants):
+        rng = np.random.default_rng(seed * 1000 + i)
+        base = float(rng.uniform(10.0, 40.0))
+        rates = np.full(n_intervals, base)
+        burst_len = min(n_intervals, int(rng.integers(4, 9)))
+        start = int(rng.integers(0, max(n_intervals - burst_len, 1)))
+        rates[start : start + burst_len] = base * float(rng.uniform(6.0, 12.0))
+        specs.append(
+            TenantSpec(
+                tenant_id=f"tenant-{i:03d}",
+                workload=cpuio_workload(),
+                trace=Trace(name=f"serve-{i}", rates=rates),
+                goal=goal,
+            )
+        )
+    return specs
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.errors import CheckpointError, ConfigurationError
+    from repro.service import CheckpointStore, run_service
+
+    if args.kill_at:
+        try:
+            kill_at = [int(v) for v in args.kill_at.split(",") if v.strip()]
+        except ValueError:
+            print(
+                f"error: --kill-at must be comma-separated integers, "
+                f"got {args.kill_at!r}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        kill_at = []
+    specs = _serve_specs(args.tenants, args.intervals, args.seed, args.goal_ms)
+    store = CheckpointStore(directory=args.checkpoint_dir)
+    try:
+        result = run_service(
+            specs,
+            config=ExperimentConfig(seed=args.seed),
+            checkpoint_every=args.checkpoint_every,
+            kill_at=kill_at,
+            store=store,
+        )
+    except (CheckpointError, ConfigurationError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    metrics = result.service.service_tracer.metrics.snapshot()
+    counters = metrics["counters"]
+    print(
+        f"served {args.tenants} tenants for {args.intervals} intervals: "
+        f"{int(counters.get('service.checkpoints', 0))} checkpoints, "
+        f"{int(counters.get('service.restores', 0))} restores"
+    )
+    for runtime in result.runtimes:
+        meter = runtime.meter
+        print(
+            f"  {runtime.spec.tenant_id}: final={runtime.containers[-1]} "
+            f"cost={meter.total_cost:.1f} resizes={meter.resize_count}"
+        )
+    if args.checkpoint_dir:
+        print(f"checkpoints -> {args.checkpoint_dir}/latest.json")
+    return 0
+
+
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    handlers = {"inspect": _cmd_checkpoint_inspect}
+    return handlers[args.checkpoint_command](args)
+
+
+def _cmd_checkpoint_inspect(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import CheckpointError
+    from repro.service import Checkpoint, inspect_checkpoint
+
+    try:
+        checkpoint = Checkpoint.load(args.file)
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    summary = inspect_checkpoint(checkpoint)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"{args.file}: version {summary['version']} {summary['kind']} "
+        f"checkpoint at interval {summary['interval']} "
+        f"({summary['size_bytes']} bytes)"
+    )
+    for tenant_id, info in summary.get("tenants", {}).items():
+        spent = info["budget_spent"]
+        print(
+            f"  {tenant_id}: container={info['container']} "
+            f"decisions={info['decision_seq']} "
+            f"budget_spent={spent:.1f} tokens={info['budget_tokens']:.1f}"
+            + (" SAFE-MODE" if info["safe_mode"] else "")
+        )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -458,6 +629,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "fleet-analysis": _cmd_fleet_analysis,
         "trace": _cmd_trace,
         "fleet": _cmd_fleet,
+        "serve": _cmd_serve,
+        "checkpoint": _cmd_checkpoint,
     }
     return handlers[args.command](args)
 

@@ -42,6 +42,7 @@ from repro.engine.bufferpool import engine_overhead_gb, usable_cache_gb
 from repro.engine.containers import ContainerCatalog, ContainerSpec
 from repro.engine.resources import ResourceKind, ResourceVector
 from repro.engine.telemetry import IntervalCounters
+from repro.errors import ConfigurationError
 from repro.obs.events import EventKind
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.stats.rolling import RollingWindow
@@ -889,3 +890,70 @@ class AutoScaler:
         if values.size == 0:
             return 1.0
         return float(np.median(values))
+
+    # -- checkpointing --------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Exact serializable state of the whole per-tenant control loop.
+
+        Covers the scaler's own mutables plus every stateful
+        sub-component (telemetry windows, budget ledger, balloon probe,
+        guard sequencing, damper cool-down).  The estimator is pure
+        configuration and carries no runtime state.  The attached tracer
+        and the resize executor checkpoint separately — they belong to
+        the controller process, not to the scaling policy.
+        """
+        return {
+            "container": self._container.name,
+            "balloon_limit": self._balloon_limit,
+            "low_demand_streak": self._low_demand_streak,
+            "disk_reads": self._disk_reads.state_dict(),
+            "safe_mode": self._safe_mode,
+            "safe_mode_reason": self._safe_mode_reason,
+            "pending_refunds": [
+                [amount, decision_id]
+                for amount, decision_id in self._pending_refunds
+            ],
+            "decision_seq": self._decision_seq,
+            "prev_decision_id": self._prev_decision_id,
+            "telemetry": self.telemetry.state_dict(),
+            "budget": self.budget.state_dict(),
+            "balloon": self.balloon.state_dict(),
+            "guard": None if self.guard is None else self.guard.state_dict(),
+            "damper": None if self.damper is None else self.damper.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a scaler built with the *same configuration* (catalog,
+        goal, thresholds, ablation switches) from :meth:`state_dict`."""
+        if (state["guard"] is None) != (self.guard is None):
+            raise ConfigurationError(
+                "guard presence mismatch between checkpoint and live scaler"
+            )
+        if (state["damper"] is None) != (self.damper is None):
+            raise ConfigurationError(
+                "damper presence mismatch between checkpoint and live scaler"
+            )
+        self._container = self.catalog.by_name(str(state["container"]))
+        balloon_limit = state["balloon_limit"]
+        self._balloon_limit = (
+            None if balloon_limit is None else float(balloon_limit)
+        )
+        self._low_demand_streak = int(state["low_demand_streak"])
+        self._disk_reads.load_state_dict(state["disk_reads"])
+        self._safe_mode = bool(state["safe_mode"])
+        self._safe_mode_reason = str(state["safe_mode_reason"])
+        self._pending_refunds = [
+            (float(amount), None if decision_id is None else str(decision_id))
+            for amount, decision_id in state["pending_refunds"]
+        ]
+        self._decision_seq = int(state["decision_seq"])
+        prev = state["prev_decision_id"]
+        self._prev_decision_id = None if prev is None else str(prev)
+        self.telemetry.load_state_dict(state["telemetry"])
+        self.budget.load_state_dict(state["budget"])
+        self.balloon.load_state_dict(state["balloon"])
+        if self.guard is not None:
+            self.guard.load_state_dict(state["guard"])
+        if self.damper is not None:
+            self.damper.load_state_dict(state["damper"])

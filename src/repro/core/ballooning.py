@@ -206,6 +206,48 @@ class BalloonController:
         self._limit_gb = None
         self._cooldown_left = 0
 
+    def state_dict(self) -> dict:
+        """Exact serializable state (configuration + probe mutables)."""
+        return {
+            "shrink_step_fraction": self.shrink_step_fraction,
+            "io_spike_ratio": self.io_spike_ratio,
+            "disk_pressure_pct": self.disk_pressure_pct,
+            "cooldown_intervals": self.cooldown_intervals,
+            "phase": self._phase.value,
+            "limit_gb": self._limit_gb,
+            "target_gb": self._target_gb,
+            "baseline_reads": self._baseline_reads,
+            "cooldown_left": self._cooldown_left,
+            "failed_target_gb": self._failed_target_gb,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        config = (
+            float(state["shrink_step_fraction"]),
+            float(state["io_spike_ratio"]),
+            float(state["disk_pressure_pct"]),
+            int(state["cooldown_intervals"]),
+        )
+        live = (
+            self.shrink_step_fraction,
+            self.io_spike_ratio,
+            self.disk_pressure_pct,
+            self.cooldown_intervals,
+        )
+        if config != live:
+            raise ConfigurationError(
+                f"balloon configuration mismatch: checkpoint has {config}, "
+                f"live controller has {live}"
+            )
+        self._phase = BalloonPhase(state["phase"])
+        limit = state["limit_gb"]
+        self._limit_gb = None if limit is None else float(limit)
+        self._target_gb = float(state["target_gb"])
+        self._baseline_reads = float(state["baseline_reads"])
+        self._cooldown_left = int(state["cooldown_left"])
+        failed = state["failed_target_gb"]
+        self._failed_target_gb = None if failed is None else float(failed)
+
     def _next_limit(self, current_gb: float) -> float:
         gap = current_gb - self._target_gb
         # Step a fraction of the remaining gap but never less than

@@ -248,6 +248,65 @@ class BudgetManager:
         self._spent = 0.0
         self._refunded = 0.0
 
+    # -- checkpointing ------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Exact serializable ledger state (configuration + mutables)."""
+        return {
+            "budget": self.budget,
+            "n_intervals": self.n_intervals,
+            "min_cost": self.min_cost,
+            "max_cost": self.max_cost,
+            "strategy": self.strategy.value,
+            "conservative_k": self.conservative_k,
+            "tokens": self._tokens,
+            "interval": self._interval,
+            "spent": self._spent,
+            "refunded": self._refunded,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the mutable ledger, validating configuration identity."""
+        config = (
+            float(state["budget"]),
+            int(state["n_intervals"]),
+            float(state["min_cost"]),
+            float(state["max_cost"]),
+            str(state["strategy"]),
+            int(state["conservative_k"]),
+        )
+        live = (
+            self.budget,
+            self.n_intervals,
+            self.min_cost,
+            self.max_cost,
+            self.strategy.value,
+            self.conservative_k,
+        )
+        if config != live:
+            raise BudgetError(
+                f"budget configuration mismatch: checkpoint has {config}, "
+                f"live manager has {live}"
+            )
+        self._tokens = float(state["tokens"])
+        self._interval = int(state["interval"])
+        self._spent = float(state["spent"])
+        self._refunded = float(state["refunded"])
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "BudgetManager":
+        """Construct a manager directly from :meth:`state_dict` output."""
+        manager = cls(
+            budget=float(state["budget"]),
+            n_intervals=int(state["n_intervals"]),
+            min_cost=float(state["min_cost"]),
+            max_cost=float(state["max_cost"]),
+            strategy=BurstStrategy(state["strategy"]),
+            conservative_k=int(state["conservative_k"]),
+        )
+        manager.load_state_dict(state)
+        return manager
+
 
 def unconstrained_budget(
     catalog_max_cost: float, n_intervals: int = 1_000_000

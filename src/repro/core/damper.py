@@ -99,3 +99,41 @@ class OscillationDamper:
     def reset(self) -> None:
         self._moves.clear()
         self._cooldown_left = 0
+
+    def state_dict(self) -> dict:
+        """Exact serializable state (configuration + mutables)."""
+        return {
+            "window": self.window,
+            "max_reversals": self.max_reversals,
+            "cooldown_intervals": self.cooldown_intervals,
+            "moves": list(self._moves),
+            "cooldown_left": self._cooldown_left,
+            "trips": self.trips,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        config = (
+            int(state["window"]),
+            int(state["max_reversals"]),
+            int(state["cooldown_intervals"]),
+        )
+        live = (self.window, self.max_reversals, self.cooldown_intervals)
+        if config != live:
+            raise ConfigurationError(
+                f"damper configuration mismatch: checkpoint has {config}, "
+                f"live damper has {live}"
+            )
+        self._moves = deque((int(m) for m in state["moves"]), maxlen=self.window)
+        self._cooldown_left = int(state["cooldown_left"])
+        self.trips = int(state["trips"])
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "OscillationDamper":
+        """Construct a damper directly from :meth:`state_dict` output."""
+        damper = cls(
+            window=int(state["window"]),
+            max_reversals=int(state["max_reversals"]),
+            cooldown_intervals=int(state["cooldown_intervals"]),
+        )
+        damper.load_state_dict(state)
+        return damper

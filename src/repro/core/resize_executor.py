@@ -166,6 +166,63 @@ class ResizeExecutor:
     def consecutive_failures(self) -> int:
         return self._consecutive_failures
 
+    # -- checkpointing ---------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Exact serializable state: breaker, tallies, and the jitter RNG.
+
+        The RNG is captured as ``bit_generator.state`` so a restored
+        executor draws the exact same jitter sequence the uninterrupted
+        one would have.
+        """
+        return {
+            "config": {
+                "max_attempts": self.max_attempts,
+                "backoff_base_ms": self.backoff_base_ms,
+                "backoff_factor": self.backoff_factor,
+                "jitter": self.jitter,
+                "failure_threshold": self.failure_threshold,
+                "open_intervals": self.open_intervals,
+            },
+            "rng_state": self._rng.bit_generator.state,
+            "circuit": self._state.value,
+            "consecutive_failures": self._consecutive_failures,
+            "open_left": self._open_left,
+            "total_attempts": self.total_attempts,
+            "total_failures": self.total_failures,
+            "total_refunds": self.total_refunds,
+            "circuit_opens": self.circuit_opens,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        config = state["config"]
+        live = {
+            "max_attempts": self.max_attempts,
+            "backoff_base_ms": self.backoff_base_ms,
+            "backoff_factor": self.backoff_factor,
+            "jitter": self.jitter,
+            "failure_threshold": self.failure_threshold,
+            "open_intervals": self.open_intervals,
+        }
+        mismatched = {
+            key: (config[key], live[key])
+            for key in live
+            if config[key] != live[key]
+        }
+        if mismatched:
+            raise ConfigurationError(
+                f"executor configuration mismatch: {mismatched}"
+            )
+        self._rng = np.random.default_rng()
+        self._rng.bit_generator.state = state["rng_state"]
+        self._state = CircuitState(state["circuit"])
+        self._consecutive_failures = int(state["consecutive_failures"])
+        self._open_left = int(state["open_left"])
+        self.total_attempts = int(state["total_attempts"])
+        self.total_failures = int(state["total_failures"])
+        self.total_refunds = float(state["total_refunds"])
+        self.circuit_opens = int(state["circuit_opens"])
+
     # -- per-interval execution ------------------------------------------------
 
     def execute(self, decision) -> ActuationReport:

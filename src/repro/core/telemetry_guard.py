@@ -207,6 +207,52 @@ class TelemetryGuard:
                 degraded=self.telemetry_degraded,
             )
 
+    # -- checkpointing ---------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Exact serializable state (configuration + sequencing + tallies)."""
+        stats = self.stats
+        return {
+            "max_tracked_gaps": self.max_tracked_gaps,
+            "degraded_after": self.degraded_after,
+            "expected_next": self._expected_next,
+            "missing": sorted(self._missing),
+            "last_end_s": self._last_end_s,
+            "stats": {
+                "admitted": stats.admitted,
+                "admitted_late": stats.admitted_late,
+                "quarantined": stats.quarantined,
+                "discarded": stats.discarded,
+                "missed": stats.missed,
+                "consecutive_quarantined": stats.consecutive_quarantined,
+                "reasons": list(stats.reasons),
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        config = (int(state["max_tracked_gaps"]), int(state["degraded_after"]))
+        live = (self.max_tracked_gaps, self.degraded_after)
+        if config != live:
+            raise ConfigurationError(
+                f"guard configuration mismatch: checkpoint has {config}, "
+                f"live guard has {live}"
+            )
+        expected = state["expected_next"]
+        self._expected_next = None if expected is None else int(expected)
+        self._missing = {int(i) for i in state["missing"]}
+        last_end = state["last_end_s"]
+        self._last_end_s = None if last_end is None else float(last_end)
+        raw = state["stats"]
+        self.stats = GuardStats(
+            admitted=int(raw["admitted"]),
+            admitted_late=int(raw["admitted_late"]),
+            quarantined=int(raw["quarantined"]),
+            discarded=int(raw["discarded"]),
+            missed=int(raw["missed"]),
+            consecutive_quarantined=int(raw["consecutive_quarantined"]),
+            reasons=[str(r) for r in raw["reasons"]],
+        )
+
     # -- internals -------------------------------------------------------------
 
     def _admit(self, counters: IntervalCounters, missed: int) -> GuardVerdict:

@@ -33,7 +33,7 @@ import numpy as np
 
 from repro.core.signals import LatencyStatus, ResourceSignals, WorkloadSignals
 from repro.core.thresholds import ThresholdConfig
-from repro.errors import InsufficientDataError
+from repro.errors import ConfigurationError, InsufficientDataError
 from repro.engine.resources import ResourceKind
 from repro.engine.telemetry import IntervalCounters
 from repro.engine.waits import RESOURCE_WAIT_CLASS
@@ -329,6 +329,88 @@ class TelemetryManager:
         times = window.times()[-cfg.trend_window :]
         values = window.values()[-cfg.trend_window :]
         return detect_trend(times, values, alpha=cfg.trend_alpha)
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Exact serializable state of every window and smoother.
+
+        Windows are captured as their retained samples in arrival order;
+        the incremental statistics they back (Theil–Sen slope caches,
+        Spearman rank windows, tail medians) are pure functions of those
+        samples, so :meth:`load_state_dict` rebuilds them by replay.
+        """
+        return {
+            "signal_window": self.thresholds.signal_window,
+            "trend_window": self.thresholds.trend_window,
+            "smooth_intervals": self.thresholds.smooth_intervals,
+            "latency": self._latency.state_dict(),
+            "utilization": {
+                kind.value: self._utilization[kind].state_dict()
+                for kind in ResourceKind
+            },
+            "wait_ms": {
+                kind.value: self._wait_ms[kind].state_dict()
+                for kind in ResourceKind
+            },
+            "wait_pct": {
+                kind.value: self._wait_pct[kind].state_dict()
+                for kind in ResourceKind
+            },
+            "latency_smooth": self._latency_smooth.state_dict(),
+            "utilization_smooth": {
+                kind.value: self._utilization_smooth[kind].state_dict()
+                for kind in ResourceKind
+            },
+            "wait_ms_smooth": {
+                kind.value: self._wait_ms_smooth[kind].state_dict()
+                for kind in ResourceKind
+            },
+            "wait_pct_smooth": {
+                kind.value: self._wait_pct_smooth[kind].state_dict()
+                for kind in ResourceKind
+            },
+            "correlation": {
+                kind.value: self._correlation[kind].state_dict()
+                for kind in ResourceKind
+            },
+            "last": None if self._last is None else self._last.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        geometry = (
+            int(state["signal_window"]),
+            int(state["trend_window"]),
+            int(state["smooth_intervals"]),
+        )
+        live = (
+            self.thresholds.signal_window,
+            self.thresholds.trend_window,
+            self.thresholds.smooth_intervals,
+        )
+        if geometry != live:
+            raise ConfigurationError(
+                f"telemetry window geometry mismatch: checkpoint has "
+                f"{geometry}, live manager has {live}"
+            )
+        self._latency.load_state_dict(state["latency"])
+        self._latency_smooth.load_state_dict(state["latency_smooth"])
+        for kind in ResourceKind:
+            self._utilization[kind].load_state_dict(state["utilization"][kind.value])
+            self._wait_ms[kind].load_state_dict(state["wait_ms"][kind.value])
+            self._wait_pct[kind].load_state_dict(state["wait_pct"][kind.value])
+            self._utilization_smooth[kind].load_state_dict(
+                state["utilization_smooth"][kind.value]
+            )
+            self._wait_ms_smooth[kind].load_state_dict(
+                state["wait_ms_smooth"][kind.value]
+            )
+            self._wait_pct_smooth[kind].load_state_dict(
+                state["wait_pct_smooth"][kind.value]
+            )
+            self._correlation[kind].load_state_dict(state["correlation"][kind.value])
+        last = state["last"]
+        self._last = None if last is None else IntervalCounters.from_state_dict(last)
 
     # Convenience accessors used by diagnostics/tests.
 

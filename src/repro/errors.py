@@ -35,6 +35,15 @@ class WorkloadError(ReproError):
     """Raised for invalid workload or trace definitions."""
 
 
+class CheckpointError(ReproError):
+    """Raised for malformed, incompatible, or unreadable checkpoints."""
+
+
+class LeaseError(ReproError):
+    """Raised for invalid lease-store operations (e.g. renewing a lease
+    the caller does not hold)."""
+
+
 class FaultError(ReproError):
     """Base class for injected-fault errors and fault-schedule misuse.
 

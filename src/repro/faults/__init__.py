@@ -12,6 +12,7 @@ runs through this layer and asserts the control plane's invariants.
 from repro.faults.chaos import FaultyServer
 from repro.faults.schedule import (
     ACTUATION_KINDS,
+    CONTROLLER_KINDS,
     TELEMETRY_KINDS,
     FaultEvent,
     FaultKind,
@@ -24,5 +25,6 @@ __all__ = [
     "FaultKind",
     "FaultSchedule",
     "ACTUATION_KINDS",
+    "CONTROLLER_KINDS",
     "TELEMETRY_KINDS",
 ]

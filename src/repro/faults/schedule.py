@@ -48,6 +48,17 @@ class FaultKind(enum.Enum):
     * ``RESIZE_PARTIAL`` — the resize silently stops one catalog level
       short of the requested container.
     * ``BALLOON_FAIL`` — applying a balloon cap fails.
+
+    Control-plane faults (perturb the controller *itself*; interpreted by
+    the service-mode harness in :mod:`repro.service`, not by
+    :class:`~repro.faults.chaos.FaultyServer`):
+
+    * ``CONTROLLER_CRASH`` — the controller process dies at the start of
+      the interval and stays down for ``duration`` intervals; recovery
+      restores the last checkpoint.
+    * ``LEASE_EXPIRY`` — the leader's lease renewals are refused for
+      ``duration`` intervals (an apiserver outage), forcing a standby
+      takeover even though the leader is alive.
     """
 
     TELEMETRY_DROP = "telemetry-drop"
@@ -59,6 +70,8 @@ class FaultKind(enum.Enum):
     RESIZE_PERMANENT = "resize-permanent"
     RESIZE_PARTIAL = "resize-partial"
     BALLOON_FAIL = "balloon-fail"
+    CONTROLLER_CRASH = "controller-crash"
+    LEASE_EXPIRY = "lease-expiry"
 
 
 #: Kinds that perturb the telemetry stream (vs. the actuation surface).
@@ -75,6 +88,12 @@ ACTUATION_KINDS = (
     FaultKind.RESIZE_PERMANENT,
     FaultKind.RESIZE_PARTIAL,
     FaultKind.BALLOON_FAIL,
+)
+
+#: Kinds that strike the controller process rather than the data plane.
+CONTROLLER_KINDS = (
+    FaultKind.CONTROLLER_CRASH,
+    FaultKind.LEASE_EXPIRY,
 )
 
 
@@ -152,7 +171,10 @@ class FaultSchedule:
                 f"need 0 <= first <= last < n_intervals, got "
                 f"[{first}, {last}] in {n_intervals}"
             )
-        pool = tuple(kinds) if kinds else tuple(FaultKind)
+        # The default pool is pinned to the data-plane kinds explicitly:
+        # growing the FaultKind enum (e.g. the controller-process kinds)
+        # must never silently reshuffle existing seeded schedules.
+        pool = tuple(kinds) if kinds else TELEMETRY_KINDS + ACTUATION_KINDS
         rng = np.random.default_rng(seed)
         events = []
         for _ in range(n_faults):
@@ -168,6 +190,8 @@ class FaultSchedule:
                 duration = int(rng.integers(1, 5))
             elif kind is FaultKind.CLOCK_SKEW:
                 magnitude = float(rng.uniform(0.5, 3.0))
+            elif kind in (FaultKind.CONTROLLER_CRASH, FaultKind.LEASE_EXPIRY):
+                duration = int(rng.integers(1, 4))
             duration = min(duration, last - interval + 1)
             events.append(
                 FaultEvent(

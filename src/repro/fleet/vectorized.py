@@ -69,7 +69,12 @@ from repro.engine.containers import ContainerCatalog
 from repro.engine.resources import SCALABLE_KINDS
 from repro.engine.telemetry import IntervalCounters
 from repro.engine.waits import RESOURCE_WAIT_CLASS, WaitClass
-from repro.errors import BudgetError, CatalogError, InsufficientDataError
+from repro.errors import (
+    BudgetError,
+    CatalogError,
+    ConfigurationError,
+    InsufficientDataError,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.stats.batched import (
     batched_detect_trend,
@@ -275,6 +280,48 @@ class VectorizedTelemetry:
         self._wpct[:, :, c] = wait_pct
         self._cursor = (c + 1) % self._window
         self._count += 1
+
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Exact serializable state (ring matrices, cursor, count).
+
+        Arrays are copied: the returned dict is an immutable-by-convention
+        snapshot, safe to serialize off the hot path while the next
+        interval's ``observe`` mutates the live rings.
+        """
+        return {
+            "n_tenants": self.n_tenants,
+            "window": self._window,
+            "smooth": self._smooth,
+            "t": self._t.copy(),
+            "lat": self._lat.copy(),
+            "util": self._util.copy(),
+            "wait": self._wait.copy(),
+            "wpct": self._wpct.copy(),
+            "cursor": self._cursor,
+            "count": self._count,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if (
+            state["n_tenants"] != self.n_tenants
+            or state["window"] != self._window
+            or state["smooth"] != self._smooth
+        ):
+            raise ConfigurationError(
+                "fleet telemetry checkpoint geometry "
+                f"(T={state['n_tenants']}, W={state['window']}, "
+                f"S={state['smooth']}) does not match this engine "
+                f"(T={self.n_tenants}, W={self._window}, S={self._smooth})"
+            )
+        self._t = np.asarray(state["t"], dtype=float).copy()
+        self._lat = np.asarray(state["lat"], dtype=float).copy()
+        self._util = np.asarray(state["util"], dtype=float).copy()
+        self._wait = np.asarray(state["wait"], dtype=float).copy()
+        self._wpct = np.asarray(state["wpct"], dtype=float).copy()
+        self._cursor = int(state["cursor"])
+        self._count = int(state["count"])
 
     def _tail_cols(self, k: int) -> np.ndarray:
         """Ring indices of the last ``min(k, window)`` written slots.
@@ -670,6 +717,119 @@ class VectorizedAutoScaler:
             )
         self._recorder = recorder
         recorder.bind(self)
+
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Exact serializable state of the whole-fleet control loop.
+
+        Covers every mutable array: container levels, the token-bucket
+        ledger, the balloon state machine, scale-down streaks, the disk
+        read window, and the damper rings.  Every array is copied, so the
+        result is a consistent point-in-time snapshot: the tick loop only
+        pays for the memcpy, and encoding/writing can proceed on the
+        snapshot while the next ``decide_batch`` mutates the live engine.
+        The clamp scratch masks (``_clamp_zero`` / ``_clamp_depth``) are
+        transient — rebuilt by the next ``_settle_budget`` — and an
+        attached recorder is the caller's to re-attach.
+        """
+        state = {
+            "n_tenants": self.n_tenants,
+            "n_levels": self._n_levels,
+            "level": self.level.copy(),
+            "budget": {
+                "tokens": self._tokens.copy(),
+                "depth": self._depth.copy(),
+                "fill": self._fill.copy(),
+                "period_n": self._period_n.copy(),
+                "interval_i": self._interval_i.copy(),
+                "spent": self._spent.copy(),
+            },
+            "balloon": {
+                "phase": self._b_phase.copy(),
+                "limit": self._b_limit.copy(),
+                "target": self._b_target.copy(),
+                "baseline": self._b_baseline.copy(),
+                "cooldown": self._b_cooldown.copy(),
+                "failed": self._b_failed.copy(),
+                "limit_gb": self.balloon_limit_gb.copy(),
+            },
+            "low_streak": self._low_streak.copy(),
+            "disk_reads": self._disk_reads.copy(),
+            "disk_cursor": self._disk_cursor,
+            "telemetry": self.telemetry.state_dict(),
+            "metrics": self.metrics.state_dict(),
+            "damper": None,
+        }
+        if self._damper is not None:
+            state["damper"] = {
+                "window": self._damper.window,
+                "moves": self._d_moves.copy(),
+                "len": self._d_len.copy(),
+                "cooldown": self._d_cooldown.copy(),
+                "trips": self.damper_trips,
+            }
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a scaler built with the same fleet configuration."""
+        if (
+            state["n_tenants"] != self.n_tenants
+            or state["n_levels"] != self._n_levels
+        ):
+            raise ConfigurationError(
+                f"fleet checkpoint shape (T={state['n_tenants']}, "
+                f"L={state['n_levels']}) does not match this engine "
+                f"(T={self.n_tenants}, L={self._n_levels})"
+            )
+        if (state["damper"] is None) != (self._damper is None):
+            raise ConfigurationError(
+                "damper presence mismatch between checkpoint and live engine"
+            )
+        self.level = np.asarray(state["level"], dtype=np.int64).copy()
+        budget = state["budget"]
+        self._tokens = np.asarray(budget["tokens"], dtype=float).copy()
+        self._depth = np.asarray(budget["depth"], dtype=float).copy()
+        self._fill = np.asarray(budget["fill"], dtype=float).copy()
+        self._period_n = np.asarray(budget["period_n"], dtype=np.int64).copy()
+        self._interval_i = np.asarray(
+            budget["interval_i"], dtype=np.int64
+        ).copy()
+        self._spent = np.asarray(budget["spent"], dtype=float).copy()
+        balloon = state["balloon"]
+        self._b_phase = np.asarray(balloon["phase"], dtype=np.int8).copy()
+        self._b_limit = np.asarray(balloon["limit"], dtype=float).copy()
+        self._b_target = np.asarray(balloon["target"], dtype=float).copy()
+        self._b_baseline = np.asarray(balloon["baseline"], dtype=float).copy()
+        self._b_cooldown = np.asarray(
+            balloon["cooldown"], dtype=np.int64
+        ).copy()
+        self._b_failed = np.asarray(balloon["failed"], dtype=float).copy()
+        self.balloon_limit_gb = np.asarray(
+            balloon["limit_gb"], dtype=float
+        ).copy()
+        self._low_streak = np.asarray(
+            state["low_streak"], dtype=np.int64
+        ).copy()
+        self._disk_reads = np.asarray(state["disk_reads"], dtype=float).copy()
+        self._disk_cursor = int(state["disk_cursor"])
+        self.telemetry.load_state_dict(state["telemetry"])
+        self.metrics.load_state_dict(state["metrics"])
+        self._clamp_zero = None
+        self._clamp_depth = None
+        if self._damper is not None:
+            damper = state["damper"]
+            if damper["window"] != self._damper.window:
+                raise ConfigurationError(
+                    f"damper window {damper['window']} does not match "
+                    f"this engine's {self._damper.window}"
+                )
+            self._d_moves = np.asarray(damper["moves"], dtype=np.int8).copy()
+            self._d_len = np.asarray(damper["len"], dtype=np.int64).copy()
+            self._d_cooldown = np.asarray(
+                damper["cooldown"], dtype=np.int64
+            ).copy()
+            self.damper_trips = int(damper["trips"])
 
     # -- the closed loop ---------------------------------------------------
 

@@ -77,6 +77,13 @@ class EventKind(enum.Enum):
     # Fleet pipeline (columnar, one event per interval for the fleet).
     FLEET_INTERVAL = "fleet-interval"  # aggregate vectorized decide_batch
     FLEET_HEALTH = "fleet-health"  # SLO aggregate threshold crossing
+    # Durable service mode (controller lifecycle; emitted into the
+    # *service* tracer, never the per-tenant decision tracers — those
+    # must stay byte-identical across a checkpoint/restore).
+    CHECKPOINT = "checkpoint"  # controller state written to the store
+    RESTORE = "restore"  # controller state rebuilt from a checkpoint
+    LEASE = "lease"  # leader-lease acquire / renew / lose / expire
+    FAILOVER = "failover"  # standby promotion after leader loss
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value

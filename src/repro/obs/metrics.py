@@ -160,3 +160,42 @@ class MetricsRegistry:
 
     def write(self, path: str | Path) -> None:
         Path(path).write_text(self.to_json() + "\n")
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Exact serializable state (unrounded — unlike :meth:`snapshot`,
+        which is the rounded display form)."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: g.value for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "boundaries": list(h.boundaries),
+                    "counts": list(h.counts),
+                    "count": h.count,
+                    "total": h.total,
+                }
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Replace the registry's contents with a checkpointed state."""
+        self._counters = {}
+        self._gauges = {}
+        self._histograms = {}
+        for name, value in state["counters"].items():
+            counter = self.counter(name)
+            counter.value = float(value)
+        for name, value in state["gauges"].items():
+            self.gauge(name).set(value)
+        for name, raw in state["histograms"].items():
+            histogram = self.histogram(name, raw["boundaries"])
+            histogram.counts = [int(c) for c in raw["counts"]]
+            histogram.count = int(raw["count"])
+            histogram.total = float(raw["total"])

@@ -200,6 +200,50 @@ class Tracer:
     def write(self, path: str | Path) -> None:
         Path(path).write_text(self.to_jsonl())
 
+    # -- checkpointing ---------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Exact serializable state: ring contents, clocks, and metrics.
+
+        Events are captured in their canonical dict form; re-serializing
+        a restored ring yields byte-identical JSONL because
+        :func:`~repro.obs.events.json_safe` is idempotent on its own
+        output.  The injectable span clock is deliberately not captured —
+        it is a process-local resource the restoring controller supplies.
+        """
+        return {
+            "run_id": self.run_id,
+            "level": int(self.level),
+            "capacity": self.capacity,
+            "events": [event.to_dict() for event in self._events],
+            "seq": self._seq,
+            "interval": self._interval,
+            "decision_id": self._decision_id,
+            "dropped": self.dropped,
+            "metrics": self.metrics.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if int(state["capacity"]) != self.capacity or int(state["level"]) != int(
+            self.level
+        ):
+            raise ValueError(
+                "tracer configuration mismatch: checkpoint has "
+                f"level={state['level']} capacity={state['capacity']}, live "
+                f"tracer has level={int(self.level)} capacity={self.capacity}"
+            )
+        self.run_id = str(state["run_id"])
+        self._events = deque(
+            (TraceEvent.from_dict(raw) for raw in state["events"]),
+            maxlen=self.capacity,
+        )
+        self._seq = int(state["seq"])
+        self._interval = int(state["interval"])
+        decision = state["decision_id"]
+        self._decision_id = None if decision is None else str(decision)
+        self.dropped = int(state["dropped"])
+        self.metrics.load_state_dict(state["metrics"])
+
 
 class NullTracer(Tracer):
     """The do-nothing tracer instrumented code holds by default.
@@ -258,6 +302,10 @@ def load_events(path: str | Path) -> list[TraceEvent]:
             continue
         try:
             events.append(TraceEvent.from_dict(json.loads(line)))
-        except (json.JSONDecodeError, KeyError, ValueError) as exc:
+        except (json.JSONDecodeError, KeyError, ValueError, TypeError,
+                AttributeError) as exc:
+            # TypeError/AttributeError cover lines that parse as JSON but
+            # are not event objects (e.g. a bare number or list): truncated
+            # or corrupt trace files must surface as one readable error.
             raise ValueError(f"{path}:{lineno}: not a trace event: {exc}") from exc
     return events

@@ -1,0 +1,53 @@
+"""Durable control-plane service mode.
+
+The batch harnesses (:mod:`repro.harness`) die with the process; this
+package runs the same control loop as a long-lived *service*:
+
+* :mod:`repro.service.checkpoint` — versioned, exact-value checkpoints
+  of all controller state (telemetry windows, budget ledgers, damper
+  cool-downs, balloon probes, circuit breakers, tracer rings, RNG
+  streams), such that a controller killed mid-run and restored from its
+  last checkpoint produces byte-identical decisions to an uninterrupted
+  run;
+* :mod:`repro.service.lease` — an in-process lease store emulating the
+  Kubernetes leader-election pattern for primary/standby controllers;
+* :mod:`repro.service.controller` — the asyncio tick-loop
+  :class:`ControllerService` driving many tenant auto-scalers per
+  interval, checkpointing as it goes;
+* :mod:`repro.service.crashes` — the kill-the-controller chaos harness:
+  seeded controller-crash and lease-expiry faults, standby takeover,
+  and reconvergence measurement.
+"""
+
+from repro.service.checkpoint import (
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    CheckpointStore,
+    decode_state,
+    encode_state,
+    inspect_checkpoint,
+)
+from repro.service.controller import ControllerService, TenantRuntime, TenantSpec
+from repro.service.crashes import (
+    ServiceChaosResult,
+    run_service,
+    run_service_chaos,
+)
+from repro.service.lease import Lease, LeaseStore
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "Checkpoint",
+    "CheckpointStore",
+    "ControllerService",
+    "Lease",
+    "LeaseStore",
+    "ServiceChaosResult",
+    "TenantRuntime",
+    "TenantSpec",
+    "decode_state",
+    "encode_state",
+    "inspect_checkpoint",
+    "run_service",
+    "run_service_chaos",
+]

@@ -1,0 +1,101 @@
+"""In-process leader leases, emulating the Kubernetes lease pattern.
+
+A :class:`LeaseStore` arbitrates which controller identity may step the
+control loop.  Semantics follow ``coordination.k8s.io/Lease``:
+
+* ``try_acquire`` succeeds when the lease is unheld, expired, or already
+  held by the caller (acquire doubles as renew);
+* ``renew`` succeeds only for the current, unexpired holder;
+* a lease held at tick ``t`` with duration ``d`` expires at tick
+  ``renewed + d`` — the first tick at which another identity may take it;
+* every change of holder increments a monotonically increasing *fence
+  token*, which downstream writes can carry to reject stale leaders.
+
+Time is the interval clock (integer ticks), injected by the caller —
+never wall time — so failover scenarios are fully deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LeaseError
+
+__all__ = ["Lease", "LeaseStore"]
+
+
+@dataclass
+class Lease:
+    """One named lease record."""
+
+    name: str
+    holder: str
+    acquired_tick: int
+    renewed_tick: int
+    duration_ticks: int
+    fence: int
+    transitions: int = 0
+
+    def expired(self, now_tick: int) -> bool:
+        return now_tick >= self.renewed_tick + self.duration_ticks
+
+
+class LeaseStore:
+    """Shared arbiter for named leases (the in-process "apiserver")."""
+
+    def __init__(self) -> None:
+        self._leases: dict[str, Lease] = {}
+        self._fence = 0
+
+    def try_acquire(
+        self, name: str, holder: str, now_tick: int, duration_ticks: int
+    ) -> Lease | None:
+        """Acquire (or renew) ``name`` for ``holder``; None when refused."""
+        if duration_ticks < 1:
+            raise LeaseError("lease duration must be >= 1 tick")
+        lease = self._leases.get(name)
+        if lease is not None and lease.holder == holder and not lease.expired(now_tick):
+            lease.renewed_tick = now_tick
+            lease.duration_ticks = duration_ticks
+            return lease
+        if lease is not None and not lease.expired(now_tick):
+            return None
+        self._fence += 1
+        transitions = lease.transitions + 1 if lease is not None else 0
+        lease = Lease(
+            name=name,
+            holder=holder,
+            acquired_tick=now_tick,
+            renewed_tick=now_tick,
+            duration_ticks=duration_ticks,
+            fence=self._fence,
+            transitions=transitions,
+        )
+        self._leases[name] = lease
+        return lease
+
+    def renew(self, name: str, holder: str, now_tick: int) -> bool:
+        """Extend the lease; False when ``holder`` no longer validly holds it."""
+        lease = self._leases.get(name)
+        if lease is None or lease.holder != holder or lease.expired(now_tick):
+            return False
+        lease.renewed_tick = now_tick
+        return True
+
+    def release(self, name: str, holder: str) -> bool:
+        """Voluntarily drop the lease (graceful step-down)."""
+        lease = self._leases.get(name)
+        if lease is None or lease.holder != holder:
+            return False
+        del self._leases[name]
+        return True
+
+    def holder(self, name: str, now_tick: int) -> str | None:
+        """Current valid holder, or None when unheld/expired."""
+        lease = self._leases.get(name)
+        if lease is None or lease.expired(now_tick):
+            return None
+        return lease.holder
+
+    def get(self, name: str) -> Lease | None:
+        return self._leases.get(name)

@@ -604,6 +604,34 @@ class IncrementalSpearman:
             self._sorted_x.clear()
             self._sorted_y.clear()
 
+    def state_dict(self) -> dict:
+        """Serializable state: the retained pairs in arrival order.
+
+        ``result()`` is a pure function of the retained window, so
+        replaying the pairs through :meth:`append` reconstructs a
+        behaviorally identical correlator in either backing mode.
+        """
+        return {
+            "capacity": self._capacity,
+            "min_points": self._min_points,
+            "pairs": [[x, y] for x, y in self._pairs],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if (
+            int(state["capacity"]) != self._capacity
+            or int(state["min_points"]) != self._min_points
+        ):
+            raise ConfigurationError(
+                "spearman-window geometry mismatch: checkpoint has "
+                f"capacity={state['capacity']} min_points={state['min_points']}, "
+                f"live correlator has capacity={self._capacity} "
+                f"min_points={self._min_points}"
+            )
+        self.clear()
+        for x, y in state["pairs"]:
+            self.append(float(x), float(y))
+
 
 class TailMedian:
     """Median of the last ``k`` samples, ignoring NaNs, in exact
@@ -634,3 +662,17 @@ class TailMedian:
 
     def clear(self) -> None:
         self._tail.clear()
+
+    def state_dict(self) -> dict:
+        """Serializable state: the retained tail samples in arrival order."""
+        return {"k": self._tail.maxlen, "values": list(self._tail)}
+
+    def load_state_dict(self, state: dict) -> None:
+        if int(state["k"]) != self._tail.maxlen:
+            raise ConfigurationError(
+                f"tail-median size mismatch: checkpoint has {state['k']}, "
+                f"live structure has {self._tail.maxlen}"
+            )
+        self.clear()
+        for value in state["values"]:
+            self.append(float(value))

@@ -132,6 +132,38 @@ class RollingWindow:
             raise InsufficientDataError("window is empty")
         return float(np.percentile(self._buffer[: self._size], q))
 
+    def state_dict(self) -> dict:
+        """Serializable state: the raw ring layout, bit for bit.
+
+        The ring cursor *is* observable: ``mean()``/``percentile()`` read
+        ``_buffer[:_size]`` in buffer order, and numpy's pairwise
+        summation is order-sensitive in the last ulp.  Capturing the
+        buffer (not arrival-order values) keeps a restored window
+        byte-identical to the original even after the ring has wrapped.
+        """
+        return {
+            "capacity": self._capacity,
+            "buffer": self._buffer[: self._size].copy(),
+            "next": self._next,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if int(state["capacity"]) != self._capacity:
+            raise ConfigurationError(
+                f"window capacity mismatch: checkpoint has {state['capacity']}, "
+                f"live window has {self._capacity}"
+            )
+        buffer = np.asarray(state["buffer"], dtype=float).ravel()
+        if buffer.size > self._capacity:
+            raise ConfigurationError(
+                f"window buffer overflow: checkpoint has {buffer.size} "
+                f"samples, live window holds {self._capacity}"
+            )
+        self.clear()
+        self._buffer[: buffer.size] = buffer
+        self._size = buffer.size
+        self._next = int(state["next"]) % self._capacity
+
 
 class TimestampedWindow:
     """Rolling window of ``(time, value)`` pairs for trend/correlation use.
@@ -192,3 +224,34 @@ class TimestampedWindow:
         tail (see :mod:`repro.stats.theil_sen`).
         """
         return self._trend.result(alpha=alpha)
+
+    def state_dict(self) -> dict:
+        """Serializable state: both axes' exact ring layouts.
+
+        The inner windows carry their cursors (see
+        :meth:`RollingWindow.state_dict`); the Theil–Sen cache is a pure
+        function of the retained pairs in arrival order, so it is rebuilt
+        by replay rather than captured."""
+        return {
+            "capacity": self.capacity,
+            "trend_window": self.trend_window,
+            "times": self._times.state_dict(),
+            "values": self._values.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if (
+            int(state["capacity"]) != self.capacity
+            or int(state["trend_window"]) != self.trend_window
+        ):
+            raise ConfigurationError(
+                "timestamped-window geometry mismatch: checkpoint has "
+                f"capacity={state['capacity']} trend_window={state['trend_window']}, "
+                f"live window has capacity={self.capacity} "
+                f"trend_window={self.trend_window}"
+            )
+        self._times.load_state_dict(state["times"])
+        self._values.load_state_dict(state["values"])
+        self._trend.clear()
+        for time, value in zip(self.times(), self.values()):
+            self._trend.append(float(time), float(value))

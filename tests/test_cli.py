@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -219,3 +221,119 @@ class TestTraceCommands:
         exit_code = main(["trace", "summary", str(empty)])
         assert exit_code == 1
         assert "no events" in capsys.readouterr().err
+
+
+class TestTraceRobustInputs:
+    """trace show/summary must fail readably on garbage, never traceback."""
+
+    def test_show_directory_exits_2(self, tmp_path, capsys):
+        exit_code = main(["trace", "show", str(tmp_path)])
+        assert exit_code == 2
+        assert "is a directory" in capsys.readouterr().err
+
+    def test_summary_directory_exits_2(self, tmp_path, capsys):
+        exit_code = main(["trace", "summary", str(tmp_path)])
+        assert exit_code == 2
+        assert "is a directory" in capsys.readouterr().err
+
+    def test_show_binary_file_exits_2(self, tmp_path, capsys):
+        binary = tmp_path / "trace.jsonl"
+        binary.write_bytes(b"\x93NUMPY\x01\x00\xff\xfe\x00junk")
+        exit_code = main(["trace", "show", str(binary)])
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert "not a text file" in err or "trace.jsonl" in err
+
+    def test_show_truncated_line_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "cut.jsonl"
+        bad.write_text('{"seq": 0, "component": "scaler", "kind"\n')
+        exit_code = main(["trace", "show", str(bad)])
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert "cut.jsonl" in err and "Traceback" not in err
+
+    def test_summary_valid_json_wrong_shape_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "shape.jsonl"
+        bad.write_text("[1, 2, 3]\n")  # valid JSON, not a trace event
+        exit_code = main(["trace", "summary", str(bad)])
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert "shape.jsonl" in err and "Traceback" not in err
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.tenants == 4
+        assert args.intervals == 20
+        assert args.checkpoint_every == 1
+        assert args.checkpoint_dir is None
+        assert args.kill_at is None
+
+    def test_checkpoint_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["checkpoint"])
+
+    def test_checkpoint_inspect_takes_file(self):
+        args = build_parser().parse_args(["checkpoint", "inspect", "x.json"])
+        assert args.checkpoint_command == "inspect"
+        assert args.file == "x.json"
+
+
+class TestServeCommand:
+    def test_serve_with_kills_and_inspect(self, tmp_path, capsys):
+        ckpt_dir = tmp_path / "ckpts"
+        exit_code = main(
+            [
+                "serve",
+                "--tenants", "2",
+                "--intervals", "8",
+                "--checkpoint-dir", str(ckpt_dir),
+                "--kill-at", "3,6",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "served 2 tenants for 8 intervals" in out
+        assert "2 restores" in out
+        assert (ckpt_dir / "latest.json").exists()
+
+        exit_code = main(["checkpoint", "inspect", str(ckpt_dir / "latest.json")])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "version 1 controller checkpoint" in out
+        assert "tenant-000" in out
+
+    def test_serve_bad_kill_at_exits_2(self, capsys):
+        exit_code = main(["serve", "--kill-at", "3,oops"])
+        assert exit_code == 2
+        assert "comma-separated integers" in capsys.readouterr().err
+
+    def test_inspect_json_round_trips(self, tmp_path, capsys):
+        ckpt_dir = tmp_path / "ckpts"
+        assert main(
+            ["serve", "--tenants", "1", "--intervals", "5",
+             "--checkpoint-dir", str(ckpt_dir)]
+        ) == 0
+        capsys.readouterr()
+        exit_code = main(
+            ["checkpoint", "inspect", str(ckpt_dir / "latest.json"), "--json"]
+        )
+        assert exit_code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["n_tenants"] == 1
+        assert summary["interval"] == 4
+
+    def test_inspect_corrupt_checkpoint_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        exit_code = main(["checkpoint", "inspect", str(bad)])
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "Traceback" not in err
+
+    def test_inspect_missing_checkpoint_exits_2(self, tmp_path, capsys):
+        exit_code = main(["checkpoint", "inspect", str(tmp_path / "no.json")])
+        assert exit_code == 2
+        assert "error:" in capsys.readouterr().err

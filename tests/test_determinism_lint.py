@@ -1,0 +1,104 @@
+"""Lint: the control plane must not read ambient randomness or wall clocks.
+
+Byte-identical checkpoint/restore only holds if every stochastic draw
+flows through a seeded ``np.random.Generator`` that the checkpoint
+captures, and no decision path reads the wall clock.  This test greps
+the source tree so a stray ``random.random()`` or ``time.time()`` fails
+CI instead of silently breaking restore determinism.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+# (pattern, explanation, allowlisted files relative to src/repro)
+_FORBIDDEN = [
+    (
+        re.compile(r"^\s*(import random\b|from random import)"),
+        "stdlib random is unseeded global state; use np.random.default_rng",
+        frozenset(),
+    ),
+    (
+        re.compile(r"(?<![.\w])random\.[a-z_]+\("),
+        "stdlib random draw; use an injected np.random.Generator",
+        frozenset(),
+    ),
+    (
+        # Legacy global-state numpy API.  Seeded construction
+        # (default_rng / Generator / SeedSequence) is the only
+        # sanctioned entry point.
+        re.compile(
+            r"np\.random\.(?!default_rng\b|Generator\b|SeedSequence\b)[a-z_]+\("
+        ),
+        "legacy np.random global draw; use np.random.default_rng(seed)",
+        frozenset(),
+    ),
+    (
+        re.compile(r"\btime\.time\("),
+        "wall-clock read; inject a clock or derive time from ticks",
+        frozenset(),
+    ),
+    (
+        re.compile(r"\bdatetime\.(now|utcnow|today)\(|\bdate\.today\("),
+        "wall-clock read; timestamps must come from the harness",
+        frozenset(),
+    ),
+    (
+        # perf_counter is monotonic (not wall-clock) but still
+        # nondeterministic; it is sanctioned only for benchmark timing.
+        re.compile(r"\btime\.perf_counter\(\)"),
+        "perf_counter outside benchmark timing",
+        frozenset({"fleet/vectorized.py"}),
+    ),
+]
+
+
+def _violations():
+    found = []
+    for path in sorted(SRC.rglob("*.py")):
+        rel = path.relative_to(SRC).as_posix()
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            for pattern, why, allowed in _FORBIDDEN:
+                if rel in allowed:
+                    continue
+                if pattern.search(line):
+                    found.append(f"{rel}:{lineno}: {why}\n    {line.strip()}")
+    return found
+
+
+def test_no_hidden_rng_or_wall_clock_reads():
+    violations = _violations()
+    assert not violations, (
+        "nondeterministic reads in the control plane break checkpoint "
+        "determinism:\n" + "\n".join(violations)
+    )
+
+
+def test_lint_actually_detects_violations():
+    """The patterns catch the things they claim to catch."""
+    bad_lines = [
+        "import random",
+        "    x = random.random()",
+        "    rng = np.random.randint(0, 5)",
+        "    np.random.seed(7)",
+        "    now = time.time()",
+        "    stamp = datetime.now()",
+        "    t0 = time.perf_counter()",
+    ]
+    for line in bad_lines:
+        assert any(
+            pattern.search(line) for pattern, _, _ in _FORBIDDEN
+        ), f"lint pattern missed: {line!r}"
+    good_lines = [
+        "    rng = np.random.default_rng(seed)",
+        "    gen: np.random.Generator = rng",
+        "    state = rng.bit_generator.state",
+        "``time.perf_counter`` when a human wants real timings.",
+    ]
+    for line in good_lines:
+        assert not any(
+            pattern.search(line) for pattern, _, _ in _FORBIDDEN
+        ), f"lint pattern false positive: {line!r}"

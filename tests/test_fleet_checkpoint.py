@@ -1,0 +1,116 @@
+"""Vectorized fleet engine checkpointing: resume mid-sweep, bit for bit.
+
+A 1000-tenant service can't afford to re-run history on restart; the
+struct-of-arrays engine serializes its whole control loop (levels,
+budget ledger, balloon machine, telemetry rings, damper rings) and a
+restored engine must continue the sweep with decisions identical to one
+that never stopped.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.budget import BudgetManager
+from repro.core.damper import OscillationDamper
+from repro.core.latency import LatencyGoal
+from repro.engine.containers import default_catalog
+from repro.errors import ConfigurationError
+from repro.fleet.vectorized import VectorizedAutoScaler, replay_decisions
+from repro.service import decode_state, encode_state
+
+from .test_fleet_vectorized import make_streams
+
+_N_TENANTS = 12
+_N_INTERVALS = 36
+_SEED = 31
+
+
+def _build_engine(catalog, levels, n_intervals=_N_INTERVALS):
+    budgets = [
+        BudgetManager(
+            budget=catalog.at_level(int(levels[t])).cost * n_intervals * 1.3
+            + catalog.min_cost * 5,
+            n_intervals=n_intervals + 5,
+            min_cost=catalog.min_cost,
+            max_cost=catalog.max_cost,
+        )
+        for t in range(_N_TENANTS)
+    ]
+    return VectorizedAutoScaler(
+        default_catalog(),
+        _N_TENANTS,
+        initial_level=levels,
+        goal=LatencyGoal(100.0),
+        budget=budgets,
+        damper=OscillationDamper(),
+    )
+
+
+def _assert_same_decisions(resumed, uninterrupted):
+    assert len(resumed) == len(uninterrupted)
+    for got, want in zip(resumed, uninterrupted):
+        assert np.array_equal(got.level, want.level)
+        assert np.array_equal(got.resized, want.resized)
+        assert np.array_equal(
+            got.balloon_limit_gb, want.balloon_limit_gb, equal_nan=True
+        )
+        assert np.array_equal(got.steps, want.steps)
+        assert np.array_equal(got.rules, want.rules)
+        assert got.actions == want.actions
+
+
+def test_mid_sweep_restore_is_bit_identical():
+    catalog = default_catalog()
+    rng = np.random.default_rng(_SEED + 999)
+    levels = rng.integers(0, catalog.num_levels, _N_TENANTS)
+    streams = make_streams(_N_TENANTS, _N_INTERVALS, _SEED, catalog, levels)
+    half = _N_INTERVALS // 2
+    first = [s[:half] for s in streams]
+    second = [s[half:] for s in streams]
+
+    # Uninterrupted twin: all 36 intervals in one engine.
+    twin = _build_engine(catalog, levels)
+    all_decisions = replay_decisions(streams, twin)
+
+    # Checkpointed run: stop at the halfway mark, serialize through the
+    # exact JSON wire format, restore into a brand-new engine.
+    engine = _build_engine(catalog, levels)
+    replay_decisions(first, engine)
+    wire = json.dumps(
+        encode_state(engine.state_dict()),
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    restored = _build_engine(catalog, levels)
+    restored.load_state_dict(decode_state(json.loads(wire)))
+
+    resumed = replay_decisions(second, restored)
+    _assert_same_decisions(resumed, all_decisions[half:])
+
+
+def test_restore_rejects_geometry_mismatch():
+    catalog = default_catalog()
+    rng = np.random.default_rng(_SEED)
+    levels = rng.integers(0, catalog.num_levels, _N_TENANTS)
+    engine = _build_engine(catalog, levels)
+    state = engine.state_dict()
+
+    wrong_size = VectorizedAutoScaler(
+        default_catalog(), _N_TENANTS + 1, goal=LatencyGoal(100.0)
+    )
+    with pytest.raises(ConfigurationError):
+        wrong_size.load_state_dict(state)
+
+    # Damper presence is part of the configuration identity too.
+    no_damper = VectorizedAutoScaler(
+        default_catalog(),
+        _N_TENANTS,
+        initial_level=levels,
+        goal=LatencyGoal(100.0),
+    )
+    with pytest.raises(ConfigurationError):
+        no_damper.load_state_dict(state)

@@ -1,0 +1,321 @@
+"""Durable service mode: checkpoint codec, byte-identical restore.
+
+The headline invariant: a controller killed after *any* interval and
+restored from its last checkpoint produces byte-identical decisions,
+billing, and per-tenant trace JSONL to an uninterrupted run — across the
+three golden scenarios (steady / bursty-budget / chaos).  Recovery
+markers live in the *service* tracer only, so tenant traces need no
+"modulo markers" allowance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.budget import BudgetManager, BurstStrategy
+from repro.core.latency import LatencyGoal
+from repro.engine.server import EngineConfig
+from repro.errors import CheckpointError
+from repro.faults.schedule import FaultEvent, FaultKind, FaultSchedule
+from repro.harness.chaos import run_chaos
+from repro.harness.experiment import ExperimentConfig
+from repro.obs.events import EventKind, TraceLevel
+from repro.obs.tracer import Tracer
+from repro.service import (
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    CheckpointStore,
+    TenantSpec,
+    decode_state,
+    encode_state,
+    inspect_checkpoint,
+    run_service,
+)
+from repro.workloads import Trace, cpuio_workload
+
+# Golden-scenario geometry (mirrors repro.obs.scenarios).
+_INTERVAL_TICKS = 10
+_WARMUP = 4
+_SEED = 7
+_GOAL_MS = 100.0
+
+
+def _config(seed: int = _SEED) -> ExperimentConfig:
+    return ExperimentConfig(
+        engine=EngineConfig(interval_ticks=_INTERVAL_TICKS),
+        warmup_intervals=_WARMUP,
+        seed=seed,
+    )
+
+
+def _binding_budget(config, n_intervals, factor=0.30):
+    min_cost = config.catalog.smallest.cost
+    max_cost = config.catalog.max_cost
+    per_interval = min_cost + factor * (max_cost - min_cost)
+    return BudgetManager(
+        budget=per_interval * n_intervals,
+        n_intervals=n_intervals,
+        min_cost=min_cost,
+        max_cost=max_cost,
+        strategy=BurstStrategy.AGGRESSIVE,
+    )
+
+
+def _chaos_schedule() -> FaultSchedule:
+    return FaultSchedule(
+        (
+            FaultEvent(FaultKind.TELEMETRY_DROP, interval=2),
+            FaultEvent(FaultKind.RESIZE_TRANSIENT, interval=6, magnitude=2),
+            FaultEvent(FaultKind.TELEMETRY_CORRUPT, interval=8, duration=2),
+            FaultEvent(FaultKind.TELEMETRY_DUPLICATE, interval=11),
+            FaultEvent(FaultKind.RESIZE_PERMANENT, interval=12),
+        )
+    )
+
+
+def _scenario_spec(name: str) -> TenantSpec:
+    """The golden scenarios, as service tenant specs."""
+    config = _config()
+    if name == "steady":
+        return TenantSpec(
+            tenant_id="steady",
+            workload=cpuio_workload(),
+            trace=Trace(name="golden-steady", rates=np.full(16, 40.0)),
+            goal=LatencyGoal(_GOAL_MS),
+            trace_level=TraceLevel.DEBUG,
+        )
+    if name == "bursty-budget":
+        rates = np.full(18, 15.0)
+        rates[4:12] = 260.0
+        return TenantSpec(
+            tenant_id="bursty-budget",
+            workload=cpuio_workload(),
+            trace=Trace(name="golden-bursty", rates=rates),
+            goal=LatencyGoal(_GOAL_MS),
+            budget_factory=lambda: _binding_budget(_config(), _WARMUP + 18 + 2),
+            trace_level=TraceLevel.DEBUG,
+        )
+    assert name == "chaos"
+    rates = np.full(18, 20.0)
+    rates[5:11] = 220.0
+    return TenantSpec(
+        tenant_id="chaos",
+        workload=cpuio_workload(),
+        trace=Trace(name="golden-chaos", rates=rates),
+        schedule=_chaos_schedule(),
+        goal=LatencyGoal(_GOAL_MS),
+        budget_factory=lambda: _binding_budget(
+            _config(), _WARMUP + 18 + 2, factor=0.35
+        ),
+        trace_level=TraceLevel.DEBUG,
+    )
+
+
+class TestCheckpointCodec:
+    def test_scalar_and_container_round_trip(self):
+        state = {
+            "a": 1,
+            "b": -0.1234567890123456789,
+            "c": None,
+            "d": True,
+            "e": "text",
+            "f": [1, 2.5, "x", None],
+            "nested": {"g": [{"h": 0.1 + 0.2}]},
+        }
+        assert decode_state(encode_state(state)) == state
+
+    def test_ndarray_round_trip_bit_exact(self):
+        rng = np.random.default_rng(0)
+        for array in (
+            rng.standard_normal((3, 4)),
+            np.array([np.nan, np.inf, -np.inf, -0.0]),
+            rng.integers(-(2**40), 2**40, 7),
+            np.zeros((2, 0, 3)),
+            rng.random(5).astype(np.float32),
+            np.array([True, False, True]),
+        ):
+            restored = decode_state(encode_state({"x": array}))["x"]
+            assert restored.dtype == array.dtype
+            assert restored.shape == array.shape
+            assert np.array_equal(
+                restored.view(np.uint8), array.view(np.uint8)
+            ), "payload bytes must survive exactly"
+
+    def test_rng_state_round_trip(self):
+        rng = np.random.default_rng(42)
+        rng.random(17)
+        state = rng.bit_generator.state
+        restored = decode_state(encode_state(state))
+        twin = np.random.default_rng()
+        twin.bit_generator.state = restored
+        assert twin.random(5).tolist() == rng.random(5).tolist()
+
+    def test_unencodable_value_raises(self):
+        with pytest.raises(CheckpointError):
+            encode_state({"x": object()})
+        with pytest.raises(CheckpointError):
+            encode_state({1: "non-string key"})
+        with pytest.raises(CheckpointError):
+            encode_state({"__ndarray__": "tag collision"})
+
+    def test_wire_format_stable(self):
+        """dumps(loads(text)) == text: the store's round trip is exact."""
+        checkpoint = Checkpoint.capture(
+            "controller", 3, {"x": np.linspace(0, 1, 9), "y": [1.5, "z"]}
+        )
+        text = checkpoint.to_json()
+        assert Checkpoint.from_json(text).to_json() == text
+
+    def test_version_refusal(self):
+        checkpoint = Checkpoint.capture("controller", 0, {"x": 1})
+        bad = checkpoint.to_json().replace(
+            f'"version":{CHECKPOINT_VERSION}', '"version":99'
+        )
+        with pytest.raises(CheckpointError, match="version"):
+            Checkpoint.from_json(bad)
+
+    def test_malformed_json_refusal(self):
+        with pytest.raises(CheckpointError, match="not valid JSON"):
+            Checkpoint.from_json("{truncated")
+        with pytest.raises(CheckpointError, match="object"):
+            Checkpoint.from_json("[1, 2]")
+        with pytest.raises(CheckpointError, match="missing fields"):
+            Checkpoint.from_json('{"version": 1}')
+
+    def test_file_round_trip(self, tmp_path):
+        checkpoint = Checkpoint.capture("fleet", 5, {"x": np.arange(4)})
+        path = checkpoint.save(tmp_path / "c.json")
+        loaded = Checkpoint.load(path)
+        assert loaded.to_json() == checkpoint.to_json()
+        with pytest.raises(CheckpointError, match="cannot read"):
+            Checkpoint.load(tmp_path / "missing.json")
+
+
+class TestCheckpointStore:
+    def test_latest_wins_and_history_cap(self):
+        store = CheckpointStore(keep=3)
+        for i in range(5):
+            store.put(Checkpoint.capture("controller", i, {"i": i}))
+        assert store.latest().interval == 4
+        assert [c.interval for c in store.history()] == [2, 3, 4]
+        assert store.puts == 5
+
+    def test_directory_persistence(self, tmp_path):
+        store = CheckpointStore(directory=tmp_path / "ckpts")
+        store.put(Checkpoint.capture("controller", 0, {"i": 0}))
+        store.put(Checkpoint.capture("controller", 1, {"i": 1}))
+        names = sorted(p.name for p in (tmp_path / "ckpts").iterdir())
+        assert names == [
+            "checkpoint-000000.json",
+            "checkpoint-000001.json",
+            "latest.json",
+        ]
+        assert Checkpoint.load(tmp_path / "ckpts" / "latest.json").interval == 1
+
+    def test_keep_must_be_positive(self):
+        with pytest.raises(CheckpointError):
+            CheckpointStore(keep=0)
+
+
+@pytest.mark.parametrize("scenario", ["steady", "bursty-budget", "chaos"])
+class TestByteIdenticalRestore:
+    """The acceptance invariant, per golden scenario."""
+
+    def test_killed_run_matches_uninterrupted(self, scenario):
+        spec = _scenario_spec(scenario)
+        n = spec.trace.n_intervals
+        baseline = run_service([spec], config=_config())
+        kills = [1, n // 2, n - 2]
+        killed = run_service([spec], config=_config(), kill_at=kills)
+
+        tid = spec.tenant_id
+        assert killed.runtime(tid).containers == baseline.runtime(tid).containers
+        assert killed.decision_trace(tid) == baseline.decision_trace(tid)
+        assert (
+            killed.runtime(tid).meter.records
+            == baseline.runtime(tid).meter.records
+        )
+        # Full DEBUG event stream, byte for byte — no recovery markers
+        # leak into tenant traces.
+        assert killed.trace_jsonl(tid) == baseline.trace_jsonl(tid)
+        assert killed.store.puts == n + 1  # warm-up snapshot + every tick
+        restores = killed.service.service_tracer.metrics.snapshot()
+        assert restores["counters"]["service.restores"] == len(kills)
+
+
+class TestServiceMatchesBatchHarness:
+    def test_chaos_scenario_equals_run_chaos(self):
+        """Empty controller schedule ⇒ the service is run_chaos, exactly."""
+        spec = _scenario_spec("chaos")
+        tracer = Tracer(run_id="chaos", level=TraceLevel.DEBUG)
+        batch = run_chaos(
+            spec.workload,
+            spec.trace,
+            spec.schedule,
+            config=_config(),
+            goal=spec.goal,
+            budget=spec.budget_factory(),
+            tracer=tracer,
+        )
+        service = run_service([spec], config=_config())
+        assert service.runtime("chaos").containers == batch.containers
+        assert service.decision_trace("chaos") == batch.decision_trace()
+        assert service.runtime("chaos").meter.records == batch.meter.records
+        assert service.trace_jsonl("chaos") == tracer.to_jsonl()
+
+
+class TestMultiTenantService:
+    def test_tenants_are_isolated_and_restorable(self):
+        specs = [_scenario_spec("steady"), _scenario_spec("chaos")]
+        n = min(s.trace.n_intervals for s in specs)
+        solo = {
+            s.tenant_id: run_service([s], config=_config(), n_intervals=n)
+            for s in specs
+        }
+        together = run_service(
+            specs, config=_config(), n_intervals=n, kill_at=[n // 2]
+        )
+        for spec in specs:
+            tid = spec.tenant_id
+            assert (
+                together.decision_trace(tid) == solo[tid].decision_trace(tid)
+            ), "tenants must not interfere, even across a restore"
+            assert together.trace_jsonl(tid) == solo[tid].trace_jsonl(tid)
+
+    def test_duplicate_tenant_ids_rejected(self):
+        spec = _scenario_spec("steady")
+        with pytest.raises(CheckpointError, match="duplicate"):
+            run_service([spec, spec], config=_config(), n_intervals=2)
+
+
+class TestServiceObservability:
+    def test_service_tracer_records_lifecycle(self):
+        spec = _scenario_spec("steady")
+        result = run_service([spec], config=_config(), kill_at=[3])
+        kinds = [e.kind for e in result.service.service_tracer.events()]
+        assert EventKind.CHECKPOINT in kinds
+        assert EventKind.RESTORE in kinds
+        restore = next(
+            e
+            for e in result.service.service_tracer.events()
+            if e.kind is EventKind.RESTORE
+        )
+        assert restore.fields["lost_intervals"] == 0  # same-tick restart
+
+    def test_inspect_summarizes_tenants(self):
+        spec = _scenario_spec("bursty-budget")
+        result = run_service([spec], config=_config())
+        summary = inspect_checkpoint(result.store.latest())
+        assert summary["version"] == CHECKPOINT_VERSION
+        assert summary["kind"] == "controller"
+        assert summary["n_tenants"] == 1
+        info = summary["tenants"]["bursty-budget"]
+        assert info["container"] is not None
+        assert info["budget_spent"] > 0
+
+    def test_checkpoint_every_thins_snapshots(self):
+        spec = _scenario_spec("steady")
+        result = run_service([spec], config=_config(), checkpoint_every=4)
+        # warm-up snapshot + one per 4 ticks over 16 intervals.
+        assert result.store.puts == 1 + 16 // 4

@@ -1,0 +1,253 @@
+"""Lease-based failover: leader election, standby takeover, reconvergence.
+
+Exercises the ``run_service_chaos`` harness against seeded controller
+fault schedules and pins the ISSUE acceptance bar: after the last
+controller fault, the faulted fleet reconverges to a clean twin within
+12 measured intervals and the budget ledger never overdraws.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.budget import BudgetManager, BurstStrategy
+from repro.core.latency import LatencyGoal
+from repro.engine.server import EngineConfig
+from repro.errors import ConfigurationError, LeaseError
+from repro.faults import CONTROLLER_KINDS
+from repro.faults.schedule import FaultEvent, FaultKind, FaultSchedule
+from repro.harness.chaos import reconvergence_interval, run_chaos
+from repro.harness.experiment import ExperimentConfig
+from repro.obs.events import EventKind
+from repro.service import LeaseStore, TenantSpec
+from repro.service.crashes import run_service_chaos
+from repro.workloads import Trace, cpuio_workload
+
+_INTERVAL_TICKS = 10
+_WARMUP = 4
+_SEED = 7
+_N = 18
+
+
+def _config(seed: int = _SEED) -> ExperimentConfig:
+    return ExperimentConfig(
+        engine=EngineConfig(interval_ticks=_INTERVAL_TICKS),
+        warmup_intervals=_WARMUP,
+        seed=seed,
+    )
+
+
+def _budget_factory(n: int, factor: float = 0.35):
+    def build() -> BudgetManager:
+        config = _config()
+        min_cost = config.catalog.smallest.cost
+        max_cost = config.catalog.max_cost
+        per_interval = min_cost + factor * (max_cost - min_cost)
+        n_intervals = _WARMUP + n + 2
+        return BudgetManager(
+            budget=per_interval * n_intervals,
+            n_intervals=n_intervals,
+            min_cost=min_cost,
+            max_cost=max_cost,
+            strategy=BurstStrategy.AGGRESSIVE,
+        )
+
+    return build
+
+
+def _spec(
+    tenant_id: str = "t0", n: int = _N, burst: tuple[int, int] = (5, 11)
+) -> TenantSpec:
+    rates = np.full(n, 20.0)
+    rates[burst[0] : burst[1]] = 220.0
+    return TenantSpec(
+        tenant_id=tenant_id,
+        workload=cpuio_workload(),
+        trace=Trace(name=f"failover-{tenant_id}", rates=rates),
+        goal=LatencyGoal(100.0),
+        budget_factory=_budget_factory(n),
+    )
+
+
+def _clean_twin(spec: TenantSpec):
+    """The same tenant under run_chaos with no faults at all."""
+    return run_chaos(
+        spec.workload,
+        spec.trace,
+        FaultSchedule.empty(),
+        config=_config(),
+        goal=spec.goal,
+        budget=spec.budget_factory(),
+    )
+
+
+class TestLeaseStore:
+    def test_acquire_renew_expire_cycle(self):
+        store = LeaseStore()
+        lease = store.try_acquire("leader", "primary", 0, duration_ticks=3)
+        assert lease is not None and lease.fence == 1
+        # Held: a rival cannot take it.
+        assert store.try_acquire("leader", "standby", 2, 3) is None
+        assert store.holder("leader", 2) == "primary"
+        # Renewal pushes expiry out without a fence bump.
+        assert store.renew("leader", "primary", 2)
+        assert store.holder("leader", 4) == "primary"
+        # Unrenewed past expiry: gone, and the rival's grab bumps the fence.
+        assert store.holder("leader", 5) is None
+        assert not store.renew("leader", "primary", 5)
+        lease = store.try_acquire("leader", "standby", 5, 3)
+        assert lease is not None and lease.fence == 2
+        assert lease.transitions == 1  # one holder change so far
+
+    def test_same_holder_reacquire_renews_in_place(self):
+        store = LeaseStore()
+        first = store.try_acquire("leader", "primary", 0, 3)
+        again = store.try_acquire("leader", "primary", 1, 3)
+        assert again is not None
+        assert again.fence == first.fence  # no self-fencing
+        assert again.renewed_tick == 1
+
+    def test_release_frees_immediately(self):
+        store = LeaseStore()
+        store.try_acquire("leader", "primary", 0, 10)
+        assert store.release("leader", "primary")
+        assert store.holder("leader", 1) is None
+        assert not store.release("leader", "primary")  # already gone
+
+    def test_fence_is_monotonic_across_names(self):
+        store = LeaseStore()
+        a = store.try_acquire("a", "p", 0, 2)
+        b = store.try_acquire("b", "p", 0, 2)
+        c = store.try_acquire("a", "q", 5, 2)  # expired, new holder
+        assert a.fence < b.fence < c.fence
+
+    def test_duration_must_be_positive(self):
+        with pytest.raises(LeaseError):
+            LeaseStore().try_acquire("leader", "primary", 0, 0)
+
+
+class TestStandbyTakeover:
+    def test_crash_longer_than_lease_promotes_standby(self):
+        """Primary dies for >= lease_duration: standby must win the lease."""
+        spec = _spec()
+        schedule = FaultSchedule(
+            (FaultEvent(FaultKind.CONTROLLER_CRASH, interval=8, duration=4),)
+        )
+        result = run_service_chaos(
+            [spec], schedule, config=_config(), lease_duration=3
+        )
+        assert any(t.to_holder == "standby" for t in result.takeovers)
+        takeover = next(t for t in result.takeovers if t.to_holder == "standby")
+        assert takeover.from_holder == "primary"
+        assert takeover.fence == 2
+        # The lease outlives the crash briefly; the outage is bounded by
+        # the lease duration, not the crash duration.  Every leaderless
+        # interval is reconciled (decide_missing) by the new leader.
+        assert 0 < result.downtime_ticks <= 3
+        assert takeover.lost_intervals == result.downtime_ticks
+        assert result.service.holder == "standby"
+
+    def test_fast_restart_reclaims_before_standby(self):
+        """Crash shorter than the lease: the primary restarts, restores
+        its own checkpoint, and keeps the lease — no failover."""
+        spec = _spec()
+        schedule = FaultSchedule(
+            (FaultEvent(FaultKind.CONTROLLER_CRASH, interval=8, duration=2),)
+        )
+        result = run_service_chaos(
+            [spec], schedule, config=_config(), lease_duration=3
+        )
+        assert [t.to_holder for t in result.takeovers] == ["primary"]
+        assert result.service.holder == "primary"
+        assert all(h in (None, "primary") for h in result.leader_by_tick)
+
+    def test_lease_expiry_hands_over_seamlessly(self):
+        """A partitioned leader keeps stepping until its lease lapses,
+        then the standby takes over with zero lost intervals."""
+        spec = _spec()
+        schedule = FaultSchedule(
+            (FaultEvent(FaultKind.LEASE_EXPIRY, interval=10, duration=3),)
+        )
+        result = run_service_chaos(
+            [spec], schedule, config=_config(), lease_duration=3
+        )
+        assert result.downtime_ticks == 0  # no tick ran leaderless
+        takeover = next(t for t in result.takeovers if t.to_holder == "standby")
+        assert takeover.lost_intervals == 0
+        # No split brain: exactly one leader per tick, and the trace
+        # switches from primary to standby exactly once.
+        assert all(h is not None for h in result.leader_by_tick)
+        switches = sum(
+            1
+            for a, b in zip(result.leader_by_tick, result.leader_by_tick[1:])
+            if a != b
+        )
+        assert switches == 1
+        failovers = result.service.service_tracer.events(
+            kind=EventKind.FAILOVER
+        )
+        assert len(failovers) == 1
+
+    def test_rejects_data_plane_kinds(self):
+        schedule = FaultSchedule(
+            (FaultEvent(FaultKind.TELEMETRY_DROP, interval=3),)
+        )
+        with pytest.raises(ConfigurationError, match="controller faults"):
+            run_service_chaos([_spec()], schedule, config=_config())
+
+
+class TestReconvergence:
+    """ISSUE acceptance: seeded kill-the-controller chaos reconverges
+    within 12 intervals of the last fault with zero budget overdraws."""
+
+    @pytest.mark.parametrize("seed", [11, 23, 47])
+    def test_seeded_controller_chaos_reconverges(self, seed):
+        # Early burst, faults during the descent, long steady tail so
+        # both runs settle and the ≤12-interval window fits the trace.
+        n = 30
+        spec = _spec(n=n, burst=(3, 9))
+        schedule = FaultSchedule.random(
+            seed, n, n_faults=2, kinds=CONTROLLER_KINDS, first=10, last=14
+        )
+        assert len(schedule) > 0
+        result = run_service_chaos(
+            [spec], schedule, config=_config(), lease_duration=3
+        )
+        clean = _clean_twin(spec)
+
+        k = reconvergence_interval(
+            result.containers("t0"),
+            clean.containers,
+            schedule.last_fault_interval,
+        )
+        assert k is not None and k <= 12, (
+            f"seed {seed}: fleet did not reconverge within 12 intervals "
+            f"(faulted={result.containers('t0')}, clean={clean.containers})"
+        )
+
+        # Budget safety: the ledger never overdraws, even across
+        # leaderless gaps where billing keeps accruing.
+        budget = result.runtime("t0").scaler.budget
+        assert budget.spent <= budget.budget + 1e-9
+        # And the meter's ground truth agrees with the ledger.
+        total_billed = sum(r.cost for r in result.runtime("t0").meter.records)
+        assert total_billed <= budget.budget + 1e-9
+
+    def test_multi_tenant_failover_keeps_tenants_aligned(self):
+        specs = [_spec("t0"), _spec("t1")]
+        schedule = FaultSchedule(
+            (FaultEvent(FaultKind.CONTROLLER_CRASH, interval=6, duration=4),)
+        )
+        result = run_service_chaos(
+            specs, schedule, config=_config(), lease_duration=3
+        )
+        for tid in ("t0", "t1"):
+            trace = result.decision_trace(tid)
+            assert len(trace) == _N
+            # Downtime shows up as identical "-" gaps for every tenant —
+            # the controller is shared, the outage is shared.
+            gaps = [i for i, d in enumerate(trace) if d == "-"]
+            assert gaps == [
+                i for i, d in enumerate(result.decision_trace("t0")) if d == "-"
+            ]
