@@ -15,6 +15,10 @@ itself must be cheap.  Four measurements:
   identical between the two arms before the speedup is reported.
 * **sweep_100k** (full mode) — wall-clock per interval of a 100 000-tenant
   vectorized sweep, the paper-scale figure.
+* **chaos_degraded** — the degraded-mode wave loop under a 5 % fault rate
+  vs. the healthy vectorized sweep at the same scale; the fault-handling
+  machinery (guard verdicts, held deliveries, masked injection) must stay
+  within ``CHAOS_DEGRADED_MAX_RATIO`` of the healthy path.
 * **primitives** — steady-state per-append+query cost of each statistical
   primitive, incremental vs. batch, windows 10 and 64.
 
@@ -376,6 +380,46 @@ def bench_sweep_100k(n_tenants: int = 100_000, n_intervals: int = 10) -> dict:
         "max_interval_s": round(result["max_interval_s"], 3),
         "per_interval_s": [round(v, 3) for v in result["per_interval_s"]],
         "resizes": result["resizes"],
+    }
+
+
+# -- degraded-mode chaos sweep ------------------------------------------------
+
+CHAOS_DEGRADED_MAX_RATIO = 2.0
+
+
+def bench_chaos_degraded(
+    n_tenants: int, n_intervals: int, fault_rate: float = 0.05
+) -> dict:
+    """Degraded wave loop under faults vs. the healthy vectorized sweep.
+
+    Both arms run the same synthetic fleet at the same scale; the degraded
+    arm adds randomized fault schedules (``fault_rate`` of tenant-intervals
+    perturbed) compiled to masks, the per-wave telemetry guard, safe-mode
+    gating, and the vectorized circuit breaker.  The ratio of steady-state
+    per-interval means is the gated number: degraded-mode bookkeeping must
+    not double the cost of fleet scaling.
+    """
+    from repro.fleet.degraded import run_degraded_synthetic_sweep
+
+    healthy = run_synthetic_sweep(n_tenants, n_intervals, seed=7)
+    degraded = run_degraded_synthetic_sweep(
+        n_tenants, n_intervals, seed=7, fault_rate=fault_rate
+    )
+    # First interval pays allocation on both arms.
+    healthy_mean = float(np.mean(healthy["per_interval_s"][1:]))
+    degraded_mean = float(np.mean(degraded["per_interval_s"][1:]))
+    return {
+        "tenants": n_tenants,
+        "intervals": n_intervals,
+        "fault_rate": fault_rate,
+        "faulted_tenant_intervals": degraded["faulted_tenant_intervals"],
+        "healthy_total_s": round(healthy["total_s"], 3),
+        "degraded_total_s": round(degraded["total_s"], 3),
+        "healthy_mean_interval_s": round(healthy_mean, 4),
+        "degraded_mean_interval_s": round(degraded_mean, 4),
+        "degraded_over_healthy": round(degraded_mean / healthy_mean, 2),
+        "max_ratio": CHAOS_DEGRADED_MAX_RATIO,
     }
 
 
@@ -785,6 +829,7 @@ def run_benchmark(
             ),
         },
         "fleet_vectorized": bench_fleet_vectorized(streams, n_tenants),
+        "chaos_degraded": bench_chaos_degraded(n_tenants, n_intervals),
         # window=10 is the default telemetry geometry (signal_window); 64
         # shows the asymptotic gap on larger history windows.
         "primitives": {
@@ -833,6 +878,19 @@ def report(result: dict) -> str:
         f"  ({vec['vectorized_s']:.2f}s total)",
         f"  speedup:     {vec['speedup']:.1f}x (target >= {vec['target_speedup']:.0f}x)",
     ]
+    chaos = result["chaos_degraded"]
+    lines.append(
+        f"degraded chaos sweep ({chaos['tenants']} tenants x "
+        f"{chaos['intervals']} intervals, {100 * chaos['fault_rate']:.0f}% "
+        f"fault rate, {chaos['faulted_tenant_intervals']} faulted "
+        "tenant-intervals):"
+    )
+    lines.append(
+        f"  healthy {1e3 * chaos['healthy_mean_interval_s']:.1f} ms/interval"
+        f"  degraded {1e3 * chaos['degraded_mean_interval_s']:.1f} ms/interval"
+        f"  -> {chaos['degraded_over_healthy']:.2f}x "
+        f"(ceiling {chaos['max_ratio']:.0f}x)"
+    )
     if "sweep_100k" in result:
         sweep = result["sweep_100k"]
         lines.append(
@@ -928,6 +986,7 @@ def test_perf_telemetry(benchmark):
     assert result["fleet"]["window_10"]["speedup"] >= 2.0
     assert result["fleet_vectorized"]["decisions_identical"]
     assert result["equivalence"]["identical_signals"]
+    assert result["chaos_degraded"]["degraded_over_healthy"] > 0
 
 
 if __name__ == "__main__":

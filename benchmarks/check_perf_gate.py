@@ -12,7 +12,10 @@ changes) against the floors the repository claims:
   monitor) costs < 10% over the uninstrumented sweep, decisions identical;
 * checkpoint capture (the synchronous ``state_dict`` snapshot) costs
   < 10% of a fleet sweep interval, the snapshot stays immutable while the
-  live engine keeps mutating, and a restored engine resumes bit-identical.
+  live engine keeps mutating, and a restored engine resumes bit-identical;
+* the degraded-mode chaos sweep (5% of tenant-intervals faulted, masks
+  compiled, guard verdicts and circuit breakers live) stays within 2x of
+  the healthy vectorized sweep per interval.
 
 The gate intentionally reads the *committed* JSON rather than re-running
 the benchmark: CI machines are too noisy to time a fleet sweep, but they
@@ -59,6 +62,11 @@ TRUTH_FLAGS = [
 OVERHEAD_CEILINGS = [
     (("fleet_observability", "overhead_pct"), 10.0),
     (("checkpoint", "overhead_pct"), 10.0),
+]
+
+#: (path into the JSON, ceiling) — dimensionless ratios that must stay under.
+RATIO_CEILINGS = [
+    (("chaos_degraded", "degraded_over_healthy"), 2.0),
 ]
 
 #: The acceptance criterion for paper-scale sweeps: single-digit seconds.
@@ -111,6 +119,15 @@ def check(result: dict) -> list[str]:
             continue
         if not isinstance(value, (int, float)) or value > ceiling:
             problems.append(f"{name} = {value} above the {ceiling}% ceiling")
+    for path, ceiling in RATIO_CEILINGS:
+        name = "/".join(map(str, path))
+        try:
+            value = _lookup(result, path)
+        except KeyError:
+            problems.append(f"missing {name}")
+            continue
+        if not isinstance(value, (int, float)) or value > ceiling:
+            problems.append(f"{name} = {value} above the {ceiling}x ceiling")
     try:
         mean_s = _lookup(result, ("sweep_100k", "mean_interval_s"))
         if mean_s > SWEEP_100K_MAX_MEAN_INTERVAL_S:
@@ -145,12 +162,14 @@ def main(argv: list[str] | None = None) -> int:
     sweep = result["sweep_100k"]
     obs = result["fleet_observability"]
     ckpt = result["checkpoint"]
+    chaos = result["chaos_degraded"]
     print(
         f"perf gate OK: vectorized {vec['speedup']}x "
         f"({vec['tenants']} tenants), 100k sweep "
         f"{sweep['mean_interval_s']}s/interval, fleet pipeline "
         f"{obs['overhead_pct']:+.1f}% overhead, checkpoint capture "
-        f"{ckpt['overhead_pct']:+.1f}% of interval, all floors met"
+        f"{ckpt['overhead_pct']:+.1f}% of interval, degraded chaos sweep "
+        f"{chaos['degraded_over_healthy']}x of healthy, all floors met"
     )
     return 0
 

@@ -29,12 +29,11 @@ import dataclasses
 import numpy as np
 
 from repro.engine.containers import ContainerCatalog, ContainerSpec
-from repro.engine.resources import ResourceKind
 from repro.engine.server import DatabaseServer
 from repro.engine.telemetry import IntervalCounters
-from repro.engine.waits import WaitClass
 from repro.errors import PermanentActuationError, TransientActuationError
 from repro.faults.schedule import FaultKind, FaultSchedule
+from repro.faults.vectorized import N_CORRUPTION_MODES, corrupt_counters
 
 __all__ = ["FaultyServer"]
 
@@ -152,25 +151,8 @@ class FaultyServer:
 
     def _corrupt(self, counters: IntervalCounters) -> IntervalCounters:
         """Plant one physically impossible value (pipeline corruption)."""
-        mode = int(self._rng.integers(0, 5))
-        if mode == 0:
-            bad = counters.latencies_ms.copy()
-            if bad.size == 0:
-                bad = np.full(3, np.nan)
-            else:
-                bad[: max(bad.size // 4, 1)] = np.nan
-            return dataclasses.replace(counters, latencies_ms=bad)
-        if mode == 1:
-            waits = counters.waits.copy()
-            waits.wait_ms[WaitClass.CPU] = -12_345.0
-            return dataclasses.replace(counters, waits=waits)
-        if mode == 2:
-            medians = dict(counters.utilization_median)
-            medians[ResourceKind.CPU] = 4.2
-            return dataclasses.replace(counters, utilization_median=medians)
-        if mode == 3:
-            return dataclasses.replace(counters, disk_physical_reads=-1_000.0)
-        return dataclasses.replace(counters, arrivals=-7)
+        mode = int(self._rng.integers(0, N_CORRUPTION_MODES))
+        return corrupt_counters(counters, mode)
 
     # -- actuation path --------------------------------------------------------
 

@@ -1,0 +1,160 @@
+"""Fault schedules compiled to per-interval struct-of-arrays masks.
+
+:class:`~repro.faults.chaos.FaultyServer` interprets a
+:class:`~repro.faults.schedule.FaultSchedule` one interval at a time with
+per-kind ``schedule.active`` scans.  The vectorized degraded-mode fleet
+path (:mod:`repro.fleet.degraded`) instead needs the *whole* sweep's fault
+plan as ``(tenants, intervals)`` boolean masks so telemetry perturbation
+and actuation failures can be applied as array ops at the fleet boundary.
+
+:func:`compile_schedules` performs that translation with the exact
+``FaultSchedule.active`` semantics: for each ``(kind, interval)`` cell the
+**first covering event in schedule order** wins, which matters when two
+events of the same kind overlap with different magnitudes.  Control-plane
+kinds (``CONTROLLER_CRASH`` / ``LEASE_EXPIRY``) strike the controller
+process, not the data plane; :class:`FaultyServer` ignores them and so
+does the compiler.
+
+:func:`corrupt_counters` is the single source of truth for the corruption
+modes: ``FaultyServer`` delegates here (after drawing the mode from its
+own RNG stream), and the vectorized path's parity tests replay the same
+transformations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import NamedTuple, Sequence
+
+import numpy as np
+
+from repro.engine.resources import ResourceKind
+from repro.engine.telemetry import IntervalCounters
+from repro.engine.waits import WaitClass
+from repro.errors import ConfigurationError
+from repro.faults.schedule import FaultKind, FaultSchedule
+
+__all__ = ["N_CORRUPTION_MODES", "CompiledFaultMasks", "compile_schedules", "corrupt_counters"]
+
+#: Corruption modes drawn by ``FaultyServer`` (``rng.integers(0, 5)``).
+N_CORRUPTION_MODES = 5
+
+
+class CompiledFaultMasks(NamedTuple):
+    """One fleet's fault plan as ``(T, I)`` struct-of-arrays masks.
+
+    ``transient_magnitude`` is the number of consecutive failing resize
+    attempts for the interval (0 = no transient fault);
+    ``skew_magnitude`` is the backwards timestamp jump in intervals'
+    worth of time (0.0 = no skew).  All other kinds are plain booleans.
+    """
+
+    n_tenants: int
+    n_intervals: int
+    drop: np.ndarray  # (T, I) bool
+    late: np.ndarray  # (T, I) bool
+    duplicate: np.ndarray  # (T, I) bool
+    corrupt: np.ndarray  # (T, I) bool
+    skew: np.ndarray  # (T, I) bool
+    skew_magnitude: np.ndarray  # (T, I) float
+    transient_magnitude: np.ndarray  # (T, I) int64
+    permanent: np.ndarray  # (T, I) bool
+    partial: np.ndarray  # (T, I) bool
+    balloon_fail: np.ndarray  # (T, I) bool
+
+    @property
+    def any_telemetry(self) -> np.ndarray:
+        """(T, I) — intervals whose telemetry stream is perturbed."""
+        return self.drop | self.late | self.duplicate | self.corrupt | self.skew
+
+
+def _fill_window(row: np.ndarray, event, value) -> None:
+    row[event.interval : event.last_interval + 1] = value
+
+
+def compile_schedules(
+    schedules: Sequence[FaultSchedule], n_intervals: int
+) -> CompiledFaultMasks:
+    """Compile one schedule per tenant into per-interval fleet masks.
+
+    Schedules are interpreted over intervals ``[0, n_intervals)`` — pass
+    the same (possibly :meth:`~repro.faults.schedule.FaultSchedule.shifted`)
+    schedules the scalar :class:`~repro.faults.chaos.FaultyServer` would
+    see.  Events extending past ``n_intervals`` are clipped; events of the
+    controller-process kinds are skipped (``FaultyServer`` never reads
+    them either).
+
+    Overlap resolution matches ``FaultSchedule.active``: events are
+    written in *reversed* schedule order so the first covering event in
+    schedule order overwrites the later ones.
+    """
+    if n_intervals < 1:
+        raise ConfigurationError("n_intervals must be >= 1")
+    n_tenants = len(schedules)
+    shape = (n_tenants, n_intervals)
+    masks = CompiledFaultMasks(
+        n_tenants=n_tenants,
+        n_intervals=n_intervals,
+        drop=np.zeros(shape, dtype=bool),
+        late=np.zeros(shape, dtype=bool),
+        duplicate=np.zeros(shape, dtype=bool),
+        corrupt=np.zeros(shape, dtype=bool),
+        skew=np.zeros(shape, dtype=bool),
+        skew_magnitude=np.zeros(shape),
+        transient_magnitude=np.zeros(shape, dtype=np.int64),
+        permanent=np.zeros(shape, dtype=bool),
+        partial=np.zeros(shape, dtype=bool),
+        balloon_fail=np.zeros(shape, dtype=bool),
+    )
+    bool_rows = {
+        FaultKind.TELEMETRY_DROP: masks.drop,
+        FaultKind.TELEMETRY_LATE: masks.late,
+        FaultKind.TELEMETRY_DUPLICATE: masks.duplicate,
+        FaultKind.TELEMETRY_CORRUPT: masks.corrupt,
+        FaultKind.RESIZE_PERMANENT: masks.permanent,
+        FaultKind.RESIZE_PARTIAL: masks.partial,
+        FaultKind.BALLOON_FAIL: masks.balloon_fail,
+    }
+    for tenant, schedule in enumerate(schedules):
+        for event in reversed(schedule.events):
+            if event.interval >= n_intervals:
+                continue
+            if event.kind in bool_rows:
+                _fill_window(bool_rows[event.kind][tenant], event, True)
+            elif event.kind is FaultKind.CLOCK_SKEW:
+                _fill_window(masks.skew[tenant], event, True)
+                _fill_window(masks.skew_magnitude[tenant], event, event.magnitude)
+            elif event.kind is FaultKind.RESIZE_TRANSIENT:
+                _fill_window(
+                    masks.transient_magnitude[tenant], event, int(event.magnitude)
+                )
+            # CONTROLLER_CRASH / LEASE_EXPIRY: controller-process faults,
+            # invisible to the data plane (as in FaultyServer).
+    return masks
+
+
+def corrupt_counters(counters: IntervalCounters, mode: int) -> IntervalCounters:
+    """Plant one physically impossible value (pipeline corruption).
+
+    ``mode`` selects which field lies; :class:`FaultyServer` draws it from
+    its own RNG stream (``integers(0, N_CORRUPTION_MODES)``) so injection
+    never perturbs the engine's randomness.
+    """
+    if mode == 0:
+        bad = counters.latencies_ms.copy()
+        if bad.size == 0:
+            bad = np.full(3, np.nan)
+        else:
+            bad[: max(bad.size // 4, 1)] = np.nan
+        return dataclasses.replace(counters, latencies_ms=bad)
+    if mode == 1:
+        waits = counters.waits.copy()
+        waits.wait_ms[WaitClass.CPU] = -12_345.0
+        return dataclasses.replace(counters, waits=waits)
+    if mode == 2:
+        medians = dict(counters.utilization_median)
+        medians[ResourceKind.CPU] = 4.2
+        return dataclasses.replace(counters, utilization_median=medians)
+    if mode == 3:
+        return dataclasses.replace(counters, disk_physical_reads=-1_000.0)
+    return dataclasses.replace(counters, arrivals=-7)

@@ -107,6 +107,7 @@ def chaos_sweep(
     workload: Workload | None = None,
     tracer_for: Callable[[int], Tracer | None] | None = None,
     metrics: MetricsRegistry | None = None,
+    engine: str = "vectorized",
 ) -> ChaosSweepResult:
     """Run ``n_tenants`` independent randomized chaos runs.
 
@@ -132,7 +133,31 @@ def chaos_sweep(
             circuit opens, guard verdicts, safe-mode entries) and the
             ``chaos.total_refunded`` gauge, so sweeps feed the same
             exporters as the fleet pipeline.
+        engine: ``"vectorized"`` (default) runs the whole population
+            through the struct-of-arrays degraded fleet path
+            (:func:`repro.fleet.degraded.fleet_chaos_sweep`), which is
+            byte-identical to the scalar runs; ``"scalar"`` keeps the
+            original one-:func:`run_chaos`-per-tenant loop.  A
+            ``tracer_for`` factory forces the scalar path (tracers hook
+            the per-tenant control plane).
     """
+    if engine not in ("vectorized", "scalar"):
+        raise ValueError(f"unknown chaos sweep engine {engine!r}")
+    if engine == "vectorized" and tracer_for is None:
+        from repro.fleet.degraded import fleet_chaos_sweep
+
+        return fleet_chaos_sweep(
+            n_tenants=n_tenants,
+            base_seed=base_seed,
+            n_intervals=n_intervals,
+            n_faults=n_faults,
+            interval_ticks=interval_ticks,
+            warmup_intervals=warmup_intervals,
+            goal_ms=goal_ms,
+            budget_factor=budget_factor,
+            workload=workload,
+            metrics=metrics,
+        )
     workload = workload or cpuio_workload()
     outcomes: list[TenantChaosOutcome] = []
     for tenant in range(n_tenants):

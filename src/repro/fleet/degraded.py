@@ -1,0 +1,1976 @@
+"""Vectorized degraded-mode fleet path: guards, safe mode, and the
+circuit breaker as struct-of-arrays ops.
+
+The healthy vectorized engine (:mod:`repro.fleet.vectorized`) covers the
+lock-step fleet sweep; under fault injection tenants fall out of step —
+deliveries drop, arrive late or twice, carry corrupt counters or skewed
+clocks, and resizes fail.  The scalar control plane handles all of that
+with per-tenant objects (:class:`~repro.core.telemetry_guard.TelemetryGuard`,
+:class:`~repro.core.resize_executor.ResizeExecutor`); this module runs the
+*same* degraded control loop for the whole fleet at once:
+
+* :class:`DegradedVectorizedAutoScaler` — guard admission verdicts,
+  safe-mode gating, budget settlement with refund drain, the balloon and
+  damper state machines, and the resize executor's retry / backoff /
+  circuit-breaker state, all as ``(T,)`` / ``(T, W)`` numpy arrays.
+* **Waves** — one billing interval delivers 0..3 counters per tenant
+  (held + fresh + duplicate).  :meth:`decide_wave` consumes one delivery
+  *wave*: a boolean ``present`` mask plus per-tenant field arrays.  Each
+  wave is the vectorized form of one ``AutoScaler.decide`` call per
+  participating tenant, so per-tenant decision order is preserved.
+* :func:`repro.faults.vectorized.compile_schedules` turns the per-tenant
+  :class:`~repro.faults.schedule.FaultSchedule` s into ``(T, I)`` masks
+  that :class:`MaskedFaultDataPlane` applies at the fleet's telemetry /
+  actuation boundary — the scalar :class:`~repro.faults.chaos.FaultyServer`
+  semantics (priority order, held buffers, per-interval transient
+  budgets, corruption-mode RNG streams) reproduced over arrays of
+  engines.
+
+Byte-identity contract: driven by :func:`run_fleet_chaos` with the same
+workload / trace / schedule / seeds, the fleet path reproduces ``N``
+independent scalar :func:`~repro.harness.chaos.run_chaos` runs exactly —
+container levels, action lists, guard verdict tallies and reason strings,
+circuit states, the budget ledger including refunds, damper cooldowns,
+and safe-mode flags.  Held by ``tests/test_fleet_degraded_parity.py``
+across every fault kind, all config axes, and randomized seeded
+schedules.
+
+A tenant whose scalar twin would *raise* (budget exhaustion) is marked
+dead instead of aborting the fleet: its state freezes at the raise point
+(exactly where the scalar run stopped mutating) and the formatted error
+is reported per tenant, as :func:`~repro.fleet.chaos.chaos_sweep` does.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import NamedTuple, Sequence
+
+import numpy as np
+
+from repro.core.budget import BudgetManager
+from repro.core.damper import OscillationDamper
+from repro.core.explanations import ActionKind
+from repro.core.latency import LatencyGoal
+from repro.engine.containers import ContainerCatalog
+from repro.engine.resources import SCALABLE_KINDS
+from repro.engine.server import DatabaseServer
+from repro.engine.telemetry import IntervalCounters
+from repro.engine.waits import RESOURCE_WAIT_CLASS
+from repro.errors import (
+    ActuationError,
+    BudgetError,
+    ConfigurationError,
+    PermanentActuationError,
+    TransientActuationError,
+)
+from repro.faults.schedule import FaultSchedule
+from repro.faults.vectorized import (
+    N_CORRUPTION_MODES,
+    CompiledFaultMasks,
+    compile_schedules,
+    corrupt_counters,
+)
+from repro.fleet.vectorized import (
+    _B_COOLDOWN,
+    _B_IDLE,
+    _B_PROBING,
+    _DISK,
+    K,
+    LAT_UNKNOWN,
+    FleetSignals,
+    MaskedVectorizedTelemetry,
+    VectorizedAutoScaler,
+    estimate_fleet,
+    synthesize_fleet_telemetry,
+)
+from repro.harness.experiment import ExperimentConfig
+from repro.workloads.base import Workload
+from repro.workloads.loadgen import LoadGenerator
+from repro.workloads.traces import Trace
+
+__all__ = [
+    "CIRCUIT_CODES",
+    "WaveDecisions",
+    "FleetActuationReports",
+    "DegradedVectorizedAutoScaler",
+    "MaskedFaultDataPlane",
+    "FleetChaosResult",
+    "run_fleet_chaos",
+    "fleet_chaos_sweep",
+    "DegradedSyntheticFleet",
+    "run_degraded_synthetic_sweep",
+]
+
+# Circuit-breaker codes (integer mirror of CircuitState, in
+# CIRCUIT_CODES order: codes index into the tuple).
+_C_CLOSED, _C_OPEN, _C_HALF = 0, 1, 2
+CIRCUIT_CODES = ("closed", "open", "half-open")
+
+
+class WaveDecisions(NamedTuple):
+    """One delivery wave's fleet decisions.
+
+    ``participants`` marks rows that completed a decision this wave (a
+    delivery or, on wave 0, a telemetry gap); ``died`` marks rows whose
+    scalar twin would have raised mid-decide.  ``level`` / ``resized`` /
+    ``balloon_limit_gb`` cover the whole fleet (non-participants simply
+    keep their previous values); ``actions`` is per-tenant ordered
+    action-kind values, ``None`` for non-participants.
+    """
+
+    participants: np.ndarray  # (T,) bool
+    level: np.ndarray  # (T,) int64
+    resized: np.ndarray  # (T,) bool
+    balloon_limit_gb: np.ndarray  # (T,) float
+    actions: tuple | None
+    died: np.ndarray  # (T,) bool
+
+
+class FleetActuationReports(NamedTuple):
+    """One interval's fleet actuation, mirroring ``ActuationReport``.
+
+    ``circuit`` holds post-execute breaker codes (see
+    :data:`CIRCUIT_CODES`); ``explanations`` is per-tenant ordered
+    ``(action_value, reason)`` pairs, ``None`` for dead rows.
+    """
+
+    participants: np.ndarray  # (T,) bool
+    requested_level: np.ndarray  # (T,) int64
+    applied_level: np.ndarray  # (T,) int64
+    attempts: np.ndarray  # (T,) int64
+    backoff_ms: np.ndarray  # (T,) float
+    succeeded: np.ndarray  # (T,) bool
+    refund_scheduled: np.ndarray  # (T,) float
+    circuit: np.ndarray  # (T,) int8
+    explanations: tuple
+
+
+class DegradedVectorizedAutoScaler(VectorizedAutoScaler):
+    """The degraded-mode control plane as struct-of-arrays state.
+
+    Extends the healthy engine with the per-tenant state the scalar path
+    keeps in ``TelemetryGuard`` / ``AutoScaler`` safe mode /
+    ``ResizeExecutor``:
+
+    * guard sequencing (``expected_next`` with -1 as the scalar's None,
+      missing-interval sets, last admitted end timestamp) and tallies;
+    * safe-mode flags and reasons;
+    * the pending-refund ledger (the scalar holds at most one pending
+      refund between settlements — passive decisions, the only
+      no-settle intervals, request the current container and therefore
+      never schedule one — so a single float per tenant is exact);
+    * circuit-breaker state, retry tallies, and one backoff-jitter RNG
+      stream per tenant (``ResizeExecutor``'s own seeds).
+
+    Drive it with :meth:`decide_wave` (one call per delivery wave, plus
+    the wave-0 gap mask) and :meth:`execute_interval` (once per billing
+    interval); the inherited :meth:`decide_batch` remains for lock-step
+    healthy input but must not be mixed with wave driving (the degraded
+    path keeps per-row disk-window cursors).
+    """
+
+    def __init__(
+        self,
+        catalog: ContainerCatalog,
+        n_tenants: int,
+        *,
+        executor_seeds: int | Sequence[int] = 0,
+        max_attempts: int = 3,
+        backoff_base_ms: float = 200.0,
+        backoff_factor: float = 2.0,
+        jitter: float = 0.25,
+        failure_threshold: int = 3,
+        open_intervals: int = 10,
+        guard_max_tracked_gaps: int = 64,
+        guard_degraded_after: int = 3,
+        record_guard_reasons: bool = True,
+        **kwargs,
+    ) -> None:
+        super().__init__(catalog, n_tenants, **kwargs)
+        # Per-row ring clocks: fault injection breaks fleet lock step.
+        self.telemetry = MaskedVectorizedTelemetry(
+            n_tenants, self.thresholds, self.goal
+        )
+        self._disk_cursor_rows = np.zeros(n_tenants, dtype=np.int64)
+
+        if guard_max_tracked_gaps < 1:
+            raise ConfigurationError("max_tracked_gaps must be >= 1")
+        if guard_degraded_after < 1:
+            raise ConfigurationError("degraded_after must be >= 1")
+        self._g_max_gaps = int(guard_max_tracked_gaps)
+        self._g_degraded_after = int(guard_degraded_after)
+        self._record_guard_reasons = record_guard_reasons
+        self._g_expected = np.full(n_tenants, -1, dtype=np.int64)  # -1 = None
+        self._g_last_end = np.full(n_tenants, np.nan)  # NaN = None
+        self._g_missing: list[set[int]] = [set() for _ in range(n_tenants)]
+        self.g_admitted = np.zeros(n_tenants, dtype=np.int64)
+        self.g_admitted_late = np.zeros(n_tenants, dtype=np.int64)
+        self.g_quarantined = np.zeros(n_tenants, dtype=np.int64)
+        self.g_discarded = np.zeros(n_tenants, dtype=np.int64)
+        self.g_missed = np.zeros(n_tenants, dtype=np.int64)
+        self.g_consecutive = np.zeros(n_tenants, dtype=np.int64)
+        self._g_reasons: list[list[str]] = [[] for _ in range(n_tenants)]
+
+        self._safe = np.zeros(n_tenants, dtype=bool)
+        self._safe_reason: list[str] = ["" for _ in range(n_tenants)]
+
+        self._pending_refund = np.zeros(n_tenants)
+        self._refunded = np.zeros(n_tenants)
+
+        if max_attempts < 1:
+            raise ConfigurationError("max_attempts must be >= 1")
+        self._x_max_attempts = int(max_attempts)
+        self._x_backoff_base_ms = float(backoff_base_ms)
+        self._x_backoff_factor = float(backoff_factor)
+        self._x_jitter = float(jitter)
+        self._x_failure_threshold = int(failure_threshold)
+        self._x_open_intervals = int(open_intervals)
+        if isinstance(executor_seeds, (int, np.integer)):
+            seeds = [int(executor_seeds)] * n_tenants
+        else:
+            seeds = [int(s) for s in executor_seeds]
+            if len(seeds) != n_tenants:
+                raise ConfigurationError(
+                    f"need {n_tenants} executor seeds, got {len(seeds)}"
+                )
+        self._x_rngs = [np.random.default_rng(s) for s in seeds]
+        self._x_state = np.zeros(n_tenants, dtype=np.int8)  # _C_CLOSED
+        self._x_consec = np.zeros(n_tenants, dtype=np.int64)
+        self._x_open_left = np.zeros(n_tenants, dtype=np.int64)
+        self.x_total_attempts = np.zeros(n_tenants, dtype=np.int64)
+        self.x_total_failures = np.zeros(n_tenants, dtype=np.int64)
+        self.x_total_refunds = np.zeros(n_tenants)
+        self.x_circuit_opens = np.zeros(n_tenants, dtype=np.int64)
+
+        self._dead = np.zeros(n_tenants, dtype=bool)
+        self._dead_error: list[str | None] = [None] * n_tenants
+
+    # -- convenience views -------------------------------------------------
+
+    @property
+    def safe_mode(self) -> np.ndarray:
+        return self._safe
+
+    @property
+    def dead(self) -> np.ndarray:
+        return self._dead
+
+    def dead_error(self, tenant: int) -> str | None:
+        return self._dead_error[tenant]
+
+    @property
+    def budget_spent(self) -> np.ndarray:
+        return self._spent
+
+    @property
+    def budget_refunded(self) -> np.ndarray:
+        return self._refunded
+
+    def telemetry_degraded(self) -> np.ndarray:
+        return self.g_consecutive >= self._g_degraded_after
+
+    # -- the wave loop -----------------------------------------------------
+
+    def decide_wave(
+        self,
+        *,
+        present: np.ndarray,
+        index: np.ndarray,
+        start_s: np.ndarray,
+        end_s: np.ndarray,
+        anomalous: np.ndarray,
+        anomaly_reasons: Sequence,
+        latency_ms: np.ndarray,
+        util_pct: np.ndarray,
+        wait_ms: np.ndarray,
+        wait_pct: np.ndarray,
+        memory_used_gb: np.ndarray,
+        disk_physical_reads: np.ndarray,
+        billed_cost: np.ndarray,
+        gap: np.ndarray | None = None,
+    ) -> WaveDecisions:
+        """Consume one delivery wave; the vectorized ``decide`` per row.
+
+        ``present`` marks rows with a delivery this wave; ``gap`` (wave 0
+        only) marks rows whose interval passed with no delivery at all
+        (the scalar ``decide_missing``).  Field arrays are full-width
+        ``(T,)`` / ``(K, T)``; non-present rows' values are ignored.
+        ``index`` / ``start_s`` / ``end_s`` / ``anomalous`` /
+        ``anomaly_reasons`` describe each delivery as the scalar guard
+        would see it (``counters.interval_index`` / timestamps /
+        ``counters.anomalies()``); ``billed_cost`` is each delivery's
+        ``counters.container.cost``.
+        """
+        n = self.n_tenants
+        was_dead = self._dead.copy()
+        present = np.asarray(present, dtype=bool) & ~was_dead
+        if gap is None:
+            gap = np.zeros(n, dtype=bool)
+        gap = np.asarray(gap, dtype=bool) & ~was_dead
+        index = np.asarray(index, dtype=np.int64)
+        start_s = np.asarray(start_s, dtype=float)
+        end_s = np.asarray(end_s, dtype=float)
+        anomalous = np.asarray(anomalous, dtype=bool)
+
+        # -- guard classification (one verdict per present row) ------------
+        exp = self._g_expected
+        has_exp = exp >= 0
+        stale = present & anomalous & has_exp & (index < exp)
+        quar_anom = present & anomalous & ~stale
+        clean = present & ~anomalous
+        admit_first = clean & ~has_exp
+        old = clean & has_exp & (index < exp)
+        late = np.zeros(n, dtype=bool)
+        dup = np.zeros(n, dtype=bool)
+        for r in np.flatnonzero(old):
+            if int(index[r]) in self._g_missing[r]:
+                late[r] = True
+            else:
+                dup[r] = True
+        fresh = clean & has_exp & (index >= exp)
+        with np.errstate(invalid="ignore"):
+            skewed = (
+                fresh
+                & ~np.isnan(self._g_last_end)
+                & (start_s < self._g_last_end - 1e-6)
+            )
+        admit_gap = fresh & ~skewed
+        admit = admit_first | admit_gap
+        missed = np.where(admit_gap, index - exp, 0)
+        quarantine = quar_anom | skewed
+        discard = stale | dup
+
+        # Per-row verdict reason strings (guard stats + explanations).
+        reasons: list[tuple[str, ...]] = [()] * n
+        for r in np.flatnonzero(stale):
+            reasons[r] = (
+                f"stale corrupt delivery for interval {int(index[r])}",
+                *anomaly_reasons[r],
+            )
+        for r in np.flatnonzero(dup):
+            reasons[r] = (f"duplicate delivery for interval {int(index[r])}",)
+        for r in np.flatnonzero(late):
+            reasons[r] = (
+                f"late delivery for already-settled interval {int(index[r])}",
+            )
+        for r in np.flatnonzero(quar_anom):
+            reasons[r] = tuple(anomaly_reasons[r])
+        for r in np.flatnonzero(skewed):
+            reasons[r] = (
+                f"clock skew: interval {int(index[r])} starts at "
+                f"{start_s[r]:g}s, before the previous interval ended "
+                f"({self._g_last_end[r]:g}s)",
+            )
+
+        # -- guard state updates -------------------------------------------
+        self.g_discarded[discard] += 1
+        for r in np.flatnonzero(late):
+            self._g_missing[r].discard(int(index[r]))
+        self.g_admitted_late[late] += 1
+        advance = quarantine & (~has_exp | (index >= exp))
+        self._g_expected[advance] = index[advance] + 1
+        self.g_quarantined[quarantine] += 1
+        self.g_consecutive[quarantine] += 1
+        for r in np.flatnonzero(admit_gap & (missed > 0)):
+            for gap_index in range(int(exp[r]), int(index[r])):
+                self._remember_missing(r, gap_index)
+        self._g_expected[admit] = index[admit] + 1
+        self._g_last_end[admit] = end_s[admit]
+        self.g_admitted[admit] += 1
+        self.g_missed[admit] += missed[admit]
+        self.g_consecutive[admit] = 0
+        gap_tracked = gap & has_exp
+        for r in np.flatnonzero(gap_tracked):
+            self._remember_missing(r, int(exp[r]))
+        self._g_expected[gap_tracked] += 1
+        self.g_missed[gap] += 1
+        self.g_consecutive[gap] += 1
+        if self._record_guard_reasons:
+            for r in np.flatnonzero(discard | quarantine):
+                self._g_reasons[r].extend(reasons[r])
+
+        # -- budget settlement, in scalar decide order ---------------------
+        # ADMIT first pays the believed cost for each missed interval, then
+        # observes, then pays the delivery's billed cost; QUARANTINE / GAP
+        # pay the believed cost (the degraded decision); DISCARD / LATE
+        # are passive (no ledger movement).
+        believed = self._costs[self.level]
+        k = 0
+        while True:
+            m = admit & (missed > k)
+            if not np.any(m):
+                break
+            self._settle_rows(m, believed)
+            k += 1
+
+        observe = late | (admit & ~self._dead)
+        rows = np.flatnonzero(observe)
+        if rows.size:
+            self.telemetry.observe_rows(
+                rows,
+                index[rows].astype(float),
+                np.asarray(latency_ms, dtype=float)[rows],
+                np.asarray(util_pct, dtype=float)[:, rows],
+                np.asarray(wait_ms, dtype=float)[:, rows],
+                np.asarray(wait_pct, dtype=float)[:, rows],
+            )
+            cur = self._disk_cursor_rows[rows]
+            self._disk_reads[rows, cur] = np.asarray(
+                disk_physical_reads, dtype=float
+            )[rows]
+            self._disk_cursor_rows[rows] = (cur + 1) % self._disk_reads.shape[1]
+
+        self._settle_rows(admit, np.asarray(billed_cost, dtype=float))
+        self._settle_rows(quarantine | gap, believed)
+
+        # -- decision bodies -----------------------------------------------
+        alive = ~self._dead
+        quar_alive = quarantine & alive
+        gap_alive = gap & alive
+        safe_admit = admit & alive & self._safe
+        full = admit & alive & ~self._safe
+        degraded_rows = quar_alive | gap_alive
+        ds = degraded_rows | safe_admit
+
+        previous = self.level
+        target = previous.copy()
+        forced_ds = np.zeros(n, dtype=bool)
+        if np.any(ds):
+            # balloon.tick_cooldown(): degraded and safe-mode decisions
+            # advance only the COOLDOWN clock.
+            tick = ds & (self._b_phase == _B_COOLDOWN)
+            if np.any(tick):
+                self._b_cooldown[tick] -= 1
+                done = tick & (self._b_cooldown <= 0)
+                self._b_phase[done] = _B_IDLE
+                self._b_cooldown[done] = 0
+            forced_ds = ds & ~(self._costs[previous] <= self._tokens + 1e-9)
+
+        # The full body, masked to the admitted healthy rows.
+        up_clipped = np.zeros(n, dtype=bool)
+        hold_help = np.zeros(n, dtype=bool)
+        probe_started = np.zeros(n, dtype=bool)
+        shrink = np.zeros(n, dtype=bool)
+        suppressed = np.zeros(n, dtype=bool)
+        forced_full = np.zeros(n, dtype=bool)
+        tripped = np.zeros(n, dtype=bool)
+        wants_up = np.zeros(n, dtype=bool)
+        balloon_aborted = np.zeros(n, dtype=bool)
+        balloon_confirmed = np.zeros(n, dtype=bool)
+        steps = np.zeros((K, n), dtype=np.int8)
+        if np.any(full):
+            rows_full = np.flatnonzero(full)
+            signals = _scatter_signals(
+                self.telemetry.signals_rows(rows_full), rows_full, n
+            )
+            demand = estimate_fleet(
+                signals,
+                self.thresholds,
+                use_waits=self.use_waits,
+                use_trends=self.use_trends,
+                use_correlation=self.use_correlation,
+            )
+            steps = demand.steps
+            needs_help = self._latency_needs_help(signals) & full
+            balloon_aborted, balloon_confirmed = self._handle_balloon_rows(
+                full,
+                demand,
+                needs_help,
+                np.asarray(util_pct, dtype=float),
+                np.asarray(disk_physical_reads, dtype=float),
+            )
+            if self.goal is None:
+                wants_up = demand.any_high & full
+            else:
+                wants_up = demand.any_high & needs_help & full
+            hold_help = full & ~wants_up & needs_help
+            down_path = full & ~wants_up & ~needs_help
+            if np.any(wants_up):
+                up_target, up_clipped = self._scale_up_targets(
+                    previous, demand.steps
+                )
+                target = np.where(wants_up, up_target, target)
+                up_clipped &= wants_up
+                self._low_streak[wants_up] = 0
+            self._low_streak[hold_help] = 0
+            if np.any(down_path):
+                down_target, probe_started, shrink = self._maybe_scale_down(
+                    previous,
+                    signals,
+                    demand,
+                    balloon_confirmed,
+                    down_path,
+                    np.asarray(memory_used_gb, dtype=float),
+                )
+                target = np.where(down_path, down_target, target)
+            if self._damper is not None:
+                suppressed = full & (self._d_cooldown > 0) & (target != previous)
+                target = np.where(suppressed, previous, target)
+            forced_full = full & ~(self._costs[target] <= self._tokens + 1e-9)
+
+        forced = forced_ds | forced_full
+        if np.any(forced):
+            forced_level = (
+                np.searchsorted(self._costs, self._tokens + 1e-9, side="right")
+                - 1
+            )
+            if np.any(forced_level[forced] < 0):
+                raise BudgetError(
+                    "no container affordable for some tenant (budget "
+                    "invariant violated)"
+                )
+            target = np.where(forced, forced_level, target)
+
+        if self._damper is not None and np.any(full):
+            tripped = self._damper_observe_rows(full, previous, target)
+
+        deciders = ds | full
+        resized = deciders & (target != previous)
+        if np.any(resized):
+            # _on_resize: cancel probes keyed to the stale size.
+            self._b_phase[resized] = _B_IDLE
+            self._b_limit[resized] = np.nan
+            self._b_cooldown[resized] = 0
+            self.balloon_limit_gb[resized] = np.nan
+            self._low_streak[resized] = 0
+        self.level = np.where(deciders, target, previous)
+
+        participants = (present | gap) & ~self._dead
+        died = self._dead & ~was_dead
+
+        actions = None
+        if self._record_actions:
+            actions = self._assemble_wave_actions(
+                participants,
+                discard,
+                late,
+                quar_alive,
+                gap_alive,
+                safe_admit,
+                forced_ds,
+                full,
+                balloon_aborted,
+                balloon_confirmed,
+                wants_up,
+                steps,
+                up_clipped,
+                hold_help,
+                probe_started,
+                shrink,
+                suppressed,
+                forced_full,
+                tripped,
+            )
+
+        c = self.metrics.counter
+        for name, mask in (
+            ("fleet.guard.admitted", admit),
+            ("fleet.guard.admitted_late", late),
+            ("fleet.guard.quarantined", quarantine),
+            ("fleet.guard.discarded", discard),
+            ("fleet.guard.missing", gap),
+        ):
+            count = int(np.count_nonzero(mask))
+            if count:
+                c(name).inc(float(count))
+        n_died = int(np.count_nonzero(died))
+        if n_died:
+            c("fleet.tenants_died").inc(float(n_died))
+
+        return WaveDecisions(
+            participants=participants,
+            level=self.level.copy(),
+            resized=resized,
+            balloon_limit_gb=self.balloon_limit_gb.copy(),
+            actions=actions,
+            died=died,
+        )
+
+    # -- wave helpers ------------------------------------------------------
+
+    def _remember_missing(self, r: int, index: int) -> None:
+        missing = self._g_missing[r]
+        missing.add(index)
+        while len(missing) > self._g_max_gaps:
+            missing.discard(min(missing))
+
+    def _kill(self, r: int, message: str) -> None:
+        self._dead[r] = True
+        self._dead_error[r] = message
+
+    def _settle_rows(self, mask: np.ndarray, cost: np.ndarray) -> None:
+        """Refund drain + ``end_interval`` for the masked rows.
+
+        Mirrors the scalar ``AutoScaler._settle_budget``: pending refunds
+        are credited first (and stick even if the charge then fails), the
+        period / affordability checks raise *before* any charge mutation —
+        here a failing row is marked dead with the scalar's formatted
+        error instead of aborting the fleet.
+        """
+        mask = mask & ~self._dead
+        if not np.any(mask):
+            return
+        drain = mask & (self._pending_refund > 0)
+        if np.any(drain):
+            amount = self._pending_refund[drain]
+            credited = (
+                np.minimum(self._tokens[drain] + amount, self._depth[drain])
+                - self._tokens[drain]
+            )
+            self._tokens[drain] += credited
+            self._spent[drain] = np.maximum(self._spent[drain] - credited, 0.0)
+            self._refunded[drain] += credited
+            self._pending_refund[drain] = 0.0
+        finished = mask & (self._interval_i >= self._period_n)
+        for r in np.flatnonzero(finished):
+            self._kill(r, "BudgetError: budgeting period already finished")
+        mask &= ~finished
+        unaffordable = mask & (cost > self._tokens + 1e-9)
+        for r in np.flatnonzero(unaffordable):
+            self._kill(
+                r,
+                f"BudgetError: cost {cost[r]} exceeds available budget "
+                f"{self._tokens[r]:.2f}",
+            )
+        mask &= ~unaffordable
+        self._interval_i[mask] += 1
+        self._spent[mask] += cost[mask]
+        after = np.maximum(self._tokens[mask] - cost[mask], 0.0)
+        self._tokens[mask] = np.minimum(
+            after + self._fill[mask], self._depth[mask]
+        )
+
+    def _handle_balloon_rows(
+        self,
+        mask: np.ndarray,
+        demand,
+        needs_help: np.ndarray,
+        util_pct: np.ndarray,
+        disk_reads: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The parent's ``_handle_balloon`` restricted to ``mask`` rows.
+
+        Rows outside the mask (degraded / safe / passive this wave) must
+        not advance their probe or cooldown clocks here — the degraded
+        decision path ticks its own rows.
+        """
+        probing = mask & (self._b_phase == _B_PROBING)
+        was_cooling = mask & (self._b_phase == _B_COOLDOWN)
+
+        cancel = probing & (needs_help | demand.any_high)
+        if np.any(cancel):
+            self._b_phase[cancel] = _B_IDLE
+            self._b_limit[cancel] = np.nan
+            self._b_cooldown[cancel] = 0
+            self.balloon_limit_gb[cancel] = np.nan
+
+        observe = probing & ~cancel
+        confirmed = np.zeros(self.n_tenants, dtype=bool)
+        aborted = np.zeros(self.n_tenants, dtype=bool)
+        if np.any(observe):
+            with np.errstate(invalid="ignore"):
+                spiked = disk_reads > self._b_baseline * self._io_spike_ratio
+                aborted = (
+                    observe
+                    & spiked
+                    & (util_pct[_DISK] >= self._disk_pressure_pct)
+                )
+            if np.any(aborted):
+                self._b_phase[aborted] = _B_COOLDOWN
+                self._b_cooldown[aborted] = self._balloon_cooldown
+                self._b_failed[aborted] = self._b_target[aborted]
+                self._b_limit[aborted] = np.nan
+                self.balloon_limit_gb[aborted] = np.nan
+            live = observe & ~aborted
+            with np.errstate(invalid="ignore"):
+                confirmed = live & (self._b_limit <= self._b_target + 1e-9)
+            if np.any(confirmed):
+                self._b_phase[confirmed] = _B_IDLE
+                self._b_limit[confirmed] = np.nan
+                self.balloon_limit_gb[confirmed] = np.nan
+            shrinking = live & ~confirmed
+            if np.any(shrinking):
+                new_limit = self._next_limits(
+                    self._b_limit[shrinking], self._b_target[shrinking]
+                )
+                self._b_limit[shrinking] = new_limit
+                self.balloon_limit_gb[shrinking] = new_limit
+
+        if np.any(was_cooling):
+            self._b_cooldown[was_cooling] -= 1
+            done = was_cooling & (self._b_cooldown <= 0)
+            self._b_phase[done] = _B_IDLE
+            self._b_cooldown[done] = 0
+        return cancel | aborted, confirmed
+
+    def _damper_observe_rows(
+        self, mask: np.ndarray, previous: np.ndarray, target: np.ndarray
+    ) -> np.ndarray:
+        """The parent's ``_damper_observe`` restricted to ``mask`` rows."""
+        damper = self._damper
+        assert damper is not None
+        cooling = mask & (self._d_cooldown > 0)
+        self._d_cooldown[cooling] -= 1
+        finished = cooling & (self._d_cooldown == 0)
+        self._d_len[finished] = 0
+        self._d_moves[finished] = 0
+
+        moved = mask & ~cooling & (target != previous)
+        if np.any(moved):
+            full = moved & (self._d_len == damper.window)
+            if np.any(full):
+                self._d_moves[full, :-1] = self._d_moves[full, 1:]
+            move = np.where(target > previous, np.int8(1), np.int8(-1))
+            slot = np.where(full, damper.window - 1, self._d_len)
+            rows = np.flatnonzero(moved)
+            self._d_moves[rows, slot[rows]] = move[rows]
+            self._d_len[moved & ~full] += 1
+        prev_m = self._d_moves[:, :-1]
+        next_m = self._d_moves[:, 1:]
+        reversals = np.count_nonzero((prev_m != 0) & (next_m == -prev_m), axis=1)
+        tripped = moved & (reversals > damper.max_reversals)
+        if np.any(tripped):
+            self._d_cooldown[tripped] = damper.cooldown_intervals
+            self._d_len[tripped] = 0
+            self._d_moves[tripped] = 0
+            self.damper_trips += int(np.count_nonzero(tripped))
+        return tripped
+
+    def _assemble_wave_actions(
+        self,
+        participants,
+        discard,
+        late,
+        quar_alive,
+        gap_alive,
+        safe_admit,
+        forced_ds,
+        full,
+        balloon_aborted,
+        balloon_confirmed,
+        wants_up,
+        steps,
+        up_clipped,
+        hold_help,
+        probe_started,
+        shrink,
+        suppressed,
+        forced_full,
+        tripped,
+    ) -> tuple:
+        """Per-tenant action values in the scalar append order.
+
+        Degraded / passive / safe groups first (their masks are disjoint
+        from the full-body masks), then the parent's full-body slot order.
+        """
+        slots: list[tuple[str, np.ndarray]] = [
+            (ActionKind.TELEMETRY_DISCARDED.value, discard),
+            (ActionKind.TELEMETRY_LATE.value, late),
+            (ActionKind.TELEMETRY_QUARANTINED.value, quar_alive),
+            (ActionKind.TELEMETRY_GAP.value, gap_alive),
+            (
+                ActionKind.SAFE_MODE.value,
+                ((quar_alive | gap_alive) & self._safe) | safe_admit,
+            ),
+            (ActionKind.BUDGET_CONSTRAINED.value, forced_ds),
+            (ActionKind.BALLOON_ABORT.value, balloon_aborted),
+            (ActionKind.BALLOON_CONFIRM.value, balloon_confirmed),
+        ]
+        for k in range(K):
+            slots.append(
+                (ActionKind.SCALE_UP.value, wants_up & (steps[k] > 0))
+            )
+        slots.extend(
+            [
+                (ActionKind.BUDGET_CONSTRAINED.value, up_clipped),
+                (ActionKind.NO_CHANGE.value, hold_help),
+                (ActionKind.BALLOON_START.value, probe_started),
+                (ActionKind.SCALE_DOWN.value, shrink),
+                (ActionKind.OSCILLATION_DAMPED.value, suppressed),
+                (ActionKind.BUDGET_CONSTRAINED.value, forced_full),
+                (ActionKind.OSCILLATION_DAMPED.value, tripped),
+            ]
+        )
+        rows: list[list[str]] = [[] for _ in range(self.n_tenants)]
+        for value, mask in slots:
+            for i in np.flatnonzero(mask):
+                rows[i].append(value)
+        no_change = (ActionKind.NO_CHANGE.value,)
+        out = []
+        for i in range(self.n_tenants):
+            if not participants[i]:
+                out.append(None)
+            elif rows[i]:
+                out.append(tuple(rows[i]))
+            else:
+                # Only a full-body decision can end empty-handed.
+                out.append(no_change)
+        return tuple(out)
+
+    # -- actuation ---------------------------------------------------------
+
+    def execute_interval(self, actuator) -> FleetActuationReports:
+        """One interval's fleet actuation: ``ResizeExecutor.execute`` per row.
+
+        ``actuator`` supplies ``current_levels() -> (T,) int64``,
+        ``current_level(r) -> int``, ``try_resize(r, level)`` (raising
+        the actuation errors), and ``set_balloon_limit(r, limit_gb)``.
+        """
+        n = self.n_tenants
+        alive = ~self._dead
+        requested = self.level.copy()
+        # The decision's balloon cap, captured before any adoption below
+        # cancels the scaler-side probe (the scalar executor applies the
+        # decision's value, not the post-adoption scaler state).
+        limits = self.balloon_limit_gb.copy()
+        current = np.asarray(actuator.current_levels(), dtype=np.int64).copy()
+        attempts = np.zeros(n, dtype=np.int64)
+        backoff = np.zeros(n)
+        succeeded = np.zeros(n, dtype=bool)
+        refunds = np.zeros(n)
+        applied = current.copy()
+        explanations: list[list[tuple[str, str]]] = [[] for _ in range(n)]
+
+        opened = alive & (self._x_state == _C_OPEN)
+        if np.any(opened):
+            self._x_open_left[opened] -= 1
+            to_half = opened & (self._x_open_left <= 0)
+            if np.any(to_half):
+                self._x_state[to_half] = _C_HALF
+                self._safe[to_half] = False
+                for r in np.flatnonzero(to_half):
+                    self._safe_reason[r] = ""
+            mismatch = opened & (requested != current)
+            for r in np.flatnonzero(mismatch):
+                refunds[r] = self._schedule_refund_row(
+                    r, int(requested[r]), int(current[r])
+                )
+                explanations[r].append(
+                    (
+                        ActionKind.SAFE_MODE.value,
+                        f"circuit open ({max(int(self._x_open_left[r]), 0)} "
+                        f"interval(s) left): resize "
+                        f"{self._names[current[r]]} -> "
+                        f"{self._names[requested[r]]} not attempted",
+                    )
+                )
+                self._adopt_level(r, int(current[r]))
+            succeeded[opened] = requested[opened] == current[opened]
+
+        noop = alive & ~opened & (requested == current)
+        succeeded[noop] = True
+
+        resize = alive & ~opened & (requested != current)
+        for r in np.flatnonzero(resize):
+            req_lvl = int(requested[r])
+            cur_lvl = int(current[r])
+            att = 0
+            error: Exception | None = None
+            backoff_ms = 0.0
+            while att < self._x_max_attempts:
+                att += 1
+                self.x_total_attempts[r] += 1
+                try:
+                    actuator.try_resize(r, req_lvl)
+                    error = None
+                    break
+                except TransientActuationError as exc:
+                    error = exc
+                    if att < self._x_max_attempts:
+                        backoff_ms += self._backoff_row(r, att)
+                except PermanentActuationError as exc:
+                    error = exc
+                    break
+            attempts[r] = att
+            backoff[r] = backoff_ms
+            app_lvl = int(actuator.current_level(r))
+            applied[r] = app_lvl
+            if error is None and app_lvl == req_lvl:
+                succeeded[r] = True
+                self._x_consec[r] = 0
+                if self._x_state[r] == _C_HALF:
+                    self._x_state[r] = _C_CLOSED
+            else:
+                self.x_total_failures[r] += 1
+                refunds[r] = self._schedule_refund_row(r, req_lvl, app_lvl)
+                if error is not None:
+                    reason = (
+                        f"resize {self._names[cur_lvl]} -> "
+                        f"{self._names[req_lvl]} failed after {att} "
+                        f"attempt(s) ({type(error).__name__}: {error}); "
+                        f"running {self._names[app_lvl]}"
+                    )
+                else:
+                    reason = (
+                        f"resize {self._names[cur_lvl]} -> "
+                        f"{self._names[req_lvl]} applied partially: "
+                        f"running {self._names[app_lvl]}"
+                    )
+                explanations[r].append(
+                    (ActionKind.ACTUATION_FAILED.value, reason)
+                )
+                if app_lvl != int(self.level[r]):
+                    self._adopt_level(r, app_lvl)
+                self._on_failure_row(r, explanations[r])
+
+        # The balloon cap is applied every interval, even under an open
+        # circuit or a no-op resize (the scalar always calls
+        # _apply_balloon), and its failure can re-open an open breaker.
+        for r in np.flatnonzero(alive):
+            limit = None if np.isnan(limits[r]) else float(limits[r])
+            try:
+                actuator.set_balloon_limit(r, limit)
+            except ActuationError as exc:
+                explanations[r].append(
+                    (
+                        ActionKind.ACTUATION_FAILED.value,
+                        f"balloon adjustment failed ({exc}); probe cancelled",
+                    )
+                )
+                # notify_balloon_actuation_failed: cancel the probe but
+                # keep the scale-down streak.
+                self._b_phase[r] = _B_IDLE
+                self._b_limit[r] = np.nan
+                self._b_cooldown[r] = 0
+                self.balloon_limit_gb[r] = np.nan
+                self.x_total_failures[r] += 1
+                self._on_failure_row(r, explanations[r])
+
+        return FleetActuationReports(
+            participants=alive,
+            requested_level=requested,
+            applied_level=applied,
+            attempts=attempts,
+            backoff_ms=backoff,
+            succeeded=succeeded & alive,
+            refund_scheduled=refunds,
+            circuit=self._x_state.copy(),
+            explanations=tuple(
+                tuple(e) if alive[r] else None
+                for r, e in enumerate(explanations)
+            ),
+        )
+
+    def _adopt_level(self, r: int, level: int) -> None:
+        """``notify_actuation``: adopt ground truth, cancel stale probes."""
+        self.level[r] = level
+        self._b_phase[r] = _B_IDLE
+        self._b_limit[r] = np.nan
+        self._b_cooldown[r] = 0
+        self.balloon_limit_gb[r] = np.nan
+        self._low_streak[r] = 0
+
+    def _schedule_refund_row(self, r: int, requested: int, applied: int) -> float:
+        extra = float(self._costs[applied] - self._costs[requested])
+        if extra <= 0.0:
+            return 0.0
+        self._pending_refund[r] += extra
+        self.x_total_refunds[r] += extra
+        return extra
+
+    def _backoff_row(self, r: int, attempt: int) -> float:
+        base = self._x_backoff_base_ms * self._x_backoff_factor ** (attempt - 1)
+        if self._x_jitter == 0.0:
+            return base  # deterministic path draws nothing from the RNG
+        return float(
+            base * (1.0 + self._x_rngs[r].uniform(-self._x_jitter, self._x_jitter))
+        )
+
+    def _on_failure_row(
+        self, r: int, explanations: list[tuple[str, str]]
+    ) -> None:
+        self._x_consec[r] += 1
+        half_open_failed = self._x_state[r] == _C_HALF
+        if not (
+            half_open_failed or self._x_consec[r] >= self._x_failure_threshold
+        ):
+            return
+        reason = (
+            "trial resize failed while half-open"
+            if half_open_failed
+            else f"{int(self._x_consec[r])} consecutive actuation failures"
+        )
+        self._x_state[r] = _C_OPEN
+        self._x_open_left[r] = self._x_open_intervals
+        self.x_circuit_opens[r] += 1
+        explanations.append(
+            (
+                ActionKind.SAFE_MODE.value,
+                f"circuit breaker opened ({reason}); holding the current "
+                f"container for {self._x_open_intervals} interval(s)",
+            )
+        )
+        self.metrics.counter("fleet.circuit_opens").inc()
+        # enter_safe_mode: cancel a live probe, always reset the streak.
+        self._safe[r] = True
+        self._safe_reason[r] = reason
+        if self._b_phase[r] == _B_PROBING:
+            self._b_phase[r] = _B_IDLE
+            self._b_limit[r] = np.nan
+            self._b_cooldown[r] = 0
+            self.balloon_limit_gb[r] = np.nan
+        self._low_streak[r] = 0
+
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["degraded"] = {
+            "guard": {
+                "max_tracked_gaps": self._g_max_gaps,
+                "degraded_after": self._g_degraded_after,
+                "expected": self._g_expected.copy(),
+                "last_end_s": self._g_last_end.copy(),
+                "missing": [sorted(s) for s in self._g_missing],
+                "admitted": self.g_admitted.copy(),
+                "admitted_late": self.g_admitted_late.copy(),
+                "quarantined": self.g_quarantined.copy(),
+                "discarded": self.g_discarded.copy(),
+                "missed": self.g_missed.copy(),
+                "consecutive": self.g_consecutive.copy(),
+                "reasons": [list(r) for r in self._g_reasons],
+            },
+            "safe_mode": self._safe.copy(),
+            "safe_reasons": list(self._safe_reason),
+            "pending_refund": self._pending_refund.copy(),
+            "refunded": self._refunded.copy(),
+            "disk_cursor_rows": self._disk_cursor_rows.copy(),
+            "executor": {
+                "max_attempts": self._x_max_attempts,
+                "backoff_base_ms": self._x_backoff_base_ms,
+                "backoff_factor": self._x_backoff_factor,
+                "jitter": self._x_jitter,
+                "failure_threshold": self._x_failure_threshold,
+                "open_intervals": self._x_open_intervals,
+                "state": self._x_state.copy(),
+                "consecutive_failures": self._x_consec.copy(),
+                "open_left": self._x_open_left.copy(),
+                "total_attempts": self.x_total_attempts.copy(),
+                "total_failures": self.x_total_failures.copy(),
+                "total_refunds": self.x_total_refunds.copy(),
+                "circuit_opens": self.x_circuit_opens.copy(),
+                "rng_states": [g.bit_generator.state for g in self._x_rngs],
+            },
+            "dead": self._dead.copy(),
+            "dead_errors": list(self._dead_error),
+        }
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        degraded = state["degraded"]
+        guard = degraded["guard"]
+        config = (int(guard["max_tracked_gaps"]), int(guard["degraded_after"]))
+        live = (self._g_max_gaps, self._g_degraded_after)
+        if config != live:
+            raise ConfigurationError(
+                f"guard configuration mismatch: checkpoint has {config}, "
+                f"live guard has {live}"
+            )
+        self._g_expected = np.asarray(guard["expected"], dtype=np.int64).copy()
+        self._g_last_end = np.asarray(guard["last_end_s"], dtype=float).copy()
+        self._g_missing = [{int(i) for i in row} for row in guard["missing"]]
+        self.g_admitted = np.asarray(guard["admitted"], dtype=np.int64).copy()
+        self.g_admitted_late = np.asarray(
+            guard["admitted_late"], dtype=np.int64
+        ).copy()
+        self.g_quarantined = np.asarray(
+            guard["quarantined"], dtype=np.int64
+        ).copy()
+        self.g_discarded = np.asarray(guard["discarded"], dtype=np.int64).copy()
+        self.g_missed = np.asarray(guard["missed"], dtype=np.int64).copy()
+        self.g_consecutive = np.asarray(
+            guard["consecutive"], dtype=np.int64
+        ).copy()
+        self._g_reasons = [[str(r) for r in row] for row in guard["reasons"]]
+        self._safe = np.asarray(degraded["safe_mode"], dtype=bool).copy()
+        self._safe_reason = [str(r) for r in degraded["safe_reasons"]]
+        self._pending_refund = np.asarray(
+            degraded["pending_refund"], dtype=float
+        ).copy()
+        self._refunded = np.asarray(degraded["refunded"], dtype=float).copy()
+        self._disk_cursor_rows = np.asarray(
+            degraded["disk_cursor_rows"], dtype=np.int64
+        ).copy()
+        executor = degraded["executor"]
+        exec_config = (
+            int(executor["max_attempts"]),
+            float(executor["backoff_base_ms"]),
+            float(executor["backoff_factor"]),
+            float(executor["jitter"]),
+            int(executor["failure_threshold"]),
+            int(executor["open_intervals"]),
+        )
+        exec_live = (
+            self._x_max_attempts,
+            self._x_backoff_base_ms,
+            self._x_backoff_factor,
+            self._x_jitter,
+            self._x_failure_threshold,
+            self._x_open_intervals,
+        )
+        if exec_config != exec_live:
+            raise ConfigurationError(
+                f"executor configuration mismatch: checkpoint has "
+                f"{exec_config}, live executor has {exec_live}"
+            )
+        self._x_state = np.asarray(executor["state"], dtype=np.int8).copy()
+        self._x_consec = np.asarray(
+            executor["consecutive_failures"], dtype=np.int64
+        ).copy()
+        self._x_open_left = np.asarray(
+            executor["open_left"], dtype=np.int64
+        ).copy()
+        self.x_total_attempts = np.asarray(
+            executor["total_attempts"], dtype=np.int64
+        ).copy()
+        self.x_total_failures = np.asarray(
+            executor["total_failures"], dtype=np.int64
+        ).copy()
+        self.x_total_refunds = np.asarray(
+            executor["total_refunds"], dtype=float
+        ).copy()
+        self.x_circuit_opens = np.asarray(
+            executor["circuit_opens"], dtype=np.int64
+        ).copy()
+        rng_states = executor["rng_states"]
+        if len(rng_states) != self.n_tenants:
+            raise ConfigurationError(
+                f"need {self.n_tenants} executor RNG states, "
+                f"got {len(rng_states)}"
+            )
+        self._x_rngs = []
+        for raw in rng_states:
+            gen = np.random.default_rng(0)
+            gen.bit_generator.state = raw
+            self._x_rngs.append(gen)
+        self._dead = np.asarray(degraded["dead"], dtype=bool).copy()
+        self._dead_error = [
+            None if e is None else str(e) for e in degraded["dead_errors"]
+        ]
+
+
+def _scatter_signals(
+    compact: FleetSignals, rows: np.ndarray, n_tenants: int
+) -> FleetSignals:
+    """Widen a compact row-subset signal set back to fleet width.
+
+    Non-selected rows get inert defaults (NaN latency, UNKNOWN status,
+    zeros elsewhere); every consumer masks with the selected rows, so the
+    filler never reaches a decision.
+    """
+    out = {}
+    for name, value in compact._asdict().items():
+        if value.ndim == 1:
+            if name == "latency_ms":
+                fleet = np.full(n_tenants, np.nan)
+            elif name == "latency_status":
+                fleet = np.full(n_tenants, LAT_UNKNOWN, dtype=np.int8)
+            else:
+                fleet = np.zeros(n_tenants, dtype=value.dtype)
+            fleet[rows] = value
+        else:
+            fleet = np.zeros((value.shape[0], n_tenants), dtype=value.dtype)
+            fleet[:, rows] = value
+        out[name] = fleet
+    return FleetSignals(**out)
+
+
+# -- the fault boundary: compiled masks over an array of engines --------------
+
+
+class MaskedFaultDataPlane:
+    """Fault injection at the fleet boundary, driven by compiled masks.
+
+    The scalar path wraps each engine in a
+    :class:`~repro.faults.chaos.FaultyServer`; here one object owns the
+    whole fleet's engines and a :class:`CompiledFaultMasks`, applying the
+    same perturbations (same priority order, held-delivery buffers,
+    per-interval transient budgets, corruption RNG streams) column by
+    column.  Interval indexes count ``run_interval_rows`` calls, exactly
+    like the scalar wrapper counts ``run_interval*`` calls.
+    """
+
+    def __init__(
+        self,
+        servers: Sequence[DatabaseServer],
+        masks: CompiledFaultMasks,
+        catalog: ContainerCatalog,
+        corrupt_seeds: Sequence[int],
+    ) -> None:
+        n = len(servers)
+        if masks.n_tenants != n or len(corrupt_seeds) != n:
+            raise ConfigurationError(
+                f"data plane needs matching servers/masks/seeds, got "
+                f"{n}/{masks.n_tenants}/{len(corrupt_seeds)}"
+            )
+        self.servers = list(servers)
+        self.masks = masks
+        self.catalog = catalog
+        self._rngs = [np.random.default_rng(s) for s in corrupt_seeds]
+        self._index = -1
+        self._held: list[list[IntervalCounters]] = [[] for _ in range(n)]
+        self._transient_left = np.zeros(n, dtype=np.int64)
+        self.dropped = np.zeros(n, dtype=np.int64)
+        self.delayed = np.zeros(n, dtype=np.int64)
+        self.duplicated = np.zeros(n, dtype=np.int64)
+        self.corrupted = np.zeros(n, dtype=np.int64)
+        self.skewed = np.zeros(n, dtype=np.int64)
+        self.failed_resizes = np.zeros(n, dtype=np.int64)
+        self.partial_resizes = np.zeros(n, dtype=np.int64)
+        self.failed_balloons = np.zeros(n, dtype=np.int64)
+
+    @property
+    def interval_index(self) -> int:
+        return self._index
+
+    def run_interval_rows(
+        self, rates_rows: Sequence[np.ndarray], active: np.ndarray
+    ) -> list[list[IntervalCounters]]:
+        """Run one interval on the ``active`` rows; deliveries per tenant."""
+        self._index += 1
+        i = self._index
+        m = self.masks
+        self._transient_left[:] = m.transient_magnitude[:, i]
+        out: list[list[IntervalCounters]] = [[] for _ in self.servers]
+        for r in np.flatnonzero(active):
+            counters = self.servers[r].run_interval_with_rates(rates_rows[r])
+            deliveries = self._held[r]
+            self._held[r] = []
+            if m.drop[r, i]:
+                self.dropped[r] += 1
+            elif m.late[r, i]:
+                self.delayed[r] += 1
+                self._held[r].append(counters)
+            elif m.corrupt[r, i]:
+                self.corrupted[r] += 1
+                mode = int(self._rngs[r].integers(0, N_CORRUPTION_MODES))
+                deliveries.append(corrupt_counters(counters, mode))
+            elif m.skew[r, i]:
+                self.skewed[r] += 1
+                shift = m.skew_magnitude[r, i] * counters.duration_s
+                deliveries.append(
+                    dataclasses.replace(
+                        counters,
+                        start_s=counters.start_s - shift,
+                        end_s=counters.end_s - shift,
+                    )
+                )
+            else:
+                deliveries.append(counters)
+                if m.duplicate[r, i]:
+                    self.duplicated[r] += 1
+                    deliveries.append(counters)
+            out[r] = deliveries
+        return out
+
+    # -- actuation surface (the executor's view) ---------------------------
+
+    def current_levels(self) -> np.ndarray:
+        return np.array(
+            [s.container.level for s in self.servers], dtype=np.int64
+        )
+
+    def current_level(self, r: int) -> int:
+        return self.servers[r].container.level
+
+    def try_resize(self, r: int, level: int) -> None:
+        i = self._index
+        m = self.masks
+        current = self.servers[r].container
+        spec = self.catalog.at_level(level)
+        if m.permanent[r, i]:
+            self.failed_resizes[r] += 1
+            raise PermanentActuationError(
+                f"placement service rejected resize to {spec.name}"
+            )
+        if self._transient_left[r] > 0:
+            self._transient_left[r] -= 1
+            self.failed_resizes[r] += 1
+            raise TransientActuationError(
+                f"placement service busy; resize to {spec.name} not applied"
+            )
+        if m.partial[r, i] and spec.level != current.level:
+            self.partial_resizes[r] += 1
+            direction = 1 if spec.level > current.level else -1
+            stalled_level = spec.level - direction
+            if stalled_level != current.level:
+                self.servers[r].set_container(
+                    self.catalog.at_level(stalled_level)
+                )
+            # A one-level resize that stalls "one short" does not move.
+            return
+        self.servers[r].set_container(spec)
+
+    def set_balloon_limit(self, r: int, limit_gb: float | None) -> None:
+        if limit_gb is not None and self.masks.balloon_fail[r, self._index]:
+            self.failed_balloons[r] += 1
+            raise TransientActuationError(
+                f"memory broker rejected balloon cap {limit_gb:g} GB"
+            )
+        self.servers[r].set_balloon_limit(limit_gb)
+
+
+# -- chaos drivers ------------------------------------------------------------
+
+
+class FleetChaosResult(NamedTuple):
+    """Everything a vectorized chaos run observed.
+
+    ``containers`` holds the in-force level per tenant at the start of
+    each measured interval; ``decided_levels`` the actuated decision's
+    level (the scalar ``interval_decisions``); ``waves`` and ``reports``
+    the per-interval wave decisions and actuation reports.
+    """
+
+    scaler: DegradedVectorizedAutoScaler
+    plane: MaskedFaultDataPlane
+    schedules: list[FaultSchedule]
+    containers: list[np.ndarray]
+    decided_levels: list[np.ndarray]
+    waves: list[list[WaveDecisions]]
+    reports: list[FleetActuationReports]
+
+    def decision_trace(self, tenant: int) -> list[str]:
+        names = [
+            c.name
+            for c in (
+                self.scaler.catalog.at_level(i)
+                for i in range(len(self.scaler.catalog))
+            )
+        ]
+        return [names[int(levels[tenant])] for levels in self.decided_levels]
+
+
+def _delivery_wave_arrays(
+    deliveries_rows: Sequence[Sequence[IntervalCounters]],
+    wave: int,
+    present: np.ndarray,
+    goal: LatencyGoal | None,
+) -> dict:
+    """Extract one wave's decide_wave inputs from per-tenant deliveries.
+
+    Field extraction matches
+    :func:`repro.fleet.vectorized.counters_to_interval_arrays` (latency
+    via the goal's metric / p95 / NaN-when-idle) plus the guard-facing
+    fields (interval index, timestamps, anomalies).
+    """
+    n = len(deliveries_rows)
+    index = np.zeros(n, dtype=np.int64)
+    start_s = np.zeros(n)
+    end_s = np.zeros(n)
+    anomalous = np.zeros(n, dtype=bool)
+    anomaly_reasons: list[tuple[str, ...]] = [()] * n
+    latency = np.full(n, np.nan)
+    util = np.zeros((K, n))
+    wait = np.zeros((K, n))
+    wpct = np.zeros((K, n))
+    memory = np.full(n, np.nan)
+    disk = np.full(n, np.nan)
+    billed = np.zeros(n)
+    for r in np.flatnonzero(present):
+        c = deliveries_rows[r][wave]
+        index[r] = c.interval_index
+        start_s[r] = c.start_s
+        end_s[r] = c.end_s
+        found = c.anomalies()
+        if found:
+            anomalous[r] = True
+            anomaly_reasons[r] = tuple(found)
+        if c.latencies_ms.size:
+            latency[r] = (
+                goal.measure(c.latencies_ms)
+                if goal is not None
+                else c.latency_percentile(95.0)
+            )
+        for k, kind in enumerate(SCALABLE_KINDS):
+            wait_class = RESOURCE_WAIT_CLASS[kind]
+            util[k, r] = c.utilization_percent(kind)
+            wait[k, r] = c.wait_ms(wait_class)
+            wpct[k, r] = c.wait_percent(wait_class)
+        memory[r] = c.memory_used_gb
+        disk[r] = c.disk_physical_reads
+        billed[r] = c.container.cost
+    return {
+        "index": index,
+        "start_s": start_s,
+        "end_s": end_s,
+        "anomalous": anomalous,
+        "anomaly_reasons": anomaly_reasons,
+        "latency_ms": latency,
+        "util_pct": util,
+        "wait_ms": wait,
+        "wait_pct": wpct,
+        "memory_used_gb": memory,
+        "disk_physical_reads": disk,
+        "billed_cost": billed,
+    }
+
+
+def _drive_interval(
+    scaler: DegradedVectorizedAutoScaler,
+    deliveries_rows: Sequence[Sequence[IntervalCounters]],
+    goal: LatencyGoal | None,
+) -> list[WaveDecisions]:
+    """All delivery waves of one interval, in scalar decide order."""
+    n = scaler.n_tenants
+    counts = np.array([len(d) for d in deliveries_rows], dtype=np.int64)
+    alive = ~scaler.dead
+    gap = alive & (counts == 0)
+    waves: list[WaveDecisions] = []
+    max_waves = int(counts.max(initial=0))
+    for wave in range(max(max_waves, 1)):
+        present = (counts > wave) & ~scaler.dead
+        if wave > 0 and not np.any(present):
+            break
+        arrays = _delivery_wave_arrays(deliveries_rows, wave, present, goal)
+        waves.append(
+            scaler.decide_wave(
+                present=present,
+                gap=gap if wave == 0 else None,
+                **arrays,
+            )
+        )
+    return waves
+
+
+def run_fleet_chaos(
+    workload: Workload,
+    traces: Sequence[Trace],
+    schedules: Sequence[FaultSchedule],
+    *,
+    config: ExperimentConfig | None = None,
+    seeds: Sequence[int] | None = None,
+    goal: LatencyGoal | None = None,
+    budgets: Sequence[BudgetManager] | None = None,
+    damper: OscillationDamper | None = None,
+    scaler_kwargs: dict | None = None,
+    executor_kwargs: dict | None = None,
+) -> FleetChaosResult:
+    """The vectorized :func:`~repro.harness.chaos.run_chaos` over a fleet.
+
+    Per-tenant construction mirrors the scalar runner exactly: engine
+    seed ``seeds[t]``, load-generator seed ``seeds[t] + 1``, corruption
+    stream ``seeds[t] + 2``, executor jitter stream ``seeds[t] + 3``,
+    the schedule shifted past the warm-up, and a default
+    :class:`OscillationDamper` (the chaos path's scalar default).
+    """
+    config = config or ExperimentConfig()
+    n = len(traces)
+    if len(schedules) != n:
+        raise ConfigurationError(
+            f"need one schedule per trace, got {len(schedules)}/{n}"
+        )
+    if seeds is None:
+        seeds = [config.seed] * n
+    seeds = [int(s) for s in seeds]
+    if len(seeds) != n:
+        raise ConfigurationError(f"need {n} seeds, got {len(seeds)}")
+    catalog = config.catalog
+    warmup = config.warmup_intervals
+    n_intervals = max(t.n_intervals for t in traces)
+
+    scaler = DegradedVectorizedAutoScaler(
+        catalog,
+        n,
+        goal=goal,
+        budget=budgets,
+        thresholds=config.thresholds,
+        damper=damper or OscillationDamper(),
+        executor_seeds=[s + 3 for s in seeds],
+        **(executor_kwargs or {}),
+        **(scaler_kwargs or {}),
+    )
+    servers = [
+        DatabaseServer(
+            specs=workload.specs,
+            dataset=workload.dataset,
+            container=catalog.at_level(0),
+            config=dataclasses.replace(config.engine, seed=seeds[t]),
+            n_hot_locks=workload.n_hot_locks,
+        )
+        for t in range(n)
+    ]
+    masks = compile_schedules(
+        [s.shifted(warmup) for s in schedules], warmup + n_intervals
+    )
+    plane = MaskedFaultDataPlane(
+        servers, masks, catalog, corrupt_seeds=[s + 2 for s in seeds]
+    )
+    loadgens = [
+        LoadGenerator(
+            traces[t],
+            interval_ticks=config.engine.interval_ticks,
+            seed=seeds[t] + 1,
+        )
+        for t in range(n)
+    ]
+
+    ticks = config.engine.interval_ticks
+    warmup_rates = [
+        np.full(ticks, max(float(tr.rates[0]), tr.mean)) for tr in traces
+    ]
+    for _ in range(warmup):
+        deliveries = plane.run_interval_rows(warmup_rates, ~scaler.dead)
+        _drive_interval(scaler, deliveries, goal)
+        scaler.execute_interval(plane)
+
+    containers: list[np.ndarray] = []
+    decided: list[np.ndarray] = []
+    all_waves: list[list[WaveDecisions]] = []
+    reports: list[FleetActuationReports] = []
+    for interval_index in range(n_intervals):
+        alive = ~scaler.dead
+        rates = [loadgens[t].interval_rates(interval_index) for t in range(n)]
+        containers.append(plane.current_levels())
+        deliveries = plane.run_interval_rows(rates, alive)
+        all_waves.append(_drive_interval(scaler, deliveries, goal))
+        decided.append(scaler.level.copy())
+        reports.append(scaler.execute_interval(plane))
+        scaler.metrics.counter("fleet.chaos.intervals").inc()
+
+    return FleetChaosResult(
+        scaler=scaler,
+        plane=plane,
+        schedules=list(schedules),
+        containers=containers,
+        decided_levels=decided,
+        waves=all_waves,
+        reports=reports,
+    )
+
+
+def fleet_chaos_sweep(
+    n_tenants: int = 20,
+    base_seed: int = 0,
+    n_intervals: int = 24,
+    n_faults: int = 5,
+    interval_ticks: int = 15,
+    warmup_intervals: int = 6,
+    goal_ms: float | None = 150.0,
+    budget_factor: float = 0.35,
+    workload: Workload | None = None,
+    metrics=None,
+):
+    """One vectorized sweep equal to ``n_tenants`` scalar chaos runs.
+
+    Derives each tenant's trace, schedule, budget, and seeds exactly as
+    :func:`repro.fleet.chaos.chaos_sweep` does (same RNG draw order), so
+    the returned outcomes are byte-comparable with the scalar sweep's.
+    """
+    from repro.fleet.chaos import (
+        ChaosSweepResult,
+        TenantChaosOutcome,
+        _record_sweep_metrics,
+        _tenant_budget,
+        _tenant_trace,
+    )
+    from repro.workloads import cpuio_workload
+
+    workload = workload or cpuio_workload()
+    config = ExperimentConfig(
+        engine=dataclasses.replace(
+            ExperimentConfig().engine, interval_ticks=interval_ticks
+        ),
+        warmup_intervals=warmup_intervals,
+        seed=base_seed,
+    )
+    goal = LatencyGoal(goal_ms) if goal_ms is not None else None
+    seeds, traces, schedules, budgets = [], [], [], []
+    last = max(n_intervals - max(n_intervals // 4, 2) - 1, 0)
+    for tenant in range(n_tenants):
+        seed = base_seed + tenant
+        seeds.append(seed)
+        rng = np.random.default_rng(seed)
+        traces.append(_tenant_trace(rng, tenant, n_intervals))
+        schedules.append(
+            FaultSchedule.random(
+                seed=seed, n_intervals=n_intervals, n_faults=n_faults, last=last
+            )
+        )
+        budgets.append(
+            _tenant_budget(
+                config, budget_factor, warmup_intervals + n_intervals + 2
+            )
+        )
+
+    result = run_fleet_chaos(
+        workload,
+        traces,
+        schedules,
+        config=config,
+        seeds=seeds,
+        goal=goal,
+        budgets=budgets,
+    )
+    scaler = result.scaler
+    outcomes = []
+    for t in range(n_tenants):
+        error = scaler.dead_error(t)
+        overdrawn = bool(
+            scaler.budget_spent[t] > budgets[t].budget + 1e-6
+            or scaler.budget_available[t] < -1e-9
+        )
+        healthy_run = error is None
+        outcomes.append(
+            TenantChaosOutcome(
+                tenant_id=t,
+                seed=seeds[t],
+                schedule=schedules[t],
+                error=error,
+                budget_overdrawn=overdrawn,
+                spent=float(scaler.budget_spent[t]),
+                refunded=float(scaler.budget_refunded[t]),
+                budget_total=budgets[t].budget,
+                resize_failures=(
+                    int(scaler.x_total_failures[t]) if healthy_run else 0
+                ),
+                circuit_opens=(
+                    int(scaler.x_circuit_opens[t]) if healthy_run else 0
+                ),
+                quarantined=int(scaler.g_quarantined[t]) if healthy_run else 0,
+                missed=int(scaler.g_missed[t]) if healthy_run else 0,
+                discarded=int(scaler.g_discarded[t]) if healthy_run else 0,
+                entered_safe_mode=(
+                    healthy_run and int(scaler.x_circuit_opens[t]) > 0
+                ),
+            )
+        )
+    sweep = ChaosSweepResult(outcomes=outcomes)
+    if metrics is not None:
+        _record_sweep_metrics(metrics, sweep)
+    return sweep
+
+
+# -- synthetic degraded sweep (benchmark / 100k recipe) -----------------------
+
+
+class _ArrayActuator:
+    """A placement service over a plain level array (no engine).
+
+    Applies the compiled actuation masks with
+    :class:`~repro.faults.chaos.FaultyServer` semantics; used by the
+    synthetic degraded benchmark where no engines exist.
+    """
+
+    def __init__(
+        self,
+        masks: CompiledFaultMasks,
+        names: Sequence[str],
+        initial_level: int = 0,
+    ) -> None:
+        n = masks.n_tenants
+        self.masks = masks
+        self.names = list(names)
+        self.level = np.full(n, initial_level, dtype=np.int64)
+        self.balloon_limit_gb = np.full(n, np.nan)
+        self._index = -1
+        self._transient_left = np.zeros(n, dtype=np.int64)
+
+    def begin_interval(self) -> None:
+        self._index += 1
+        self._transient_left[:] = self.masks.transient_magnitude[:, self._index]
+
+    def current_levels(self) -> np.ndarray:
+        return self.level
+
+    def current_level(self, r: int) -> int:
+        return int(self.level[r])
+
+    def try_resize(self, r: int, level: int) -> None:
+        i = self._index
+        m = self.masks
+        current = int(self.level[r])
+        if m.permanent[r, i]:
+            raise PermanentActuationError(
+                f"placement service rejected resize to {self.names[level]}"
+            )
+        if self._transient_left[r] > 0:
+            self._transient_left[r] -= 1
+            raise TransientActuationError(
+                f"placement service busy; resize to {self.names[level]} "
+                f"not applied"
+            )
+        if m.partial[r, i] and level != current:
+            direction = 1 if level > current else -1
+            stalled = level - direction
+            if stalled != current:
+                self.level[r] = stalled
+            return
+        self.level[r] = level
+
+    def set_balloon_limit(self, r: int, limit_gb: float | None) -> None:
+        if limit_gb is not None and self.masks.balloon_fail[r, self._index]:
+            raise TransientActuationError(
+                f"memory broker rejected balloon cap {limit_gb:g} GB"
+            )
+        self.balloon_limit_gb[r] = np.nan if limit_gb is None else limit_gb
+
+    def state_dict(self) -> dict:
+        return {
+            "index": self._index,
+            "level": self.level.copy(),
+            "balloon_limit_gb": self.balloon_limit_gb.copy(),
+            "transient_left": self._transient_left.copy(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._index = int(state["index"])
+        self.level = np.asarray(state["level"], dtype=np.int64).copy()
+        self.balloon_limit_gb = np.asarray(
+            state["balloon_limit_gb"], dtype=float
+        ).copy()
+        self._transient_left = np.asarray(
+            state["transient_left"], dtype=np.int64
+        ).copy()
+
+
+#: Nominal wall-clock seconds per synthetic billing interval.
+_SYNTHETIC_INTERVAL_S = 60.0
+
+
+class DegradedSyntheticFleet:
+    """Step a degraded fleet over synthetic telemetry and fault masks.
+
+    The telemetry-side masks (drop / late / duplicate / corrupt / skew)
+    are applied directly to the pre-generated
+    :class:`~repro.fleet.vectorized.FleetTelemetryArrays` columns, with a
+    one-delivery held buffer per tenant exactly like the scalar wrapper.
+    Corruption is approximated by flagging the delivery anomalous (the
+    guard quarantines it, which is the scalar outcome for three of the
+    five corruption modes); the parity-exact corruption path lives in
+    :class:`MaskedFaultDataPlane`.
+
+    ``state_dict`` / ``load_state_dict`` cover the scaler, the actuator,
+    the held buffers, and the interval cursor — a restore mid-sweep
+    resumes byte-identically (held by ``tests/test_fleet_checkpoint.py``).
+    """
+
+    def __init__(
+        self,
+        scaler: DegradedVectorizedAutoScaler,
+        arrays,
+        masks: CompiledFaultMasks,
+    ) -> None:
+        n = scaler.n_tenants
+        if masks.n_tenants != n or arrays.latency_ms.shape[1] != n:
+            raise ConfigurationError("fleet geometry mismatch")
+        self.scaler = scaler
+        self.arrays = arrays
+        self.masks = masks
+        names = [
+            scaler.catalog.at_level(i).name for i in range(len(scaler.catalog))
+        ]
+        self.actuator = _ArrayActuator(masks, names)
+        self.interval = 0
+        self.n_intervals = arrays.latency_ms.shape[0]
+        self._held_present = np.zeros(n, dtype=bool)
+        self._held_index = np.zeros(n, dtype=np.int64)
+        self._held_billed = np.zeros(n)
+        self._held_fields = {
+            "latency_ms": np.full(n, np.nan),
+            "util_pct": np.zeros((K, n)),
+            "wait_ms": np.zeros((K, n)),
+            "wait_pct": np.zeros((K, n)),
+            "memory_used_gb": np.full(n, np.nan),
+            "disk_physical_reads": np.full(n, np.nan),
+        }
+
+    def _fresh_fields(self, i: int) -> dict:
+        a = self.arrays
+        return {
+            "latency_ms": a.latency_ms[i].copy(),
+            "util_pct": a.util_pct[i].copy(),
+            "wait_ms": a.wait_ms[i].copy(),
+            "wait_pct": a.wait_pct[i].copy(),
+            "memory_used_gb": a.memory_used_gb[i].copy(),
+            "disk_physical_reads": a.disk_physical_reads[i].copy(),
+        }
+
+    def step(self) -> list[WaveDecisions]:
+        """One billing interval: delivery waves + actuation."""
+        scaler = self.scaler
+        n = scaler.n_tenants
+        i = self.interval
+        m = self.masks
+        self.actuator.begin_interval()
+        alive = ~scaler.dead
+
+        drop = m.drop[:, i] & alive
+        late = m.late[:, i] & ~drop & alive
+        corrupt = m.corrupt[:, i] & ~drop & ~late & alive
+        skew = m.skew[:, i] & ~drop & ~late & ~corrupt & alive
+        dup = m.duplicate[:, i] & ~drop & ~late & ~corrupt & ~skew & alive
+        delivered = alive & ~drop & ~late
+
+        held = self._held_present & alive
+        fresh = self._fresh_fields(i)
+        billed = scaler._costs[self.actuator.level]
+        start = np.full(n, i * _SYNTHETIC_INTERVAL_S)
+        end = start + _SYNTHETIC_INTERVAL_S
+        start = np.where(skew, start - m.skew_magnitude[:, i] * _SYNTHETIC_INTERVAL_S, start)
+        end = np.where(skew, end - m.skew_magnitude[:, i] * _SYNTHETIC_INTERVAL_S, end)
+
+        wave_plans = [
+            (held | delivered, held),  # wave 0: held first, else fresh
+            ((held & delivered) | (~held & dup), held & delivered),
+            (held & dup, np.zeros(n, dtype=bool)),
+        ]
+        gap = alive & ~held & ~delivered
+        waves = []
+        empty_reasons = [()] * n
+        corrupt_reason = ("synthetic corruption flag",)
+        for w, (present, use_held) in enumerate(wave_plans):
+            present = present & ~scaler.dead
+            if w > 0 and not np.any(present):
+                break
+            fields = {}
+            for name, fresh_col in fresh.items():
+                held_col = self._held_fields[name]
+                if fresh_col.ndim == 2:
+                    fields[name] = np.where(use_held, held_col, fresh_col)
+                else:
+                    fields[name] = np.where(use_held, held_col, fresh_col)
+            index = np.where(use_held, self._held_index, i)
+            anomalous = corrupt & ~use_held
+            reasons = [
+                corrupt_reason if anomalous[r] else ()
+                for r in range(n)
+            ] if np.any(anomalous) else empty_reasons
+            waves.append(
+                scaler.decide_wave(
+                    present=present,
+                    gap=gap if w == 0 else None,
+                    index=index,
+                    start_s=np.where(use_held, self._held_index * _SYNTHETIC_INTERVAL_S, start),
+                    end_s=np.where(use_held, (self._held_index + 1) * _SYNTHETIC_INTERVAL_S, end),
+                    anomalous=anomalous,
+                    anomaly_reasons=reasons,
+                    billed_cost=np.where(use_held, self._held_billed, billed),
+                    **fields,
+                )
+            )
+
+        # Late deliveries are held clean (the scalar wrapper holds the
+        # unperturbed counters); they surface next interval.
+        self._held_present = late
+        if np.any(late):
+            self._held_index[late] = i
+            self._held_billed[late] = billed[late]
+            for name, fresh_col in fresh.items():
+                if fresh_col.ndim == 2:
+                    self._held_fields[name][:, late] = fresh_col[:, late]
+                else:
+                    self._held_fields[name][late] = fresh_col[late]
+
+        self.scaler.execute_interval(self.actuator)
+        self.interval += 1
+        return waves
+
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "interval": self.interval,
+            "scaler": self.scaler.state_dict(),
+            "actuator": self.actuator.state_dict(),
+            "held": {
+                "present": self._held_present.copy(),
+                "index": self._held_index.copy(),
+                "billed": self._held_billed.copy(),
+                "fields": {
+                    name: value.copy()
+                    for name, value in self._held_fields.items()
+                },
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.interval = int(state["interval"])
+        self.scaler.load_state_dict(state["scaler"])
+        self.actuator.load_state_dict(state["actuator"])
+        held = state["held"]
+        self._held_present = np.asarray(held["present"], dtype=bool).copy()
+        self._held_index = np.asarray(held["index"], dtype=np.int64).copy()
+        self._held_billed = np.asarray(held["billed"], dtype=float).copy()
+        self._held_fields = {
+            name: np.asarray(value, dtype=float).copy()
+            for name, value in held["fields"].items()
+        }
+
+
+def run_degraded_synthetic_sweep(
+    n_tenants: int,
+    n_intervals: int,
+    seed: int = 7,
+    *,
+    fault_rate: float = 0.05,
+    catalog: ContainerCatalog | None = None,
+    thresholds=None,
+    goal_ms: float | None = 100.0,
+) -> dict:
+    """Benchmark arm: the degraded wave loop over a faulted synthetic fleet.
+
+    ``fault_rate`` scales the number of fault events drawn per tenant
+    (roughly that fraction of tenant-intervals perturbed).  Mirrors
+    :func:`repro.fleet.vectorized.run_synthetic_sweep`'s result shape so
+    the perf gate can compare the two arms directly.
+    """
+    from repro.engine.containers import default_catalog
+
+    catalog = catalog or default_catalog()
+    arrays = synthesize_fleet_telemetry(n_tenants, n_intervals, seed=seed)
+    n_faults = max(1, int(round(fault_rate * n_intervals)))
+    schedules = [
+        FaultSchedule.random(
+            seed=seed + 17 * t, n_intervals=n_intervals, n_faults=n_faults
+        )
+        for t in range(n_tenants)
+    ]
+    masks = compile_schedules(schedules, n_intervals)
+    goal = LatencyGoal(goal_ms) if goal_ms is not None else None
+    scaler = DegradedVectorizedAutoScaler(
+        catalog,
+        n_tenants,
+        goal=goal,
+        thresholds=thresholds,
+        record_actions=False,
+        record_guard_reasons=False,
+        executor_seeds=seed,
+    )
+    fleet = DegradedSyntheticFleet(scaler, arrays, masks)
+    resizes = 0
+    per_interval: list[float] = []
+    t_total = time.perf_counter()
+    for _ in range(n_intervals):
+        t0 = time.perf_counter()
+        waves = fleet.step()
+        per_interval.append(time.perf_counter() - t0)
+        resizes += int(sum(np.count_nonzero(w.resized) for w in waves))
+    total_s = time.perf_counter() - t_total
+    levels, counts = np.unique(scaler.level, return_counts=True)
+    return {
+        "n_tenants": n_tenants,
+        "n_intervals": n_intervals,
+        "seed": seed,
+        "fault_rate": fault_rate,
+        "total_s": total_s,
+        "per_interval_s": per_interval,
+        "mean_interval_s": float(np.mean(per_interval)),
+        "max_interval_s": float(np.max(per_interval)),
+        "resizes": resizes,
+        "faulted_tenant_intervals": int(
+            np.count_nonzero(
+                masks.any_telemetry
+                | masks.permanent
+                | masks.partial
+                | (masks.transient_magnitude > 0)
+                | masks.balloon_fail
+            )
+        ),
+        "final_level_histogram": {
+            int(level): int(count) for level, count in zip(levels, counts)
+        },
+    }

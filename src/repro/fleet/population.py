@@ -33,7 +33,14 @@ from repro.engine.resources import ResourceKind
 from repro.errors import ConfigurationError
 from repro.obs.metrics import MetricsRegistry
 
-__all__ = ["DemandPattern", "TenantProfile", "synthesize_population", "rate_series"]
+__all__ = [
+    "DemandPattern",
+    "TenantProfile",
+    "synthesize_population",
+    "rate_series",
+    "usage_series",
+    "population_traces",
+]
 
 #: Intervals per day at the paper's 5-minute aggregation.
 INTERVALS_PER_DAY_5MIN = 288
@@ -212,3 +219,32 @@ def usage_series(
         ResourceKind.LOG_IO: log_mb_s,
         ResourceKind.MEMORY: memory,
     }
+
+
+def population_traces(
+    n_tenants: int,
+    n_intervals: int,
+    seed: int = 42,
+    intervals_per_day: int = INTERVALS_PER_DAY_5MIN,
+    metrics: MetricsRegistry | None = None,
+) -> list["Trace"]:
+    """Chaos-sweep-ready demand traces for a synthesized population.
+
+    Bridges the population model into the chaos drivers: each
+    :class:`TenantProfile`'s :func:`rate_series` becomes one
+    :class:`~repro.workloads.traces.Trace`, suitable for
+    :func:`repro.fleet.degraded.run_fleet_chaos` (or per-tenant
+    :func:`~repro.harness.chaos.run_chaos`) instead of the sweep's
+    default synthetic bursts.
+    """
+    from repro.workloads.traces import Trace
+
+    profiles = synthesize_population(n_tenants, seed=seed, metrics=metrics)
+    return [
+        Trace(
+            name=f"population-{p.pattern.value}-{p.tenant_id}",
+            rates=rate_series(p, n_intervals, intervals_per_day),
+            description=f"synthesized {p.pattern.value} tenant demand",
+        )
+        for p in profiles
+    ]

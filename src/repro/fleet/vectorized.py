@@ -92,6 +92,7 @@ __all__ = [
     "FleetDecisions",
     "FleetTelemetryArrays",
     "VectorizedTelemetry",
+    "MaskedVectorizedTelemetry",
     "VectorizedAutoScaler",
     "estimate_fleet",
     "counters_to_interval_arrays",
@@ -432,6 +433,210 @@ class VectorizedTelemetry:
             rho=rho,
             corr_n_points=corr_n,
         )
+
+
+class MaskedVectorizedTelemetry(VectorizedTelemetry):
+    """Fleet signal windows with **per-tenant** ring clocks and cursors.
+
+    Under fault injection tenants fall out of lock step: a dropped
+    delivery leaves one tenant's window a sample short, a late delivery
+    admits two samples in one interval, and a quarantined interval admits
+    none.  The parent's single shared ``t`` vector and cursor cannot
+    represent that, so this subclass gives every tenant its own interval
+    clock row (``_t`` becomes ``(T, W)``) and its own cursor/count, and
+    adds row-subset ``observe_rows`` / ``signals_rows`` so a *wave* of
+    admitted deliveries touches only the affected rows.
+
+    With lock-step input (``observe`` over all rows each interval) the
+    gathered sample sets equal the parent's, so signals are byte-identical
+    to :class:`VectorizedTelemetry` — held by the empty-schedule parity
+    tests.
+    """
+
+    def __init__(
+        self,
+        n_tenants: int,
+        thresholds: ThresholdConfig,
+        goal: LatencyGoal | None = None,
+    ) -> None:
+        super().__init__(n_tenants, thresholds, goal)
+        self._t = np.full((n_tenants, self._window), np.nan)
+        self._cursor_rows = np.zeros(n_tenants, dtype=np.int64)
+        self._count_rows = np.zeros(n_tenants, dtype=np.int64)
+
+    def observe_rows(
+        self,
+        rows: np.ndarray,
+        t: np.ndarray,
+        latency_ms: np.ndarray,
+        util_pct: np.ndarray,
+        wait_ms: np.ndarray,
+        wait_pct: np.ndarray,
+    ) -> None:
+        """Absorb one admitted delivery for the ``rows`` subset.
+
+        ``rows`` is a 1-D integer index array (no duplicates); ``t`` and
+        ``latency_ms`` are ``(len(rows),)``, per-resource inputs are
+        ``(K, len(rows))`` in ``SCALABLE_KINDS`` order.
+        """
+        if rows.size == 0:
+            return
+        c = self._cursor_rows[rows]
+        self._t[rows, c] = t
+        self._lat[rows, c] = latency_ms
+        self._util[:, rows, c] = util_pct
+        self._wait[:, rows, c] = wait_ms
+        self._wpct[:, rows, c] = wait_pct
+        self._cursor_rows[rows] = (c + 1) % self._window
+        self._count_rows[rows] += 1
+        self._count = int(self._count_rows.max())
+
+    def observe(
+        self,
+        t: float,
+        latency_ms: np.ndarray,
+        util_pct: np.ndarray,
+        wait_ms: np.ndarray,
+        wait_pct: np.ndarray,
+    ) -> None:
+        rows = np.arange(self.n_tenants)
+        self.observe_rows(
+            rows,
+            np.full(self.n_tenants, float(t)),
+            latency_ms,
+            util_pct,
+            wait_ms,
+            wait_pct,
+        )
+
+    def _tail_cols_rows(self, rows: np.ndarray, k: int) -> np.ndarray:
+        """Per-row ring indices of the last ``min(k, window)`` slots, (n, k)."""
+        k = min(k, self._window)
+        cur = self._cursor_rows[rows]
+        return (cur[:, None] - 1 - np.arange(k)) % self._window
+
+    def signals(self) -> FleetSignals:
+        if self._count == 0:
+            raise InsufficientDataError(
+                "no telemetry observed yet: observe() at least one interval "
+                "before requesting signals()"
+            )
+        return self.signals_rows(np.arange(self.n_tenants))
+
+    def signals_rows(self, rows: np.ndarray) -> FleetSignals:
+        """Compact signal set (width ``len(rows)``) for the ``rows`` subset.
+
+        Every row must have at least one observed sample (in the degraded
+        sweep only tenants whose delivery was *admitted* this interval
+        reach the full decision body, which guarantees it).
+        """
+        cfg = self.thresholds
+        n = rows.size
+        window = self._window
+
+        tcols = self._tail_cols_rows(rows, cfg.trend_window)
+        tw = tcols.shape[1]
+        lat_sub = self._lat[rows]  # (n, W)
+        util_sub = self._util[:, rows, :]  # (K, n, W)
+        wait_sub = self._wait[:, rows, :]
+        wpct_sub = self._wpct[:, rows, :]
+
+        x = np.take_along_axis(self._t[rows], tcols, axis=1)  # (n, tw)
+        cols3 = np.broadcast_to(tcols, (K, n, tw))
+        stack = np.empty((1 + 2 * K, n, tw))
+        stack[0] = np.take_along_axis(lat_sub, tcols, axis=1)
+        stack[1 : 1 + K] = np.take_along_axis(util_sub, cols3, axis=2)
+        stack[1 + K :] = np.take_along_axis(wait_sub, cols3, axis=2)
+        x_rep = np.broadcast_to(x, (1 + 2 * K, n, tw)).reshape(-1, tw)
+        trend = batched_detect_trend(
+            x_rep, stack.reshape(-1, tw), alpha=cfg.trend_alpha
+        )
+        slope = trend.slope.reshape(1 + 2 * K, n)
+        sig = trend.significant.reshape(1 + 2 * K, n)
+        agree = trend.agreement.reshape(1 + 2 * K, n)
+        npts = trend.n_points.reshape(1 + 2 * K, n)
+        direction = np.where(sig, _sign8(slope), np.int8(0)).astype(np.int8)
+
+        lat_rep = np.broadcast_to(lat_sub, (K, n, window)).reshape(-1, window)
+        corr = batched_spearman(lat_rep, wait_sub.reshape(-1, window))
+        rho = corr.rho.reshape(K, n)
+        corr_n = corr.n_points.reshape(K, n)
+
+        scols = self._tail_cols_rows(rows, self._smooth)
+        sw = scols.shape[1]
+        latency_ms = batched_tail_median(
+            np.take_along_axis(lat_sub, scols, axis=1), sw, default=np.nan
+        )
+        scols3 = np.broadcast_to(scols, (K, n, sw))
+        res_stack = np.empty((3 * K, n, sw))
+        res_stack[:K] = np.take_along_axis(util_sub, scols3, axis=2)
+        res_stack[K : 2 * K] = np.take_along_axis(wait_sub, scols3, axis=2)
+        res_stack[2 * K :] = np.take_along_axis(wpct_sub, scols3, axis=2)
+        smoothed = batched_tail_median(
+            res_stack.reshape(-1, sw), sw, default=0.0
+        ).reshape(3 * K, n)
+        util_s, wait_s, wpct_s = smoothed[:K], smoothed[K : 2 * K], smoothed[2 * K :]
+
+        util_level = (
+            (util_s >= cfg.util_low_pct).astype(np.int8)
+            + (util_s >= cfg.util_high_pct)
+        ).astype(np.int8)
+        wait_level = (
+            (wait_s >= self._wait_low).astype(np.int8) + (wait_s >= self._wait_high)
+        ).astype(np.int8)
+        wait_significant = wpct_s >= cfg.wait_pct_significant
+
+        if self.goal is None:
+            status = np.full(n, LAT_UNKNOWN, dtype=np.int8)
+        else:
+            status = np.where(
+                np.isnan(latency_ms),
+                np.int8(LAT_UNKNOWN),
+                np.where(
+                    latency_ms <= self.goal.target_ms,
+                    np.int8(LAT_GOOD),
+                    np.int8(LAT_BAD),
+                ),
+            ).astype(np.int8)
+
+        return FleetSignals(
+            latency_ms=latency_ms,
+            latency_status=status,
+            lat_slope=slope[0],
+            lat_significant=sig[0],
+            lat_agreement=agree[0],
+            lat_n_points=npts[0],
+            lat_direction=direction[0],
+            util_pct=util_s,
+            util_level=util_level,
+            wait_ms=wait_s,
+            wait_level=wait_level,
+            wait_pct=wpct_s,
+            wait_significant=wait_significant,
+            util_slope=slope[1 : 1 + K],
+            util_significant=sig[1 : 1 + K],
+            util_agreement=agree[1 : 1 + K],
+            util_direction=direction[1 : 1 + K],
+            wait_slope=slope[1 + K :],
+            wait_trend_significant=sig[1 + K :],
+            wait_agreement=agree[1 + K :],
+            wait_direction=direction[1 + K :],
+            rho=rho,
+            corr_n_points=corr_n,
+        )
+
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["cursor_rows"] = self._cursor_rows.copy()
+        state["count_rows"] = self._count_rows.copy()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._cursor_rows = np.asarray(state["cursor_rows"], dtype=np.int64).copy()
+        self._count_rows = np.asarray(state["count_rows"], dtype=np.int64).copy()
 
 
 def estimate_fleet(

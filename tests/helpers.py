@@ -131,3 +131,23 @@ def assert_latencies_reasonable(counters) -> None:
     assert lat.size > 0
     assert np.all(np.isfinite(lat))
     assert np.all(lat > 0)
+
+
+def assert_reconverges(faulted, clean, last_fault_interval, max_intervals=12):
+    """Assert the faulted decision trace rejoins the clean twin's.
+
+    Shared by the scalar and vectorized chaos suites so both paths are
+    held to the same reconvergence bound.  Returns the reconvergence
+    interval for further assertions.
+    """
+    from repro.harness.chaos import reconvergence_interval
+
+    k = reconvergence_interval(faulted, clean, last_fault_interval)
+    assert k is not None, (
+        f"no reconvergence: faulted={faulted} clean={clean}"
+    )
+    assert k <= max_intervals, (
+        f"reconverged only {k} interval(s) after the last fault "
+        f"(bound: {max_intervals})"
+    )
+    return k

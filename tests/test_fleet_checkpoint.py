@@ -19,7 +19,17 @@ from repro.core.damper import OscillationDamper
 from repro.core.latency import LatencyGoal
 from repro.engine.containers import default_catalog
 from repro.errors import ConfigurationError
-from repro.fleet.vectorized import VectorizedAutoScaler, replay_decisions
+from repro.faults.schedule import FaultSchedule
+from repro.faults.vectorized import compile_schedules
+from repro.fleet.degraded import (
+    DegradedSyntheticFleet,
+    DegradedVectorizedAutoScaler,
+)
+from repro.fleet.vectorized import (
+    VectorizedAutoScaler,
+    replay_decisions,
+    synthesize_fleet_telemetry,
+)
 from repro.service import decode_state, encode_state
 
 from .test_fleet_vectorized import make_streams
@@ -90,6 +100,110 @@ def test_mid_sweep_restore_is_bit_identical():
 
     resumed = replay_decisions(second, restored)
     _assert_same_decisions(resumed, all_decisions[half:])
+
+
+def _build_degraded_fleet(catalog, failure_threshold=2):
+    arrays = synthesize_fleet_telemetry(_N_TENANTS, _N_INTERVALS, seed=_SEED)
+    schedules = [
+        FaultSchedule.random(
+            seed=_SEED + 17 * t, n_intervals=_N_INTERVALS, n_faults=4
+        )
+        for t in range(_N_TENANTS)
+    ]
+    masks = compile_schedules(schedules, _N_INTERVALS)
+    budgets = [
+        BudgetManager(
+            budget=catalog.max_cost * _N_INTERVALS * 0.4,
+            n_intervals=_N_INTERVALS + 5,
+            min_cost=catalog.min_cost,
+            max_cost=catalog.max_cost,
+        )
+        for _ in range(_N_TENANTS)
+    ]
+    scaler = DegradedVectorizedAutoScaler(
+        catalog,
+        _N_TENANTS,
+        goal=LatencyGoal(100.0),
+        budget=budgets,
+        damper=OscillationDamper(),
+        executor_seeds=_SEED,
+        failure_threshold=failure_threshold,
+        open_intervals=3,
+    )
+    return DegradedSyntheticFleet(scaler, arrays, masks)
+
+
+def _assert_same_waves(resumed, uninterrupted):
+    assert len(resumed) == len(uninterrupted)
+    for got_waves, want_waves in zip(resumed, uninterrupted):
+        assert len(got_waves) == len(want_waves)
+        for got, want in zip(got_waves, want_waves):
+            assert np.array_equal(got.participants, want.participants)
+            assert np.array_equal(got.level, want.level)
+            assert np.array_equal(got.resized, want.resized)
+            assert np.array_equal(
+                got.balloon_limit_gb, want.balloon_limit_gb, equal_nan=True
+            )
+            assert got.actions == want.actions
+            assert np.array_equal(got.died, want.died)
+
+
+def test_mid_chaos_sweep_restore_is_bit_identical():
+    # Kill the degraded fleet halfway through a faulted sweep — guard
+    # gaps open, circuits possibly ajar, refunds pending, held late
+    # deliveries in flight — serialize through the JSON wire, restore
+    # into a brand-new fleet, and the continuation must be byte-identical
+    # to the twin that never stopped.
+    catalog = default_catalog()
+    twin = _build_degraded_fleet(catalog)
+    all_waves = [twin.step() for _ in range(_N_INTERVALS)]
+
+    fleet = _build_degraded_fleet(catalog)
+    half = _N_INTERVALS // 2
+    # The checkpoint happens mid-chaos, not in a quiet patch.
+    assert fleet.masks.any_telemetry[:, :half].any()
+    for _ in range(half):
+        fleet.step()
+    wire = json.dumps(
+        encode_state(fleet.state_dict()),
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    restored = _build_degraded_fleet(catalog)
+    restored.load_state_dict(decode_state(json.loads(wire)))
+
+    resumed = [restored.step() for _ in range(_N_INTERVALS - half)]
+    _assert_same_waves(resumed, all_waves[half:])
+
+    # The restored control plane's terminal state matches the twin's on
+    # every degraded-path axis, not just the emitted decisions.
+    got, want = restored.scaler, twin.scaler
+    assert np.array_equal(got.level, want.level)
+    assert np.array_equal(got._x_state, want._x_state)
+    assert np.array_equal(got._x_consec, want._x_consec)
+    assert np.array_equal(got._x_open_left, want._x_open_left)
+    assert np.array_equal(got.x_circuit_opens, want.x_circuit_opens)
+    assert np.array_equal(got._safe, want._safe)
+    assert np.array_equal(got._tokens, want._tokens)
+    assert np.array_equal(got._spent, want._spent)
+    assert np.array_equal(got._refunded, want._refunded)
+    assert np.array_equal(got._pending_refund, want._pending_refund)
+    assert np.array_equal(got.g_admitted, want.g_admitted)
+    assert np.array_equal(got.g_quarantined, want.g_quarantined)
+    assert np.array_equal(got.g_discarded, want.g_discarded)
+    assert np.array_equal(got.g_missed, want.g_missed)
+    assert got._g_reasons == want._g_reasons
+    assert got._dead_error == want._dead_error
+
+
+def test_degraded_restore_rejects_executor_config_mismatch():
+    catalog = default_catalog()
+    fleet = _build_degraded_fleet(catalog, failure_threshold=2)
+    fleet.step()
+    state = fleet.state_dict()
+    other = _build_degraded_fleet(catalog, failure_threshold=5)
+    with pytest.raises(ConfigurationError):
+        other.load_state_dict(state)
 
 
 def test_restore_rejects_geometry_mismatch():

@@ -137,6 +137,27 @@ def test_smoke_checkpoint_arm(smoke_result):
     assert ckpt["wire_bytes"] > 0
 
 
+def test_smoke_chaos_degraded_arm(smoke_result):
+    """The degraded sweep must actually inject faults and report a ratio.
+
+    The <= 2x degraded-over-healthy ceiling is timing and therefore gated
+    by ``check_perf_gate.py`` against the committed full-mode numbers; the
+    smoke run only verifies the arm is wired and the degraded path ran
+    with a real fault load.
+    """
+    result, _ = smoke_result
+    chaos = result["chaos_degraded"]
+    assert chaos["fault_rate"] == pytest.approx(0.05)
+    assert chaos["faulted_tenant_intervals"] > 0, (
+        "degraded sweep ran without any faulted tenant-intervals — the "
+        "schedules compiled to empty masks?"
+    )
+    assert chaos["degraded_mean_interval_s"] > 0.0
+    assert chaos["healthy_mean_interval_s"] > 0.0
+    assert chaos["degraded_over_healthy"] > 0.0
+    assert chaos["max_ratio"] == 2.0
+
+
 def test_smoke_primitives_match_fleet_windows(bench_module):
     """Primitive microbenches cover the default telemetry window geometry."""
     out = bench_module.bench_primitives(window=10, n_appends=200)
