@@ -56,6 +56,24 @@ TRUTH_FLAGS = [
     ("fleet_observability", "decisions_identical"),
     ("checkpoint", "snapshot_immutable"),
     ("checkpoint", "restore_identical"),
+    ("fleet_1m", "closed_loop"),
+    ("fleet_1m", "actuated"),
+]
+
+#: Fleet arms must at least hit the target they record for themselves —
+#: keeps the committed JSON, the benchmark constants, and the gate in
+#: agreement instead of drifting independently.
+SELF_CONSISTENT_SPEEDUPS = [
+    ("fleet", "window_10"),
+    ("fleet", "window_64"),
+    ("fleet_vectorized",),
+]
+
+#: The fleet-scale closed-loop arm (1M tenants, float32 rings, tiled
+#: extraction) must stay inside its own recorded ceilings.
+FLEET_1M_CEILINGS = [
+    ("mean_interval_s", "max_mean_interval_s"),
+    ("peak_rss_gb", "max_peak_rss_gb"),
 ]
 
 #: (path into the JSON, ceiling) — overheads the committed numbers must stay under.
@@ -137,6 +155,32 @@ def check(result: dict) -> list[str]:
             )
     except KeyError:
         problems.append("missing sweep_100k/mean_interval_s")
+    for path in SELF_CONSISTENT_SPEEDUPS:
+        name = "/".join(map(str, path))
+        try:
+            arm = _lookup(result, path)
+            speedup = arm["speedup"]
+            target = arm["target_speedup"]
+        except (KeyError, TypeError):
+            problems.append(f"missing {name}/speedup or target_speedup")
+            continue
+        if speedup < target:
+            problems.append(
+                f"{name}/speedup = {speedup} below its own recorded "
+                f"target_speedup = {target}"
+            )
+    for value_key, ceiling_key in FLEET_1M_CEILINGS:
+        try:
+            value = _lookup(result, ("fleet_1m", value_key))
+            ceiling = _lookup(result, ("fleet_1m", ceiling_key))
+        except KeyError as exc:
+            problems.append(f"missing fleet_1m key: {exc}")
+            continue
+        if not isinstance(value, (int, float)) or value > ceiling:
+            problems.append(
+                f"fleet_1m/{value_key} = {value} exceeds the "
+                f"{ceiling} ceiling ({ceiling_key})"
+            )
     return problems
 
 
@@ -163,10 +207,13 @@ def main(argv: list[str] | None = None) -> int:
     obs = result["fleet_observability"]
     ckpt = result["checkpoint"]
     chaos = result["chaos_degraded"]
+    big = result["fleet_1m"]
     print(
         f"perf gate OK: vectorized {vec['speedup']}x "
         f"({vec['tenants']} tenants), 100k sweep "
-        f"{sweep['mean_interval_s']}s/interval, fleet pipeline "
+        f"{sweep['mean_interval_s']}s/interval, {big['tenants']}-tenant "
+        f"closed loop {big['mean_interval_s']}s/interval at "
+        f"{big['peak_rss_gb']} GB peak RSS, fleet pipeline "
         f"{obs['overhead_pct']:+.1f}% overhead, checkpoint capture "
         f"{ckpt['overhead_pct']:+.1f}% of interval, degraded chaos sweep "
         f"{chaos['degraded_over_healthy']}x of healthy, all floors met"

@@ -13,6 +13,9 @@ Three subcommands mirror the repository's main activities:
   ``explain``);
 * ``repro fleet report`` — record (or load) a columnar fleet trace and
   render the fleet-wide summary as JSON or markdown;
+* ``repro fleet sweep`` — time a vectorized fleet sweep (open- or
+  closed-loop, optionally sharded across processes, float32 or float64
+  telemetry rings) and emit the timing/actuation digest as JSON;
 * ``repro serve`` — run the durable controller service over a seeded
   multi-tenant fleet, checkpointing each interval (optionally killing
   and restoring the controller at chosen intervals);
@@ -28,6 +31,8 @@ Examples::
     python -m repro.cli trace summary chaos.jsonl --json
     python -m repro.cli fleet report --tenants 8 --intervals 24 \\
         --save-store fleet.npz
+    python -m repro.cli fleet sweep --tenants 50000 --intervals 20 \\
+        --closed-loop --dtype float32 --tile 8192 --max-rss-gb 2
     python -m repro.cli trace explain --store fleet.npz --tenant 3 --interval 9
     python -m repro.cli serve --tenants 4 --intervals 20 \\
         --checkpoint-dir ckpts --kill-at 7,13
@@ -197,6 +202,52 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--save-store", type=str, default=None,
         help="also persist the columnar store (.npz) for later drill-down",
+    )
+
+    sweep = fleet_sub.add_parser(
+        "sweep",
+        help="run a vectorized fleet sweep (optionally closed-loop and "
+        "sharded) and print the timing/actuation digest as JSON",
+    )
+    sweep.add_argument("--tenants", type=int, default=100_000)
+    sweep.add_argument("--intervals", type=int, default=10)
+    sweep.add_argument("--seed", type=int, default=7)
+    sweep.add_argument(
+        "--goal-ms", type=float, default=100.0,
+        help="latency goal for the sweep (<= 0 disables the goal)",
+    )
+    sweep.add_argument(
+        "--closed-loop", action="store_true",
+        help="synthesize each interval from the tenants' current container "
+        "levels so decisions feed back into the workload",
+    )
+    sweep.add_argument(
+        "--dtype", choices=("float32", "float64"), default="float64",
+        help="telemetry ring dtype (float32 halves ring memory; signal "
+        "kernels still reduce in float64)",
+    )
+    sweep.add_argument(
+        "--tile", type=int, default=None,
+        help="tenants per signal-extraction tile (default: whole fleet)",
+    )
+    sweep.add_argument(
+        "--shards", type=int, default=1,
+        help="worker processes; closed-loop shards are seed-consistent "
+        "with the unsharded run, open-loop shards share telemetry via "
+        "shared memory",
+    )
+    sweep.add_argument(
+        "--max-rss-gb", type=float, default=None,
+        help="fail (exit 1) if peak RSS exceeds this many GB "
+        "(unsharded sweeps only)",
+    )
+    sweep.add_argument(
+        "--max-interval-s", type=float, default=None,
+        help="fail (exit 1) if the steady-state mean s/interval exceeds this",
+    )
+    sweep.add_argument(
+        "--out", type=str, default=None,
+        help="write the JSON digest here instead of stdout",
     )
 
     serve = sub.add_parser(
@@ -474,8 +525,76 @@ def _cmd_trace_explain(args: argparse.Namespace) -> int:
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
-    handlers = {"report": _cmd_fleet_report}
+    handlers = {"report": _cmd_fleet_report, "sweep": _cmd_fleet_sweep}
     return handlers[args.fleet_command](args)
+
+
+def _cmd_fleet_sweep(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.fleet.vectorized import run_synthetic_sweep, sharded_synthetic_sweep
+
+    if args.tenants < 1 or args.intervals < 1:
+        print("fleet sweep: --tenants and --intervals must be >= 1",
+              file=sys.stderr)
+        return 2
+    if args.shards < 1:
+        print("fleet sweep: --shards must be >= 1", file=sys.stderr)
+        return 2
+    goal_ms = args.goal_ms if args.goal_ms > 0 else None
+    if args.shards > 1:
+        digest = sharded_synthetic_sweep(
+            args.tenants,
+            args.intervals,
+            seed=args.seed,
+            n_shards=args.shards,
+            goal_ms=goal_ms,
+            closed_loop=args.closed_loop,
+            dtype=args.dtype,
+            tile=args.tile,
+        )
+    else:
+        digest = run_synthetic_sweep(
+            args.tenants,
+            args.intervals,
+            seed=args.seed,
+            goal_ms=goal_ms,
+            closed_loop=args.closed_loop,
+            dtype=args.dtype,
+            tile=args.tile,
+        )
+    rendered = json.dumps(digest, indent=2, sort_keys=True, default=float) + "\n"
+    if args.out:
+        Path(args.out).write_text(rendered)
+        print(f"fleet sweep digest -> {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(rendered)
+    failures = []
+    if args.max_rss_gb is not None:
+        if "peak_rss_gb" in digest:
+            peak = digest["peak_rss_gb"]
+        else:  # sharded digest: the high-water mark is the widest shard
+            peak = max(s["peak_rss_gb"] for s in digest["shards"])
+        if peak > args.max_rss_gb:
+            failures.append(
+                f"peak RSS {peak:.2f} GB exceeds ceiling {args.max_rss_gb} GB"
+            )
+    if args.max_interval_s is not None:
+        if "per_interval_s" in digest:
+            per = digest["per_interval_s"]
+            steady = per[1:] if len(per) > 1 else per
+            mean_s = sum(steady) / len(steady)
+        else:
+            mean_s = digest["wall_per_interval_s"]
+        if mean_s > args.max_interval_s:
+            failures.append(
+                f"mean {mean_s:.3f} s/interval exceeds ceiling "
+                f"{args.max_interval_s} s"
+            )
+    for failure in failures:
+        print(f"fleet sweep FAILED: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def _cmd_fleet_report(args: argparse.Namespace) -> int:

@@ -191,7 +191,11 @@ class DegradedVectorizedAutoScaler(VectorizedAutoScaler):
         super().__init__(catalog, n_tenants, **kwargs)
         # Per-row ring clocks: fault injection breaks fleet lock step.
         self.telemetry = MaskedVectorizedTelemetry(
-            n_tenants, self.thresholds, self.goal
+            n_tenants,
+            self.thresholds,
+            self.goal,
+            dtype=self._dtype,
+            tile=self._tile,
         )
         self._disk_cursor_rows = np.zeros(n_tenants, dtype=np.int64)
 

@@ -87,6 +87,8 @@ __all__ = [
     "LAT_GOOD",
     "LAT_BAD",
     "LAT_UNKNOWN",
+    "FLOAT32_SIGNAL_RTOL",
+    "FLOAT32_MAX_DECISION_DIVERGENCE",
     "FleetSignals",
     "FleetDemand",
     "FleetDecisions",
@@ -94,11 +96,13 @@ __all__ = [
     "VectorizedTelemetry",
     "MaskedVectorizedTelemetry",
     "VectorizedAutoScaler",
+    "ClosedLoopFleetSynthesizer",
     "estimate_fleet",
     "counters_to_interval_arrays",
     "replay_decisions",
     "synthesize_fleet_telemetry",
     "run_synthetic_sweep",
+    "run_synthetic_sweep_subprocess",
     "sharded_synthetic_sweep",
 ]
 
@@ -154,6 +158,26 @@ _HIGH_STEPS = np.array([r.steps for r in _HIGH_RULES], dtype=np.int8)
 
 # Balloon phases, integer mirror of BalloonPhase.
 _B_IDLE, _B_PROBING, _B_COOLDOWN = 0, 1, 2
+
+# -- the float32 tolerance contract -------------------------------------------
+#
+# Ring storage is dtype-tiered: the float64 configuration (the default) is
+# byte-identical to the scalar AutoScaler, while float32 storage halves
+# ring RSS at the cost of one rounding step per stored sample (values are
+# promoted back to float64 inside every repro.stats.batched kernel, so
+# the *statistics* run at full precision over rounded inputs).  The
+# contract, held by tests/test_fleet_scale.py across the config axes:
+
+#: Smoothed signal values from float32 rings stay within this relative
+#: tolerance of the float64 path (one float32 rounding of the inputs).
+FLOAT32_SIGNAL_RTOL = 1e-5
+
+#: Fraction of tenant-interval decisions allowed to differ between the
+#: float32 and float64 configurations.  Divergence requires a signal to
+#: sit within one float32 ulp of a threshold cut, so the observed rate on
+#: continuous telemetry is ~0; the bound leaves room for closed-loop
+#: amplification (one flipped decision shifts that tenant's later levels).
+FLOAT32_MAX_DECISION_DIVERGENCE = 0.02
 
 
 class FleetSignals(NamedTuple):
@@ -220,6 +244,40 @@ def _sign8(values: np.ndarray) -> np.ndarray:
     return np.sign(values).astype(np.int8)
 
 
+def _empty_fleet_signals(n: int) -> FleetSignals:
+    """Uninitialized fleet-wide signal outputs, filled tile by tile.
+
+    Signal outputs are always float64 regardless of the ring storage
+    dtype: the batched kernels promote on entry, so only the *stored*
+    samples are tiered.
+    """
+    return FleetSignals(
+        latency_ms=np.empty(n),
+        latency_status=np.empty(n, dtype=np.int8),
+        lat_slope=np.empty(n),
+        lat_significant=np.empty(n, dtype=bool),
+        lat_agreement=np.empty(n),
+        lat_n_points=np.empty(n, dtype=np.int64),
+        lat_direction=np.empty(n, dtype=np.int8),
+        util_pct=np.empty((K, n)),
+        util_level=np.empty((K, n), dtype=np.int8),
+        wait_ms=np.empty((K, n)),
+        wait_level=np.empty((K, n), dtype=np.int8),
+        wait_pct=np.empty((K, n)),
+        wait_significant=np.empty((K, n), dtype=bool),
+        util_slope=np.empty((K, n)),
+        util_significant=np.empty((K, n), dtype=bool),
+        util_agreement=np.empty((K, n)),
+        util_direction=np.empty((K, n), dtype=np.int8),
+        wait_slope=np.empty((K, n)),
+        wait_trend_significant=np.empty((K, n), dtype=bool),
+        wait_agreement=np.empty((K, n)),
+        wait_direction=np.empty((K, n), dtype=np.int8),
+        rho=np.empty((K, n)),
+        corr_n_points=np.empty((K, n), dtype=np.int64),
+    )
+
+
 class VectorizedTelemetry:
     """Fleet-wide signal windows as ring matrices with one shared cursor.
 
@@ -229,6 +287,15 @@ class VectorizedTelemetry:
     Unwritten slots hold NaN, which the batched kernels drop exactly like
     the scalar paths drop absent samples — so a cold window needs no
     special-casing either.
+
+    Memory tiering: ``dtype`` selects the ring storage precision.  The
+    default float64 keeps the byte-identity contract with the scalar
+    path; float32 halves ring RSS under the module-level tolerance
+    contract (values are promoted to float64 inside every batched
+    kernel).  ``tile`` bounds signal extraction to ``tile`` tenants at a
+    time through persistent preallocated scratch, so the transient
+    working set scales with the tile rather than the fleet — tiling is
+    row-independent and therefore byte-identical to the untiled sweep.
     """
 
     def __init__(
@@ -236,25 +303,55 @@ class VectorizedTelemetry:
         n_tenants: int,
         thresholds: ThresholdConfig,
         goal: LatencyGoal | None = None,
+        *,
+        dtype: str | np.dtype = np.float64,
+        tile: int | None = None,
     ) -> None:
         if n_tenants < 1:
             raise ValueError("n_tenants must be >= 1")
+        self._dtype = np.dtype(dtype)
+        if self._dtype.kind != "f":
+            raise ConfigurationError(
+                f"telemetry ring dtype must be floating, got {self._dtype}"
+            )
+        if tile is not None and tile < 1:
+            raise ConfigurationError("tile must be >= 1 (or None)")
+        self._tile = tile
         self.n_tenants = n_tenants
         self.thresholds = thresholds
         self.goal = goal
         window = thresholds.signal_window
         self._window = window
         self._smooth = min(thresholds.smooth_intervals, window)
-        self._t = np.full(window, np.nan)  # one shared interval clock
-        self._lat = np.full((n_tenants, window), np.nan)
-        self._util = np.full((K, n_tenants, window), np.nan)
-        self._wait = np.full((K, n_tenants, window), np.nan)
-        self._wpct = np.full((K, n_tenants, window), np.nan)
+        dt = self._dtype
+        self._t = np.full(window, np.nan, dtype=dt)  # one shared clock
+        self._lat = np.full((n_tenants, window), np.nan, dtype=dt)
+        self._util = np.full((K, n_tenants, window), np.nan, dtype=dt)
+        self._wait = np.full((K, n_tenants, window), np.nan, dtype=dt)
+        self._wpct = np.full((K, n_tenants, window), np.nan, dtype=dt)
         self._cursor = 0
         self._count = 0
         cuts = [thresholds.wait_thresholds[kind] for kind in SCALABLE_KINDS]
         self._wait_low = np.array([c.low_ms for c in cuts])[:, None]
         self._wait_high = np.array([c.high_ms for c in cuts])[:, None]
+        # Persistent per-tile scratch, keyed by (name, shape): allocated
+        # on first use, reused every interval thereafter.  At most two
+        # shapes per name ever exist (the full tile and the trailing
+        # partial one), so the pool is bounded and the per-interval
+        # np.empty churn on the signal hot path disappears.
+        self._scratch: dict[tuple, np.ndarray] = {}
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._dtype
+
+    def _buf(self, name: str, shape: tuple[int, ...]) -> np.ndarray:
+        key = (name,) + shape
+        buf = self._scratch.get(key)
+        if buf is None:
+            buf = np.empty(shape, dtype=self._dtype)
+            self._scratch[key] = buf
+        return buf
 
     def __len__(self) -> int:
         return min(self._count, self._window)
@@ -295,6 +392,7 @@ class VectorizedTelemetry:
             "n_tenants": self.n_tenants,
             "window": self._window,
             "smooth": self._smooth,
+            "dtype": str(self._dtype),
             "t": self._t.copy(),
             "lat": self._lat.copy(),
             "util": self._util.copy(),
@@ -316,11 +414,20 @@ class VectorizedTelemetry:
                 f"S={state['smooth']}) does not match this engine "
                 f"(T={self.n_tenants}, W={self._window}, S={self._smooth})"
             )
-        self._t = np.asarray(state["t"], dtype=float).copy()
-        self._lat = np.asarray(state["lat"], dtype=float).copy()
-        self._util = np.asarray(state["util"], dtype=float).copy()
-        self._wait = np.asarray(state["wait"], dtype=float).copy()
-        self._wpct = np.asarray(state["wpct"], dtype=float).copy()
+        # Pre-tiering checkpoints carry no dtype key: they were float64.
+        dtype = str(state.get("dtype", "float64"))
+        if dtype != str(self._dtype):
+            raise ConfigurationError(
+                f"fleet telemetry checkpoint dtype {dtype} does not match "
+                f"this engine ({self._dtype}); rebuild the engine with "
+                "the checkpoint's dtype"
+            )
+        dt = self._dtype
+        self._t = np.asarray(state["t"], dtype=dt).copy()
+        self._lat = np.asarray(state["lat"], dtype=dt).copy()
+        self._util = np.asarray(state["util"], dtype=dt).copy()
+        self._wait = np.asarray(state["wait"], dtype=dt).copy()
+        self._wpct = np.asarray(state["wpct"], dtype=dt).copy()
         self._cursor = int(state["cursor"])
         self._count = int(state["count"])
 
@@ -335,70 +442,122 @@ class VectorizedTelemetry:
         return (self._cursor - 1 - np.arange(k)) % self._window
 
     def signals(self) -> FleetSignals:
-        """The categorized fleet signal set for the current interval."""
+        """The categorized fleet signal set for the current interval.
+
+        Tenants are processed in tiles of ``tile`` rows (the whole fleet
+        when unset); every batched kernel is row-independent, so the tile
+        boundaries cannot change any value.
+        """
         if self._count == 0:
             raise InsufficientDataError(
                 "no telemetry observed yet: observe() at least one interval "
                 "before requesting signals()"
             )
-        cfg = self.thresholds
         n = self.n_tenants
+        out = _empty_fleet_signals(n)
+        tile = self._tile if self._tile is not None else n
+        for lo in range(0, n, tile):
+            self._signals_into(out, lo, min(lo + tile, n))
+        return out
+
+    def _signals_into(self, out: FleetSignals, lo: int, hi: int) -> None:
+        """Fill ``out[..., lo:hi]`` from the ring slice ``[lo, hi)``."""
+        cfg = self.thresholds
+        m = hi - lo
+        lat = self._lat[lo:hi]
+        util = self._util[:, lo:hi, :]
+        wait = self._wait[:, lo:hi, :]
+        wpct = self._wpct[:, lo:hi, :]
 
         # Trends: one kernel call for latency + K utilization + K wait
         # series, over the trend sub-window.
         tcols = self._tail_cols(cfg.trend_window)
         x = self._t[tcols]
-        stack = np.empty((1 + 2 * K, n, tcols.size))
-        stack[0] = self._lat[:, tcols]
-        stack[1 : 1 + K] = self._util[:, :, tcols]
-        stack[1 + K :] = self._wait[:, :, tcols]
+        stack = self._buf("trend", (1 + 2 * K, m, tcols.size))
+        np.take(lat, tcols, axis=1, out=stack[0])
+        np.take(util, tcols, axis=2, out=stack[1 : 1 + K])
+        np.take(wait, tcols, axis=2, out=stack[1 + K :])
         trend = batched_detect_trend(
             x, stack.reshape(-1, tcols.size), alpha=cfg.trend_alpha
         )
-        slope = trend.slope.reshape(1 + 2 * K, n)
-        sig = trend.significant.reshape(1 + 2 * K, n)
-        agree = trend.agreement.reshape(1 + 2 * K, n)
-        npts = trend.n_points.reshape(1 + 2 * K, n)
+        slope = trend.slope.reshape(1 + 2 * K, m)
+        sig = trend.significant.reshape(1 + 2 * K, m)
+        agree = trend.agreement.reshape(1 + 2 * K, m)
+        npts = trend.n_points.reshape(1 + 2 * K, m)
         # TrendResult.direction: sign of the slope iff significant.
         direction = np.where(sig, _sign8(slope), np.int8(0)).astype(np.int8)
+        out.lat_slope[lo:hi] = slope[0]
+        out.lat_significant[lo:hi] = sig[0]
+        out.lat_agreement[lo:hi] = agree[0]
+        out.lat_n_points[lo:hi] = npts[0]
+        out.lat_direction[lo:hi] = direction[0]
+        out.util_slope[:, lo:hi] = slope[1 : 1 + K]
+        out.util_significant[:, lo:hi] = sig[1 : 1 + K]
+        out.util_agreement[:, lo:hi] = agree[1 : 1 + K]
+        out.util_direction[:, lo:hi] = direction[1 : 1 + K]
+        out.wait_slope[:, lo:hi] = slope[1 + K :]
+        out.wait_trend_significant[:, lo:hi] = sig[1 + K :]
+        out.wait_agreement[:, lo:hi] = agree[1 + K :]
+        out.wait_direction[:, lo:hi] = direction[1 + K :]
 
         # Correlation: latency vs each resource's waits over the full
         # window (order-invariant; non-finite pairs drop per row).
-        lat_rep = np.broadcast_to(
-            self._lat, (K, n, self._window)
-        ).reshape(-1, self._window)
-        corr = batched_spearman(lat_rep, self._wait.reshape(-1, self._window))
-        rho = corr.rho.reshape(K, n)
-        corr_n = corr.n_points.reshape(K, n)
+        lat_rep = self._buf("lat_rep", (K, m, self._window))
+        lat_rep[:] = lat
+        wait_rows = self._buf("wait_rows", (K, m, self._window))
+        wait_rows[:] = wait
+        corr = batched_spearman(
+            lat_rep.reshape(-1, self._window),
+            wait_rows.reshape(-1, self._window),
+        )
+        out.rho[:, lo:hi] = corr.rho.reshape(K, m)
+        out.corr_n_points[:, lo:hi] = corr.n_points.reshape(K, m)
 
         # Smoothed "current" values: tail medians (defaults: latency NaN,
         # resources 0.0 — the scalar TailMedian defaults).
         scols = self._tail_cols(self._smooth)
-        latency_ms = batched_tail_median(
-            self._lat[:, scols], scols.size, default=np.nan
+        lat_tail = self._buf("lat_tail", (m, scols.size))
+        np.take(lat, scols, axis=1, out=lat_tail)
+        out.latency_ms[lo:hi] = batched_tail_median(
+            lat_tail, scols.size, default=np.nan
         )
-        res_stack = np.empty((3 * K, n, scols.size))
-        res_stack[:K] = self._util[:, :, scols]
-        res_stack[K : 2 * K] = self._wait[:, :, scols]
-        res_stack[2 * K :] = self._wpct[:, :, scols]
+        res_stack = self._buf("smooth", (3 * K, m, scols.size))
+        np.take(util, scols, axis=2, out=res_stack[:K])
+        np.take(wait, scols, axis=2, out=res_stack[K : 2 * K])
+        np.take(wpct, scols, axis=2, out=res_stack[2 * K :])
         smoothed = batched_tail_median(
             res_stack.reshape(-1, scols.size), scols.size, default=0.0
-        ).reshape(3 * K, n)
-        util_s, wait_s, wpct_s = smoothed[:K], smoothed[K : 2 * K], smoothed[2 * K :]
+        ).reshape(3 * K, m)
+        self._categorize_into(out, lo, hi, smoothed)
 
-        util_level = (
+    def _categorize_into(
+        self, out: FleetSignals, lo: int, hi: int, smoothed: np.ndarray
+    ) -> None:
+        """Threshold the smoothed medians into levels/status for a tile."""
+        cfg = self.thresholds
+        util_s, wait_s, wpct_s = (
+            smoothed[:K],
+            smoothed[K : 2 * K],
+            smoothed[2 * K :],
+        )
+        out.util_pct[:, lo:hi] = util_s
+        out.wait_ms[:, lo:hi] = wait_s
+        out.wait_pct[:, lo:hi] = wpct_s
+        out.util_level[:, lo:hi] = (
             (util_s >= cfg.util_low_pct).astype(np.int8)
             + (util_s >= cfg.util_high_pct)
         ).astype(np.int8)
-        wait_level = (
-            (wait_s >= self._wait_low).astype(np.int8) + (wait_s >= self._wait_high)
+        out.wait_level[:, lo:hi] = (
+            (wait_s >= self._wait_low).astype(np.int8)
+            + (wait_s >= self._wait_high)
         ).astype(np.int8)
-        wait_significant = wpct_s >= cfg.wait_pct_significant
+        out.wait_significant[:, lo:hi] = wpct_s >= cfg.wait_pct_significant
 
+        latency_ms = out.latency_ms[lo:hi]
         if self.goal is None:
-            status = np.full(n, LAT_UNKNOWN, dtype=np.int8)
+            out.latency_status[lo:hi] = np.int8(LAT_UNKNOWN)
         else:
-            status = np.where(
+            out.latency_status[lo:hi] = np.where(
                 np.isnan(latency_ms),
                 np.int8(LAT_UNKNOWN),
                 np.where(
@@ -407,32 +566,6 @@ class VectorizedTelemetry:
                     np.int8(LAT_BAD),
                 ),
             ).astype(np.int8)
-
-        return FleetSignals(
-            latency_ms=latency_ms,
-            latency_status=status,
-            lat_slope=slope[0],
-            lat_significant=sig[0],
-            lat_agreement=agree[0],
-            lat_n_points=npts[0],
-            lat_direction=direction[0],
-            util_pct=util_s,
-            util_level=util_level,
-            wait_ms=wait_s,
-            wait_level=wait_level,
-            wait_pct=wpct_s,
-            wait_significant=wait_significant,
-            util_slope=slope[1 : 1 + K],
-            util_significant=sig[1 : 1 + K],
-            util_agreement=agree[1 : 1 + K],
-            util_direction=direction[1 : 1 + K],
-            wait_slope=slope[1 + K :],
-            wait_trend_significant=sig[1 + K :],
-            wait_agreement=agree[1 + K :],
-            wait_direction=direction[1 + K :],
-            rho=rho,
-            corr_n_points=corr_n,
-        )
 
 
 class MaskedVectorizedTelemetry(VectorizedTelemetry):
@@ -458,9 +591,12 @@ class MaskedVectorizedTelemetry(VectorizedTelemetry):
         n_tenants: int,
         thresholds: ThresholdConfig,
         goal: LatencyGoal | None = None,
+        *,
+        dtype: str | np.dtype = np.float64,
+        tile: int | None = None,
     ) -> None:
-        super().__init__(n_tenants, thresholds, goal)
-        self._t = np.full((n_tenants, self._window), np.nan)
+        super().__init__(n_tenants, thresholds, goal, dtype=dtype, tile=tile)
+        self._t = np.full((n_tenants, self._window), np.nan, dtype=self._dtype)
         self._cursor_rows = np.zeros(n_tenants, dtype=np.int64)
         self._count_rows = np.zeros(n_tenants, dtype=np.int64)
 
@@ -528,102 +664,85 @@ class MaskedVectorizedTelemetry(VectorizedTelemetry):
 
         Every row must have at least one observed sample (in the degraded
         sweep only tenants whose delivery was *admitted* this interval
-        reach the full decision body, which guarantees it).
+        reach the full decision body, which guarantees it).  Rows are
+        processed in tiles of ``tile`` (all at once when unset); every
+        kernel is row-independent so tiling cannot change a value.
         """
-        cfg = self.thresholds
         n = rows.size
+        out = _empty_fleet_signals(n)
+        tile = self._tile if self._tile is not None else max(n, 1)
+        for lo in range(0, n, tile):
+            self._signals_rows_into(out, rows[lo : min(lo + tile, n)], lo)
+        return out
+
+    def _signals_rows_into(
+        self, out: FleetSignals, rows: np.ndarray, lo: int
+    ) -> None:
+        """Fill ``out[..., lo:lo+len(rows)]`` for one tile of rows."""
+        cfg = self.thresholds
+        m = rows.size
+        hi = lo + m
         window = self._window
 
         tcols = self._tail_cols_rows(rows, cfg.trend_window)
         tw = tcols.shape[1]
-        lat_sub = self._lat[rows]  # (n, W)
-        util_sub = self._util[:, rows, :]  # (K, n, W)
+        lat_sub = self._lat[rows]  # (m, W)
+        util_sub = self._util[:, rows, :]  # (K, m, W)
         wait_sub = self._wait[:, rows, :]
         wpct_sub = self._wpct[:, rows, :]
 
-        x = np.take_along_axis(self._t[rows], tcols, axis=1)  # (n, tw)
-        cols3 = np.broadcast_to(tcols, (K, n, tw))
-        stack = np.empty((1 + 2 * K, n, tw))
+        x = np.take_along_axis(self._t[rows], tcols, axis=1)  # (m, tw)
+        cols3 = np.broadcast_to(tcols, (K, m, tw))
+        stack = self._buf("rows_trend", (1 + 2 * K, m, tw))
         stack[0] = np.take_along_axis(lat_sub, tcols, axis=1)
         stack[1 : 1 + K] = np.take_along_axis(util_sub, cols3, axis=2)
         stack[1 + K :] = np.take_along_axis(wait_sub, cols3, axis=2)
-        x_rep = np.broadcast_to(x, (1 + 2 * K, n, tw)).reshape(-1, tw)
+        x_rep = self._buf("rows_x_rep", (1 + 2 * K, m, tw))
+        x_rep[:] = x
         trend = batched_detect_trend(
-            x_rep, stack.reshape(-1, tw), alpha=cfg.trend_alpha
+            x_rep.reshape(-1, tw), stack.reshape(-1, tw), alpha=cfg.trend_alpha
         )
-        slope = trend.slope.reshape(1 + 2 * K, n)
-        sig = trend.significant.reshape(1 + 2 * K, n)
-        agree = trend.agreement.reshape(1 + 2 * K, n)
-        npts = trend.n_points.reshape(1 + 2 * K, n)
+        slope = trend.slope.reshape(1 + 2 * K, m)
+        sig = trend.significant.reshape(1 + 2 * K, m)
+        agree = trend.agreement.reshape(1 + 2 * K, m)
+        npts = trend.n_points.reshape(1 + 2 * K, m)
         direction = np.where(sig, _sign8(slope), np.int8(0)).astype(np.int8)
+        out.lat_slope[lo:hi] = slope[0]
+        out.lat_significant[lo:hi] = sig[0]
+        out.lat_agreement[lo:hi] = agree[0]
+        out.lat_n_points[lo:hi] = npts[0]
+        out.lat_direction[lo:hi] = direction[0]
+        out.util_slope[:, lo:hi] = slope[1 : 1 + K]
+        out.util_significant[:, lo:hi] = sig[1 : 1 + K]
+        out.util_agreement[:, lo:hi] = agree[1 : 1 + K]
+        out.util_direction[:, lo:hi] = direction[1 : 1 + K]
+        out.wait_slope[:, lo:hi] = slope[1 + K :]
+        out.wait_trend_significant[:, lo:hi] = sig[1 + K :]
+        out.wait_agreement[:, lo:hi] = agree[1 + K :]
+        out.wait_direction[:, lo:hi] = direction[1 + K :]
 
-        lat_rep = np.broadcast_to(lat_sub, (K, n, window)).reshape(-1, window)
-        corr = batched_spearman(lat_rep, wait_sub.reshape(-1, window))
-        rho = corr.rho.reshape(K, n)
-        corr_n = corr.n_points.reshape(K, n)
+        lat_rep = self._buf("rows_lat_rep", (K, m, window))
+        lat_rep[:] = lat_sub
+        corr = batched_spearman(
+            lat_rep.reshape(-1, window), wait_sub.reshape(-1, window)
+        )
+        out.rho[:, lo:hi] = corr.rho.reshape(K, m)
+        out.corr_n_points[:, lo:hi] = corr.n_points.reshape(K, m)
 
         scols = self._tail_cols_rows(rows, self._smooth)
         sw = scols.shape[1]
-        latency_ms = batched_tail_median(
+        out.latency_ms[lo:hi] = batched_tail_median(
             np.take_along_axis(lat_sub, scols, axis=1), sw, default=np.nan
         )
-        scols3 = np.broadcast_to(scols, (K, n, sw))
-        res_stack = np.empty((3 * K, n, sw))
+        scols3 = np.broadcast_to(scols, (K, m, sw))
+        res_stack = self._buf("rows_smooth", (3 * K, m, sw))
         res_stack[:K] = np.take_along_axis(util_sub, scols3, axis=2)
         res_stack[K : 2 * K] = np.take_along_axis(wait_sub, scols3, axis=2)
         res_stack[2 * K :] = np.take_along_axis(wpct_sub, scols3, axis=2)
         smoothed = batched_tail_median(
             res_stack.reshape(-1, sw), sw, default=0.0
-        ).reshape(3 * K, n)
-        util_s, wait_s, wpct_s = smoothed[:K], smoothed[K : 2 * K], smoothed[2 * K :]
-
-        util_level = (
-            (util_s >= cfg.util_low_pct).astype(np.int8)
-            + (util_s >= cfg.util_high_pct)
-        ).astype(np.int8)
-        wait_level = (
-            (wait_s >= self._wait_low).astype(np.int8) + (wait_s >= self._wait_high)
-        ).astype(np.int8)
-        wait_significant = wpct_s >= cfg.wait_pct_significant
-
-        if self.goal is None:
-            status = np.full(n, LAT_UNKNOWN, dtype=np.int8)
-        else:
-            status = np.where(
-                np.isnan(latency_ms),
-                np.int8(LAT_UNKNOWN),
-                np.where(
-                    latency_ms <= self.goal.target_ms,
-                    np.int8(LAT_GOOD),
-                    np.int8(LAT_BAD),
-                ),
-            ).astype(np.int8)
-
-        return FleetSignals(
-            latency_ms=latency_ms,
-            latency_status=status,
-            lat_slope=slope[0],
-            lat_significant=sig[0],
-            lat_agreement=agree[0],
-            lat_n_points=npts[0],
-            lat_direction=direction[0],
-            util_pct=util_s,
-            util_level=util_level,
-            wait_ms=wait_s,
-            wait_level=wait_level,
-            wait_pct=wpct_s,
-            wait_significant=wait_significant,
-            util_slope=slope[1 : 1 + K],
-            util_significant=sig[1 : 1 + K],
-            util_agreement=agree[1 : 1 + K],
-            util_direction=direction[1 : 1 + K],
-            wait_slope=slope[1 + K :],
-            wait_trend_significant=sig[1 + K :],
-            wait_agreement=agree[1 + K :],
-            wait_direction=direction[1 + K :],
-            rho=rho,
-            corr_n_points=corr_n,
-        )
+        ).reshape(3 * K, m)
+        self._categorize_into(out, lo, hi, smoothed)
 
     # -- checkpointing -----------------------------------------------------
 
@@ -790,6 +909,8 @@ class VectorizedAutoScaler:
         damper: OscillationDamper | None = None,
         record_actions: bool = True,
         clock: Callable[[], float] | None = None,
+        dtype: str | np.dtype = np.float64,
+        tile: int | None = None,
     ) -> None:
         if len(catalog) != catalog.num_levels:
             raise CatalogError(
@@ -836,8 +957,30 @@ class VectorizedAutoScaler:
         if np.any((self.level < 0) | (self.level >= self._n_levels)):
             raise CatalogError("initial_level outside the catalog")
 
-        self.telemetry = VectorizedTelemetry(n_tenants, self.thresholds, goal)
+        self.telemetry = VectorizedTelemetry(
+            n_tenants, self.thresholds, goal, dtype=dtype, tile=tile
+        )
+        self._dtype = self.telemetry.dtype
+        self._tile = tile
         self._init_budget(budget)
+
+        #: Cumulative actuation tally, updated on every decide_batch.  The
+        #: closed-loop sweep reads this to prove the controller actually
+        #: resized/ballooned rather than estimating in a vacuum.
+        self.action_counts: dict[str, int] = {
+            "intervals": 0,
+            "resizes": 0,
+            "scale_up": 0,
+            "scale_down": 0,
+            "hold_latency": 0,
+            "up_clipped": 0,
+            "probe_started": 0,
+            "balloon_aborted": 0,
+            "balloon_confirmed": 0,
+            "damper_suppressed": 0,
+            "budget_forced": 0,
+            "damper_tripped": 0,
+        }
 
         # Balloon state machine, struct-of-arrays (NaN == scalar None).
         self._b_phase = np.zeros(n_tenants, dtype=np.int8)
@@ -850,7 +993,7 @@ class VectorizedAutoScaler:
 
         self._low_streak = np.zeros(n_tenants, dtype=np.int64)
         window = self.thresholds.signal_window
-        self._disk_reads = np.full((n_tenants, window), np.nan)
+        self._disk_reads = np.full((n_tenants, window), np.nan, dtype=self._dtype)
         self._disk_cursor = 0
 
         self._damper = damper
@@ -941,6 +1084,8 @@ class VectorizedAutoScaler:
         state = {
             "n_tenants": self.n_tenants,
             "n_levels": self._n_levels,
+            "dtype": str(self._dtype),
+            "action_counts": dict(self.action_counts),
             "level": self.level.copy(),
             "budget": {
                 "tokens": self._tokens.copy(),
@@ -991,6 +1136,16 @@ class VectorizedAutoScaler:
             raise ConfigurationError(
                 "damper presence mismatch between checkpoint and live engine"
             )
+        ckpt_dtype = str(state.get("dtype", "float64"))
+        if ckpt_dtype != str(self._dtype):
+            raise ConfigurationError(
+                f"fleet checkpoint ring dtype {ckpt_dtype} does not match "
+                f"this engine's {self._dtype}; rebuild the engine with the "
+                "checkpoint's dtype"
+            )
+        counts = state.get("action_counts")
+        if counts is not None:
+            self.action_counts = {k: int(v) for k, v in counts.items()}
         self.level = np.asarray(state["level"], dtype=np.int64).copy()
         budget = state["budget"]
         self._tokens = np.asarray(budget["tokens"], dtype=float).copy()
@@ -1016,7 +1171,9 @@ class VectorizedAutoScaler:
         self._low_streak = np.asarray(
             state["low_streak"], dtype=np.int64
         ).copy()
-        self._disk_reads = np.asarray(state["disk_reads"], dtype=float).copy()
+        self._disk_reads = np.asarray(
+            state["disk_reads"], dtype=self._dtype
+        ).copy()
         self._disk_cursor = int(state["disk_cursor"])
         self.telemetry.load_state_dict(state["telemetry"])
         self.metrics.load_state_dict(state["metrics"])
@@ -1158,6 +1315,20 @@ class VectorizedAutoScaler:
             self.balloon_limit_gb[resized] = np.nan
             self._low_streak[resized] = 0
         self.level = target
+
+        c = self.action_counts
+        c["intervals"] += 1
+        c["resizes"] += int(np.count_nonzero(resized))
+        c["scale_up"] += int(np.count_nonzero(resized & (target > previous)))
+        c["scale_down"] += int(np.count_nonzero(resized & (target < previous)))
+        c["hold_latency"] += int(np.count_nonzero(hold_help))
+        c["up_clipped"] += int(np.count_nonzero(up_clipped))
+        c["probe_started"] += int(np.count_nonzero(probe_started))
+        c["balloon_aborted"] += int(np.count_nonzero(balloon_aborted))
+        c["balloon_confirmed"] += int(np.count_nonzero(balloon_confirmed))
+        c["damper_suppressed"] += int(np.count_nonzero(suppressed))
+        c["budget_forced"] += int(np.count_nonzero(budget_forced))
+        c["damper_tripped"] += int(np.count_nonzero(tripped))
 
         actions = None
         if self._record_actions:
@@ -1748,6 +1919,183 @@ def synthesize_fleet_telemetry(
     )
 
 
+class ClosedLoopFleetSynthesizer:
+    """Incremental synthetic fleet whose telemetry reacts to actuation.
+
+    The open-loop generator above replays fixed streams, so a benchmark
+    built on it never pays for scale-up searches, budget settlement with
+    spend, or balloon probes — the controller estimates in a vacuum.
+    This synthesizer closes the loop: each interval's telemetry is a
+    function of each tenant's *current* container level (and balloon
+    limit), so under-provisioned tenants show saturation and high waits
+    until the controller scales them up, over-provisioned tenants go
+    quiet until it scales them down, cache-heavy tenants trigger balloon
+    probes, and IO-bound tenants answer a squeeze with a read storm that
+    aborts the probe.
+
+    The model per tenant: a latent per-resource demand (drawn around a
+    "right-size" catalog level) times a periodic busy multiplier and
+    per-interval noise.  With ``x = demand / allocation``:
+
+    - ``util = 100 * min(x, 1)`` — saturates exactly when demand exceeds
+      the container;
+    - ``wait = high_cut * clip(x, 0, 3)^3`` — crosses the HIGH wait cut
+      exactly at ``x = 1`` and collapses cubically once over-provisioned;
+    - latency is a quiet base (18–42 ms, comfortably inside the MEDIUM
+      scale-down margin of a 100 ms goal) inflated by overload.
+
+    Every random draw is made at full fleet width and sliced to
+    ``[lo, hi)``, so a shard sees byte-for-byte the rows an unsharded
+    run would — the property the sharded-sweep parity test pins.  The
+    generator is stateless across intervals given ``(i, level,
+    balloon_limit_gb)``; checkpoints therefore need no RNG state.
+    """
+
+    #: Fraction of tenants that keep their cache full regardless of level
+    #: (these trigger balloon probes on the way down).
+    CACHE_HEAVY_FRACTION = 0.35
+    #: Of all tenants, the fraction whose working set is IO-backed: when a
+    #: balloon squeeze cuts into their cache they respond with a read
+    #: storm and disk pressure, aborting the probe.
+    IO_SPIKY_FRACTION = 0.5
+
+    def __init__(
+        self,
+        n_total: int,
+        catalog: ContainerCatalog,
+        seed: int = 7,
+        *,
+        thresholds: ThresholdConfig | None = None,
+        idle_fraction: float = 0.02,
+        lo: int = 0,
+        hi: int | None = None,
+    ) -> None:
+        if n_total < 1:
+            raise ValueError("n_total must be >= 1")
+        hi = n_total if hi is None else hi
+        if not 0 <= lo < hi <= n_total:
+            raise ValueError(
+                f"need 0 <= lo < hi <= n_total, got [{lo}, {hi}) of {n_total}"
+            )
+        self.n_total = n_total
+        self.lo = lo
+        self.hi = hi
+        self.seed = int(seed)
+        self.idle_fraction = float(idle_fraction)
+        cfg = thresholds or default_thresholds()
+
+        levels = [catalog.at_level(i) for i in range(catalog.num_levels)]
+        self._res = np.array(
+            [[c.resources.get(kind) for c in levels] for kind in SCALABLE_KINDS]
+        )
+        mem = self._res[_MEM]
+        self._usable_cache = np.array([usable_cache_gb(m) for m in mem])
+        self._overhead = np.array([engine_overhead_gb(m) for m in mem])
+        self._wait_high = np.array(
+            [cfg.wait_thresholds[kind].high_ms for kind in SCALABLE_KINDS]
+        )[:, None]
+
+        n_levels = len(levels)
+        rng = np.random.default_rng([self.seed, 0xF1EE7])
+        if n_levels > 2:
+            star = rng.integers(1, n_levels - 1, n_total)
+        else:
+            star = rng.integers(0, n_levels, n_total)
+        sl = slice(lo, hi)
+        self._demand_base = (
+            self._res[:, star] * rng.uniform(0.45, 0.80, (K, n_total))
+        )[:, sl]
+        period = rng.integers(10, 26, n_total)
+        self._period = period[sl]
+        self._busy_len = rng.integers(3, 7, n_total)[sl]
+        self._phase = (rng.integers(0, 1 << 30, n_total) % period)[sl]
+        self._peak = rng.uniform(2.2, 4.0, n_total)[sl]
+        self._cache_heavy = (rng.random(n_total) < self.CACHE_HEAVY_FRACTION)[sl]
+        self._cache_fill = rng.uniform(0.90, 1.0, n_total)[sl]
+        self._io_spiky = (rng.random(n_total) < self.IO_SPIKY_FRACTION)[sl]
+        self._base_latency = rng.uniform(18.0, 42.0, n_total)[sl]
+        self._base_reads = rng.uniform(20.0, 200.0, n_total)[sl]
+
+    @property
+    def n_tenants(self) -> int:
+        return self.hi - self.lo
+
+    def interval(
+        self,
+        i: int,
+        level: np.ndarray,
+        balloon_limit_gb: np.ndarray | None = None,
+    ) -> dict[str, np.ndarray]:
+        """One interval's telemetry, reacting to the current allocations.
+
+        Returns the keyword arrays :meth:`VectorizedAutoScaler.decide_batch`
+        consumes (latency/memory/disk are ``(n,)``, per-resource arrays
+        ``(K, n)``).
+        """
+        rng = np.random.default_rng([self.seed, int(i) + 1])
+        sl = slice(self.lo, self.hi)
+        noise = rng.uniform(0.88, 1.12, (K, self.n_total))[:, sl]
+        lat_noise = rng.uniform(0.92, 1.18, self.n_total)[sl]
+        idle = (rng.random(self.n_total) < self.idle_fraction)[sl]
+        read_noise = rng.uniform(0.7, 1.4, self.n_total)[sl]
+
+        level = np.asarray(level, dtype=np.int64)
+        busy = ((int(i) + self._phase) % self._period) < self._busy_len
+        mult = np.where(busy, self._peak, 1.0)
+        demand = self._demand_base * (mult * noise)
+        alloc = self._res[:, level]
+        x = demand / alloc
+        util = 100.0 * np.minimum(x, 1.0)
+        wait_ms = self._wait_high * np.clip(x, 0.0, 3.0) ** 3
+        wait_pct = 100.0 * wait_ms / (wait_ms.sum(axis=0) + 3000.0)
+
+        overload = np.maximum(x - 0.9, 0.0).sum(axis=0)
+        latency = self._base_latency * lat_noise * (1.0 + 4.0 * overload)
+        latency = np.where(idle, np.nan, latency)
+
+        usable = self._usable_cache[level]
+        overhead = self._overhead[level]
+        cached = np.where(
+            self._cache_heavy,
+            self._cache_fill * usable,
+            np.minimum(x[_MEM], 1.0) * 0.4 * usable,
+        )
+        disk_reads = self._base_reads * read_noise
+        if balloon_limit_gb is not None:
+            limit = np.asarray(balloon_limit_gb, dtype=float)
+            with np.errstate(invalid="ignore"):
+                squeezed = np.isfinite(limit) & (limit - overhead < cached)
+            spike = squeezed & self._io_spiky
+            # Cooperative tenants release cache down to the limit;
+            # IO-bound ones answer the squeeze with a read storm.
+            cached = np.where(
+                squeezed, np.maximum(limit - overhead, 0.0), cached
+            )
+            disk_reads = np.where(spike, self._base_reads * 25.0, disk_reads)
+            util[_DISK] = np.where(
+                spike, np.maximum(util[_DISK], 96.0), util[_DISK]
+            )
+        return {
+            "latency_ms": latency,
+            "util_pct": util,
+            "wait_ms": wait_ms,
+            "wait_pct": wait_pct,
+            "memory_used_gb": overhead + cached,
+            "disk_physical_reads": disk_reads,
+        }
+
+
+def _peak_rss_gb() -> float:
+    """This process's high-water RSS in GB (ru_maxrss: KB on Linux)."""
+    import resource
+    import sys
+
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return rss / (1024.0**3)
+    return rss / (1024.0**2)
+
+
 def run_synthetic_sweep(
     n_tenants: int,
     n_intervals: int,
@@ -1760,21 +2108,52 @@ def run_synthetic_sweep(
     telemetry: FleetTelemetryArrays | None = None,
     recorder=None,
     clock: Callable[[], float] | None = None,
+    closed_loop: bool = False,
+    dtype: str | np.dtype = np.float64,
+    tile: int | None = None,
+    lo: int = 0,
+    n_total: int | None = None,
 ) -> dict:
     """Time a vectorized fleet sweep over seeded synthetic telemetry.
 
     Returns per-interval wall-clock (the acceptance metric for the
-    100k-tenant sweep) plus a decision digest so results are comparable
-    across runs.  ``recorder`` optionally attaches a columnar trace
-    recorder (see :mod:`repro.obs.fleet`) — the configuration the
+    100k/1M-tenant sweeps) plus a decision digest so results are
+    comparable across runs.  ``recorder`` optionally attaches a columnar
+    trace recorder (see :mod:`repro.obs.fleet`) — the configuration the
     observability overhead benchmark times; ``clock`` enables the
     per-stage timing histograms.
+
+    ``closed_loop=True`` swaps the pre-built open-loop streams for the
+    :class:`ClosedLoopFleetSynthesizer`, whose telemetry reacts to the
+    controller's own levels and balloon limits — this is the mode that
+    exercises actuation (resizes, budget spend, balloon transitions).
+    Generation is excluded from the timed window either way; only
+    ``decide_batch`` is measured.  ``dtype``/``tile`` configure the
+    engine's telemetry rings (see :class:`VectorizedTelemetry`).
+    ``lo``/``n_total`` place this engine at rows ``[lo, lo+n_tenants)``
+    of an ``n_total``-wide closed-loop fleet, which is how the sharded
+    sweep keeps shard telemetry identical to an unsharded run.
     """
     from repro.engine.containers import default_catalog
 
     catalog = catalog or default_catalog()
-    data = telemetry or synthesize_fleet_telemetry(n_tenants, n_intervals, seed)
     goal = LatencyGoal(goal_ms) if goal_ms is not None else None
+    synth = None
+    data = telemetry
+    if closed_loop:
+        if telemetry is not None:
+            raise ValueError("closed_loop generates its own telemetry")
+        total = n_total if n_total is not None else lo + n_tenants
+        synth = ClosedLoopFleetSynthesizer(
+            total,
+            catalog,
+            seed,
+            thresholds=thresholds,
+            lo=lo,
+            hi=lo + n_tenants,
+        )
+    elif data is None:
+        data = synthesize_fleet_telemetry(n_tenants, n_intervals, seed)
     scaler = VectorizedAutoScaler(
         catalog,
         n_tenants,
@@ -1782,43 +2161,202 @@ def run_synthetic_sweep(
         thresholds=thresholds,
         record_actions=record_actions,
         clock=clock,
+        dtype=dtype,
+        tile=tile,
     )
     if recorder is not None:
         scaler.attach_recorder(recorder)
     per_interval = []
     resizes = 0
     for i in range(n_intervals):
+        if synth is not None:
+            fields = synth.interval(i, scaler.level, scaler.balloon_limit_gb)
+        else:
+            fields = {
+                "latency_ms": data.latency_ms[i],
+                "util_pct": data.util_pct[i],
+                "wait_ms": data.wait_ms[i],
+                "wait_pct": data.wait_pct[i],
+                "memory_used_gb": data.memory_used_gb[i],
+                "disk_physical_reads": data.disk_physical_reads[i],
+            }
         start = time.perf_counter()
-        decision = scaler.decide_batch(
-            float(i),
-            data.latency_ms[i],
-            data.util_pct[i],
-            data.wait_ms[i],
-            data.wait_pct[i],
-            data.memory_used_gb[i],
-            data.disk_physical_reads[i],
-        )
+        decision = scaler.decide_batch(float(i), **fields)
         per_interval.append(time.perf_counter() - start)
         resizes += int(np.count_nonzero(decision.resized))
     level_hist = np.bincount(scaler.level, minlength=catalog.num_levels)
+    counts = dict(scaler.action_counts)
     return {
         "n_tenants": n_tenants,
         "n_intervals": n_intervals,
         "seed": seed,
+        "closed_loop": closed_loop,
+        "dtype": str(np.dtype(dtype)),
+        "tile": tile,
         "total_s": float(sum(per_interval)),
         "per_interval_s": [float(v) for v in per_interval],
         "mean_interval_s": float(np.mean(per_interval)),
         "max_interval_s": float(np.max(per_interval)),
         "resizes": resizes,
+        "budget_spent": float(scaler._spent.sum()),
+        "balloon_transitions": int(
+            counts["probe_started"]
+            + counts["balloon_aborted"]
+            + counts["balloon_confirmed"]
+        ),
+        "actuation": counts,
         "final_level_histogram": [int(v) for v in level_hist],
+        "peak_rss_gb": _peak_rss_gb(),
     }
 
 
-def _run_shard(args: tuple) -> dict:
-    n_tenants, n_intervals, seed, goal_ms = args
-    return run_synthetic_sweep(
-        n_tenants, n_intervals, seed=seed, goal_ms=goal_ms
+def _sweep_subprocess_entry(conn, kwargs: dict) -> None:
+    """Child entry for :func:`run_synthetic_sweep_subprocess`.
+
+    Lives at module scope in an importable-by-name module so a ``spawn``
+    child can unpickle it even when the *caller* loaded its own module by
+    file path (the benchmark harness does).
+    """
+    try:
+        conn.send(("ok", run_synthetic_sweep(**kwargs)))
+    except Exception as exc:  # pragma: no cover - transport for the parent
+        conn.send(("err", f"{type(exc).__name__}: {exc}"))
+    finally:
+        conn.close()
+
+
+def run_synthetic_sweep_subprocess(
+    n_tenants: int,
+    n_intervals: int,
+    seed: int = 7,
+    **kwargs,
+) -> dict:
+    """Run :func:`run_synthetic_sweep` in a fresh ``spawn`` subprocess.
+
+    The point is the digest's ``peak_rss_gb``: ``ru_maxrss`` is a
+    process-lifetime high-water mark, so measuring an arm inside a
+    long-lived benchmark process would report the *largest* arm so far.
+    A spawned child starts from a clean slate, making the reading
+    attributable to this sweep alone.  Only picklable keyword arguments
+    are supported (no ``recorder``/``clock``/``telemetry``).
+    """
+    import multiprocessing as mp
+
+    for banned in ("recorder", "clock", "telemetry"):
+        if kwargs.get(banned) is not None:
+            raise ValueError(
+                f"{banned} is not supported across the subprocess boundary"
+            )
+        kwargs.pop(banned, None)
+    ctx = mp.get_context("spawn")
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    payload = dict(kwargs, n_tenants=n_tenants, n_intervals=n_intervals, seed=seed)
+    proc = ctx.Process(
+        target=_sweep_subprocess_entry, args=(child_conn, payload)
     )
+    proc.start()
+    child_conn.close()
+    try:
+        status, result = parent_conn.recv()
+    except EOFError:
+        proc.join()
+        raise RuntimeError(
+            f"sweep subprocess died without a result (exit {proc.exitcode})"
+        ) from None
+    finally:
+        parent_conn.close()
+    proc.join()
+    if status != "ok":
+        raise RuntimeError(f"sweep subprocess failed: {result}")
+    return result
+
+
+#: Telemetry fields distributed to open-loop shard workers over
+#: ``multiprocessing.shared_memory`` (tenant axis last in every field).
+_SHM_FIELDS = (
+    "latency_ms",
+    "util_pct",
+    "wait_ms",
+    "wait_pct",
+    "memory_used_gb",
+    "disk_physical_reads",
+)
+
+
+def _shard_bounds(n_tenants: int, n_shards: int) -> list[tuple[int, int]]:
+    sizes = [n_tenants // n_shards] * n_shards
+    for i in range(n_tenants % n_shards):
+        sizes[i] += 1
+    bounds, lo = [], 0
+    for size in sizes:
+        if size > 0:
+            bounds.append((lo, lo + size))
+            lo += size
+    return bounds
+
+
+def _run_closed_shard(args: tuple) -> dict:
+    lo, hi, n_total, n_intervals, seed, goal_ms, dtype, tile = args
+    return run_synthetic_sweep(
+        hi - lo,
+        n_intervals,
+        seed=seed,
+        goal_ms=goal_ms,
+        closed_loop=True,
+        dtype=dtype,
+        tile=tile,
+        lo=lo,
+        n_total=n_total,
+    )
+
+
+def _attach_shm(name: str):
+    """Attach to an existing shared-memory block without tracker churn.
+
+    Python 3.11's ``SharedMemory`` has no ``track=False``: every attach
+    registers with the resource tracker, which then warns (and unlinks
+    early) for blocks the parent owns.  Suppressing the registration at
+    attach time (rather than unregistering after) keeps concurrent
+    workers from racing each other's tracker messages; the parent keeps
+    sole unlink responsibility.
+    """
+    from multiprocessing import resource_tracker, shared_memory
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *a, **k: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def _run_shm_shard(args: tuple) -> dict:
+    blocks, lo, hi, n_intervals, seed, goal_ms, dtype, tile = args
+    shms = []
+    views: dict[str, np.ndarray] = {}
+    try:
+        for field, (name, shape, arr_dtype) in zip(_SHM_FIELDS, blocks):
+            shm = _attach_shm(name)
+            shms.append(shm)
+            views[field] = np.ndarray(shape, dtype=arr_dtype, buffer=shm.buf)[
+                ..., lo:hi
+            ]
+        data = FleetTelemetryArrays(**views)
+        return run_synthetic_sweep(
+            hi - lo,
+            n_intervals,
+            seed=seed,
+            goal_ms=goal_ms,
+            telemetry=data,
+            dtype=dtype,
+            tile=tile,
+        )
+    finally:
+        # Views must drop before close() or the exported buffer errors.
+        views.clear()
+        data = None  # noqa: F841
+        for shm in shms:
+            shm.close()
 
 
 def sharded_synthetic_sweep(
@@ -1828,40 +2366,98 @@ def sharded_synthetic_sweep(
     *,
     n_shards: int = 4,
     goal_ms: float | None = 100.0,
+    closed_loop: bool = False,
+    dtype: str | np.dtype = np.float64,
+    tile: int | None = None,
 ) -> dict:
     """Split the fleet across processes (the optional simulator-side shard).
 
-    Tenants are independent, so the sweep is embarrassingly parallel: each
-    shard runs its slice of the fleet in a worker process.  Useful when
-    the simulator side (telemetry generation) rather than the numpy
-    kernels is the bottleneck; kernel-bound sweeps gain little because
-    numpy already saturates memory bandwidth.
+    Tenants are independent, so the sweep is embarrassingly parallel:
+    each shard runs rows ``[lo, hi)`` of one global fleet.  Closed-loop
+    shards regenerate their slice locally (the synthesizer draws at full
+    fleet width and slices, so shard telemetry is identical to the same
+    rows of an unsharded run).  Open-loop telemetry is synthesized once
+    in the parent and distributed zero-copy through
+    ``multiprocessing.shared_memory`` — workers attach and slice instead
+    of unpickling a private copy of the full arrays.
     """
     import multiprocessing as mp
 
     if n_shards < 1:
         raise ValueError("n_shards must be >= 1")
-    sizes = [n_tenants // n_shards] * n_shards
-    for i in range(n_tenants % n_shards):
-        sizes[i] += 1
-    sizes = [s for s in sizes if s > 0]
-    jobs = [
-        (size, n_intervals, seed + shard, goal_ms)
-        for shard, size in enumerate(sizes)
-    ]
-    start = time.perf_counter()
-    if len(jobs) == 1:
-        results = [_run_shard(jobs[0])]
-    else:
-        ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else None)
+    bounds = _shard_bounds(n_tenants, n_shards)
+    dtype_str = str(np.dtype(dtype))
+
+    def _pool_map(fn, jobs):
+        if len(jobs) == 1:
+            return [fn(jobs[0])]
+        ctx = mp.get_context(
+            "fork" if "fork" in mp.get_all_start_methods() else None
+        )
         with ctx.Pool(processes=len(jobs)) as pool:
-            results = pool.map(_run_shard, jobs)
+            return pool.map(fn, jobs)
+
+    start = time.perf_counter()
+    if closed_loop:
+        jobs = [
+            (lo, hi, n_tenants, n_intervals, seed, goal_ms, dtype_str, tile)
+            for lo, hi in bounds
+        ]
+        results = _pool_map(_run_closed_shard, jobs)
+    elif len(bounds) == 1:
+        data = synthesize_fleet_telemetry(n_tenants, n_intervals, seed)
+        results = [
+            run_synthetic_sweep(
+                n_tenants,
+                n_intervals,
+                seed=seed,
+                goal_ms=goal_ms,
+                telemetry=data,
+                dtype=dtype_str,
+                tile=tile,
+            )
+        ]
+        del data
+    else:
+        from multiprocessing import shared_memory
+
+        data = synthesize_fleet_telemetry(n_tenants, n_intervals, seed)
+        shms: list = []
+        blocks: list[tuple[str, tuple, str]] = []
+        try:
+            for field in _SHM_FIELDS:
+                arr = np.ascontiguousarray(getattr(data, field))
+                shm = shared_memory.SharedMemory(create=True, size=arr.nbytes)
+                shms.append(shm)
+                np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)[...] = arr
+                blocks.append((shm.name, arr.shape, str(arr.dtype)))
+            del data, arr
+            jobs = [
+                (blocks, lo, hi, n_intervals, seed, goal_ms, dtype_str, tile)
+                for lo, hi in bounds
+            ]
+            results = _pool_map(_run_shm_shard, jobs)
+        finally:
+            for shm in shms:
+                shm.close()
+                try:
+                    shm.unlink()
+                except FileNotFoundError:
+                    pass
     wall = time.perf_counter() - start
     return {
         "n_tenants": n_tenants,
         "n_intervals": n_intervals,
-        "n_shards": len(jobs),
+        "n_shards": len(bounds),
+        "closed_loop": closed_loop,
+        "dtype": dtype_str,
+        "tile": tile,
         "wall_s": float(wall),
         "wall_per_interval_s": float(wall / n_intervals),
+        "resizes": int(sum(r["resizes"] for r in results)),
+        "budget_spent": float(sum(r["budget_spent"] for r in results)),
+        "balloon_transitions": int(
+            sum(r["balloon_transitions"] for r in results)
+        ),
         "shards": results,
     }

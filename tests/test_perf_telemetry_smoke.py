@@ -158,6 +158,26 @@ def test_smoke_chaos_degraded_arm(smoke_result):
     assert chaos["max_ratio"] == 2.0
 
 
+def test_smoke_fleet_scale_arm(smoke_result):
+    """The fleet-scale arm must run closed-loop and actually actuate.
+
+    The s/interval and peak-RSS ceilings are full-geometry numbers gated
+    by ``check_perf_gate.py`` against the committed JSON; the smoke run
+    verifies the truncated arm exercises the same machinery — subprocess
+    isolation, float32 rings, tiled extraction, and a loop that resizes.
+    """
+    result, _ = smoke_result
+    big = result["fleet_1m"]
+    assert big["closed_loop"] is True
+    assert big["dtype"] == "float32"
+    assert big["actuated"], (
+        "closed-loop sweep made no resizes / spent no budget / never "
+        "probed a balloon — the synthesizer is not reacting to levels"
+    )
+    assert big["peak_rss_gb"] > 0.0
+    assert big["mean_interval_s"] > 0.0
+
+
 def test_smoke_primitives_match_fleet_windows(bench_module):
     """Primitive microbenches cover the default telemetry window geometry."""
     out = bench_module.bench_primitives(window=10, n_appends=200)
